@@ -1,0 +1,70 @@
+//! Criterion version of Table III: scheduler-pass latency vs. window
+//! size on a congested Intrepid snapshot.
+//!
+//! Run: `cargo bench -p amjs-bench --bench table3`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use amjs_bench::harness;
+use amjs_core::scheduler::{BackfillMode, QueuedJob, Scheduler};
+use amjs_core::PolicyParams;
+use amjs_platform::{AllocationId, BgpCluster, Platform};
+use amjs_sim::{SimDuration, SimTime};
+use amjs_workload::synth::WorkloadSpec;
+
+/// Congested snapshot: ~88%-busy machine, deep burst-era queue.
+fn snapshot() -> (
+    BgpCluster,
+    Vec<(AllocationId, SimTime)>,
+    Vec<QueuedJob>,
+    SimTime,
+) {
+    let jobs = WorkloadSpec::intrepid_month().generate(harness::DEFAULT_SEED);
+    let now = SimTime::from_hours(100);
+    let mut machine = harness::intrepid();
+    let mut releases = Vec::new();
+    let mut i = 0usize;
+    while machine.idle_nodes() > machine.total_nodes() / 8 && i < jobs.len() {
+        let j = &jobs[i];
+        i += 1;
+        if let Some(id) = machine.allocate(j.nodes) {
+            releases.push((id, now + SimDuration::from_mins(30 + (i as i64 * 37) % 720)));
+        }
+    }
+    let queue: Vec<QueuedJob> = jobs
+        .iter()
+        .filter(|j| j.submit >= SimTime::from_hours(88) && j.submit < now)
+        .map(|j| QueuedJob {
+            id: j.id,
+            submit: j.submit,
+            nodes: j.nodes,
+            walltime: j.walltime,
+        })
+        .collect();
+    (machine, releases, queue, now)
+}
+
+fn bench_scheduling_iteration(c: &mut Criterion) {
+    let (machine, releases, queue, now) = snapshot();
+    let release_of =
+        |id: AllocationId| -> SimTime { releases.iter().find(|&&(i, _)| i == id).unwrap().1 };
+    let base_plan = machine.plan(now, &release_of);
+
+    let mut group = c.benchmark_group("table3_scheduling_iteration");
+    for w in 1..=5usize {
+        group.bench_with_input(BenchmarkId::new("window", w), &w, |b, &w| {
+            let mut sched = Scheduler::new(PolicyParams::new(0.5, w), BackfillMode::Easy);
+            sched.easy_protected = Some(harness::EASY_PROTECTED);
+            sched.backfill_depth = Some(harness::BACKFILL_DEPTH);
+            b.iter(|| sched.schedule_pass(now, &queue, &base_plan).starts.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scheduling_iteration
+}
+criterion_main!(benches);

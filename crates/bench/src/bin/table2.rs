@@ -1,0 +1,101 @@
+//! Table II — overall improvement of adaptive tuning.
+//!
+//! Reproduces the paper's central comparison: seven configurations over
+//! the same month-long trace on the Intrepid machine, reporting average
+//! waiting time (minutes), number of unfair jobs, and loss of capacity
+//! (percent):
+//!
+//! ```text
+//! BF=1/W=1   (the base: FCFS + EASY backfilling)
+//! BF=1/W=4
+//! BF=0.5/W=1
+//! BF=0.5/W=4
+//! BF Adapt.  (queue-depth-triggered BF 1 ↔ 0.5)
+//! W  Adapt.  (utilization-trend-triggered W 1 ↔ 4)
+//! 2D Adapt.  (both)
+//! ```
+//!
+//! The BF tuner's queue-depth threshold follows the paper: "this is set
+//! based on the whole month's average" — we pre-run the base
+//! configuration and use its mean queue depth.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin table2 [--seed N] [--fast]`
+
+use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::{results, table};
+use amjs_metrics::report::improvement_percent;
+
+fn main() {
+    let (seed, fast) = harness::parse_args();
+    let jobs = harness::experiment_jobs(seed, fast);
+    eprintln!(
+        "table2: {} jobs over {:.0} h (seed {seed})",
+        jobs.len(),
+        jobs.last().map(|j| j.submit.as_hours_f64()).unwrap_or(0.0)
+    );
+
+    // Base pre-run for the adaptive threshold (also Table II row 1).
+    let base = harness::run_one(harness::intrepid(), jobs.clone(), &RunConfig::fixed(1.0, 1));
+    let threshold = base.queue_depth.mean_value().unwrap_or(1000.0);
+    eprintln!(
+        "table2: base mean queue depth {threshold:.0} min → adaptive threshold"
+    );
+
+    let configs = vec![
+        RunConfig::fixed(1.0, 4),
+        RunConfig::fixed(0.5, 1),
+        RunConfig::fixed(0.5, 4),
+        RunConfig::bf_adaptive(threshold),
+        RunConfig::window_adaptive(),
+        RunConfig::two_d_adaptive(threshold),
+    ];
+    let mut outcomes = vec![base];
+    outcomes.extend(harness::run_sweep(harness::intrepid, &jobs, &configs));
+
+    let header = ["configuration", "avg. wait (min)", "unfair #", "LoC (%)", "util", "backfills"];
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.summary.label.clone(),
+                table::num(o.summary.avg_wait_mins, 1),
+                o.summary.unfair_jobs.to_string(),
+                table::num(o.summary.loc_percent, 1),
+                table::num(o.summary.avg_utilization, 3),
+                o.backfilled_starts.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str("Table II — improvement of adaptive tuning\n");
+    out.push_str(&format!(
+        "(workload: {} jobs, seed {seed}{}; threshold {threshold:.0} min)\n\n",
+        jobs.len(),
+        if fast { ", --fast week trace" } else { "" }
+    ));
+    out.push_str(&table::render(&header, &rows));
+
+    // The paper's headline: 2D adaptive vs. base.
+    let base_s = &outcomes[0].summary;
+    let twod = &outcomes.last().unwrap().summary;
+    out.push_str(&format!(
+        "\n2D Adapt. vs base: wait {:+.0}%, LoC {:+.0}%, unfair x{:.1}\n",
+        -improvement_percent(base_s.avg_wait_mins, twod.avg_wait_mins),
+        -improvement_percent(base_s.loc_percent, twod.loc_percent),
+        twod.unfair_jobs as f64 / base_s.unfair_jobs.max(1) as f64,
+    ));
+    out.push_str(
+        "(paper: wait -71%, LoC -23%, unfair x2 — shape target, not absolute values)\n",
+    );
+
+    print!("{out}");
+    let mut csv = String::from(amjs_metrics::report::csv_header());
+    csv.push('\n');
+    for o in &outcomes {
+        csv.push_str(&o.summary.csv_row());
+        csv.push('\n');
+    }
+    let txt = results::write_result("table2.txt", &out);
+    let csvp = results::write_result("table2.csv", &csv);
+    eprintln!("table2: wrote {} and {}", txt.display(), csvp.display());
+}

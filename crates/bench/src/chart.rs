@@ -1,0 +1,179 @@
+//! ASCII line charts for the figure experiments.
+//!
+//! Each figure binary renders the paper's plot directly into the
+//! terminal / results file: multiple series share axes; each series gets
+//! a glyph; later series draw over earlier ones where they collide
+//! (legend order = paper legend order). Supports the log-scale variant
+//! the paper uses in Fig. 4(b).
+
+use amjs_metrics::TimeSeries;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render `series` (name, data) as an ASCII chart of `width`×`height`
+/// characters (plot area, excluding axes). With `log_scale`, values are
+/// plotted as `log10(1 + v)`.
+pub fn ascii_chart(series: &[(&str, &TimeSeries)], width: usize, height: usize, log_scale: bool) -> String {
+    assert!(width >= 10 && height >= 4, "chart too small");
+    let transform = |v: f64| if log_scale { (1.0 + v.max(0.0)).log10() } else { v };
+
+    // Common extents.
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    let mut v_max = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for &(t, v) in s.points() {
+            let th = t.as_hours_f64();
+            t_min = t_min.min(th);
+            t_max = t_max.max(th);
+            v_max = v_max.max(transform(v));
+        }
+    }
+    if !t_min.is_finite() || t_max <= t_min {
+        return "(no data)\n".to_string();
+    }
+    let v_min = 0.0;
+    let v_max = if v_max <= v_min { v_min + 1.0 } else { v_max };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(t, v) in s.points() {
+            let x = ((t.as_hours_f64() - t_min) / (t_max - t_min) * (width - 1) as f64).round()
+                as usize;
+            let y_frac = (transform(v) - v_min) / (v_max - v_min);
+            let y = ((1.0 - y_frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    // Legend.
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out.push('\n');
+    // Plot with a y-axis rail.
+    let y_label_top = if log_scale {
+        format!("{:.2} (log10(1+v))", v_max)
+    } else {
+        format!("{v_max:.1}")
+    };
+    out.push_str(&format!("{y_label_top:>10} ┤\n"));
+    for row in &grid {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} └{}\n", format!("{v_min:.1}"), "─".repeat(width)));
+    out.push_str(&format!(
+        "{:>12}{:<w$}{:>8}\n",
+        format!("{t_min:.0}h"),
+        "",
+        format!("{t_max:.0}h"),
+        w = width.saturating_sub(8)
+    ));
+    out
+}
+
+/// A job-centric ASCII Gantt chart: one row per job (sorted by start),
+/// bars spanning `[start, end)` on a shared time axis. Intended for
+/// small scenarios (demos, incident analysis), not month-long traces.
+pub fn gantt(rows: &[(String, amjs_sim::SimTime, amjs_sim::SimTime)], width: usize) -> String {
+    assert!(width >= 20, "gantt too narrow");
+    if rows.is_empty() {
+        return "(no jobs)\n".to_string();
+    }
+    let t0 = rows.iter().map(|&(_, s, _)| s).min().unwrap().as_hours_f64();
+    let t1 = rows.iter().map(|&(_, _, e)| e).max().unwrap().as_hours_f64();
+    let span = (t1 - t0).max(1e-9);
+    let label_w = rows.iter().map(|(l, ..)| l.len()).max().unwrap().min(16);
+
+    let mut sorted: Vec<&(String, amjs_sim::SimTime, amjs_sim::SimTime)> = rows.iter().collect();
+    sorted.sort_by_key(|&&(_, s, e)| (s, e));
+
+    let mut out = String::new();
+    for (label, start, end) in sorted {
+        let a = (((start.as_hours_f64() - t0) / span) * (width - 1) as f64).round() as usize;
+        let b = (((end.as_hours_f64() - t0) / span) * (width - 1) as f64).round() as usize;
+        let b = b.max(a + 1).min(width);
+        let mut bar = vec![' '; width];
+        bar[a..b].iter_mut().for_each(|c| *c = '█');
+        let shown: String = label.chars().take(label_w).collect();
+        out.push_str(&format!(
+            "{shown:>label_w$} │{}\n",
+            bar.iter().collect::<String>()
+        ));
+    }
+    out.push_str(&format!(
+        "{:>label_w$} └{}\n{:>label_w$}  {:<w2$}{:>8}\n",
+        "",
+        "─".repeat(width),
+        "",
+        format!("{t0:.1}h"),
+        format!("{t1:.1}h"),
+        w2 = width.saturating_sub(8)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_sim::SimTime;
+
+    fn ramp(name: &str, n: usize, scale: f64) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for i in 0..n {
+            s.push(SimTime::from_hours(i as i64), i as f64 * scale);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_legend_and_axes() {
+        let a = ramp("fcfs", 50, 2.0);
+        let b = ramp("adaptive", 50, 1.0);
+        let chart = ascii_chart(&[("fcfs", &a), ("adaptive", &b)], 60, 12, false);
+        assert!(chart.contains("* fcfs"));
+        assert!(chart.contains("o adaptive"));
+        assert!(chart.contains("0h"));
+        assert!(chart.contains("49h"));
+        // Plot rows are present.
+        assert_eq!(chart.lines().count(), 12 + 4);
+    }
+
+    #[test]
+    fn log_scale_compresses() {
+        let a = ramp("x", 20, 1000.0);
+        let chart = ascii_chart(&[("x", &a)], 40, 8, true);
+        assert!(chart.contains("log10"));
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let s = TimeSeries::new("e");
+        assert_eq!(ascii_chart(&[("e", &s)], 40, 8, false), "(no data)\n");
+    }
+
+    #[test]
+    fn gantt_renders_bars_in_start_order() {
+        let rows = vec![
+            ("late".to_string(), SimTime::from_hours(2), SimTime::from_hours(4)),
+            ("early".to_string(), SimTime::from_hours(0), SimTime::from_hours(1)),
+        ];
+        let g = gantt(&rows, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].contains("early"));
+        assert!(lines[1].contains("late"));
+        assert!(lines[0].contains('█'));
+        assert!(g.contains("0.0h"));
+        assert!(g.contains("4.0h"));
+    }
+
+    #[test]
+    fn gantt_empty_is_handled() {
+        assert_eq!(gantt(&[], 40), "(no jobs)\n");
+    }
+}

@@ -1,0 +1,214 @@
+//! Shared experiment setup and the parallel sweep runner.
+//!
+//! All experiment binaries use the same machine (Intrepid's geometry),
+//! the same seeded month-long synthetic trace, and the same run
+//! configurations, so their outputs are directly comparable — exactly
+//! like the paper, which runs every policy over the same trace.
+
+use amjs_core::adaptive::AdaptiveScheme;
+use amjs_core::runner::{SimulationBuilder, SimulationOutcome};
+use amjs_core::scheduler::BackfillMode;
+use amjs_core::PolicyParams;
+use amjs_platform::{BgpCluster, Platform};
+use amjs_workload::{Job, WorkloadSpec};
+
+/// The master seed every experiment uses unless overridden on the
+/// command line (`--seed N`).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// The production backfill depth used by every experiment (Cobalt-like:
+/// only the first N queued jobs are backfill candidates; see
+/// `amjs_core::Scheduler::backfill_depth` and DESIGN.md §7).
+pub const BACKFILL_DEPTH: usize = 16;
+
+/// The classic-EASY protection used by every experiment: only the
+/// highest-priority reservation is inviolable (see
+/// `amjs_core::Scheduler::easy_protected` and DESIGN.md §4).
+pub const EASY_PROTECTED: usize = 1;
+
+/// The paper's machine: Intrepid, 40,960 nodes as 80 midplanes of 512.
+pub fn intrepid() -> BgpCluster {
+    BgpCluster::intrepid()
+}
+
+/// The paper's workload stand-in: one month of Intrepid-like load with
+/// the hour-100 burst (see `amjs-workload::synth`).
+pub fn intrepid_month_jobs(seed: u64) -> Vec<Job> {
+    WorkloadSpec::intrepid_month().generate(seed)
+}
+
+/// One simulation configuration in a sweep.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Row label (defaults to the policy label when built via helpers).
+    pub label: String,
+    /// Static policy (initial policy when adaptive).
+    pub policy: PolicyParams,
+    /// Backfilling mode.
+    pub backfill: BackfillMode,
+    /// Adaptive tuning scheme (empty = static).
+    pub adaptive: AdaptiveScheme,
+}
+
+impl RunConfig {
+    /// A static `(BF, W)` configuration with EASY backfilling.
+    pub fn fixed(bf: f64, window: usize) -> Self {
+        let policy = PolicyParams::new(bf, window);
+        RunConfig {
+            label: policy.label(),
+            policy,
+            backfill: BackfillMode::Easy,
+            adaptive: AdaptiveScheme::none(),
+        }
+    }
+
+    /// The paper's "BF Adapt." row.
+    pub fn bf_adaptive(threshold_mins: f64) -> Self {
+        RunConfig {
+            label: "BF Adapt.".to_string(),
+            policy: PolicyParams::fcfs(),
+            backfill: BackfillMode::Easy,
+            adaptive: AdaptiveScheme::bf_adaptive(threshold_mins),
+        }
+    }
+
+    /// The paper's "W Adapt." row.
+    pub fn window_adaptive() -> Self {
+        RunConfig {
+            label: "W Adapt.".to_string(),
+            policy: PolicyParams::fcfs(),
+            backfill: BackfillMode::Easy,
+            adaptive: AdaptiveScheme::window_adaptive(),
+        }
+    }
+
+    /// The paper's "2D Adapt." row.
+    pub fn two_d_adaptive(threshold_mins: f64) -> Self {
+        RunConfig {
+            label: "2D Adapt.".to_string(),
+            policy: PolicyParams::fcfs(),
+            backfill: BackfillMode::Easy,
+            adaptive: AdaptiveScheme::two_d(threshold_mins),
+        }
+    }
+
+    /// Rename the row.
+    pub fn named(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Change the backfilling mode.
+    pub fn with_backfill(mut self, mode: BackfillMode) -> Self {
+        self.backfill = mode;
+        self
+    }
+}
+
+/// Run one configuration on a fresh `platform` over `jobs`.
+pub fn run_one<P: Platform>(platform: P, jobs: Vec<Job>, config: &RunConfig) -> SimulationOutcome {
+    SimulationBuilder::new(platform, jobs)
+        .policy(config.policy)
+        .backfill(config.backfill)
+        .adaptive(config.adaptive.clone())
+        .easy_protected(Some(EASY_PROTECTED))
+        .backfill_depth(Some(BACKFILL_DEPTH))
+        .label(config.label.clone())
+        .run()
+}
+
+/// Run a set of configurations over the same trace in parallel, one
+/// thread per configuration (each simulation is single-threaded and
+/// deterministic; results come back in input order regardless of
+/// completion order).
+pub fn run_sweep<P, F>(platform_factory: F, jobs: &[Job], configs: &[RunConfig]) -> Vec<SimulationOutcome>
+where
+    P: Platform,
+    F: Fn() -> P + Sync,
+{
+    let mut slots: Vec<Option<SimulationOutcome>> = Vec::new();
+    slots.resize_with(configs.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(configs.len());
+        for config in configs {
+            let factory = &platform_factory;
+            let jobs = jobs.to_vec();
+            handles.push(scope.spawn(move |_| run_one(factory(), jobs, config)));
+        }
+        for (slot, handle) in slots.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("simulation thread panicked"));
+        }
+    })
+    .expect("sweep scope panicked");
+
+    slots.into_iter().map(Option::unwrap).collect()
+}
+
+/// Parse `--seed N` and `--fast` from command-line arguments.
+/// `--fast` swaps the month trace for the one-week preset so every
+/// binary can be smoke-tested quickly; returns `(seed, fast)`.
+pub fn parse_args() -> (u64, bool) {
+    let mut seed = DEFAULT_SEED;
+    let mut fast = false;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+                i += 2;
+            }
+            "--fast" => {
+                fast = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (supported: --seed N, --fast)"),
+        }
+    }
+    (seed, fast)
+}
+
+/// The experiment trace honoring `--fast`.
+pub fn experiment_jobs(seed: u64, fast: bool) -> Vec<Job> {
+    if fast {
+        WorkloadSpec::intrepid_week().generate(seed)
+    } else {
+        intrepid_month_jobs(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_platform::FlatCluster;
+
+    #[test]
+    fn sweep_preserves_config_order_and_determinism() {
+        let jobs = WorkloadSpec::small_test().generate(3);
+        let configs = vec![
+            RunConfig::fixed(1.0, 1),
+            RunConfig::fixed(0.5, 2),
+            RunConfig::fixed(0.0, 1),
+        ];
+        let sweep = run_sweep(|| FlatCluster::new(512), &jobs, &configs);
+        assert_eq!(sweep.len(), 3);
+        for (cfg, out) in configs.iter().zip(&sweep) {
+            assert_eq!(out.summary.label, cfg.label);
+        }
+        // Sweep result equals a directly-run simulation.
+        let direct = run_one(FlatCluster::new(512), jobs, &configs[1]);
+        assert_eq!(direct.summary, sweep[1].summary);
+    }
+
+    #[test]
+    fn config_helpers_have_paper_labels() {
+        assert_eq!(RunConfig::fixed(0.5, 4).label, "BF=0.5/W=4");
+        assert_eq!(RunConfig::bf_adaptive(1000.0).label, "BF Adapt.");
+        assert_eq!(RunConfig::window_adaptive().label, "W Adapt.");
+        assert_eq!(RunConfig::two_d_adaptive(1000.0).label, "2D Adapt.");
+    }
+}

@@ -1,0 +1,22 @@
+//! # amjs-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus the
+//! shared pieces they need:
+//!
+//! * [`harness`] — standard experiment setup (the Intrepid machine, the
+//!   month-long synthetic trace, run configurations) and a parallel
+//!   sweep runner (each simulation is single-threaded and deterministic,
+//!   so fanning the BF×W grid across cores is free of ordering effects);
+//! * [`chart`] — ASCII line charts so figure binaries can render the
+//!   paper's plots directly into the terminal and experiment logs;
+//! * [`table`] — aligned text tables for Table-II/III-style output;
+//! * [`results`] — CSV/text output under `results/`.
+//!
+//! Criterion benches (Table III and microbenchmarks) live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod harness;
+pub mod results;
+pub mod table;

@@ -1,0 +1,37 @@
+//! Writing experiment outputs under `results/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The results directory (created on demand): `results/` next to the
+/// workspace root when run via `cargo run`, else under the current
+/// directory.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at crates/bench; the workspace root is
+    // two levels up. Fall back to CWD outside cargo.
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = base.join("results");
+    fs::create_dir_all(&dir).expect("cannot create results/");
+    dir
+}
+
+/// Write one result file (overwrites) and return its path.
+pub fn write_result(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_back() {
+        let path = write_result("self_test.txt", "hello\n");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "hello\n");
+        fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--flag value`, `--flag=value`, boolean `--flag`, and
+//! positional arguments. Unknown flags are an error (they usually mean
+//! a typo in an experiment script), and every accepted flag is declared
+//! up front so `--help` can be generated from the same table.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Declaration of one accepted flag.
+#[derive(Clone, Debug)]
+pub struct FlagSpec {
+    /// Name without the leading dashes (e.g. `"seed"`).
+    pub name: &'static str,
+    /// `true` if the flag takes no value.
+    pub is_bool: bool,
+    /// Help text.
+    pub help: &'static str,
+    /// Rendered default, if any (help display only).
+    pub default: Option<&'static str>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments: flag values plus positionals.
+#[derive(Debug, Default)]
+pub struct ParsedArgs {
+    values: HashMap<&'static str, String>,
+    bools: HashMap<&'static str, bool>,
+    /// Positional arguments in order.
+    pub positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Raw string value of a flag, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn get_bool(&self, name: &str) -> bool {
+        self.bools.get(name).copied().unwrap_or(false)
+    }
+
+    /// Typed value with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Typed optional value.
+    pub fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Comma-separated list of typed values (e.g. `--bf 1,0.5,0`).
+    pub fn get_list<T: std::str::FromStr + Clone>(
+        &self,
+        name: &str,
+        default: &[T],
+    ) -> Result<Vec<T>, ArgError> {
+        match self.get(name) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse()
+                        .map_err(|_| ArgError(format!("--{name}: cannot parse {tok:?}")))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parse `args` (without the program/subcommand prefix) against `specs`.
+pub fn parse(args: &[String], specs: &[FlagSpec]) -> Result<ParsedArgs, ArgError> {
+    let spec_of = |name: &str| specs.iter().find(|s| s.name == name);
+    let mut parsed = ParsedArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(stripped) = arg.strip_prefix("--") {
+            let (name, inline_value) = match stripped.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (stripped, None),
+            };
+            let spec = spec_of(name)
+                .ok_or_else(|| ArgError(format!("unknown flag --{name} (try --help)")))?;
+            if spec.is_bool {
+                if inline_value.is_some() {
+                    return Err(ArgError(format!("--{name} takes no value")));
+                }
+                parsed.bools.insert(spec.name, true);
+                i += 1;
+            } else {
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        args.get(i)
+                            .cloned()
+                            .ok_or_else(|| ArgError(format!("--{name} needs a value")))?
+                    }
+                };
+                parsed.values.insert(spec.name, value);
+                i += 1;
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok(parsed)
+}
+
+/// Render a help block for a flag table.
+pub fn render_flags(specs: &[FlagSpec]) -> String {
+    let mut out = String::new();
+    for s in specs {
+        let lhs = if s.is_bool {
+            format!("--{}", s.name)
+        } else {
+            format!("--{} <value>", s.name)
+        };
+        let default = s
+            .default
+            .map(|d| format!(" [default: {d}]"))
+            .unwrap_or_default();
+        out.push_str(&format!("  {lhs:<24} {}{}\n", s.help, default));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<FlagSpec> {
+        vec![
+            FlagSpec { name: "seed", is_bool: false, help: "rng seed", default: Some("42") },
+            FlagSpec { name: "fast", is_bool: true, help: "quick run", default: None },
+            FlagSpec { name: "bf", is_bool: false, help: "balance factors", default: None },
+        ]
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_bools() {
+        let p = parse(&argv(&["--seed", "7", "--fast", "trace.swf"]), &specs()).unwrap();
+        assert_eq!(p.get("seed"), Some("7"));
+        assert!(p.get_bool("fast"));
+        assert_eq!(p.positionals, vec!["trace.swf"]);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let p = parse(&argv(&["--seed=9"]), &specs()).unwrap();
+        assert_eq!(p.get_parsed("seed", 0u64).unwrap(), 9);
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let p = parse(&argv(&[]), &specs()).unwrap();
+        assert_eq!(p.get_parsed("seed", 42u64).unwrap(), 42);
+        assert_eq!(p.get_opt::<u64>("seed").unwrap(), None);
+        let p = parse(&argv(&["--seed", "x"]), &specs()).unwrap();
+        assert!(p.get_parsed("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn lists() {
+        let p = parse(&argv(&["--bf", "1,0.5, 0"]), &specs()).unwrap();
+        assert_eq!(p.get_list("bf", &[9.0]).unwrap(), vec![1.0, 0.5, 0.0]);
+        let p = parse(&argv(&[]), &specs()).unwrap();
+        assert_eq!(p.get_list("bf", &[9.0]).unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&argv(&["--nope"]), &specs()).unwrap_err().0.contains("unknown"));
+        assert!(parse(&argv(&["--seed"]), &specs()).unwrap_err().0.contains("needs a value"));
+        assert!(parse(&argv(&["--fast=yes"]), &specs()).unwrap_err().0.contains("takes no value"));
+    }
+
+    #[test]
+    fn help_rendering_mentions_defaults() {
+        let help = render_flags(&specs());
+        assert!(help.contains("--seed <value>"));
+        assert!(help.contains("[default: 42]"));
+        assert!(help.contains("--fast "));
+    }
+}

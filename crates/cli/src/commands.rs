@@ -1,0 +1,399 @@
+//! The CLI subcommands.
+
+use amjs_core::adaptive::AdaptiveScheme;
+use amjs_core::PolicyParams;
+use amjs_metrics::report;
+use amjs_workload::stats::WorkloadStats;
+use amjs_workload::{swf, WorkloadSpec};
+
+use crate::args::{parse, render_flags, ArgError, FlagSpec, ParsedArgs};
+use crate::config::{load_workload, run_simulation, MachineConfig, PolicyFlags};
+
+/// Top-level usage text.
+pub fn top_level_help() -> String {
+    "amjs — adaptive metric-aware job scheduling simulator (ICPP 2012 reproduction)\n\n\
+     usage: amjs <command> [flags]\n\n\
+     commands:\n\
+       simulate             run one policy over a workload\n\
+       sweep                grid-sweep balance factor x window in parallel\n\
+       workload             generate a synthetic trace (writes SWF)\n\
+       replay <trace.swf>   simulate a real SWF trace\n\n\
+     run `amjs <command> --help` for each command's flags"
+        .to_string()
+}
+
+fn common_flags() -> Vec<FlagSpec> {
+    vec![
+        FlagSpec { name: "help", is_bool: true, help: "show this help", default: None },
+        FlagSpec { name: "machine", is_bool: false, help: "machine model: bgp|flat", default: Some("bgp") },
+        FlagSpec { name: "nodes", is_bool: false, help: "machine size in nodes (bgp: multiple of 512)", default: Some("40960") },
+        FlagSpec { name: "workload", is_bool: false, help: "month|week|small or an SWF file path", default: Some("month") },
+        FlagSpec { name: "seed", is_bool: false, help: "workload generation seed", default: Some("42") },
+        FlagSpec { name: "backfill", is_bool: false, help: "easy|conservative|none", default: Some("easy") },
+        FlagSpec { name: "backfill-depth", is_bool: false, help: "max queued jobs the backfill pass considers", default: Some("unlimited") },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// simulate / replay
+// ---------------------------------------------------------------------------
+
+fn simulate_flags() -> Vec<FlagSpec> {
+    let mut flags = common_flags();
+    flags.extend([
+        FlagSpec { name: "bf", is_bool: false, help: "balance factor in [0,1]", default: Some("1") },
+        FlagSpec { name: "window", is_bool: false, help: "allocation window size W", default: Some("1") },
+        FlagSpec { name: "adaptive", is_bool: false, help: "adaptive scheme: none|bf|w|2d", default: Some("none") },
+        FlagSpec { name: "threshold", is_bool: false, help: "queue-depth threshold (min) for bf/2d tuning", default: Some("base-run average") },
+        FlagSpec { name: "series", is_bool: false, help: "write sampled time series CSV to this path", default: None },
+        FlagSpec { name: "jobs-csv", is_bool: false, help: "write per-job records CSV to this path", default: None },
+        FlagSpec { name: "users", is_bool: true, help: "print per-user service table (top 10 by jobs)", default: None },
+        FlagSpec { name: "estimates", is_bool: false, help: "planning walltimes: raw|adaptive", default: Some("raw") },
+    ]);
+    flags
+}
+
+/// `amjs simulate`.
+pub fn simulate(argv: &[String]) -> Result<(), ArgError> {
+    let flags = simulate_flags();
+    let parsed = parse(argv, &flags)?;
+    if parsed.get_bool("help") {
+        println!("amjs simulate — run one policy over a workload\n\n{}", render_flags(&flags));
+        return Ok(());
+    }
+    run_simulate(&parsed)
+}
+
+/// `amjs replay <trace.swf>` — simulate with the workload positional.
+pub fn replay(argv: &[String]) -> Result<(), ArgError> {
+    let flags = simulate_flags();
+    let parsed = parse(argv, &flags)?;
+    if parsed.get_bool("help") {
+        println!("amjs replay <trace.swf> — simulate a real SWF trace\n\n{}", render_flags(&flags));
+        return Ok(());
+    }
+    let path = parsed
+        .positionals
+        .first()
+        .ok_or_else(|| ArgError("replay needs a trace path".to_string()))?
+        .clone();
+    // Rebuild argv with the positional as --workload and delegate.
+    let mut argv2: Vec<String> = argv.iter().filter(|a| **a != path).cloned().collect();
+    argv2.push("--workload".to_string());
+    argv2.push(path);
+    let parsed = parse(&argv2, &flags)?;
+    run_simulate(&parsed)
+}
+
+fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
+    let machine = MachineConfig::from_args(parsed)?;
+    let (jobs, workload_label) = load_workload(parsed)?;
+    let policy_flags = PolicyFlags::from_args(parsed)?;
+    let bf: f64 = parsed.get_parsed("bf", 1.0)?;
+    let window: usize = parsed.get_parsed("window", 1)?;
+    if !(0.0..=1.0).contains(&bf) {
+        return Err(ArgError(format!("--bf must be in [0,1], got {bf}")));
+    }
+    if window == 0 {
+        return Err(ArgError("--window must be at least 1".to_string()));
+    }
+    let policy = PolicyParams::new(bf, window);
+
+    // Adaptive threshold default: a base pre-run's average queue depth.
+    let scheme = if policy_flags.adaptive.is_some() && policy_flags.threshold.is_none() {
+        let needs_base = matches!(policy_flags.adaptive, Some("bf") | Some("2d"));
+        if needs_base {
+            eprintln!("amjs: pre-running the base policy to calibrate the tuning threshold...");
+            let base = run_simulation(
+                machine,
+                jobs.clone(),
+                PolicyParams::fcfs(),
+                &policy_flags,
+                AdaptiveScheme::none(),
+                "base".to_string(),
+            );
+            let th = base.queue_depth.mean_value().unwrap_or(1000.0);
+            eprintln!("amjs: threshold = {th:.0} queued minutes");
+            policy_flags.scheme(|| th)
+        } else {
+            policy_flags.scheme(|| 1000.0)
+        }
+    } else {
+        policy_flags.scheme(|| policy_flags.threshold.unwrap_or(1000.0))
+    };
+
+    eprintln!(
+        "amjs: {} jobs from {workload_label} on {:?}/{} nodes",
+        jobs.len(),
+        machine.kind,
+        machine.nodes
+    );
+    let outcome = run_simulation(
+        machine,
+        jobs,
+        policy,
+        &policy_flags,
+        scheme,
+        policy.label(),
+    );
+
+    println!("{}", report::table_header());
+    println!("{}", outcome.summary.table_row());
+    if outcome.skipped_oversized > 0 {
+        println!("({} oversized jobs skipped)", outcome.skipped_oversized);
+    }
+    println!(
+        "scheduler passes: {}; backfilled starts: {}",
+        outcome.scheduler_passes, outcome.backfilled_starts
+    );
+    if parsed.get_bool("users") {
+        let mut rows = outcome.user_service();
+        let gini = amjs_metrics::users::wait_gini(&rows);
+        rows.sort_by_key(|r| std::cmp::Reverse(r.jobs));
+        println!("
+per-user service (top 10 by jobs; wait gini {gini:.3}):");
+        println!(
+            "{:>6} {:>6} {:>12} {:>12} {:>12}",
+            "user", "jobs", "mean wait(m)", "max wait(m)", "node-hours"
+        );
+        for r in rows.iter().take(10) {
+            println!(
+                "{:>6} {:>6} {:>12.1} {:>12.1} {:>12.0}",
+                r.user, r.jobs, r.mean_wait_mins, r.max_wait_mins, r.node_hours
+            );
+        }
+    }
+
+    if let Some(path) = parsed.get("series") {
+        let series = [
+            &outcome.queue_depth,
+            &outcome.util_instant,
+            &outcome.util_1h,
+            &outcome.util_10h,
+            &outcome.util_24h,
+            &outcome.bf_series,
+            &outcome.window_series,
+        ];
+        let csv = amjs_metrics::series::to_csv(&series);
+        std::fs::write(path, csv).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!("amjs: wrote series to {path}");
+    }
+    if let Some(path) = parsed.get("jobs-csv") {
+        let mut csv = String::from("job,submit_s,start_s,end_s,nodes,wait_mins,backfilled\n");
+        for r in &outcome.per_job {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.2},{}\n",
+                r.id.0,
+                r.submit.as_secs(),
+                r.start.as_secs(),
+                r.end.as_secs(),
+                r.nodes,
+                (r.start - r.submit).as_mins_f64(),
+                r.backfilled
+            ));
+        }
+        std::fs::write(path, csv).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!("amjs: wrote per-job records to {path}");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// sweep
+// ---------------------------------------------------------------------------
+
+fn sweep_flags() -> Vec<FlagSpec> {
+    let mut flags = common_flags();
+    flags.extend([
+        FlagSpec { name: "bf", is_bool: false, help: "comma-separated balance factors", default: Some("1,0.75,0.5,0.25,0") },
+        FlagSpec { name: "window", is_bool: false, help: "comma-separated window sizes", default: Some("1,2,4") },
+        FlagSpec { name: "csv", is_bool: false, help: "write the sweep grid CSV to this path", default: None },
+    ]);
+    flags
+}
+
+/// `amjs sweep`.
+pub fn sweep(argv: &[String]) -> Result<(), ArgError> {
+    let flags = sweep_flags();
+    let parsed = parse(argv, &flags)?;
+    if parsed.get_bool("help") {
+        println!("amjs sweep — grid-sweep BF x W in parallel\n\n{}", render_flags(&flags));
+        return Ok(());
+    }
+    let machine = MachineConfig::from_args(&parsed)?;
+    let (jobs, workload_label) = load_workload(&parsed)?;
+    let policy_flags = PolicyFlags::from_args(&parsed)?;
+    let bfs: Vec<f64> = parsed.get_list("bf", &[1.0, 0.75, 0.5, 0.25, 0.0])?;
+    let windows: Vec<usize> = parsed.get_list("window", &[1, 2, 4])?;
+    for &bf in &bfs {
+        if !(0.0..=1.0).contains(&bf) {
+            return Err(ArgError(format!("--bf values must be in [0,1], got {bf}")));
+        }
+    }
+    if windows.contains(&0) {
+        return Err(ArgError("--window values must be at least 1".to_string()));
+    }
+
+    eprintln!(
+        "amjs: sweeping {}x{} policies over {} jobs from {workload_label}",
+        bfs.len(),
+        windows.len(),
+        jobs.len()
+    );
+    let summaries: Vec<amjs_metrics::MetricsSummary> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &bf in &bfs {
+            for &w in &windows {
+                let jobs = jobs.clone();
+                let flags_ref = &policy_flags;
+                handles.push(scope.spawn(move || {
+                    let policy = PolicyParams::new(bf, w);
+                    run_simulation(
+                        machine,
+                        jobs,
+                        policy,
+                        flags_ref,
+                        AdaptiveScheme::none(),
+                        policy.label(),
+                    )
+                    .summary
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    println!("{}", report::table_header());
+    for s in &summaries {
+        println!("{}", s.table_row());
+    }
+    if let Some(path) = parsed.get("csv") {
+        let mut csv = String::from(report::csv_header());
+        csv.push('\n');
+        for s in &summaries {
+            csv.push_str(&s.csv_row());
+            csv.push('\n');
+        }
+        std::fs::write(path, csv).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!("amjs: wrote sweep grid to {path}");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// workload
+// ---------------------------------------------------------------------------
+
+fn workload_flags() -> Vec<FlagSpec> {
+    vec![
+        FlagSpec { name: "help", is_bool: true, help: "show this help", default: None },
+        FlagSpec { name: "preset", is_bool: false, help: "month|week|small", default: Some("month") },
+        FlagSpec { name: "seed", is_bool: false, help: "generation seed", default: Some("42") },
+        FlagSpec { name: "load-factor", is_bool: false, help: "scale the arrival rate", default: Some("1.0") },
+        FlagSpec { name: "out", is_bool: false, help: "write the trace as SWF to this path", default: None },
+        FlagSpec { name: "stats", is_bool: true, help: "print workload statistics", default: None },
+        FlagSpec { name: "analyze", is_bool: true, help: "print the distribution characterization", default: None },
+    ]
+}
+
+/// `amjs workload`.
+pub fn workload(argv: &[String]) -> Result<(), ArgError> {
+    let flags = workload_flags();
+    let parsed = parse(argv, &flags)?;
+    if parsed.get_bool("help") {
+        println!("amjs workload — generate a synthetic trace\n\n{}", render_flags(&flags));
+        return Ok(());
+    }
+    let seed = parsed.get_parsed("seed", 42u64)?;
+    let load: f64 = parsed.get_parsed("load-factor", 1.0)?;
+    if load <= 0.0 {
+        return Err(ArgError("--load-factor must be positive".to_string()));
+    }
+    let spec = match parsed.get("preset").unwrap_or("month") {
+        "month" => WorkloadSpec::intrepid_month(),
+        "week" => WorkloadSpec::intrepid_week(),
+        "small" => WorkloadSpec::small_test(),
+        other => return Err(ArgError(format!("--preset: unknown preset {other:?}"))),
+    }
+    .with_load_factor(load);
+
+    let jobs = spec.generate(seed);
+    println!("generated {} jobs ({}, seed {seed}, load x{load})", jobs.len(), spec.name);
+    if parsed.get_bool("stats") {
+        print!("{}", WorkloadStats::compute(&jobs).render(Some(40_960)));
+    }
+    if parsed.get_bool("analyze") {
+        print!("{}", amjs_workload::analysis::render_report(&jobs));
+    }
+    if let Some(path) = parsed.get("out") {
+        let header = format!("generated by amjs workload: preset {}, seed {seed}, load x{load}", spec.name);
+        let text = swf::write(&jobs, &[&header]);
+        std::fs::write(path, text).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn helps_do_not_error() {
+        assert!(simulate(&argv(&["--help"])).is_ok());
+        assert!(sweep(&argv(&["--help"])).is_ok());
+        assert!(workload(&argv(&["--help"])).is_ok());
+        assert!(replay(&argv(&["--help"])).is_ok());
+        assert!(top_level_help().contains("simulate"));
+    }
+
+    #[test]
+    fn simulate_runs_a_small_workload() {
+        simulate(&argv(&[
+            "--workload", "small", "--machine", "flat", "--nodes", "1024", "--bf", "0.5",
+            "--window", "2", "--users",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_policy() {
+        assert!(simulate(&argv(&["--bf", "1.5", "--workload", "small", "--machine", "flat", "--nodes", "64"])).is_err());
+        assert!(simulate(&argv(&["--window", "0", "--workload", "small", "--machine", "flat", "--nodes", "64"])).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_a_tiny_grid() {
+        sweep(&argv(&[
+            "--workload", "small", "--machine", "flat", "--nodes", "1024", "--bf", "1,0",
+            "--window", "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn workload_generates_and_writes_swf() {
+        let dir = std::env::temp_dir().join("amjs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.swf");
+        let path_str = path.to_str().unwrap();
+        workload(&argv(&["--preset", "small", "--seed", "5", "--stats", "--analyze", "--out", path_str])).unwrap();
+        // The written trace replays.
+        replay(&argv(&[path_str, "--machine", "flat", "--nodes", "1024"])).unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn replay_requires_a_path() {
+        assert!(replay(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn unknown_preset_is_rejected() {
+        assert!(workload(&argv(&["--preset", "galaxy"])).is_err());
+    }
+}

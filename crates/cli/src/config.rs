@@ -1,0 +1,258 @@
+//! Shared CLI configuration: turning flags into machines, workloads, and
+//! simulation builders.
+
+use amjs_core::adaptive::AdaptiveScheme;
+use amjs_core::runner::{SimulationBuilder, SimulationOutcome};
+use amjs_core::scheduler::BackfillMode;
+use amjs_core::PolicyParams;
+use amjs_platform::{BgpCluster, FlatCluster, Platform};
+use amjs_workload::{swf, Job, WorkloadSpec};
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Which machine model to simulate on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineKind {
+    /// Blue Gene/P-style partitioned machine.
+    Bgp,
+    /// Idealized flat cluster.
+    Flat,
+}
+
+/// A machine choice plus its size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    pub kind: MachineKind,
+    pub nodes: u32,
+}
+
+impl MachineConfig {
+    /// Parse `--machine bgp|flat` and `--nodes N` (defaults: Intrepid).
+    pub fn from_args(args: &ParsedArgs) -> Result<Self, ArgError> {
+        let kind = match args.get("machine").unwrap_or("bgp") {
+            "bgp" => MachineKind::Bgp,
+            "flat" => MachineKind::Flat,
+            other => return Err(ArgError(format!("--machine: unknown machine {other:?}"))),
+        };
+        let nodes = args.get_parsed("nodes", 40_960u32)?;
+        if kind == MachineKind::Bgp && (nodes % 512 != 0 || nodes == 0 || nodes / 512 > 128) {
+            return Err(ArgError(format!(
+                "--nodes: a bgp machine needs a multiple of 512 up to 65536, got {nodes}"
+            )));
+        }
+        Ok(MachineConfig { kind, nodes })
+    }
+}
+
+/// Resolve the workload: a preset name or an SWF file path.
+pub fn load_workload(args: &ParsedArgs) -> Result<(Vec<Job>, String), ArgError> {
+    let seed = args.get_parsed("seed", 42u64)?;
+    let spec = args.get("workload").unwrap_or("month");
+    match spec {
+        "month" => Ok((
+            WorkloadSpec::intrepid_month().generate(seed),
+            format!("intrepid-month(seed {seed})"),
+        )),
+        "week" => Ok((
+            WorkloadSpec::intrepid_week().generate(seed),
+            format!("intrepid-week(seed {seed})"),
+        )),
+        "small" => Ok((
+            WorkloadSpec::small_test().generate(seed),
+            format!("small-test(seed {seed})"),
+        )),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read workload {path:?}: {e}")))?;
+            let parsed =
+                swf::parse(&text).map_err(|e| ArgError(format!("SWF parse error in {path}: {e}")))?;
+            if parsed.jobs.is_empty() {
+                return Err(ArgError(format!("{path}: no usable jobs")));
+            }
+            Ok((parsed.jobs, path.to_string()))
+        }
+    }
+}
+
+/// Policy-related flags shared by `simulate` and `sweep` rows.
+pub struct PolicyFlags {
+    pub backfill: BackfillMode,
+    pub backfill_depth: Option<usize>,
+    pub adaptive: Option<&'static str>,
+    pub threshold: Option<f64>,
+    pub estimates: amjs_core::estimates::EstimatePolicy,
+}
+
+impl PolicyFlags {
+    pub fn from_args(args: &ParsedArgs) -> Result<Self, ArgError> {
+        let backfill = match args.get("backfill").unwrap_or("easy") {
+            "easy" => BackfillMode::Easy,
+            "conservative" => BackfillMode::Conservative,
+            "none" => BackfillMode::None,
+            other => return Err(ArgError(format!("--backfill: unknown mode {other:?}"))),
+        };
+        let backfill_depth = args.get_opt::<usize>("backfill-depth")?;
+        let adaptive = match args.get("adaptive") {
+            None | Some("none") => None,
+            Some("bf") => Some("bf"),
+            Some("w") => Some("w"),
+            Some("2d") => Some("2d"),
+            Some(other) => {
+                return Err(ArgError(format!(
+                    "--adaptive: expected bf|w|2d|none, got {other:?}"
+                )))
+            }
+        };
+        let estimates = match args.get("estimates").unwrap_or("raw") {
+            "raw" => amjs_core::estimates::EstimatePolicy::Requested,
+            "adaptive" => amjs_core::estimates::EstimatePolicy::user_adaptive(),
+            other => {
+                return Err(ArgError(format!(
+                    "--estimates: expected raw|adaptive, got {other:?}"
+                )))
+            }
+        };
+        Ok(PolicyFlags {
+            backfill,
+            backfill_depth,
+            adaptive,
+            threshold: args.get_opt::<f64>("threshold")?,
+            estimates,
+        })
+    }
+
+    /// Build the adaptive scheme, computing the threshold from a base
+    /// run when the user did not supply one.
+    pub fn scheme(&self, default_threshold: impl FnOnce() -> f64) -> AdaptiveScheme {
+        match self.adaptive {
+            None => AdaptiveScheme::none(),
+            Some("w") => AdaptiveScheme::window_adaptive(),
+            Some(kind) => {
+                let th = self.threshold.unwrap_or_else(default_threshold);
+                if kind == "bf" {
+                    AdaptiveScheme::bf_adaptive(th)
+                } else {
+                    AdaptiveScheme::two_d(th)
+                }
+            }
+        }
+    }
+}
+
+/// Run one simulation on the configured machine (dispatching the
+/// platform type statically).
+pub fn run_simulation(
+    machine: MachineConfig,
+    jobs: Vec<Job>,
+    policy: PolicyParams,
+    flags: &PolicyFlags,
+    scheme: AdaptiveScheme,
+    label: String,
+) -> SimulationOutcome {
+    match machine.kind {
+        MachineKind::Bgp => configure(
+            SimulationBuilder::new(BgpCluster::new((machine.nodes / 512) as u16, 512), jobs),
+            policy,
+            flags,
+            scheme,
+            label,
+        )
+        .run(),
+        MachineKind::Flat => configure(
+            SimulationBuilder::new(FlatCluster::new(machine.nodes), jobs),
+            policy,
+            flags,
+            scheme,
+            label,
+        )
+        .run(),
+    }
+}
+
+fn configure<P: Platform>(
+    builder: SimulationBuilder<P>,
+    policy: PolicyParams,
+    flags: &PolicyFlags,
+    scheme: AdaptiveScheme,
+    label: String,
+) -> SimulationBuilder<P> {
+    builder
+        .policy(policy)
+        .backfill(flags.backfill)
+        .backfill_depth(flags.backfill_depth)
+        .easy_protected(Some(1))
+        .estimate_policy(flags.estimates)
+        .adaptive(scheme)
+        .label(label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{parse, FlagSpec};
+
+    const FLAG_NAMES: [&str; 9] = [
+        "machine", "nodes", "seed", "workload", "backfill", "backfill-depth", "adaptive",
+        "threshold", "estimates",
+    ];
+
+    fn flagset() -> Vec<FlagSpec> {
+        FLAG_NAMES
+            .iter()
+            .map(|&name| FlagSpec { name, is_bool: false, help: "", default: None })
+            .collect()
+    }
+
+    fn parsed(parts: &[&str]) -> ParsedArgs {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        parse(&argv, &flagset()).unwrap()
+    }
+
+    #[test]
+    fn machine_defaults_to_intrepid() {
+        let m = MachineConfig::from_args(&parsed(&[])).unwrap();
+        assert_eq!(m, MachineConfig { kind: MachineKind::Bgp, nodes: 40_960 });
+    }
+
+    #[test]
+    fn machine_validation() {
+        assert!(MachineConfig::from_args(&parsed(&["--machine", "flat", "--nodes", "1000"])).is_ok());
+        assert!(MachineConfig::from_args(&parsed(&["--nodes", "1000"])).is_err()); // bgp needs x512
+        assert!(MachineConfig::from_args(&parsed(&["--machine", "torus"])).is_err());
+    }
+
+    #[test]
+    fn workload_presets_load() {
+        let (jobs, label) = load_workload(&parsed(&["--workload", "small", "--seed", "3"])).unwrap();
+        assert!(!jobs.is_empty());
+        assert!(label.contains("small-test"));
+        assert!(load_workload(&parsed(&["--workload", "/no/such/file.swf"])).is_err());
+    }
+
+    #[test]
+    fn policy_flags_parse() {
+        let f = PolicyFlags::from_args(&parsed(&["--backfill", "conservative", "--adaptive", "2d", "--threshold", "500"])).unwrap();
+        assert_eq!(f.backfill, BackfillMode::Conservative);
+        assert_eq!(f.adaptive, Some("2d"));
+        assert_eq!(f.threshold, Some(500.0));
+        let scheme = f.scheme(|| unreachable!("threshold given"));
+        assert_eq!(scheme.tuners.len(), 2);
+        assert!(PolicyFlags::from_args(&parsed(&["--adaptive", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_small_simulation() {
+        let (jobs, _) = load_workload(&parsed(&["--workload", "small"])).unwrap();
+        let flags = PolicyFlags::from_args(&parsed(&[])).unwrap();
+        let out = run_simulation(
+            MachineConfig { kind: MachineKind::Flat, nodes: 1024 },
+            jobs.clone(),
+            PolicyParams::fcfs(),
+            &flags,
+            AdaptiveScheme::none(),
+            "cli-test".into(),
+        );
+        assert_eq!(out.summary.jobs_completed, jobs.len());
+        assert_eq!(out.summary.label, "cli-test");
+    }
+}

@@ -1,0 +1,51 @@
+//! `amjs` — command-line interface to the adaptive metric-aware job
+//! scheduling simulator (ICPP 2012 reproduction).
+//!
+//! ```text
+//! amjs simulate  [flags]            run one policy over a workload
+//! amjs sweep     [flags]            grid-sweep BF × W in parallel
+//! amjs workload  [flags]            generate a synthetic trace (SWF out)
+//! amjs replay <trace.swf> [flags]   shorthand for simulate --workload <file>
+//! ```
+//!
+//! Run `amjs <command> --help` for the flag table of each command.
+
+mod args;
+mod commands;
+mod config;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match argv.split_first() {
+        Some((c, rest)) => (c.as_str(), rest.to_vec()),
+        None => {
+            eprintln!("{}", commands::top_level_help());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command {
+        "simulate" => commands::simulate(&rest),
+        "sweep" => commands::sweep(&rest),
+        "workload" => commands::workload(&rest),
+        "replay" => commands::replay(&rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", commands::top_level_help());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(args::ArgError(format!(
+            "unknown command {other:?}\n\n{}",
+            commands::top_level_help()
+        ))),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

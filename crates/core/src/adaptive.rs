@@ -1,0 +1,436 @@
+//! Adaptive policy tuning — paper §III-C, Table I, Algorithm 1.
+//!
+//! A tuning scheme is the tuple `<T, Ti, Δ, M, Th, Ep, Em, Ci>`:
+//! a *tunable* `T` (the balance factor or the window size) starts at
+//! `Ti`; every check interval `Ci` a *monitored metric* `M` is compared
+//! against a *threshold* `Th`, and the triggering events `Ep`/`Em` step
+//! `T` by `±Δ` (clamped to a configured range).
+//!
+//! The two schemes evaluated in the paper, provided as constructors:
+//!
+//! * [`TunerConfig::bf_queue_depth`] — §IV-C.1: when the queue depth
+//!   (aggregate waiting minutes of queued jobs) exceeds `Th`
+//!   (1000 minutes in the paper, "set based on the whole month's
+//!   average"), step `BF` down toward SJF; when it drops back, step up
+//!   toward FCFS. With `Δ = 0.5` on the range `[0.5, 1]` this is the
+//!   paper's 1 ↔ 0.5 toggle.
+//! * [`TunerConfig::window_util_trend`] — §IV-C.2: monitor the 10-hour
+//!   vs. 24-hour trailing utilization averages "similar to the
+//!   monitoring of a stock price"; when the short-term average falls
+//!   below the long-term one (a declining trend), enlarge the window to
+//!   lift utilization, otherwise return to the base window. With
+//!   `Δ = 3` on `[1, 4]` this is the paper's 1 ↔ 4 toggle. (Table I
+//!   lists Δ=1 and §IV-C.2 says "Δ is 4"; the experiment itself toggles
+//!   between exactly 1 and 4 — see DESIGN.md §4.)
+//!
+//! [`AdaptiveScheme`] bundles zero or more tuners; the paper's
+//! "two-dimensional policy tuning" (§IV-C.3) is simply both at once.
+
+use amjs_sim::SimDuration;
+
+use crate::policy::{PolicyParams, QueuePolicy};
+
+/// Which policy parameter a tuner adjusts (the paper's `T`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tunable {
+    /// The balance factor `BF`.
+    BalanceFactor,
+    /// The window size `W`.
+    Window,
+}
+
+/// What a tuner watches (the paper's `M`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MonitoredMetric {
+    /// Queue depth: sum of waiting time accrued by currently queued
+    /// jobs, in minutes.
+    QueueDepthMins,
+    /// Short-minus-long trailing utilization average (positive = rising
+    /// trend). Threshold 0 detects the crossover.
+    UtilizationTrend {
+        /// Short window (paper: 10 hours).
+        short: SimDuration,
+        /// Long window (paper: 24 hours).
+        long: SimDuration,
+    },
+}
+
+/// Direction to step the tunable when a trigger fires (`Ep`/`Em`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepDir {
+    /// `T := min(T + Δ, max)`.
+    Plus,
+    /// `T := max(T - Δ, min)`.
+    Minus,
+    /// Leave `T` unchanged.
+    Hold,
+}
+
+/// One adaptive tuning scheme — the full Table I tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunerConfig {
+    /// `T`: which parameter to tune.
+    pub tunable: Tunable,
+    /// `Ti`: initial value (applied by
+    /// [`AdaptiveScheme::apply_initial`]).
+    pub initial: f64,
+    /// `Δ`: step magnitude (positive).
+    pub delta: f64,
+    /// `M`: the monitored metric.
+    pub metric: MonitoredMetric,
+    /// `Th`: threshold on the metric value.
+    pub threshold: f64,
+    /// `Ep`/`Em` encoding: step applied while the metric exceeds the
+    /// threshold.
+    pub when_above: StepDir,
+    /// Step applied while the metric is at or below the threshold.
+    pub when_at_or_below: StepDir,
+    /// Clamp floor for the tunable.
+    pub min: f64,
+    /// Clamp ceiling for the tunable.
+    pub max: f64,
+    /// `Ci`: check interval (the runner samples every tuner at its own
+    /// cadence; the paper uses 30 minutes for all).
+    pub check_interval: SimDuration,
+}
+
+impl TunerConfig {
+    /// The paper's BF scheme: deep queue → favor efficiency (BF down to
+    /// 0.5), shallow queue → favor fairness (BF up to 1).
+    pub fn bf_queue_depth(threshold_mins: f64) -> Self {
+        TunerConfig {
+            tunable: Tunable::BalanceFactor,
+            initial: 1.0,
+            delta: 0.5,
+            metric: MonitoredMetric::QueueDepthMins,
+            threshold: threshold_mins,
+            when_above: StepDir::Minus,
+            when_at_or_below: StepDir::Plus,
+            min: 0.5,
+            max: 1.0,
+            check_interval: SimDuration::from_mins(30),
+        }
+    }
+
+    /// The paper's W scheme: declining utilization trend (10H < 24H) →
+    /// enlarge the window to 4; rising trend → back to 1.
+    pub fn window_util_trend() -> Self {
+        TunerConfig {
+            tunable: Tunable::Window,
+            initial: 1.0,
+            delta: 3.0,
+            metric: MonitoredMetric::UtilizationTrend {
+                short: SimDuration::from_hours(10),
+                long: SimDuration::from_hours(24),
+            },
+            threshold: 0.0,
+            when_above: StepDir::Minus, // rising trend: shrink to base
+            when_at_or_below: StepDir::Plus, // declining: enlarge
+            min: 1.0,
+            max: 4.0,
+            check_interval: SimDuration::from_mins(30),
+        }
+    }
+
+    /// Apply one check: step the tunable according to the metric
+    /// `value`. Returns `true` if the policy changed.
+    pub fn evaluate(&self, value: f64, params: &mut PolicyParams) -> bool {
+        let dir = if value > self.threshold {
+            self.when_above
+        } else {
+            self.when_at_or_below
+        };
+        let signed = match dir {
+            StepDir::Plus => self.delta,
+            StepDir::Minus => -self.delta,
+            StepDir::Hold => return false,
+        };
+        match self.tunable {
+            Tunable::BalanceFactor => {
+                let new = (params.balance_factor + signed).clamp(self.min, self.max);
+                let changed = (new - params.balance_factor).abs() > 1e-12;
+                params.balance_factor = new;
+                changed
+            }
+            Tunable::Window => {
+                let new = ((params.window as f64) + signed).clamp(self.min, self.max);
+                let new = new.round().max(1.0) as usize;
+                let changed = new != params.window;
+                params.window = new;
+                changed
+            }
+        }
+    }
+}
+
+/// A queue-length-triggered policy switch — the mechanism of the dynP
+/// self-tuning scheduler (Streit, JSSPP 2002) the paper compares its
+/// fine-grained tuning against: "the dynP scheduler switches policy
+/// between FCFS, SJF, and LJF based on the number of jobs in the
+/// queue". Rules are matched by the largest `min_queue_len` not
+/// exceeding the current queue length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicySwitchRule {
+    /// The rule applies when at least this many jobs are queued.
+    pub min_queue_len: usize,
+    /// The queue ordering to switch to.
+    pub ordering: QueuePolicy,
+}
+
+/// A set of tuners acting on one policy — none (static scheduling), one
+/// (the paper's BF-only / W-only schemes), or both (2D tuning) — plus
+/// optional dynP-style whole-policy switching for baseline comparisons.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdaptiveScheme {
+    /// The active tuners (empty = static policy).
+    pub tuners: Vec<TunerConfig>,
+    /// dynP-style switch rules (empty = no switching). When non-empty,
+    /// the matched ordering *overrides* the balanced-priority ordering.
+    pub switch_rules: Vec<PolicySwitchRule>,
+}
+
+impl AdaptiveScheme {
+    /// Static scheduling: no tuning.
+    pub fn none() -> Self {
+        AdaptiveScheme::default()
+    }
+
+    /// The paper's "BF Adapt." scheme.
+    pub fn bf_adaptive(queue_depth_threshold_mins: f64) -> Self {
+        AdaptiveScheme {
+            tuners: vec![TunerConfig::bf_queue_depth(queue_depth_threshold_mins)],
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "W Adapt." scheme.
+    pub fn window_adaptive() -> Self {
+        AdaptiveScheme {
+            tuners: vec![TunerConfig::window_util_trend()],
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "2D Adapt." scheme: BF and W tuned together, "each of
+    /// them follows their respective tuning strategy".
+    pub fn two_d(queue_depth_threshold_mins: f64) -> Self {
+        AdaptiveScheme {
+            tuners: vec![
+                TunerConfig::bf_queue_depth(queue_depth_threshold_mins),
+                TunerConfig::window_util_trend(),
+            ],
+            ..Default::default()
+        }
+    }
+
+    /// The dynP baseline: FCFS while the queue is short, SJF once it
+    /// exceeds `sjf_at` jobs, LJF beyond `ljf_at` (Streit's
+    /// deep-queue-wide-jobs heuristic).
+    pub fn dynp(sjf_at: usize, ljf_at: usize) -> Self {
+        assert!(sjf_at < ljf_at, "dynP thresholds must be increasing");
+        AdaptiveScheme {
+            tuners: Vec::new(),
+            switch_rules: vec![
+                PolicySwitchRule {
+                    min_queue_len: 0,
+                    ordering: QueuePolicy::Balanced { balance_factor: 1.0 },
+                },
+                PolicySwitchRule {
+                    min_queue_len: sjf_at,
+                    ordering: QueuePolicy::Balanced { balance_factor: 0.0 },
+                },
+                PolicySwitchRule {
+                    min_queue_len: ljf_at,
+                    ordering: QueuePolicy::LargestFirst,
+                },
+            ],
+        }
+    }
+
+    /// The ordering the switch rules select for a queue of `len` jobs
+    /// (`None` when no rules are configured or none matches).
+    pub fn switched_ordering(&self, len: usize) -> Option<QueuePolicy> {
+        self.switch_rules
+            .iter()
+            .filter(|r| r.min_queue_len <= len)
+            .max_by_key(|r| r.min_queue_len)
+            .map(|r| r.ordering)
+    }
+
+    /// True if any tuner or switch rule is active.
+    pub fn is_active(&self) -> bool {
+        !self.tuners.is_empty() || !self.switch_rules.is_empty()
+    }
+
+    /// Set every tunable to its `Ti` (Algorithm 1, line 1:
+    /// "initialize tunables").
+    pub fn apply_initial(&self, params: &mut PolicyParams) {
+        for t in &self.tuners {
+            match t.tunable {
+                Tunable::BalanceFactor => params.balance_factor = t.initial.clamp(0.0, 1.0),
+                Tunable::Window => params.window = (t.initial.round().max(1.0)) as usize,
+            }
+        }
+    }
+
+    /// Run one check point (Algorithm 1 body): `metric_value` maps each
+    /// tuner's monitored metric to its current value. Returns `true` if
+    /// any tunable changed.
+    pub fn check(
+        &self,
+        params: &mut PolicyParams,
+        mut metric_value: impl FnMut(&MonitoredMetric) -> f64,
+    ) -> bool {
+        let mut changed = false;
+        for t in &self.tuners {
+            let value = metric_value(&t.metric);
+            changed |= t.evaluate(value, params);
+        }
+        changed
+    }
+}
+
+/// Shorthand for the BF-on-queue-depth tuner in examples and benches.
+pub type BfTuner = TunerConfig;
+/// Shorthand for the W-on-utilization-trend tuner.
+pub type WindowTuner = TunerConfig;
+/// Shorthand: a 2D scheme is an [`AdaptiveScheme`] with both tuners.
+pub type TwoDTuner = AdaptiveScheme;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf_tuner_toggles_on_threshold() {
+        let t = TunerConfig::bf_queue_depth(1000.0);
+        let mut p = PolicyParams::fcfs();
+        // Shallow queue: stays at 1 (clamped).
+        assert!(!t.evaluate(500.0, &mut p));
+        assert_eq!(p.balance_factor, 1.0);
+        // Deep queue: drops to 0.5.
+        assert!(t.evaluate(1500.0, &mut p));
+        assert_eq!(p.balance_factor, 0.5);
+        // Still deep: clamped at 0.5, no further change.
+        assert!(!t.evaluate(2000.0, &mut p));
+        assert_eq!(p.balance_factor, 0.5);
+        // Recovered: back to 1.
+        assert!(t.evaluate(900.0, &mut p));
+        assert_eq!(p.balance_factor, 1.0);
+    }
+
+    #[test]
+    fn window_tuner_follows_utilization_trend() {
+        let t = TunerConfig::window_util_trend();
+        let mut p = PolicyParams::fcfs();
+        // Declining trend (short - long < 0): enlarge to 4.
+        assert!(t.evaluate(-0.05, &mut p));
+        assert_eq!(p.window, 4);
+        // Rising trend: back to 1.
+        assert!(t.evaluate(0.02, &mut p));
+        assert_eq!(p.window, 1);
+        // Exactly on threshold counts as "at or below" → enlarge.
+        assert!(t.evaluate(0.0, &mut p));
+        assert_eq!(p.window, 4);
+    }
+
+    #[test]
+    fn hold_direction_never_changes() {
+        let mut t = TunerConfig::bf_queue_depth(100.0);
+        t.when_above = StepDir::Hold;
+        t.when_at_or_below = StepDir::Hold;
+        let mut p = PolicyParams::new(0.75, 2);
+        assert!(!t.evaluate(0.0, &mut p));
+        assert!(!t.evaluate(1e9, &mut p));
+        assert_eq!(p, PolicyParams::new(0.75, 2));
+    }
+
+    #[test]
+    fn two_d_scheme_runs_both_tuners() {
+        let scheme = AdaptiveScheme::two_d(1000.0);
+        let mut p = PolicyParams::fcfs();
+        scheme.apply_initial(&mut p);
+        assert_eq!(p, PolicyParams::new(1.0, 1));
+
+        // Deep queue and declining utilization at once.
+        let changed = scheme.check(&mut p, |m| match m {
+            MonitoredMetric::QueueDepthMins => 5000.0,
+            MonitoredMetric::UtilizationTrend { .. } => -0.1,
+        });
+        assert!(changed);
+        assert_eq!(p.balance_factor, 0.5);
+        assert_eq!(p.window, 4);
+
+        // Both recovered.
+        let changed = scheme.check(&mut p, |m| match m {
+            MonitoredMetric::QueueDepthMins => 0.0,
+            MonitoredMetric::UtilizationTrend { .. } => 0.1,
+        });
+        assert!(changed);
+        assert_eq!(p, PolicyParams::new(1.0, 1));
+    }
+
+    #[test]
+    fn fractional_delta_steps_accumulate() {
+        // A finer-grained BF tuner (Δ=0.25 over [0,1]) walks in steps —
+        // the "fine-grained tuning" §II contrasts with dynP's switching.
+        let mut t = TunerConfig::bf_queue_depth(100.0);
+        t.delta = 0.25;
+        t.min = 0.0;
+        let mut p = PolicyParams::fcfs();
+        for expect in [0.75, 0.5, 0.25, 0.0, 0.0] {
+            t.evaluate(200.0, &mut p);
+            assert!((p.balance_factor - expect).abs() < 1e-12);
+        }
+        t.evaluate(50.0, &mut p);
+        assert!((p.balance_factor - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynp_switches_by_queue_length() {
+        let scheme = AdaptiveScheme::dynp(10, 50);
+        assert!(scheme.is_active());
+        assert_eq!(
+            scheme.switched_ordering(0),
+            Some(QueuePolicy::Balanced { balance_factor: 1.0 })
+        );
+        assert_eq!(
+            scheme.switched_ordering(9),
+            Some(QueuePolicy::Balanced { balance_factor: 1.0 })
+        );
+        assert_eq!(
+            scheme.switched_ordering(10),
+            Some(QueuePolicy::Balanced { balance_factor: 0.0 })
+        );
+        assert_eq!(scheme.switched_ordering(51), Some(QueuePolicy::LargestFirst));
+    }
+
+    #[test]
+    fn no_rules_means_no_override() {
+        assert_eq!(AdaptiveScheme::none().switched_ordering(100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn dynp_thresholds_validate() {
+        let _ = AdaptiveScheme::dynp(50, 10);
+    }
+
+    #[test]
+    fn scheme_none_is_inert() {
+        let scheme = AdaptiveScheme::none();
+        assert!(!scheme.is_active());
+        let mut p = PolicyParams::new(0.5, 4);
+        assert!(!scheme.check(&mut p, |_| 1e9));
+        assert_eq!(p, PolicyParams::new(0.5, 4));
+    }
+
+    #[test]
+    fn apply_initial_resets_tunables_only() {
+        let scheme = AdaptiveScheme::bf_adaptive(1000.0);
+        let mut p = PolicyParams::new(0.5, 4);
+        scheme.apply_initial(&mut p);
+        assert_eq!(p.balance_factor, 1.0); // reset by the tuner
+        assert_eq!(p.window, 4); // untouched: no window tuner
+    }
+}

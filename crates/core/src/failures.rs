@@ -1,0 +1,147 @@
+//! Failure injection — the paper's §V names reliability as the second
+//! "system cost" to fold into the balanced metric set, and the authors'
+//! own prior work (ref. 21, *Fault-aware, utility-based job scheduling
+//! on Blue Gene/P*) schedules around exactly the failures modeled here.
+//!
+//! The model: node failures arrive as a Poisson process over the whole
+//! machine (rate = `total_nodes / node_mtbf`). Each failure hits a
+//! uniformly random node; if that node belongs to a running job's
+//! partition, the job is killed — its progress is lost and it returns
+//! to the queue to run again from scratch (the dominant production
+//! behaviour for non-checkpointing jobs). Failures on idle nodes are
+//! absorbed invisibly, and repair is not modeled (Blue Gene repair
+//! draining is short relative to MTBF at this granularity); what the
+//! metrics expose is the *work lost* to interruptions, which is what a
+//! failure-aware policy would minimize — long-running, large jobs carry
+//! quadratically more exposure, so policies that shorten their
+//! in-flight time reduce lost node-hours.
+
+use amjs_sim::rng::Xoshiro256;
+use amjs_sim::{SimDuration, SimTime};
+
+/// Configuration of the failure process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureSpec {
+    /// Mean time between failures of a *single node*. Machine-level
+    /// failure rate is `total_nodes / node_mtbf`. Production BG/P
+    /// observed node MTBFs on the order of years; tens of failures per
+    /// month at Intrepid scale.
+    pub node_mtbf: SimDuration,
+    /// Seed of the failure process (independent of the workload seed).
+    pub seed: u64,
+}
+
+impl FailureSpec {
+    /// A production-flavored default: 50-year node MTBF → roughly one
+    /// machine-level failure per 10.7 hours on 40,960 nodes.
+    pub fn bgp_production(seed: u64) -> Self {
+        FailureSpec {
+            node_mtbf: SimDuration::from_hours(50 * 365 * 24),
+            seed,
+        }
+    }
+
+    /// Machine-level mean time between failures for `total_nodes`.
+    pub fn machine_mtbf_secs(&self, total_nodes: u32) -> f64 {
+        assert!(total_nodes > 0);
+        self.node_mtbf.as_secs() as f64 / total_nodes as f64
+    }
+}
+
+/// The runtime state of the failure process: draws inter-arrival gaps
+/// and victim nodes deterministically.
+#[derive(Clone, Debug)]
+pub struct FailureProcess {
+    rng: Xoshiro256,
+    machine_mtbf_secs: f64,
+    total_nodes: u32,
+}
+
+impl FailureProcess {
+    /// Start the process for a machine of `total_nodes`.
+    pub fn new(spec: FailureSpec, total_nodes: u32) -> Self {
+        FailureProcess {
+            rng: Xoshiro256::seed_from_u64(spec.seed),
+            machine_mtbf_secs: spec.machine_mtbf_secs(total_nodes),
+            total_nodes,
+        }
+    }
+
+    /// Draw the next failure instant after `now` (exponential gap, at
+    /// least one second so event times stay distinct).
+    pub fn next_failure_after(&mut self, now: SimTime) -> SimTime {
+        let gap = self.rng.next_exponential(self.machine_mtbf_secs).max(1.0);
+        now + SimDuration::from_secs(gap as i64)
+    }
+
+    /// Pick the failing node: uniform over the machine. The caller maps
+    /// it onto running jobs by cumulative occupied-node count; values at
+    /// or beyond the occupied total mean the failure hit an idle node.
+    pub fn victim_node(&mut self) -> u32 {
+        self.rng.next_below(self.total_nodes as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_rate_scales_with_nodes() {
+        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(1000), seed: 1 };
+        assert!((spec.machine_mtbf_secs(10) - 360_000.0).abs() < 1e-9);
+        assert!((spec.machine_mtbf_secs(1000) - 3_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_instants_are_increasing_and_deterministic() {
+        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(100), seed: 9 };
+        let mut a = FailureProcess::new(spec, 100);
+        let mut b = FailureProcess::new(spec, 100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let ta = a.next_failure_after(now);
+            let tb = b.next_failure_after(now);
+            assert_eq!(ta, tb);
+            assert!(ta > now);
+            now = ta;
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_mtbf() {
+        // 100 nodes at 100-hour node MTBF → machine MTBF = 1 hour.
+        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(100), seed: 3 };
+        let mut p = FailureProcess::new(spec, 100);
+        let mut now = SimTime::ZERO;
+        let mut count = 0u32;
+        let horizon = SimTime::from_hours(2000);
+        loop {
+            now = p.next_failure_after(now);
+            if now > horizon {
+                break;
+            }
+            count += 1;
+        }
+        // Expect ~2000 failures over 2000 machine-MTBF-hours.
+        assert!((1800..=2200).contains(&count), "count={count}");
+    }
+
+    #[test]
+    fn victims_cover_the_machine() {
+        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(1), seed: 5 };
+        let mut p = FailureProcess::new(spec, 16);
+        let mut seen = [false; 16];
+        for _ in 0..1000 {
+            seen[p.victim_node() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn production_preset_rate() {
+        let spec = FailureSpec::bgp_production(1);
+        let mtbf_hours = spec.machine_mtbf_secs(40_960) / 3600.0;
+        assert!((10.0..=11.5).contains(&mtbf_hours), "mtbf={mtbf_hours:.1}h");
+    }
+}

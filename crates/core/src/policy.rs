@@ -1,0 +1,237 @@
+//! Scheduling policy parameters and queue orderings.
+//!
+//! "In sum, a scheduling policy is determined by the balance factor BF
+//! and window size W. If the BF is closer to 1, the queue policy is
+//! closer to FCFS; otherwise, the policy is more like SJF. [...] If BF
+//! and W are both set to the default value 1, the scheduling policy is
+//! the most commonly used scheduling policy FCFS plus backfilling."
+//! (paper §III-B)
+//!
+//! Besides the paper's balanced policy, [`QueuePolicy`] provides the
+//! classic orderings the paper discusses as related work — LJF (from the
+//! dynP comparison) and max-expansion-factor-first — so baselines can be
+//! run through the identical machinery.
+
+use std::cmp::Ordering;
+
+use amjs_sim::SimTime;
+
+use crate::scheduler::QueuedJob;
+use crate::score::{balanced_priority, QueueExtremes};
+
+/// The paper's tunable pair: balance factor and window size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyParams {
+    /// Balance factor `BF ∈ [0, 1]`; 1 favors fairness (FCFS-like),
+    /// 0 favors efficiency (SJF-like).
+    pub balance_factor: f64,
+    /// Window size `W >= 1`: number of jobs allocated as one group.
+    pub window: usize,
+}
+
+impl PolicyParams {
+    /// A policy with the given `BF` and `W`.
+    ///
+    /// # Panics
+    /// Panics if `bf` is outside `[0, 1]` or `window` is 0.
+    pub fn new(bf: f64, window: usize) -> Self {
+        assert!((0.0..=1.0).contains(&bf), "balance factor must be in [0,1]");
+        assert!(window >= 1, "window size must be at least 1");
+        PolicyParams {
+            balance_factor: bf,
+            window,
+        }
+    }
+
+    /// The paper's default: `BF = 1, W = 1` — plain FCFS (+ backfilling
+    /// when the scheduler enables it).
+    pub fn fcfs() -> Self {
+        PolicyParams::new(1.0, 1)
+    }
+
+    /// Pure short-job-first ordering (`BF = 0, W = 1`).
+    pub fn sjf() -> Self {
+        PolicyParams::new(0.0, 1)
+    }
+
+    /// Display label in the style of the paper's Table II rows.
+    pub fn label(&self) -> String {
+        format!("BF={}/W={}", trim_float(self.balance_factor), self.window)
+    }
+}
+
+impl Default for PolicyParams {
+    fn default() -> Self {
+        PolicyParams::fcfs()
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// How to order the waiting queue before allocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueuePolicy {
+    /// The paper's balanced priority, eqs. (1)–(3), with the given
+    /// balance factor.
+    Balanced {
+        /// Balance factor `BF ∈ [0, 1]`.
+        balance_factor: f64,
+    },
+    /// Largest job (by requested walltime) first — the third policy of
+    /// the dynP self-tuning scheduler the paper compares against.
+    LargestFirst,
+    /// Max expansion factor first: `(wait + walltime) / walltime`,
+    /// the classic compromise policy mentioned in the paper's
+    /// introduction.
+    ExpansionFactor,
+}
+
+impl QueuePolicy {
+    /// Sort `queue` in scheduling order (highest priority first).
+    /// Deterministic: ties break by earlier submission, then lower id,
+    /// so equal-priority jobs keep FCFS order.
+    pub fn sort(&self, queue: &mut [QueuedJob], now: SimTime) {
+        let extremes = match QueueExtremes::of(queue, now) {
+            Some(e) => e,
+            None => return,
+        };
+        // Score once per job (not per comparison): priorities depend only
+        // on the job and the queue extremes.
+        let key = |job: &QueuedJob| -> f64 {
+            match *self {
+                QueuePolicy::Balanced { balance_factor } => {
+                    balanced_priority(job, now, balance_factor, &extremes)
+                }
+                QueuePolicy::LargestFirst => job.walltime.as_secs() as f64,
+                QueuePolicy::ExpansionFactor => {
+                    let wait = (now - job.submit).max_zero().as_secs() as f64;
+                    let wall = job.walltime.as_secs() as f64;
+                    (wait + wall) / wall
+                }
+            }
+        };
+        let mut keyed: Vec<(f64, QueuedJob)> =
+            queue.iter().map(|j| (key(j), j.clone())).collect();
+        keyed.sort_by(|(ka, a), (kb, b)| {
+            kb.partial_cmp(ka)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.submit.cmp(&b.submit))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        for (slot, (_, job)) in queue.iter_mut().zip(keyed) {
+            *slot = job;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_sim::SimDuration;
+    use amjs_workload::JobId;
+
+    fn qj(id: u64, submit: i64, walltime_mins: i64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            nodes: 1,
+            walltime: SimDuration::from_mins(walltime_mins),
+        }
+    }
+
+    fn ids(queue: &[QueuedJob]) -> Vec<u64> {
+        queue.iter().map(|j| j.id.0).collect()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert_eq!(PolicyParams::fcfs().balance_factor, 1.0);
+        assert_eq!(PolicyParams::default().window, 1);
+        assert_eq!(PolicyParams::new(0.5, 4).label(), "BF=0.5/W=4");
+        assert_eq!(PolicyParams::fcfs().label(), "BF=1/W=1");
+    }
+
+    #[test]
+    #[should_panic(expected = "balance factor")]
+    fn bf_out_of_range_panics() {
+        let _ = PolicyParams::new(1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = PolicyParams::new(0.5, 0);
+    }
+
+    #[test]
+    fn balanced_bf1_is_fcfs_order() {
+        let now = SimTime::from_secs(10_000);
+        let mut q = vec![qj(2, 300, 5), qj(0, 100, 500), qj(1, 200, 50)];
+        QueuePolicy::Balanced { balance_factor: 1.0 }.sort(&mut q, now);
+        assert_eq!(ids(&q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn balanced_bf0_is_sjf_order() {
+        let now = SimTime::from_secs(10_000);
+        let mut q = vec![qj(0, 100, 500), qj(1, 200, 50), qj(2, 300, 5)];
+        QueuePolicy::Balanced { balance_factor: 0.0 }.sort(&mut q, now);
+        assert_eq!(ids(&q), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn ties_keep_submission_order() {
+        let now = SimTime::from_secs(1000);
+        // Identical walltimes → S_r = 0 for all; identical submits →
+        // identical S_w. All priorities equal: stable FCFS order by
+        // (submit, id).
+        let mut q = vec![qj(3, 500, 60), qj(1, 100, 60), qj(2, 100, 60)];
+        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut q, now);
+        assert_eq!(ids(&q), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_first_orders_by_walltime_desc() {
+        let now = SimTime::from_secs(1000);
+        let mut q = vec![qj(0, 0, 10), qj(1, 0, 1000), qj(2, 0, 100)];
+        QueuePolicy::LargestFirst.sort(&mut q, now);
+        assert_eq!(ids(&q), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn expansion_factor_balances_wait_and_length() {
+        let now = SimTime::from_secs(3600);
+        // Short job waiting a while has huge xfactor; long job fresh has
+        // xfactor near 1.
+        let mut q = vec![qj(0, 0, 600), qj(1, 0, 10)];
+        QueuePolicy::ExpansionFactor.sort(&mut q, now);
+        assert_eq!(ids(&q), vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_and_single_queues_are_noops() {
+        let mut empty: Vec<QueuedJob> = vec![];
+        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut empty, SimTime::ZERO);
+        let mut single = vec![qj(0, 0, 10)];
+        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut single, SimTime::ZERO);
+        assert_eq!(ids(&single), vec![0]);
+    }
+
+    #[test]
+    fn mid_bf_interleaves() {
+        let now = SimTime::from_secs(1000);
+        // a: Sw=100, Sr=0 → Sp(0.5)=50. b: Sw=50, Sr=100 → Sp=75.
+        let mut q = vec![qj(0, 0, 100), qj(1, 500, 10)];
+        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut q, now);
+        assert_eq!(ids(&q), vec![1, 0]);
+        // At BF=0.8 the older job wins: 80 vs 0.8*50+0.2*100 = 60.
+        QueuePolicy::Balanced { balance_factor: 0.8 }.sort(&mut q, now);
+        assert_eq!(ids(&q), vec![0, 1]);
+    }
+}

@@ -1,0 +1,1130 @@
+//! End-to-end simulation: trace in, Table-II numbers and figure series
+//! out.
+//!
+//! This is the reproduction of Cobalt's event-driven simulator (ref. 21 of the paper) as
+//! used by the paper: job submissions and terminations drive the event
+//! loop; the scheduler runs at every event; a periodic check point
+//! (default every 30 simulated minutes, the paper's `Ci`) samples the
+//! monitored metrics and lets the adaptive tuners adjust the policy.
+//!
+//! Per event the runner:
+//!
+//! * **submission** — enqueues the job, computes its *fair start time*
+//!   (no-later-arrivals drain, [`crate::fairshare`]), runs a scheduling
+//!   pass, then records a Loss-of-Capacity event;
+//! * **termination** — releases the partition, runs a pass, records LoC;
+//! * **check point** — samples queue depth, instant and trailing
+//!   utilization, and the current `(BF, W)`, runs Algorithm 1's tuner
+//!   checks, and re-runs the scheduler if the policy changed.
+//!
+//! Everything is deterministic: the trace is fixed up front, the event
+//! queue breaks ties deterministically, and the scheduler is a pure
+//! function of `(now, queue, plan)`.
+
+use std::collections::HashMap;
+
+use amjs_metrics::report::MetricsSummary;
+use amjs_metrics::{
+    FairnessTracker, LossOfCapacity, TimeSeries, UtilizationTracker, WaitStats,
+};
+use amjs_platform::{AllocationId, Platform};
+use amjs_sim::event::Priority;
+use amjs_sim::{Engine, EventQueue, SimDuration, SimTime, World};
+use amjs_workload::{Job, JobId};
+
+use amjs_metrics::energy::{energy_report, EnergyModel, EnergyReport};
+
+use crate::adaptive::{AdaptiveScheme, MonitoredMetric};
+use crate::estimates::{EstimateAdjuster, EstimatePolicy};
+use crate::failures::{FailureProcess, FailureSpec};
+use crate::fairshare::fair_start_time;
+use crate::scheduler::{BackfillMode, ProtectionStyle, QueuedJob, Scheduler};
+use crate::PolicyParams;
+
+/// Simulation events (the paper's scheduling events plus the check
+/// point).
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Trace job at this index is submitted.
+    Submit(usize),
+    /// A running job terminates. The generation guards against stale
+    /// events after a failure re-queued the job: only the matching
+    /// attempt's finish is honored.
+    Finish(JobId, u32),
+    /// A node fails somewhere in the machine (failure injection).
+    Fail,
+    /// Metric sampling / adaptive tuning check point.
+    Tick,
+}
+
+/// A live job's bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    alloc: AllocationId,
+    trace_idx: usize,
+    /// When this attempt started.
+    start: SimTime,
+    /// `start + walltime` — what the scheduler believes.
+    expected_end: SimTime,
+    /// The start was a backfill admission.
+    backfilled: bool,
+    /// Attempt number; incremented when a failure re-queues the job.
+    gen: u32,
+}
+
+/// Per-job outcome record (submit/start/end), for trace-level analyses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The job.
+    pub id: JobId,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Actual start time.
+    pub start: SimTime,
+    /// Actual end time (`start + runtime`).
+    pub end: SimTime,
+    /// Requested nodes.
+    pub nodes: u32,
+    /// Submitting user.
+    pub user: u32,
+    /// True if the start was a backfill admission.
+    pub backfilled: bool,
+}
+
+/// Everything a simulation run produces.
+#[derive(Clone, Debug)]
+pub struct SimulationOutcome {
+    /// Table-II-style summary numbers.
+    pub summary: MetricsSummary,
+    /// Queue depth (minutes), sampled every check interval — Fig. 4.
+    pub queue_depth: TimeSeries,
+    /// Instant utilization at each check point — Fig. 5 "instant".
+    pub util_instant: TimeSeries,
+    /// Trailing 1-hour utilization average — Fig. 5 "1H".
+    pub util_1h: TimeSeries,
+    /// Trailing 10-hour utilization average — Fig. 5 "10H".
+    pub util_10h: TimeSeries,
+    /// Trailing 24-hour utilization average — Fig. 5 "24H".
+    pub util_24h: TimeSeries,
+    /// Balance factor in effect at each check point (flat for static
+    /// policies).
+    pub bf_series: TimeSeries,
+    /// Window size in effect at each check point.
+    pub window_series: TimeSeries,
+    /// Per-job submit/start/end records, in completion order.
+    pub per_job: Vec<JobOutcome>,
+    /// Jobs dropped at load because they exceed the machine.
+    pub skipped_oversized: usize,
+    /// Scheduling passes executed (cost accounting).
+    pub scheduler_passes: u64,
+    /// Jobs started via backfill.
+    pub backfilled_starts: u64,
+    /// Job interruptions caused by injected failures.
+    pub interrupted_jobs: u64,
+    /// Node-hours of progress destroyed by failures (work that must be
+    /// redone).
+    pub lost_node_hours: f64,
+    /// Energy accounting, when an [`EnergyModel`] was configured.
+    pub energy: Option<EnergyReport>,
+}
+
+impl SimulationOutcome {
+    /// Per-user service rows (mean/max wait, node-hours), in user-id
+    /// order; pair with [`amjs_metrics::users::wait_gini`] for the
+    /// per-user fairness view.
+    pub fn user_service(&self) -> Vec<amjs_metrics::users::UserServiceRow> {
+        amjs_metrics::users::user_service(self.per_job.iter().map(|r| {
+            (
+                r.user,
+                (r.start - r.submit).max_zero(),
+                r.nodes,
+                r.end - r.start,
+            )
+        }))
+    }
+}
+
+/// Builder for one simulation run.
+///
+/// ```
+/// use amjs_core::runner::SimulationBuilder;
+/// use amjs_core::PolicyParams;
+/// use amjs_platform::FlatCluster;
+/// use amjs_workload::WorkloadSpec;
+///
+/// let jobs = WorkloadSpec::small_test().generate(1);
+/// let outcome = SimulationBuilder::new(FlatCluster::new(1024), jobs)
+///     .policy(PolicyParams::new(0.5, 2))
+///     .run();
+/// assert!(outcome.summary.jobs_completed > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimulationBuilder<P: Platform> {
+    platform: P,
+    jobs: Vec<Job>,
+    policy: PolicyParams,
+    backfill: BackfillMode,
+    adaptive: AdaptiveScheme,
+    sample_interval: SimDuration,
+    fairness_tolerance: SimDuration,
+    compute_fairness: bool,
+    plan_depth: usize,
+    perm_windows: usize,
+    max_permutations: usize,
+    easy_protected: Option<usize>,
+    backfill_depth: Option<usize>,
+    protection: ProtectionStyle,
+    failures: Option<FailureSpec>,
+    energy_model: Option<EnergyModel>,
+    estimate_policy: EstimatePolicy,
+    checkpoint_interval: Option<SimDuration>,
+    label: Option<String>,
+}
+
+impl<P: Platform> SimulationBuilder<P> {
+    /// A run of `jobs` on `platform` with the paper's base policy
+    /// (`BF=1/W=1`, EASY backfilling, 30-minute check interval).
+    pub fn new(platform: P, jobs: Vec<Job>) -> Self {
+        SimulationBuilder {
+            platform,
+            jobs,
+            policy: PolicyParams::fcfs(),
+            backfill: BackfillMode::Easy,
+            adaptive: AdaptiveScheme::none(),
+            sample_interval: SimDuration::from_mins(30),
+            fairness_tolerance: SimDuration::from_secs(60),
+            compute_fairness: true,
+            plan_depth: 20,
+            perm_windows: 2,
+            max_permutations: 720,
+            easy_protected: None,
+            backfill_depth: None,
+            protection: ProtectionStyle::PinnedBlocks,
+            failures: None,
+            energy_model: None,
+            estimate_policy: EstimatePolicy::Requested,
+            checkpoint_interval: None,
+            label: None,
+        }
+    }
+
+    /// Set the static policy `(BF, W)`.
+    pub fn policy(mut self, policy: PolicyParams) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the backfilling mode (default EASY, the prevalent production
+    /// configuration per Etsion & Tsafrir).
+    pub fn backfill(mut self, mode: BackfillMode) -> Self {
+        self.backfill = mode;
+        self
+    }
+
+    /// Attach an adaptive tuning scheme (its `Ti` values override the
+    /// static policy at start).
+    pub fn adaptive(mut self, scheme: AdaptiveScheme) -> Self {
+        self.adaptive = scheme;
+        self
+    }
+
+    /// Metric sampling / tuning check interval (paper: 30 minutes).
+    pub fn sample_interval(mut self, interval: SimDuration) -> Self {
+        assert!(interval.as_secs() > 0);
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Unfairness tolerance (default 60 s).
+    pub fn fairness_tolerance(mut self, tol: SimDuration) -> Self {
+        self.fairness_tolerance = tol;
+        self
+    }
+
+    /// Disable the per-submission fair-start drain (saves time when
+    /// fairness is not being measured).
+    pub fn without_fairness(mut self) -> Self {
+        self.compute_fairness = false;
+        self
+    }
+
+    /// Scheduler pass bounds (see [`Scheduler`] docs).
+    pub fn pass_bounds(
+        mut self,
+        plan_depth: usize,
+        perm_windows: usize,
+        max_permutations: usize,
+    ) -> Self {
+        self.plan_depth = plan_depth.max(1);
+        self.perm_windows = perm_windows;
+        self.max_permutations = max_permutations.max(1);
+        self
+    }
+
+    /// Override how many leading reservations EASY protects (see
+    /// [`Scheduler::easy_protected`]).
+    pub fn easy_protected(mut self, k: Option<usize>) -> Self {
+        self.easy_protected = k;
+        self
+    }
+
+    /// Bound the backfill pass to the first `n` queued jobs in priority
+    /// order (see [`Scheduler::backfill_depth`]); `None` = unlimited.
+    pub fn backfill_depth(mut self, n: Option<usize>) -> Self {
+        self.backfill_depth = n;
+        self
+    }
+
+    /// How strictly backfill admission protects reservations (see
+    /// [`ProtectionStyle`]).
+    pub fn protection(mut self, style: ProtectionStyle) -> Self {
+        self.protection = style;
+        self
+    }
+
+    /// Inject node failures: a Poisson process over the machine; a
+    /// failure inside a running job's partition kills the job, which
+    /// loses its progress and returns to the queue (see
+    /// [`crate::failures`]).
+    pub fn failures(mut self, spec: Option<FailureSpec>) -> Self {
+        self.failures = spec;
+        self
+    }
+
+    /// Enable application-level checkpointing: jobs save their progress
+    /// every `interval`, so a failure only destroys the work since the
+    /// last checkpoint and the rerun resumes from it. Without this, a
+    /// failed job restarts from scratch — and at high failure rates the
+    /// largest jobs can *never* finish (expected failures per attempt
+    /// exceed one), which is precisely why production systems
+    /// checkpoint.
+    pub fn checkpointing(mut self, interval: Option<SimDuration>) -> Self {
+        if let Some(iv) = interval {
+            assert!(iv.as_secs() > 0, "checkpoint interval must be positive");
+        }
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Account energy with the given per-node power model; the outcome's
+    /// `energy` field is populated.
+    pub fn energy_model(mut self, model: Option<EnergyModel>) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// How the scheduler derives planning walltimes from user requests
+    /// (see [`crate::estimates`]). Jobs are still killed at their
+    /// *requested* walltime regardless.
+    pub fn estimate_policy(mut self, policy: EstimatePolicy) -> Self {
+        self.estimate_policy = policy;
+        self
+    }
+
+    /// Label for the summary row (default: policy label, `+adapt` when
+    /// tuning is active).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(self) -> SimulationOutcome {
+        let label = self.label.clone().unwrap_or_else(|| {
+            if self.adaptive.is_active() {
+                format!("{}+adapt", self.policy.label())
+            } else {
+                self.policy.label()
+            }
+        });
+
+        let total_nodes = self.platform.total_nodes();
+        let (jobs, skipped): (Vec<Job>, Vec<Job>) = self
+            .jobs
+            .into_iter()
+            .partition(|j| self.platform.rounded_size(j.nodes) <= total_nodes);
+        let skipped_oversized = skipped.len();
+
+        let mut policy = self.policy;
+        self.adaptive.apply_initial(&mut policy);
+        let mut scheduler = Scheduler::new(policy, self.backfill);
+        scheduler.plan_depth = self.plan_depth;
+        scheduler.perm_windows = self.perm_windows;
+        scheduler.max_permutations = self.max_permutations;
+        scheduler.easy_protected = self.easy_protected;
+        scheduler.backfill_depth = self.backfill_depth;
+        scheduler.protection = self.protection;
+
+        let total_nodes_for_fail = total_nodes;
+        let failure_process = self
+            .failures
+            .map(|spec| FailureProcess::new(spec, total_nodes_for_fail));
+        let mut world = Runner {
+            scheduler,
+            adaptive: self.adaptive,
+            queue: Vec::new(),
+            running: HashMap::new(),
+            wait: WaitStats::new(),
+            fairness: FairnessTracker::new(self.fairness_tolerance),
+            compute_fairness: self.compute_fairness,
+            loc: LossOfCapacity::new(total_nodes),
+            util: UtilizationTracker::new(total_nodes, SimTime::ZERO),
+            queue_depth: TimeSeries::new("queue_depth_mins"),
+            util_instant: TimeSeries::new("util_instant"),
+            util_1h: TimeSeries::new("util_1h"),
+            util_10h: TimeSeries::new("util_10h"),
+            util_24h: TimeSeries::new("util_24h"),
+            bf_series: TimeSeries::new("balance_factor"),
+            window_series: TimeSeries::new("window_size"),
+            per_job: Vec::with_capacity(jobs.len()),
+            sample_interval: self.sample_interval,
+            remaining_submits: jobs.len(),
+            scheduler_passes: 0,
+            backfilled_starts: 0,
+            interrupted_jobs: 0,
+            lost_node_secs: 0.0,
+            started_once: std::collections::HashSet::new(),
+            generations: HashMap::new(),
+            estimates: EstimateAdjuster::new(self.estimate_policy),
+            checkpoint_interval: self.checkpoint_interval,
+            saved_progress: HashMap::new(),
+            failure_process,
+            last_end: SimTime::ZERO,
+            platform: self.platform,
+            jobs,
+        };
+
+        let mut queue = EventQueue::with_capacity(world.jobs.len() * 2 + 64);
+        for (i, job) in world.jobs.iter().enumerate() {
+            queue.schedule_with(job.submit, Priority::Arrival, Ev::Submit(i));
+        }
+        if !world.jobs.is_empty() {
+            queue.schedule_with(
+                SimTime::ZERO + world.sample_interval,
+                Priority::Tick,
+                Ev::Tick,
+            );
+            if let Some(process) = &mut world.failure_process {
+                let first = process.next_failure_after(SimTime::ZERO);
+                queue.schedule_with(first, Priority::Release, Ev::Fail);
+            }
+        }
+
+        let stats = Engine::new().run(&mut world, &mut queue);
+        assert!(
+            world.queue.is_empty() && world.running.is_empty(),
+            "simulation ended with live jobs — event wiring bug"
+        );
+
+        let end = world.last_end.max(stats.end_time);
+        let summary = MetricsSummary {
+            label,
+            jobs_completed: world.per_job.len(),
+            avg_wait_mins: world.wait.mean_mins(),
+            max_wait_mins: world.wait.max_mins(),
+            unfair_jobs: world.fairness.unfair_count(),
+            loc_percent: world.loc.percent(),
+            avg_utilization: if end > SimTime::ZERO {
+                world.util.overall_avg(end)
+            } else {
+                0.0
+            },
+            mean_bounded_slowdown: world.wait.mean_bounded_slowdown(),
+            makespan: end - SimTime::ZERO,
+        };
+        let energy = self
+            .energy_model
+            .map(|model| energy_report(&world.util, model, end));
+        SimulationOutcome {
+            summary,
+            queue_depth: world.queue_depth,
+            util_instant: world.util_instant,
+            util_1h: world.util_1h,
+            util_10h: world.util_10h,
+            util_24h: world.util_24h,
+            bf_series: world.bf_series,
+            window_series: world.window_series,
+            per_job: world.per_job,
+            skipped_oversized,
+            scheduler_passes: world.scheduler_passes,
+            backfilled_starts: world.backfilled_starts,
+            interrupted_jobs: world.interrupted_jobs,
+            lost_node_hours: world.lost_node_secs / 3600.0,
+            energy,
+        }
+    }
+}
+
+/// The event-loop state.
+struct Runner<P: Platform> {
+    platform: P,
+    jobs: Vec<Job>,
+    scheduler: Scheduler,
+    adaptive: AdaptiveScheme,
+    /// Waiting jobs as trace indices, in submission order.
+    queue: Vec<usize>,
+    running: HashMap<JobId, Running>,
+    wait: WaitStats,
+    fairness: FairnessTracker,
+    compute_fairness: bool,
+    loc: LossOfCapacity,
+    util: UtilizationTracker,
+    queue_depth: TimeSeries,
+    util_instant: TimeSeries,
+    util_1h: TimeSeries,
+    util_10h: TimeSeries,
+    util_24h: TimeSeries,
+    bf_series: TimeSeries,
+    window_series: TimeSeries,
+    per_job: Vec<JobOutcome>,
+    sample_interval: SimDuration,
+    remaining_submits: usize,
+    scheduler_passes: u64,
+    backfilled_starts: u64,
+    interrupted_jobs: u64,
+    lost_node_secs: f64,
+    /// Jobs whose *first* start has been recorded (wait/fairness are
+    /// measured to the first start; failure re-runs don't re-count).
+    started_once: std::collections::HashSet<JobId>,
+    /// Next attempt number per interrupted job.
+    generations: HashMap<JobId, u32>,
+    /// Per-user walltime-accuracy model (planning estimates).
+    estimates: EstimateAdjuster,
+    /// Checkpoint interval, when checkpointing is enabled.
+    checkpoint_interval: Option<SimDuration>,
+    /// Runtime already banked by checkpoints, per interrupted job.
+    saved_progress: HashMap<JobId, SimDuration>,
+    failure_process: Option<FailureProcess>,
+    last_end: SimTime,
+}
+
+impl<P: Platform> Runner<P> {
+    fn queued_jobs(&self) -> Vec<QueuedJob> {
+        self.queue
+            .iter()
+            .map(|&i| {
+                let j = &self.jobs[i];
+                QueuedJob {
+                    id: j.id,
+                    submit: j.submit,
+                    nodes: j.nodes,
+                    walltime: self.estimates.planning_walltime(j.user, j.walltime),
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot the machine's future availability. Jobs running past
+    /// their walltime estimate are treated as releasing "imminently"
+    /// (now + 1 s), the standard simulator convention.
+    fn base_plan(&self, now: SimTime) -> P::Plan {
+        let release = |alloc: AllocationId| -> SimTime {
+            self.running
+                .values()
+                .find(|r| r.alloc == alloc)
+                .map(|r| r.expected_end.max(now + SimDuration::from_secs(1)))
+                .expect("plan asked about an allocation the runner does not know")
+        };
+        self.platform.plan(now, &release)
+    }
+
+    /// The attempt number the next start of `job` should carry.
+    fn generation_of(&self, job: JobId) -> u32 {
+        self.generations.get(&job).copied().unwrap_or(0)
+    }
+
+    /// Kill the running job hit by a node failure: release its
+    /// partition, account the lost progress, and put it back in the
+    /// queue (it will rerun from scratch).
+    fn kill_job(&mut self, id: JobId, now: SimTime) {
+        let running = self
+            .running
+            .remove(&id)
+            .expect("kill_job victim must be running");
+        let freed = self.platform.release(running.alloc);
+        self.util.set_busy(
+            now,
+            self.platform.total_nodes() - self.platform.idle_nodes(),
+        );
+        let elapsed = (now - running.start).max_zero();
+        // With checkpointing, whole intervals of progress survive the
+        // failure; only the tail since the last checkpoint is lost.
+        let banked = match self.checkpoint_interval {
+            Some(interval) => {
+                let n = elapsed.as_secs() / interval.as_secs();
+                SimDuration::from_secs(n * interval.as_secs())
+            }
+            None => SimDuration::ZERO,
+        };
+        if !banked.is_zero() {
+            let job = &self.jobs[running.trace_idx];
+            let entry = self
+                .saved_progress
+                .entry(id)
+                .or_insert(SimDuration::ZERO);
+            // Cap: never bank the full runtime, or the rerun would be
+            // zero-length.
+            *entry = (*entry + banked).min(job.runtime - SimDuration::from_secs(1));
+        }
+        let lost = elapsed - banked;
+        self.lost_node_secs += freed as f64 * lost.max_zero().as_secs() as f64;
+        self.interrupted_jobs += 1;
+        self.generations.insert(id, running.gen + 1);
+        self.queue.push(running.trace_idx);
+    }
+
+    /// Queue depth in minutes: the sum of waiting time accrued so far by
+    /// every queued job (paper §IV-A).
+    fn queue_depth_mins(&self, now: SimTime) -> f64 {
+        self.queue
+            .iter()
+            .map(|&i| (now - self.jobs[i].submit).max_zero().as_mins_f64())
+            .sum()
+    }
+
+    /// Run one scheduling pass and start the decided jobs.
+    fn run_scheduler(&mut self, now: SimTime, events: &mut EventQueue<Ev>) {
+        self.scheduler_passes += 1;
+        if self.queue.is_empty() {
+            return;
+        }
+        let queued = self.queued_jobs();
+        let base_plan = self.base_plan(now);
+        let decision = self.scheduler.schedule_pass(now, &queued, &base_plan);
+
+        for start in &decision.starts {
+            let idx_in_queue = self
+                .queue
+                .iter()
+                .position(|&i| self.jobs[i].id == start.id)
+                .expect("scheduler started a job that is not queued");
+            let trace_idx = self.queue.remove(idx_in_queue);
+            let job = &self.jobs[trace_idx];
+
+            let alloc = self
+                .platform
+                .allocate_hinted(job.nodes, start.hint)
+                .expect("plan-approved start must allocate on the machine");
+            let gen = self.generation_of(job.id);
+            let planning_walltime = self.estimates.planning_walltime(job.user, job.walltime);
+            self.running.insert(
+                job.id,
+                Running {
+                    alloc,
+                    trace_idx,
+                    start: now,
+                    expected_end: now + planning_walltime,
+                    backfilled: start.backfilled,
+                    gen,
+                },
+            );
+            let saved = self
+                .saved_progress
+                .get(&job.id)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
+            let remaining = (job.runtime - saved).max(SimDuration::from_secs(1));
+            events.schedule_with(
+                now + remaining,
+                Priority::Release,
+                Ev::Finish(job.id, gen),
+            );
+
+            if self.started_once.insert(job.id) {
+                let wait = (now - job.submit).max_zero();
+                self.wait.record(job.id, wait);
+                self.wait.record_slowdown(wait, job.runtime);
+                if self.compute_fairness {
+                    self.fairness.record_actual_start(job.id, now);
+                }
+            }
+            if start.backfilled {
+                self.backfilled_starts += 1;
+            }
+        }
+        self.util
+            .set_busy(now, self.platform.total_nodes() - self.platform.idle_nodes());
+    }
+
+    /// Record a Loss-of-Capacity scheduling event (after the pass).
+    fn record_loc(&mut self, now: SimTime) {
+        let idle = self.platform.idle_nodes();
+        let has_fitting_waiter = self
+            .queue
+            .iter()
+            .any(|&i| self.platform.rounded_size(self.jobs[i].nodes) <= idle);
+        self.loc.record_event(now, idle, has_fitting_waiter);
+    }
+
+    fn sample_metrics(&mut self, now: SimTime) {
+        let qd = self.queue_depth_mins(now);
+        self.queue_depth.push(now, qd);
+        self.util_instant.push(now, self.util.instant(now));
+        self.util_1h
+            .push(now, self.util.trailing_avg(now, SimDuration::from_hours(1)));
+        self.util_10h
+            .push(now, self.util.trailing_avg(now, SimDuration::from_hours(10)));
+        self.util_24h
+            .push(now, self.util.trailing_avg(now, SimDuration::from_hours(24)));
+        self.bf_series
+            .push(now, self.scheduler.policy.balance_factor);
+        self.window_series
+            .push(now, self.scheduler.policy.window as f64);
+    }
+
+    /// Algorithm 1's check-point body. Returns true if the policy
+    /// changed.
+    fn run_tuners(&mut self, now: SimTime) -> bool {
+        if !self.adaptive.is_active() {
+            return false;
+        }
+        let qd = self.queue_depth_mins(now);
+        let util = &self.util;
+        let mut changed = self
+            .adaptive
+            .check(&mut self.scheduler.policy, |metric| match *metric {
+                MonitoredMetric::QueueDepthMins => qd,
+                MonitoredMetric::UtilizationTrend { short, long } => {
+                    util.trailing_avg(now, short) - util.trailing_avg(now, long)
+                }
+            });
+        // dynP-style whole-policy switching, when configured.
+        if let Some(ordering) = self.adaptive.switched_ordering(self.queue.len()) {
+            if self.scheduler.ordering_override != Some(ordering) {
+                self.scheduler.ordering_override = Some(ordering);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl<P: Platform> World for Runner<P> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, events: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Submit(trace_idx) => {
+                self.remaining_submits -= 1;
+                self.queue.push(trace_idx);
+                if self.compute_fairness {
+                    let job_id = self.jobs[trace_idx].id;
+                    let queued = self.queued_jobs();
+                    let base_plan = self.base_plan(now);
+                    let fair = fair_start_time(
+                        &base_plan,
+                        &queued,
+                        job_id,
+                        self.scheduler.ordering(),
+                        now,
+                        self.scheduler.backfill_depth.unwrap_or(usize::MAX),
+                    );
+                    self.fairness.record_fair_start(job_id, fair);
+                }
+                self.run_scheduler(now, events);
+                self.record_loc(now);
+            }
+            Ev::Finish(id, gen) => {
+                // A stale finish (the attempt was killed by a failure)
+                // is ignored; the job is queued or re-running by now.
+                match self.running.get(&id) {
+                    Some(r) if r.gen == gen => {}
+                    _ => return,
+                }
+                let running = self
+                    .running
+                    .remove(&id)
+                    .expect("finish event for a job that is not running");
+                self.platform.release(running.alloc);
+                self.util.set_busy(
+                    now,
+                    self.platform.total_nodes() - self.platform.idle_nodes(),
+                );
+                let job = &self.jobs[running.trace_idx];
+                self.estimates.observe(job.user, job.walltime, job.runtime);
+                self.per_job.push(JobOutcome {
+                    id,
+                    submit: job.submit,
+                    // The successful attempt's span (shorter than the
+                    // nominal runtime when checkpointed progress was
+                    // resumed).
+                    start: running.start,
+                    end: now,
+                    nodes: job.nodes,
+                    user: job.user,
+                    backfilled: running.backfilled,
+                });
+                self.last_end = self.last_end.max(now);
+                self.run_scheduler(now, events);
+                self.record_loc(now);
+            }
+            Ev::Fail => {
+                let mut process = self
+                    .failure_process
+                    .take()
+                    .expect("Fail event without a failure process");
+                // Map the failing node onto running jobs by cumulative
+                // occupied-node count (deterministic id order); misses
+                // land on idle nodes and are harmless.
+                let victim_node = process.victim_node();
+                let mut ids: Vec<JobId> = self.running.keys().copied().collect();
+                ids.sort();
+                let mut cursor = 0u64;
+                let mut victim: Option<JobId> = None;
+                for id in ids {
+                    let r = &self.running[&id];
+                    let span = self
+                        .platform
+                        .allocation_size(r.alloc)
+                        .expect("running job has a live allocation")
+                        as u64;
+                    if (victim_node as u64) < cursor + span {
+                        victim = Some(id);
+                        break;
+                    }
+                    cursor += span;
+                }
+                if let Some(id) = victim {
+                    self.kill_job(id, now);
+                    self.run_scheduler(now, events);
+                    self.record_loc(now);
+                }
+                // Keep the process alive while there is anything left to
+                // interrupt.
+                if self.remaining_submits > 0
+                    || !self.queue.is_empty()
+                    || !self.running.is_empty()
+                {
+                    let next = process.next_failure_after(now);
+                    events.schedule_with(next, Priority::Release, Ev::Fail);
+                }
+                self.failure_process = Some(process);
+            }
+            Ev::Tick => {
+                self.sample_metrics(now);
+                if self.run_tuners(now) {
+                    self.run_scheduler(now, events);
+                }
+                // Keep ticking while there is anything left to observe.
+                if self.remaining_submits > 0
+                    || !self.queue.is_empty()
+                    || !self.running.is_empty()
+                {
+                    events.schedule_with(
+                        now + self.sample_interval,
+                        Priority::Tick,
+                        Ev::Tick,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_platform::{BgpCluster, FlatCluster};
+    use amjs_workload::WorkloadSpec;
+
+    fn small_jobs(seed: u64) -> Vec<Job> {
+        WorkloadSpec::small_test().generate(seed)
+    }
+
+    #[test]
+    fn all_jobs_complete_on_flat_cluster() {
+        let jobs = small_jobs(1);
+        let n = jobs.len();
+        let out = SimulationBuilder::new(FlatCluster::new(1024), jobs).run();
+        assert_eq!(out.summary.jobs_completed, n);
+        assert_eq!(out.skipped_oversized, 0);
+        assert!(out.summary.avg_utilization > 0.0);
+        assert!(out.summary.makespan.as_secs() > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = SimulationBuilder::new(FlatCluster::new(1024), small_jobs(2))
+            .policy(PolicyParams::new(0.5, 3))
+            .run();
+        let b = SimulationBuilder::new(FlatCluster::new(1024), small_jobs(2))
+            .policy(PolicyParams::new(0.5, 3))
+            .run();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.per_job, b.per_job);
+        assert_eq!(a.queue_depth, b.queue_depth);
+    }
+
+    #[test]
+    fn starts_never_precede_submission() {
+        let out = SimulationBuilder::new(FlatCluster::new(512), small_jobs(3))
+            .policy(PolicyParams::sjf())
+            .run();
+        for j in &out.per_job {
+            assert!(j.start >= j.submit, "{:?}", j);
+            assert!(j.end > j.start);
+        }
+    }
+
+    #[test]
+    fn node_conservation_via_utilization_bound() {
+        let out = SimulationBuilder::new(FlatCluster::new(256), small_jobs(4)).run();
+        for &(_, v) in out.util_instant.points() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oversized_jobs_are_skipped_not_hung() {
+        let mut jobs = small_jobs(5);
+        let n = jobs.len();
+        // Make one job bigger than the machine.
+        jobs[3].nodes = 9999;
+        let out = SimulationBuilder::new(FlatCluster::new(1024), jobs).run();
+        assert_eq!(out.skipped_oversized, 1);
+        assert_eq!(out.summary.jobs_completed, n - 1);
+    }
+
+    #[test]
+    fn empty_trace_is_a_clean_noop() {
+        let out = SimulationBuilder::new(FlatCluster::new(64), Vec::new()).run();
+        assert_eq!(out.summary.jobs_completed, 0);
+        assert_eq!(out.summary.avg_wait_mins, 0.0);
+        assert!(out.queue_depth.is_empty());
+    }
+
+    #[test]
+    fn bgp_cluster_completes_partition_sized_jobs() {
+        // Scale the small-test workload onto a partitioned machine.
+        let mut jobs = small_jobs(6);
+        for j in &mut jobs {
+            j.nodes = (j.nodes * 8).min(4096); // 128..4096 → partition sizes
+        }
+        let n = jobs.len();
+        let out = SimulationBuilder::new(BgpCluster::new(8, 512), jobs).run();
+        assert_eq!(out.summary.jobs_completed, n);
+    }
+
+    #[test]
+    fn sjf_improves_average_wait_over_fcfs() {
+        // The core premise of Fig. 3(a): BF=0 (SJF) must cut the average
+        // wait vs. BF=1 (FCFS) on a congested machine.
+        let jobs = small_jobs(7);
+        let fcfs = SimulationBuilder::new(FlatCluster::new(384), jobs.clone())
+            .policy(PolicyParams::fcfs())
+            .run();
+        let sjf = SimulationBuilder::new(FlatCluster::new(384), jobs)
+            .policy(PolicyParams::sjf())
+            .run();
+        assert!(
+            sjf.summary.avg_wait_mins < fcfs.summary.avg_wait_mins,
+            "SJF {:.1} !< FCFS {:.1}",
+            sjf.summary.avg_wait_mins,
+            fcfs.summary.avg_wait_mins
+        );
+        // ...at a fairness cost.
+        assert!(
+            sjf.summary.unfair_jobs >= fcfs.summary.unfair_jobs,
+            "SJF unfair {} < FCFS {}",
+            sjf.summary.unfair_jobs,
+            fcfs.summary.unfair_jobs
+        );
+    }
+
+    #[test]
+    fn adaptive_bf_tracks_queue_depth() {
+        let jobs = small_jobs(8);
+        let out = SimulationBuilder::new(FlatCluster::new(384), jobs)
+            .adaptive(AdaptiveScheme::bf_adaptive(200.0))
+            .run();
+        // The tuner must have actually moved BF at some point.
+        let bfs: Vec<f64> = out.bf_series.points().iter().map(|&(_, v)| v).collect();
+        assert!(bfs.contains(&1.0));
+        assert!(
+            bfs.contains(&0.5),
+            "queue never got deep enough to trigger tuning — bad test workload"
+        );
+    }
+
+    #[test]
+    fn series_share_the_sampling_grid() {
+        let out = SimulationBuilder::new(FlatCluster::new(1024), small_jobs(9)).run();
+        let n = out.queue_depth.len();
+        assert!(n > 0);
+        for s in [
+            &out.util_instant,
+            &out.util_1h,
+            &out.util_10h,
+            &out.util_24h,
+            &out.bf_series,
+            &out.window_series,
+        ] {
+            assert_eq!(s.len(), n);
+        }
+    }
+
+    #[test]
+    fn wait_stats_match_per_job_records() {
+        let out = SimulationBuilder::new(FlatCluster::new(512), small_jobs(10)).run();
+        let mean_from_records: f64 = out
+            .per_job
+            .iter()
+            .map(|j| (j.start - j.submit).as_mins_f64())
+            .sum::<f64>()
+            / out.per_job.len() as f64;
+        assert!((mean_from_records - out.summary.avg_wait_mins).abs() < 1e-6);
+    }
+
+    #[test]
+    fn without_fairness_still_completes() {
+        let out = SimulationBuilder::new(FlatCluster::new(512), small_jobs(11))
+            .without_fairness()
+            .run();
+        assert_eq!(out.summary.unfair_jobs, 0);
+        assert!(out.summary.jobs_completed > 0);
+    }
+
+    #[test]
+    fn failures_interrupt_but_everything_still_completes() {
+        use crate::failures::FailureSpec;
+        let jobs = small_jobs(12);
+        let n = jobs.len();
+        // Aggressive failure rate so interruptions definitely occur on a
+        // 12-hour trace: machine MTBF ≈ 22 minutes.
+        let spec = FailureSpec {
+            node_mtbf: SimDuration::from_hours(240),
+            seed: 99,
+        };
+        let out = SimulationBuilder::new(FlatCluster::new(640), jobs)
+            .failures(Some(spec))
+            .run();
+        assert_eq!(out.summary.jobs_completed, n, "re-runs must finish");
+        assert!(out.interrupted_jobs > 0, "no interruptions at this rate?");
+        assert!(out.lost_node_hours > 0.0);
+        // Interruptions lengthen the makespan vs the failure-free run.
+        let clean = SimulationBuilder::new(FlatCluster::new(640), small_jobs(12)).run();
+        assert!(out.summary.makespan >= clean.summary.makespan);
+        assert_eq!(clean.interrupted_jobs, 0);
+        assert_eq!(clean.lost_node_hours, 0.0);
+    }
+
+    #[test]
+    fn failure_runs_are_deterministic() {
+        use crate::failures::FailureSpec;
+        let spec = FailureSpec {
+            node_mtbf: SimDuration::from_hours(300),
+            seed: 7,
+        };
+        let run = || {
+            SimulationBuilder::new(FlatCluster::new(512), small_jobs(13))
+                .failures(Some(spec))
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.interrupted_jobs, b.interrupted_jobs);
+        assert_eq!(a.per_job, b.per_job);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn energy_report_is_populated_and_consistent() {
+        use amjs_metrics::energy::EnergyModel;
+        let out = SimulationBuilder::new(FlatCluster::new(512), small_jobs(14))
+            .energy_model(Some(EnergyModel::bgp()))
+            .run();
+        let e = out.energy.expect("energy model configured");
+        assert!(e.total_mwh > 0.0);
+        assert!((e.total_mwh - (e.busy_mwh + e.idle_mwh)).abs() < 1e-9);
+        // Delivered node-hours must match the per-job records.
+        let delivered: f64 = out
+            .per_job
+            .iter()
+            .map(|r| r.nodes as f64 * (r.end - r.start).as_secs() as f64 / 3600.0)
+            .sum();
+        assert!(
+            (e.delivered_node_hours - delivered).abs() / delivered < 1e-6,
+            "energy {} vs records {}",
+            e.delivered_node_hours,
+            delivered
+        );
+        // No energy model → no report.
+        let plain = SimulationBuilder::new(FlatCluster::new(512), small_jobs(14)).run();
+        assert!(plain.energy.is_none());
+    }
+
+    #[test]
+    fn estimate_adjustment_changes_schedule_but_completes_everything() {
+        use crate::estimates::EstimatePolicy;
+        let jobs = small_jobs(16);
+        let n = jobs.len();
+        // 640 nodes: congested but nothing oversized (max class is 512).
+        let raw = SimulationBuilder::new(FlatCluster::new(640), jobs.clone()).run();
+        let adjusted = SimulationBuilder::new(FlatCluster::new(640), jobs)
+            .estimate_policy(EstimatePolicy::user_adaptive())
+            .run();
+        assert_eq!(raw.summary.jobs_completed, n);
+        assert_eq!(adjusted.summary.jobs_completed, n);
+        // Tighter estimates must change the schedule on a congested
+        // machine (if they never did, the wiring would be dead).
+        assert_ne!(raw.per_job, adjusted.per_job);
+    }
+
+    #[test]
+    fn checkpointing_reduces_lost_work() {
+        use crate::failures::FailureSpec;
+        let spec = FailureSpec {
+            node_mtbf: SimDuration::from_hours(240),
+            seed: 5,
+        };
+        let jobs = small_jobs(18);
+        let n = jobs.len();
+        let plain = SimulationBuilder::new(FlatCluster::new(640), jobs.clone())
+            .failures(Some(spec))
+            .run();
+        let ckpt = SimulationBuilder::new(FlatCluster::new(640), jobs)
+            .failures(Some(spec))
+            .checkpointing(Some(SimDuration::from_mins(10)))
+            .run();
+        assert_eq!(plain.summary.jobs_completed, n);
+        assert_eq!(ckpt.summary.jobs_completed, n);
+        assert!(plain.interrupted_jobs > 0);
+        assert!(
+            ckpt.lost_node_hours < plain.lost_node_hours,
+            "checkpointed {:.0} !< plain {:.0}",
+            ckpt.lost_node_hours,
+            plain.lost_node_hours
+        );
+        // Banked progress also shortens the recovery makespan.
+        assert!(ckpt.summary.makespan <= plain.summary.makespan);
+    }
+
+    #[test]
+    fn user_service_rows_cover_all_users() {
+        let jobs = small_jobs(17);
+        let users: std::collections::HashSet<u32> = jobs.iter().map(|j| j.user).collect();
+        let out = SimulationBuilder::new(FlatCluster::new(640), jobs).run();
+        let rows = out.user_service();
+        assert_eq!(rows.len(), users.len());
+        let total_jobs: usize = rows.iter().map(|r| r.jobs).sum();
+        assert_eq!(total_jobs, out.summary.jobs_completed);
+        let gini = amjs_metrics::users::wait_gini(&rows);
+        assert!((0.0..=1.0).contains(&gini));
+    }
+
+    #[test]
+    fn wait_counts_first_start_only_under_failures() {
+        use crate::failures::FailureSpec;
+        let jobs = small_jobs(15);
+        let n = jobs.len();
+        let out = SimulationBuilder::new(FlatCluster::new(640), jobs)
+            .failures(Some(FailureSpec {
+                node_mtbf: SimDuration::from_hours(240),
+                seed: 3,
+            }))
+            .run();
+        assert!(out.interrupted_jobs > 0);
+        // Even with re-runs, exactly one wait record per job.
+        assert_eq!(out.summary.jobs_completed, n);
+    }
+}

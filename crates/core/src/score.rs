@@ -1,0 +1,214 @@
+//! The metrics balancer: priority scores, eqs. (1)–(3).
+//!
+//! For each waiting job *i* the paper computes two `[0, 100]` scores and
+//! blends them with the balance factor `BF ∈ [0, 1]`:
+//!
+//! * `S_w` — waiting-time score. Eq. (1) as printed reads
+//!   `100 * wait_max / wait_i`, which maps the longest-waiting job to the
+//!   *minimum* score and is unbounded for fresh jobs — contradicting the
+//!   paper's own text ("BF closer to 1 means favoring fairness"; BF = 1
+//!   must emulate FCFS). We implement the evident intent
+//!   `S_w = 100 * wait_i / wait_max`, under which sorting by `S_w` alone
+//!   reproduces FCFS exactly. See DESIGN.md §4 ("Formula errata").
+//! * `S_r` — requested-walltime score, eq. (2):
+//!   `100 * (walltime_max - walltime_i) / (walltime_max - walltime_min)`;
+//!   short jobs score high, so sorting by `S_r` alone reproduces SJF.
+//! * `S_p = BF * S_w + (1 - BF) * S_r` — eq. (3).
+//!
+//! Degenerate cases follow the paper: `S_w = 0` when the maximum wait is
+//! zero (a job newly submitted to an empty queue) and `S_r = 0` when the
+//! queue has a single job (we extend this to any queue where all
+//! walltimes are equal, where eq. (2) is 0/0).
+
+use amjs_sim::{SimDuration, SimTime};
+
+use crate::scheduler::QueuedJob;
+
+/// Extremes of the current queue, the normalizers of eqs. (1)–(2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueExtremes {
+    /// Longest current wait in the queue.
+    pub wait_max: SimDuration,
+    /// Longest requested walltime in the queue.
+    pub walltime_max: SimDuration,
+    /// Shortest requested walltime in the queue.
+    pub walltime_min: SimDuration,
+}
+
+impl QueueExtremes {
+    /// Scan the queue at time `now`. Returns `None` for an empty queue.
+    pub fn of(queue: &[QueuedJob], now: SimTime) -> Option<Self> {
+        let first = queue.first()?;
+        let mut ex = QueueExtremes {
+            wait_max: (now - first.submit).max_zero(),
+            walltime_max: first.walltime,
+            walltime_min: first.walltime,
+        };
+        for job in &queue[1..] {
+            ex.wait_max = ex.wait_max.max((now - job.submit).max_zero());
+            ex.walltime_max = ex.walltime_max.max(job.walltime);
+            ex.walltime_min = ex.walltime_min.min(job.walltime);
+        }
+        Some(ex)
+    }
+}
+
+/// Eq. (1) (with the erratum fix): waiting-time score in `[0, 100]`.
+pub fn waiting_score(wait: SimDuration, extremes: &QueueExtremes) -> f64 {
+    let wait = wait.max_zero();
+    if extremes.wait_max.is_zero() {
+        return 0.0;
+    }
+    100.0 * wait.as_secs() as f64 / extremes.wait_max.as_secs() as f64
+}
+
+/// Eq. (2): requested-walltime score in `[0, 100]` (100 = shortest job).
+pub fn walltime_score(walltime: SimDuration, extremes: &QueueExtremes) -> f64 {
+    let spread = extremes.walltime_max - extremes.walltime_min;
+    if spread.is_zero() {
+        return 0.0;
+    }
+    100.0 * (extremes.walltime_max - walltime).as_secs() as f64 / spread.as_secs() as f64
+}
+
+/// Eq. (3): the balanced priority `S_p`.
+pub fn balanced_priority(
+    job: &QueuedJob,
+    now: SimTime,
+    balance_factor: f64,
+    extremes: &QueueExtremes,
+) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&balance_factor));
+    let sw = waiting_score((now - job.submit).max_zero(), extremes);
+    let sr = walltime_score(job.walltime, extremes);
+    balance_factor * sw + (1.0 - balance_factor) * sr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_workload::JobId;
+
+    fn qj(id: u64, submit: i64, nodes: u32, walltime_mins: i64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit),
+            nodes,
+            walltime: SimDuration::from_mins(walltime_mins),
+        }
+    }
+
+    #[test]
+    fn extremes_of_empty_queue_is_none() {
+        assert!(QueueExtremes::of(&[], SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn extremes_scan() {
+        let now = SimTime::from_secs(1000);
+        let queue = vec![qj(0, 0, 1, 10), qj(1, 400, 1, 60), qj(2, 900, 1, 30)];
+        let ex = QueueExtremes::of(&queue, now).unwrap();
+        assert_eq!(ex.wait_max, SimDuration::from_secs(1000));
+        assert_eq!(ex.walltime_max, SimDuration::from_mins(60));
+        assert_eq!(ex.walltime_min, SimDuration::from_mins(10));
+    }
+
+    #[test]
+    fn waiting_score_is_linear_in_wait() {
+        let ex = QueueExtremes {
+            wait_max: SimDuration::from_secs(200),
+            walltime_max: SimDuration::from_mins(60),
+            walltime_min: SimDuration::from_mins(10),
+        };
+        assert_eq!(waiting_score(SimDuration::from_secs(200), &ex), 100.0);
+        assert_eq!(waiting_score(SimDuration::from_secs(100), &ex), 50.0);
+        assert_eq!(waiting_score(SimDuration::ZERO, &ex), 0.0);
+    }
+
+    #[test]
+    fn waiting_score_zero_max_is_zero() {
+        // "If the maximum value is 0, S_w is set to 0" (paper, step 1).
+        let ex = QueueExtremes {
+            wait_max: SimDuration::ZERO,
+            walltime_max: SimDuration::from_mins(60),
+            walltime_min: SimDuration::from_mins(10),
+        };
+        assert_eq!(waiting_score(SimDuration::ZERO, &ex), 0.0);
+    }
+
+    #[test]
+    fn walltime_score_prefers_short_jobs() {
+        let ex = QueueExtremes {
+            wait_max: SimDuration::from_secs(100),
+            walltime_max: SimDuration::from_mins(100),
+            walltime_min: SimDuration::from_mins(20),
+        };
+        assert_eq!(walltime_score(SimDuration::from_mins(20), &ex), 100.0);
+        assert_eq!(walltime_score(SimDuration::from_mins(100), &ex), 0.0);
+        assert_eq!(walltime_score(SimDuration::from_mins(60), &ex), 50.0);
+    }
+
+    #[test]
+    fn walltime_score_degenerate_spread_is_zero() {
+        // "If there is only one job in the queue, S_r is set to 0"
+        // (generalized to all-equal walltimes).
+        let ex = QueueExtremes {
+            wait_max: SimDuration::from_secs(100),
+            walltime_max: SimDuration::from_mins(30),
+            walltime_min: SimDuration::from_mins(30),
+        };
+        assert_eq!(walltime_score(SimDuration::from_mins(30), &ex), 0.0);
+    }
+
+    #[test]
+    fn bf_one_orders_like_fcfs() {
+        let now = SimTime::from_secs(1000);
+        // Older job must outrank newer regardless of walltime.
+        let old_long = qj(0, 0, 1, 600);
+        let new_short = qj(1, 900, 1, 10);
+        let ex = QueueExtremes::of(&[old_long.clone(), new_short.clone()], now).unwrap();
+        let p_old = balanced_priority(&old_long, now, 1.0, &ex);
+        let p_new = balanced_priority(&new_short, now, 1.0, &ex);
+        assert!(p_old > p_new, "{p_old} vs {p_new}");
+        assert_eq!(p_old, 100.0);
+    }
+
+    #[test]
+    fn bf_zero_orders_like_sjf() {
+        let now = SimTime::from_secs(1000);
+        let old_long = qj(0, 0, 1, 600);
+        let new_short = qj(1, 900, 1, 10);
+        let ex = QueueExtremes::of(&[old_long.clone(), new_short.clone()], now).unwrap();
+        let p_old = balanced_priority(&old_long, now, 0.0, &ex);
+        let p_new = balanced_priority(&new_short, now, 0.0, &ex);
+        assert!(p_new > p_old);
+        assert_eq!(p_new, 100.0);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_range() {
+        let now = SimTime::from_secs(5000);
+        let queue: Vec<QueuedJob> = (0..20)
+            .map(|i| qj(i, (i as i64) * 250, 1, 10 + (i as i64) * 17))
+            .collect();
+        let ex = QueueExtremes::of(&queue, now).unwrap();
+        for bf in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for j in &queue {
+                let p = balanced_priority(j, now, bf, &ex);
+                assert!((0.0..=100.0).contains(&p), "bf={bf} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_bf_blends_both_scores() {
+        let now = SimTime::from_secs(1000);
+        let a = qj(0, 0, 1, 100); // wait 1000 (Sw=100), longest (Sr=0)
+        let b = qj(1, 500, 1, 10); // wait 500 (Sw=50), shortest (Sr=100)
+        let ex = QueueExtremes::of(&[a.clone(), b.clone()], now).unwrap();
+        let pa = balanced_priority(&a, now, 0.5, &ex);
+        let pb = balanced_priority(&b, now, 0.5, &ex);
+        assert_eq!(pa, 50.0); // 0.5*100 + 0.5*0
+        assert_eq!(pb, 75.0); // 0.5*50 + 0.5*100
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests of the scheduling pass itself: for arbitrary
+//! queues, machine states, and policies, one `schedule_pass` must
+//! produce internally consistent decisions.
+
+use amjs_core::scheduler::{BackfillMode, ProtectionStyle, QueuedJob, Scheduler};
+use amjs_core::PolicyParams;
+use amjs_platform::plan::Plan;
+use amjs_platform::{AllocationId, BgpCluster, Platform};
+use amjs_sim::{SimDuration, SimTime};
+use amjs_workload::JobId;
+use proptest::prelude::*;
+
+/// Random waiting queues of partition-sized jobs.
+fn queue_strategy() -> impl Strategy<Value = Vec<QueuedJob>> {
+    prop::collection::vec(
+        (
+            0i64..7200,     // submit offset (seconds before "now")
+            1u32..=8,       // size in midplanes
+            60i64..14_400,  // walltime seconds
+        ),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (ago, units, wall))| QueuedJob {
+                id: JobId(i as u64),
+                submit: SimTime::from_secs(7200 - ago),
+                nodes: units * 512,
+                walltime: SimDuration::from_secs(wall),
+            })
+            .collect()
+    })
+}
+
+/// Random machine occupancy: some already-running blocks with release
+/// times.
+fn machine_strategy() -> impl Strategy<Value = Vec<(u32, i64)>> {
+    prop::collection::vec((1u32..=4, 600i64..7200), 0..6)
+}
+
+fn backfill_strategy() -> impl Strategy<Value = BackfillMode> {
+    prop_oneof![
+        Just(BackfillMode::None),
+        Just(BackfillMode::Easy),
+        Just(BackfillMode::Conservative),
+    ]
+}
+
+fn protection_strategy() -> impl Strategy<Value = ProtectionStyle> {
+    prop_oneof![
+        Just(ProtectionStyle::PinnedBlocks),
+        Just(ProtectionStyle::TimeFlexible),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Core decision invariants: no duplicate starts, every started job
+    /// is from the queue, every start's hint allocates on the live
+    /// machine, reservations are in the future and never overlap starts.
+    #[test]
+    fn decisions_are_internally_consistent(
+        queue in queue_strategy(),
+        running in machine_strategy(),
+        bf_i in 0u8..=4,
+        window in 1usize..=5,
+        backfill in backfill_strategy(),
+        protection in protection_strategy(),
+    ) {
+        let now = SimTime::from_secs(7200);
+        let mut machine = BgpCluster::new(16, 512);
+        let mut releases: Vec<(AllocationId, SimTime)> = Vec::new();
+        for &(units, rel) in &running {
+            if let Some(id) = machine.allocate(units * 512) {
+                releases.push((id, now + SimDuration::from_secs(rel)));
+            }
+        }
+        let rel_of = |id: AllocationId| releases.iter().find(|&&(i, _)| i == id).unwrap().1;
+        let base_plan = machine.plan(now, &rel_of);
+
+        let mut sched = Scheduler::new(
+            PolicyParams::new(bf_i as f64 * 0.25, window),
+            backfill,
+        );
+        sched.protection = protection;
+        let decision = sched.schedule_pass(now, &queue, &base_plan);
+
+        // Starts are unique and come from the queue.
+        let mut seen = std::collections::HashSet::new();
+        for start in &decision.starts {
+            prop_assert!(seen.insert(start.id), "duplicate start {:?}", start.id);
+            prop_assert!(queue.iter().any(|j| j.id == start.id));
+        }
+        // Reservations: future, unique, and disjoint from starts.
+        let mut res_seen = std::collections::HashSet::new();
+        for &(id, at) in &decision.reservations {
+            prop_assert!(at > now, "reservation in the past");
+            prop_assert!(res_seen.insert(id));
+            prop_assert!(!seen.contains(&id), "job both started and reserved");
+        }
+        // Every start allocates on the real machine via its hint, in
+        // decision order.
+        for start in &decision.starts {
+            let job = queue.iter().find(|j| j.id == start.id).unwrap();
+            prop_assert!(
+                machine.allocate_hinted(job.nodes, start.hint).is_some(),
+                "hinted allocation failed for {:?}",
+                start.id
+            );
+        }
+    }
+
+    /// EASY never starts a job that delays the protected head
+    /// reservation: after applying all starts, the head must still be
+    /// placeable at (or before) its promised time.
+    #[test]
+    fn easy_head_reservation_is_honored(
+        queue in queue_strategy(),
+        running in machine_strategy(),
+        bf_i in 0u8..=4,
+        window in 1usize..=4,
+    ) {
+        let now = SimTime::from_secs(7200);
+        let mut machine = BgpCluster::new(16, 512);
+        let mut releases: Vec<(AllocationId, SimTime)> = Vec::new();
+        for &(units, rel) in &running {
+            if let Some(id) = machine.allocate(units * 512) {
+                releases.push((id, now + SimDuration::from_secs(rel)));
+            }
+        }
+        let rel_of = |id: AllocationId| releases.iter().find(|&&(i, _)| i == id).unwrap().1;
+        let base_plan = machine.plan(now, &rel_of);
+
+        let mut sched = Scheduler::new(PolicyParams::new(bf_i as f64 * 0.25, window), BackfillMode::Easy);
+        sched.easy_protected = Some(1);
+        let decision = sched.schedule_pass(now, &queue, &base_plan);
+
+        let Some(&head_id) = decision.protected.first() else {
+            return Ok(()); // nothing protected, nothing to check
+        };
+        let promised = decision
+            .reservations
+            .iter()
+            .find(|&&(id, _)| id == head_id)
+            .expect("protected job must hold a reservation")
+            .1;
+        let head = queue.iter().find(|j| j.id == head_id).unwrap();
+
+        // Apply the starts to the live machine exactly as the runner
+        // would (hinted blocks), then ask the resulting availability
+        // plan whether the head still fits at its promised time. Using
+        // the hints matters: committing starts onto arbitrary blocks
+        // could fragment differently from what the scheduler proved.
+        let mut started: Vec<(AllocationId, SimTime)> = Vec::new();
+        for start in &decision.starts {
+            let job = queue.iter().find(|j| j.id == start.id).unwrap();
+            let id = machine
+                .allocate_hinted(job.nodes, start.hint)
+                .expect("hinted start must allocate");
+            started.push((id, now + job.walltime));
+        }
+        let combined_rel = |id: AllocationId| {
+            started
+                .iter()
+                .chain(releases.iter())
+                .find(|&&(i, _)| i == id)
+                .unwrap()
+                .1
+        };
+        let check = machine.plan(now, &combined_rel);
+        prop_assert!(
+            check.can_place_at(head.nodes, promised, head.walltime),
+            "head {head_id:?} can no longer run at its promised {promised:?}"
+        );
+    }
+
+    /// Monotonicity of no-backfill FCFS: the planned starts respect
+    /// priority order strictly.
+    #[test]
+    fn no_backfill_reservations_are_monotone(
+        queue in queue_strategy(),
+        running in machine_strategy(),
+    ) {
+        let now = SimTime::from_secs(7200);
+        let mut machine = BgpCluster::new(16, 512);
+        let mut releases: Vec<(AllocationId, SimTime)> = Vec::new();
+        for &(units, rel) in &running {
+            if let Some(id) = machine.allocate(units * 512) {
+                releases.push((id, now + SimDuration::from_secs(rel)));
+            }
+        }
+        let rel_of = |id: AllocationId| releases.iter().find(|&&(i, _)| i == id).unwrap().1;
+        let base_plan = machine.plan(now, &rel_of);
+
+        let sched = Scheduler::new(PolicyParams::fcfs(), BackfillMode::None);
+        let decision = sched.schedule_pass(now, &queue, &base_plan);
+        // Reservation list is in planning (priority) order; under
+        // monotone placement the times must be non-decreasing.
+        for pair in decision.reservations.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1, "{pair:?}");
+        }
+    }
+
+    /// The pass is a pure function: same inputs, same decision.
+    #[test]
+    fn pass_is_pure(
+        queue in queue_strategy(),
+        window in 1usize..=4,
+    ) {
+        let now = SimTime::from_secs(7200);
+        let machine = BgpCluster::new(16, 512);
+        let base_plan = machine.plan(now, &|_| now);
+        let sched = Scheduler::new(PolicyParams::new(0.5, window), BackfillMode::Easy);
+        let a = sched.schedule_pass(now, &queue, &base_plan);
+        let b = sched.schedule_pass(now, &queue, &base_plan);
+        prop_assert_eq!(a.starts, b.starts);
+        prop_assert_eq!(a.reservations, b.reservations);
+    }
+}

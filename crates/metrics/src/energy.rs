@@ -1,0 +1,148 @@
+//! Energy accounting — the paper's §V names energy efficiency as the
+//! first "system cost" metric to add to the balanced set.
+//!
+//! The model is the standard two-level node power model: a busy node
+//! draws `busy_watts`, an idle node `idle_watts` (Blue Gene/P's selling
+//! point was its low per-node power; Intrepid drew on the order of
+//! 1.3 MW busy). Combined with the exact busy-time integral from
+//! [`crate::UtilizationTracker`], this yields total energy and the
+//! efficiency figure that actually differentiates schedulers: **energy
+//! per delivered node-hour** — idle burn is amortized better when the
+//! machine is kept busy, which is exactly what the paper's
+//! utilization-oriented window tuning targets.
+
+use amjs_sim::SimTime;
+
+use crate::utilization::UtilizationTracker;
+
+/// Two-level per-node power model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Power draw of a busy node, watts.
+    pub busy_watts: f64,
+    /// Power draw of an idle node, watts.
+    pub idle_watts: f64,
+}
+
+impl EnergyModel {
+    /// Blue Gene/P-flavored defaults: ~31 W busy, ~13 W idle per node
+    /// (Intrepid's ~1.26 MW at full load over 40,960 nodes; idle draw
+    /// dominated by memory and the always-on network).
+    pub fn bgp() -> Self {
+        EnergyModel {
+            busy_watts: 31.0,
+            idle_watts: 13.0,
+        }
+    }
+
+    /// A commodity-cluster-flavored model (~300 W busy, ~150 W idle).
+    pub fn commodity() -> Self {
+        EnergyModel {
+            busy_watts: 300.0,
+            idle_watts: 150.0,
+        }
+    }
+}
+
+/// Energy consumed and delivered over one run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Total energy, megawatt-hours.
+    pub total_mwh: f64,
+    /// Energy spent on busy nodes, megawatt-hours.
+    pub busy_mwh: f64,
+    /// Energy spent keeping idle nodes powered, megawatt-hours.
+    pub idle_mwh: f64,
+    /// Delivered node-hours (busy node-time).
+    pub delivered_node_hours: f64,
+    /// Kilowatt-hours per delivered node-hour — the efficiency figure;
+    /// lower is better and improves with utilization.
+    pub kwh_per_node_hour: f64,
+}
+
+/// Compute the energy report for the span `[tracker start, until]`.
+pub fn energy_report(
+    tracker: &UtilizationTracker,
+    model: EnergyModel,
+    until: SimTime,
+) -> EnergyReport {
+    let total_nodes = tracker.total_nodes() as f64;
+    let span_secs = tracker.elapsed_secs(until);
+    let busy_node_secs = tracker.busy_node_secs(until);
+    let idle_node_secs = (total_nodes * span_secs - busy_node_secs).max(0.0);
+
+    const J_PER_MWH: f64 = 3.6e9;
+    let busy_mwh = busy_node_secs * model.busy_watts / J_PER_MWH;
+    let idle_mwh = idle_node_secs * model.idle_watts / J_PER_MWH;
+    let delivered_node_hours = busy_node_secs / 3600.0;
+    let total_mwh = busy_mwh + idle_mwh;
+    EnergyReport {
+        total_mwh,
+        busy_mwh,
+        idle_mwh,
+        delivered_node_hours,
+        kwh_per_node_hour: if delivered_node_hours > 0.0 {
+            total_mwh * 1000.0 / delivered_node_hours
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_sim::SimTime;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fully_busy_machine_energy() {
+        // 100 nodes busy for one hour at 10 W busy / 1 W idle.
+        let mut u = UtilizationTracker::new(100, t(0));
+        u.set_busy(t(0), 100);
+        let model = EnergyModel { busy_watts: 10.0, idle_watts: 1.0 };
+        let r = energy_report(&u, model, t(3600));
+        // 100 nodes * 3600 s * 10 W = 3.6e6 J = 1e-3 MWh.
+        assert!((r.busy_mwh - 1e-3).abs() < 1e-12);
+        assert_eq!(r.idle_mwh, 0.0);
+        assert!((r.delivered_node_hours - 100.0).abs() < 1e-9);
+        // 1e-3 MWh / 100 node-hours = 0.01 kWh per node-hour.
+        assert!((r.kwh_per_node_hour - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_machine_burns_idle_power_only() {
+        let u = UtilizationTracker::new(10, t(0));
+        let model = EnergyModel { busy_watts: 10.0, idle_watts: 2.0 };
+        let r = energy_report(&u, model, t(3600));
+        assert_eq!(r.busy_mwh, 0.0);
+        // 10 nodes * 3600 s * 2 W = 72 kJ = 2e-5 MWh.
+        assert!((r.idle_mwh - 2e-5).abs() < 1e-12);
+        assert_eq!(r.kwh_per_node_hour, 0.0); // nothing delivered
+    }
+
+    #[test]
+    fn higher_utilization_improves_efficiency() {
+        let model = EnergyModel::bgp();
+        // Run A: 50% busy for 2 h. Run B: 100% busy for 1 h then idle 1 h
+        // — same delivered work, same span, same energy... with a
+        // two-level model they tie; efficiency differs when comparing
+        // different utilization over the same span and *different* work:
+        let mut low = UtilizationTracker::new(100, t(0));
+        low.set_busy(t(0), 25);
+        let mut high = UtilizationTracker::new(100, t(0));
+        high.set_busy(t(0), 75);
+        let r_low = energy_report(&low, model, t(7200));
+        let r_high = energy_report(&high, model, t(7200));
+        assert!(r_high.kwh_per_node_hour < r_low.kwh_per_node_hour);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        assert!(EnergyModel::bgp().busy_watts > EnergyModel::bgp().idle_watts);
+        assert!(EnergyModel::commodity().busy_watts > EnergyModel::bgp().busy_watts);
+    }
+}

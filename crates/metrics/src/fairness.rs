@@ -1,0 +1,182 @@
+//! Fairness via fair start times.
+//!
+//! Paper §IV-A: "we assign a 'fair start time' to each job at its
+//! submission. Any job started after its 'fair start time' is considered
+//! to have been treated unfairly. The 'fair start time' is calculated as
+//! follows: assuming there is no later arrival jobs, we conduct a
+//! simulation of scheduling under current scheduling policy and get when
+//! the job will be started." (The approach of Sabin et al., ICPP 2004.)
+//!
+//! The drain simulation itself lives in `amjs-core` (it needs the
+//! scheduler); this tracker stores each job's fair start and actual
+//! start and counts violations. A small tolerance absorbs the
+//! one-second rounding of the event engine — a job is *unfair* only if
+//! it started more than [`FairnessTracker::tolerance`] after its fair
+//! start time.
+
+use std::collections::HashMap;
+
+use amjs_sim::{SimDuration, SimTime};
+use amjs_workload::JobId;
+
+/// Record of one job's fairness outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FairnessRecord {
+    /// The job.
+    pub job: JobId,
+    /// Start the job would have had with no later arrivals.
+    pub fair_start: SimTime,
+    /// Start the job actually got.
+    pub actual_start: SimTime,
+}
+
+impl FairnessRecord {
+    /// How far past its fair start the job began (clamped at zero).
+    pub fn delay(&self) -> SimDuration {
+        (self.actual_start - self.fair_start).max_zero()
+    }
+}
+
+/// Collects fair/actual start pairs and summarizes unfairness.
+#[derive(Clone, Debug)]
+pub struct FairnessTracker {
+    tolerance: SimDuration,
+    fair_starts: HashMap<JobId, SimTime>,
+    records: Vec<FairnessRecord>,
+}
+
+impl Default for FairnessTracker {
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(60))
+    }
+}
+
+impl FairnessTracker {
+    /// Tracker with the given unfairness tolerance (default 60 s).
+    pub fn new(tolerance: SimDuration) -> Self {
+        assert!(!tolerance.is_negative());
+        FairnessTracker {
+            tolerance,
+            fair_starts: HashMap::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The tolerance in use.
+    pub fn tolerance(&self) -> SimDuration {
+        self.tolerance
+    }
+
+    /// Record the fair start computed for `job` at its submission.
+    pub fn record_fair_start(&mut self, job: JobId, fair_start: SimTime) {
+        let prev = self.fair_starts.insert(job, fair_start);
+        debug_assert!(prev.is_none(), "duplicate fair start for {job}");
+    }
+
+    /// Record the actual start of `job`, pairing it with its stored fair
+    /// start.
+    ///
+    /// # Panics
+    /// Panics if no fair start was recorded for the job — the runner
+    /// must compute fair starts at submission, before any start can
+    /// happen.
+    pub fn record_actual_start(&mut self, job: JobId, actual_start: SimTime) {
+        let fair_start = *self
+            .fair_starts
+            .get(&job)
+            .unwrap_or_else(|| panic!("no fair start recorded for {job}"));
+        self.records.push(FairnessRecord {
+            job,
+            fair_start,
+            actual_start,
+        });
+    }
+
+    /// Jobs started more than the tolerance after their fair start.
+    pub fn unfair_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.actual_start > r.fair_start + self.tolerance)
+            .count()
+    }
+
+    /// Number of completed (fair, actual) pairs.
+    pub fn total_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Mean unfair delay in minutes over *unfair* jobs (0 if none) —
+    /// a magnitude companion to the paper's count.
+    pub fn mean_unfair_delay_mins(&self) -> f64 {
+        let unfair: Vec<&FairnessRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.actual_start > r.fair_start + self.tolerance)
+            .collect();
+        if unfair.is_empty() {
+            return 0.0;
+        }
+        unfair.iter().map(|r| r.delay().as_mins_f64()).sum::<f64>() / unfair.len() as f64
+    }
+
+    /// All completed records, in start order.
+    pub fn records(&self) -> &[FairnessRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn counts_only_beyond_tolerance() {
+        let mut f = FairnessTracker::new(SimDuration::from_secs(60));
+        f.record_fair_start(JobId(0), t(100));
+        f.record_fair_start(JobId(1), t(100));
+        f.record_fair_start(JobId(2), t(100));
+        f.record_actual_start(JobId(0), t(100)); // exactly fair
+        f.record_actual_start(JobId(1), t(160)); // within tolerance
+        f.record_actual_start(JobId(2), t(161)); // unfair
+        assert_eq!(f.total_count(), 3);
+        assert_eq!(f.unfair_count(), 1);
+    }
+
+    #[test]
+    fn early_start_is_fair() {
+        let mut f = FairnessTracker::default();
+        f.record_fair_start(JobId(0), t(500));
+        f.record_actual_start(JobId(0), t(100)); // started early (e.g. backfilled)
+        assert_eq!(f.unfair_count(), 0);
+        assert_eq!(f.records()[0].delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mean_unfair_delay() {
+        let mut f = FairnessTracker::new(SimDuration::ZERO);
+        f.record_fair_start(JobId(0), t(0));
+        f.record_fair_start(JobId(1), t(0));
+        f.record_actual_start(JobId(0), t(120)); // 2 min late
+        f.record_actual_start(JobId(1), t(240)); // 4 min late
+        assert_eq!(f.unfair_count(), 2);
+        assert!((f.mean_unfair_delay_mins() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_records_is_zero() {
+        let f = FairnessTracker::default();
+        assert_eq!(f.unfair_count(), 0);
+        assert_eq!(f.mean_unfair_delay_mins(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no fair start")]
+    fn actual_without_fair_panics() {
+        let mut f = FairnessTracker::default();
+        f.record_actual_start(JobId(9), t(0));
+    }
+}

@@ -1,0 +1,142 @@
+//! End-of-run metric summaries — the shape of the paper's Table II.
+
+use amjs_sim::{SimDuration, SimTime};
+
+/// The whole-run numbers one simulation produces, directly comparable to
+/// one row of Table II (plus a few companions that experiments and tests
+/// use).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSummary {
+    /// Label of the configuration that produced this run (e.g.
+    /// `"BF=0.5/W=4"`).
+    pub label: String,
+    /// Jobs that completed.
+    pub jobs_completed: usize,
+    /// Average waiting time in minutes (Table II column 1).
+    pub avg_wait_mins: f64,
+    /// Maximum waiting time in minutes.
+    pub max_wait_mins: f64,
+    /// Number of unfairly treated jobs (Table II column 2).
+    pub unfair_jobs: usize,
+    /// Loss of capacity, percent (Table II column 3).
+    pub loc_percent: f64,
+    /// Whole-run average utilization.
+    pub avg_utilization: f64,
+    /// Mean bounded slowdown (Feitelson), 0 when not tracked.
+    pub mean_bounded_slowdown: f64,
+    /// When the last job finished.
+    pub makespan: SimDuration,
+}
+
+impl MetricsSummary {
+    /// Render as one aligned text row; pair with [`table_header`].
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<14} {:>10.1} {:>8} {:>8.1} {:>8.3} {:>10.1}",
+            self.label,
+            self.avg_wait_mins,
+            self.unfair_jobs,
+            self.loc_percent,
+            self.avg_utilization,
+            self.makespan.as_hours_f64(),
+        )
+    }
+
+    /// CSV row matching [`csv_header`].
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.3},{:.3},{},{:.4},{:.5},{:.3},{:.3}",
+            self.label,
+            self.jobs_completed,
+            self.avg_wait_mins,
+            self.max_wait_mins,
+            self.unfair_jobs,
+            self.loc_percent,
+            self.avg_utilization,
+            self.mean_bounded_slowdown,
+            self.makespan.as_hours_f64(),
+        )
+    }
+}
+
+/// Header for [`MetricsSummary::table_row`].
+pub fn table_header() -> String {
+    format!(
+        "{:<14} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "config", "wait(min)", "unfair#", "LoC(%)", "util", "mkspan(h)"
+    )
+}
+
+/// Header for [`MetricsSummary::csv_row`].
+pub fn csv_header() -> &'static str {
+    "config,jobs,avg_wait_mins,max_wait_mins,unfair_jobs,loc_percent,avg_utilization,mean_bounded_slowdown,makespan_hours"
+}
+
+/// Relative improvement of `new` over `base` in percent
+/// (positive = `new` is smaller/better for a lower-is-better metric).
+pub fn improvement_percent(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    (base - new) / base * 100.0
+}
+
+/// Convenience: wrap a makespan end time given the epoch.
+pub fn makespan_from(end: SimTime) -> SimDuration {
+    end - SimTime::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSummary {
+        MetricsSummary {
+            label: "BF=1/W=1".to_string(),
+            jobs_completed: 100,
+            avg_wait_mins: 245.2,
+            max_wait_mins: 900.0,
+            unfair_jobs: 10,
+            loc_percent: 15.7,
+            avg_utilization: 0.81,
+            mean_bounded_slowdown: 4.2,
+            makespan: SimDuration::from_hours(720),
+        }
+    }
+
+    #[test]
+    fn rows_align_with_headers() {
+        let s = sample();
+        let header_cols = table_header().split_whitespace().count();
+        let row_cols = s.table_row().split_whitespace().count();
+        assert_eq!(header_cols, row_cols);
+        assert_eq!(
+            csv_header().split(',').count(),
+            s.csv_row().split(',').count()
+        );
+    }
+
+    #[test]
+    fn csv_row_contains_label_and_values() {
+        let row = sample().csv_row();
+        assert!(row.starts_with("BF=1/W=1,100,"));
+        assert!(row.contains("245.200"));
+    }
+
+    #[test]
+    fn improvement_math() {
+        // Table II: 2D adaptive improves avg wait 245.2 → 71.3 ≈ 71%.
+        let imp = improvement_percent(245.2, 71.3);
+        assert!((imp - 70.92).abs() < 0.1, "imp={imp}");
+        assert_eq!(improvement_percent(0.0, 5.0), 0.0);
+        assert!(improvement_percent(10.0, 12.0) < 0.0);
+    }
+
+    #[test]
+    fn makespan_from_epoch() {
+        assert_eq!(
+            makespan_from(SimTime::from_hours(3)),
+            SimDuration::from_hours(3)
+        );
+    }
+}

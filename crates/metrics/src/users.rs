@@ -1,0 +1,151 @@
+//! Per-user service statistics.
+//!
+//! The paper measures fairness job-by-job; operators also read it
+//! user-by-user ("whose jobs wait?"). This module aggregates per-job
+//! outcomes by submitting user and computes a Gini coefficient over
+//! per-user mean waits — 0 means every user waits the same on average,
+//! values toward 1 mean service concentrates on a few users. SJF-style
+//! policies typically *raise* it (users with long jobs absorb the
+//! waiting), which is the per-user face of the paper's fairness
+//! tradeoff.
+
+use std::collections::BTreeMap;
+
+use amjs_sim::SimDuration;
+
+/// Aggregated service numbers for one user.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UserServiceRow {
+    /// The user id.
+    pub user: u32,
+    /// Jobs the user completed.
+    pub jobs: usize,
+    /// Mean waiting time, minutes.
+    pub mean_wait_mins: f64,
+    /// Worst waiting time, minutes.
+    pub max_wait_mins: f64,
+    /// Delivered node-hours.
+    pub node_hours: f64,
+}
+
+/// Per-user aggregation of `(user, wait, nodes, runtime)` job records.
+pub fn user_service(
+    records: impl IntoIterator<Item = (u32, SimDuration, u32, SimDuration)>,
+) -> Vec<UserServiceRow> {
+    #[derive(Default)]
+    struct Acc {
+        jobs: usize,
+        wait_secs: i64,
+        max_wait_secs: i64,
+        node_secs: f64,
+    }
+    let mut by_user: BTreeMap<u32, Acc> = BTreeMap::new();
+    for (user, wait, nodes, runtime) in records {
+        let a = by_user.entry(user).or_default();
+        a.jobs += 1;
+        a.wait_secs += wait.as_secs();
+        a.max_wait_secs = a.max_wait_secs.max(wait.as_secs());
+        a.node_secs += nodes as f64 * runtime.as_secs() as f64;
+    }
+    by_user
+        .into_iter()
+        .map(|(user, a)| UserServiceRow {
+            user,
+            jobs: a.jobs,
+            mean_wait_mins: a.wait_secs as f64 / 60.0 / a.jobs as f64,
+            max_wait_mins: a.max_wait_secs as f64 / 60.0,
+            node_hours: a.node_secs / 3600.0,
+        })
+        .collect()
+}
+
+/// Gini coefficient over the rows' per-user mean waits (0 = equal
+/// service, →1 = concentrated waiting). Zero for fewer than two users
+/// or all-zero waits.
+pub fn wait_gini(rows: &[UserServiceRow]) -> f64 {
+    let mut waits: Vec<f64> = rows.iter().map(|r| r.mean_wait_mins.max(0.0)).collect();
+    let n = waits.len();
+    if n < 2 {
+        return 0.0;
+    }
+    waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sum: f64 = waits.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    // Gini = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, with 1-based
+    // ranks over ascending x.
+    let weighted: f64 = waits
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u32, wait_mins: i64, nodes: u32, run_mins: i64) -> (u32, SimDuration, u32, SimDuration) {
+        (
+            user,
+            SimDuration::from_mins(wait_mins),
+            nodes,
+            SimDuration::from_mins(run_mins),
+        )
+    }
+
+    #[test]
+    fn aggregates_per_user() {
+        let rows = user_service(vec![
+            rec(1, 10, 100, 60),
+            rec(1, 30, 100, 60),
+            rec(2, 0, 50, 120),
+        ]);
+        assert_eq!(rows.len(), 2);
+        let u1 = &rows[0];
+        assert_eq!(u1.user, 1);
+        assert_eq!(u1.jobs, 2);
+        assert_eq!(u1.mean_wait_mins, 20.0);
+        assert_eq!(u1.max_wait_mins, 30.0);
+        assert_eq!(u1.node_hours, 200.0);
+        assert_eq!(rows[1].node_hours, 100.0);
+    }
+
+    #[test]
+    fn gini_of_equal_waits_is_zero() {
+        let rows = user_service(vec![rec(1, 10, 1, 1), rec(2, 10, 1, 1), rec(3, 10, 1, 1)]);
+        assert!(wait_gini(&rows).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_concentrated_waits_is_high() {
+        // One user absorbs all the waiting.
+        let rows = user_service(vec![
+            rec(1, 0, 1, 1),
+            rec(2, 0, 1, 1),
+            rec(3, 0, 1, 1),
+            rec(4, 1000, 1, 1),
+        ]);
+        let g = wait_gini(&rows);
+        assert!(g > 0.7, "gini={g}");
+        assert!(g <= 1.0);
+    }
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(wait_gini(&[]), 0.0);
+        let one = user_service(vec![rec(1, 5, 1, 1)]);
+        assert_eq!(wait_gini(&one), 0.0);
+        let zeros = user_service(vec![rec(1, 0, 1, 1), rec(2, 0, 1, 1)]);
+        assert_eq!(wait_gini(&zeros), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_gini() {
+        // Waits 1, 3: Gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        let rows = user_service(vec![rec(1, 1, 1, 1), rec(2, 3, 1, 1)]);
+        assert!((wait_gini(&rows) - 0.25).abs() < 1e-12);
+    }
+}

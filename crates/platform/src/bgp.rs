@@ -1,0 +1,392 @@
+//! Blue Gene/P-style partitioned machine.
+//!
+//! Intrepid (ANL's BG/P, the paper's testbed) schedules jobs onto
+//! *partitions*: contiguous groups of 512-node midplanes wired into a
+//! torus. We model the machine as a line of midplane units on which a job
+//! occupies an **aligned power-of-two run of units** (a buddy-allocator
+//! discipline), or the full machine for requests above the largest
+//! power-of-two block. This reproduces the property the paper's Loss of
+//! Capacity metric depends on: idle nodes can be plentiful while no free
+//! partition of the required shape exists.
+//!
+//! Relative to real BG/P wiring this is a simplification (no 3-D torus
+//! dimensions, no wiring conflicts between pass-through partitions), but
+//! alignment + contiguity is what produces external fragmentation, and
+//! that is the behaviour the paper's experiments exercise. Requests are
+//! rounded up to the next partition size exactly as Cobalt does on the
+//! real machine (a 700-node job receives a 1024-node partition).
+
+use std::collections::BTreeMap;
+
+use amjs_sim::SimTime;
+
+use crate::mask::{UnitMask, MAX_UNITS};
+use crate::plan::PartitionPlan;
+use crate::{AllocationId, Nodes, PlacementHint, Platform};
+
+/// A partitioned Blue Gene/P-style machine.
+#[derive(Clone, Debug)]
+pub struct BgpCluster {
+    units: u16,
+    nodes_per_unit: Nodes,
+    max_block: u16,
+    /// Bit i set = unit i busy.
+    busy: UnitMask,
+    next_id: u64,
+    live: BTreeMap<AllocationId, Block>,
+}
+
+/// A live allocation's geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// First unit of the partition.
+    pub unit_start: u16,
+    /// Number of units in the partition.
+    pub unit_len: u16,
+}
+
+impl BgpCluster {
+    /// A machine of `units` midplanes with `nodes_per_unit` nodes each.
+    ///
+    /// # Panics
+    /// Panics if `units` is 0 or exceeds 128, or `nodes_per_unit` is 0.
+    pub fn new(units: u16, nodes_per_unit: Nodes) -> Self {
+        assert!(
+            units >= 1 && (units as usize) <= MAX_UNITS,
+            "1..={MAX_UNITS} units supported"
+        );
+        assert!(nodes_per_unit >= 1);
+        BgpCluster {
+            units,
+            nodes_per_unit,
+            max_block: prev_power_of_two(units),
+            busy: UnitMask::empty(),
+            next_id: 0,
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Intrepid's geometry: 80 midplanes × 512 nodes = 40,960 nodes
+    /// (40 racks × 2 midplanes).
+    pub fn intrepid() -> Self {
+        BgpCluster::new(80, 512)
+    }
+
+    /// Intrepid at sub-midplane granularity: 640 units of 64 nodes —
+    /// the finest partition size BG/P exposes. Jobs down to 64 nodes
+    /// allocate exactly; everything still lands on aligned
+    /// power-of-two blocks.
+    pub fn intrepid_fine() -> Self {
+        BgpCluster::new(640, 64)
+    }
+
+    /// A 1/10th-scale Intrepid (8 midplanes, 4096 nodes) for fast tests.
+    pub fn intrepid_rack_row() -> Self {
+        BgpCluster::new(8, 512)
+    }
+
+    /// Unit length a request rounds to; `None` if it exceeds the machine.
+    fn rounded_units(&self, nodes: Nodes) -> Option<u16> {
+        let req = nodes.max(1).div_ceil(self.nodes_per_unit);
+        if req > self.units as u32 {
+            return None;
+        }
+        let k = (req as u16).next_power_of_two();
+        if k > self.max_block {
+            Some(self.units)
+        } else {
+            Some(k)
+        }
+    }
+
+    /// Lowest-index aligned free block of `k` units right now.
+    fn find_free_block(&self, k: u16) -> Option<u16> {
+        if k == self.units {
+            return self.busy.is_empty().then_some(0);
+        }
+        let mut start = 0u16;
+        while start + k <= self.units {
+            if self.busy.range_is_clear(start, k) {
+                return Some(start);
+            }
+            start += k;
+        }
+        None
+    }
+
+    /// Geometry of a live allocation.
+    pub fn block_of(&self, id: AllocationId) -> Option<Block> {
+        self.live.get(&id).copied()
+    }
+
+    /// Number of midplane units in the machine.
+    pub fn units(&self) -> u16 {
+        self.units
+    }
+
+    /// Nodes per midplane unit.
+    pub fn nodes_per_unit(&self) -> Nodes {
+        self.nodes_per_unit
+    }
+}
+
+impl Platform for BgpCluster {
+    type Plan = PartitionPlan;
+
+    fn name(&self) -> &'static str {
+        "bgp"
+    }
+
+    fn total_nodes(&self) -> Nodes {
+        self.units as Nodes * self.nodes_per_unit
+    }
+
+    fn idle_nodes(&self) -> Nodes {
+        (self.units as u32 - self.busy.count_ones()) * self.nodes_per_unit
+    }
+
+    fn min_allocation(&self) -> Nodes {
+        self.nodes_per_unit
+    }
+
+    fn rounded_size(&self, nodes: Nodes) -> Nodes {
+        match self.rounded_units(nodes) {
+            Some(k) => k as Nodes * self.nodes_per_unit,
+            None => Nodes::MAX,
+        }
+    }
+
+    fn can_allocate(&self, nodes: Nodes) -> bool {
+        match self.rounded_units(nodes) {
+            Some(k) => self.find_free_block(k).is_some(),
+            None => false,
+        }
+    }
+
+    fn allocate(&mut self, nodes: Nodes) -> Option<AllocationId> {
+        let k = self.rounded_units(nodes)?;
+        let start = self.find_free_block(k)?;
+        self.busy.set_range(start, k);
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(
+            id,
+            Block {
+                unit_start: start,
+                unit_len: k,
+            },
+        );
+        Some(id)
+    }
+
+    fn allocate_hinted(&mut self, nodes: Nodes, hint: PlacementHint) -> Option<AllocationId> {
+        if hint.unit_len == 0 {
+            return self.allocate(nodes);
+        }
+        let k = self.rounded_units(nodes)?;
+        if k != hint.unit_len || hint.unit_start + k > self.units {
+            return None; // hint does not match this request's shape
+        }
+        if !self.busy.range_is_clear(hint.unit_start, k) {
+            return None; // hinted block is (partially) busy
+        }
+        self.busy.set_range(hint.unit_start, k);
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(
+            id,
+            Block {
+                unit_start: hint.unit_start,
+                unit_len: k,
+            },
+        );
+        Some(id)
+    }
+
+    fn release(&mut self, id: AllocationId) -> Nodes {
+        let block = self
+            .live
+            .remove(&id)
+            .unwrap_or_else(|| panic!("release of unknown allocation {id:?}"));
+        debug_assert!(
+            self.busy.range_is_set(block.unit_start, block.unit_len),
+            "released units were not busy"
+        );
+        self.busy.clear_range(block.unit_start, block.unit_len);
+        block.unit_len as Nodes * self.nodes_per_unit
+    }
+
+    fn allocation_size(&self, id: AllocationId) -> Option<Nodes> {
+        self.live
+            .get(&id)
+            .map(|b| b.unit_len as Nodes * self.nodes_per_unit)
+    }
+
+    fn active_allocations(&self) -> Vec<AllocationId> {
+        self.live.keys().copied().collect()
+    }
+
+    fn plan(&self, now: SimTime, release_time: &dyn Fn(AllocationId) -> SimTime) -> PartitionPlan {
+        let running: Vec<(u16, u16, SimTime)> = self
+            .live
+            .iter()
+            .map(|(&id, b)| (b.unit_start, b.unit_len, release_time(id)))
+            .collect();
+        PartitionPlan::new(now, self.units, self.nodes_per_unit, &running)
+    }
+}
+
+/// Largest power of two `<= n` (n >= 1).
+fn prev_power_of_two(n: u16) -> u16 {
+    let npot = n.next_power_of_two();
+    if npot == n {
+        n
+    } else {
+        npot / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrepid_dimensions() {
+        let c = BgpCluster::intrepid();
+        assert_eq!(c.total_nodes(), 40_960);
+        assert_eq!(c.min_allocation(), 512);
+        assert_eq!(c.rounded_size(1), 512);
+        assert_eq!(c.rounded_size(2048), 2048);
+        assert_eq!(c.rounded_size(2049), 4096);
+        // Above the largest power-of-two block (32K) → full machine.
+        assert_eq!(c.rounded_size(32_769), 40_960);
+        assert_eq!(c.rounded_size(40_960), 40_960);
+        assert_eq!(c.rounded_size(40_961), Nodes::MAX);
+        assert!(!c.can_allocate(40_961));
+    }
+
+    #[test]
+    fn buddy_alignment_is_enforced() {
+        let mut c = BgpCluster::new(8, 512);
+        // Take unit 0 (one midplane).
+        let a = c.allocate(512).unwrap();
+        assert_eq!(c.block_of(a).unwrap(), Block { unit_start: 0, unit_len: 1 });
+        // A 2-unit job must go to the aligned pair {2,3}, not {1,2}.
+        let b = c.allocate(1024).unwrap();
+        assert_eq!(c.block_of(b).unwrap(), Block { unit_start: 2, unit_len: 2 });
+        // A 4-unit job takes the upper half.
+        let d = c.allocate(2048).unwrap();
+        assert_eq!(c.block_of(d).unwrap(), Block { unit_start: 4, unit_len: 4 });
+        // Only unit 1 is free now: capacity 512 idle.
+        assert_eq!(c.idle_nodes(), 512);
+        assert!(c.can_allocate(512));
+        assert!(!c.can_allocate(1024));
+    }
+
+    #[test]
+    fn fragmentation_blocks_despite_capacity() {
+        let mut c = BgpCluster::new(8, 512);
+        // Occupy units 0 and 2: 6 units (3072 nodes) idle, but no free
+        // aligned 4-unit block in the lower half, upper half is free.
+        let _a = c.allocate(512).unwrap(); // unit 0
+        let _b = c.allocate(512).unwrap(); // unit 1
+        let _c2 = c.allocate(512).unwrap(); // unit 2
+        c.release(_b);
+        assert_eq!(c.idle_nodes(), 6 * 512);
+        assert!(c.can_allocate(2048)); // units 4..8 are free
+        let big = c.allocate(2048).unwrap();
+        assert_eq!(c.block_of(big).unwrap().unit_start, 4);
+        // Only units 1 and 3 remain idle: 1024 nodes.
+        assert_eq!(c.idle_nodes(), 2 * 512);
+        // 1024 idle nodes but no aligned pair free → fragmentation.
+        assert!(!c.can_allocate(1024));
+        assert!(c.can_allocate(512));
+    }
+
+    #[test]
+    fn full_machine_partition() {
+        let mut c = BgpCluster::intrepid();
+        let id = c.allocate(40_960).unwrap();
+        assert_eq!(c.idle_nodes(), 0);
+        assert_eq!(c.allocation_size(id), Some(40_960));
+        assert!(!c.can_allocate(512));
+        assert_eq!(c.release(id), 40_960);
+        assert_eq!(c.idle_nodes(), 40_960);
+    }
+
+    #[test]
+    fn release_restores_exactly() {
+        let mut c = BgpCluster::new(16, 512);
+        let ids: Vec<_> = (0..4).map(|_| c.allocate(1024).unwrap()).collect();
+        assert_eq!(c.idle_nodes(), 8 * 512);
+        for id in ids {
+            c.release(id);
+        }
+        assert_eq!(c.idle_nodes(), 16 * 512);
+        assert!(c.busy.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown allocation")]
+    fn double_release_panics() {
+        let mut c = BgpCluster::new(8, 512);
+        let a = c.allocate(512).unwrap();
+        c.release(a);
+        c.release(a);
+    }
+
+    #[test]
+    fn plan_mirrors_live_geometry() {
+        use crate::plan::Plan;
+        use amjs_sim::SimDuration;
+
+        let mut c = BgpCluster::new(8, 512);
+        let a = c.allocate(2048).unwrap(); // units 0..4
+        let now = SimTime::from_secs(0);
+        let plan = c.plan(now, &|_| SimTime::from_secs(100));
+        // Another 4-unit job fits now (upper half)...
+        assert!(plan.can_place_at(2048, now, SimDuration::from_secs(10)));
+        // ...but the full machine must wait for the release.
+        assert_eq!(
+            plan.earliest_start(4096, SimDuration::from_secs(10), now),
+            SimTime::from_secs(100)
+        );
+        c.release(a);
+    }
+
+    #[test]
+    fn non_power_of_two_machine_has_full_partition() {
+        // 80 units: an 80-unit "full" request works when empty.
+        let mut c = BgpCluster::intrepid();
+        let small = c.allocate(512).unwrap();
+        assert!(!c.can_allocate(40_960));
+        c.release(small);
+        assert!(c.can_allocate(40_960));
+    }
+
+    #[test]
+    #[should_panic(expected = "units supported")]
+    fn too_many_units_panics() {
+        let _ = BgpCluster::new(1025, 512);
+    }
+
+    #[test]
+    fn fine_grained_intrepid_allocates_small_jobs() {
+        let mut c = BgpCluster::intrepid_fine();
+        assert_eq!(c.total_nodes(), 40_960);
+        assert_eq!(c.min_allocation(), 64);
+        // A 64-node job takes exactly one unit; a 100-node job rounds
+        // to 128.
+        let small = c.allocate(64).unwrap();
+        assert_eq!(c.allocation_size(small), Some(64));
+        let mid = c.allocate(100).unwrap();
+        assert_eq!(c.allocation_size(mid), Some(128));
+        // Alignment holds at this granularity too.
+        let b = c.block_of(mid).unwrap();
+        assert_eq!(b.unit_start % b.unit_len, 0);
+        // Largest power-of-two block is 512 units (32,768 nodes); above
+        // that, the full machine.
+        assert_eq!(c.rounded_size(32_768), 32_768);
+        assert_eq!(c.rounded_size(32_769), 40_960);
+    }
+}

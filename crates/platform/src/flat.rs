@@ -1,0 +1,188 @@
+//! An idealized cluster of interchangeable nodes.
+//!
+//! Any request `n <= idle_nodes()` succeeds — there is no geometry, so the
+//! only Loss of Capacity a flat machine can exhibit comes from backfill
+//! admission (a job that fits is held back to protect a reservation), not
+//! from fragmentation. Comparing LoC here against [`crate::BgpCluster`]
+//! isolates the fragmentation contribution (see the `ablation_platform`
+//! experiment).
+
+use std::collections::BTreeMap;
+
+use amjs_sim::SimTime;
+
+use crate::plan::FlatPlan;
+use crate::{AllocationId, Nodes, PlacementHint, Platform};
+
+/// A pool of `total` interchangeable nodes.
+#[derive(Clone, Debug)]
+pub struct FlatCluster {
+    total: Nodes,
+    idle: Nodes,
+    next_id: u64,
+    // BTreeMap keeps `active_allocations` deterministic in id order.
+    live: BTreeMap<AllocationId, Nodes>,
+}
+
+impl FlatCluster {
+    /// A new, fully idle cluster.
+    ///
+    /// # Panics
+    /// Panics if `total == 0`.
+    pub fn new(total: Nodes) -> Self {
+        assert!(total > 0, "a cluster needs at least one node");
+        FlatCluster {
+            total,
+            idle: total,
+            next_id: 0,
+            live: BTreeMap::new(),
+        }
+    }
+}
+
+impl Platform for FlatCluster {
+    type Plan = FlatPlan;
+
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+
+    fn total_nodes(&self) -> Nodes {
+        self.total
+    }
+
+    fn idle_nodes(&self) -> Nodes {
+        self.idle
+    }
+
+    fn min_allocation(&self) -> Nodes {
+        1
+    }
+
+    fn rounded_size(&self, nodes: Nodes) -> Nodes {
+        nodes.max(1)
+    }
+
+    fn can_allocate(&self, nodes: Nodes) -> bool {
+        self.rounded_size(nodes) <= self.idle
+    }
+
+    fn allocate(&mut self, nodes: Nodes) -> Option<AllocationId> {
+        let nodes = self.rounded_size(nodes);
+        if nodes > self.idle {
+            return None;
+        }
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.idle -= nodes;
+        self.live.insert(id, nodes);
+        Some(id)
+    }
+
+    fn allocate_hinted(&mut self, nodes: Nodes, _hint: PlacementHint) -> Option<AllocationId> {
+        // Flat machines have no geometry; the hint carries no information.
+        self.allocate(nodes)
+    }
+
+    fn release(&mut self, id: AllocationId) -> Nodes {
+        let nodes = self
+            .live
+            .remove(&id)
+            .unwrap_or_else(|| panic!("release of unknown allocation {id:?}"));
+        self.idle += nodes;
+        nodes
+    }
+
+    fn allocation_size(&self, id: AllocationId) -> Option<Nodes> {
+        self.live.get(&id).copied()
+    }
+
+    fn active_allocations(&self) -> Vec<AllocationId> {
+        self.live.keys().copied().collect()
+    }
+
+    fn plan(&self, now: SimTime, release_time: &dyn Fn(AllocationId) -> SimTime) -> FlatPlan {
+        let running: Vec<(Nodes, SimTime)> = self
+            .live
+            .iter()
+            .map(|(&id, &nodes)| (nodes, release_time(id)))
+            .collect();
+        FlatPlan::new(now, self.total, &running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use amjs_sim::SimDuration;
+
+    #[test]
+    fn allocate_until_full_then_fail() {
+        let mut c = FlatCluster::new(100);
+        let a = c.allocate(60).unwrap();
+        assert_eq!(c.idle_nodes(), 40);
+        assert!(c.can_allocate(40));
+        assert!(!c.can_allocate(41));
+        assert!(c.allocate(41).is_none());
+        let b = c.allocate(40).unwrap();
+        assert_eq!(c.idle_nodes(), 0);
+        c.release(a);
+        assert_eq!(c.idle_nodes(), 60);
+        c.release(b);
+        assert_eq!(c.idle_nodes(), 100);
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let mut c = FlatCluster::new(100);
+        let a = c.allocate(10).unwrap();
+        let b = c.allocate(10).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.active_allocations(), vec![a, b]);
+        c.release(a);
+        // Ids are never reused.
+        let d = c.allocate(10).unwrap();
+        assert!(d > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown allocation")]
+    fn double_release_panics() {
+        let mut c = FlatCluster::new(10);
+        let a = c.allocate(5).unwrap();
+        c.release(a);
+        c.release(a);
+    }
+
+    #[test]
+    fn zero_node_request_rounds_to_one() {
+        let mut c = FlatCluster::new(10);
+        let a = c.allocate(0).unwrap();
+        assert_eq!(c.allocation_size(a), Some(1));
+        assert_eq!(c.idle_nodes(), 9);
+    }
+
+    #[test]
+    fn plan_reflects_live_state() {
+        let mut c = FlatCluster::new(100);
+        let a = c.allocate(70).unwrap();
+        let now = SimTime::from_secs(10);
+        let plan = c.plan(now, &|id| {
+            assert_eq!(id, a);
+            SimTime::from_secs(50)
+        });
+        assert_eq!(plan.now(), now);
+        assert_eq!(
+            plan.earliest_start(50, SimDuration::from_secs(5), now),
+            SimTime::from_secs(50)
+        );
+        assert_eq!(plan.earliest_start(30, SimDuration::from_secs(5), now), now);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_total_panics() {
+        let _ = FlatCluster::new(0);
+    }
+}

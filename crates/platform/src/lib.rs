@@ -1,0 +1,133 @@
+//! # amjs-platform — machine models for job scheduling simulation
+//!
+//! The ICPP 2012 paper evaluates on Intrepid, the 40,960-node Blue Gene/P
+//! at Argonne, where jobs run on *partitions*: contiguous, aligned,
+//! power-of-two groups of 512-node midplanes. Partitioned allocation is
+//! what makes the paper's Loss-of-Capacity metric (eq. 4) non-trivial — a
+//! machine can hold plenty of idle nodes yet be unable to start a waiting
+//! job because no free *partition* of the right shape exists.
+//!
+//! Two machine models are provided:
+//!
+//! * [`flat::FlatCluster`] — an idealized pool of interchangeable nodes
+//!   (any `n ≤ idle` request succeeds). Useful as an ablation baseline and
+//!   for fast tests.
+//! * [`bgp::BgpCluster`] — the Blue Gene/P model: a line of midplanes with
+//!   buddy-style aligned power-of-two blocks (plus the full machine as a
+//!   special partition), defaulting to Intrepid's geometry of 80 midplanes
+//!   × 512 nodes.
+//!
+//! Both implement [`Platform`] for *live* allocation and expose a
+//! [`Plan`] — a cheap what-if availability profile over future time used
+//! by the scheduler for window permutation search, reservations, and
+//! backfill admission (see `amjs-core`). Plans support LIFO rollback so a
+//! permutation can be speculatively committed and undone without cloning
+//! the whole profile.
+
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod flat;
+pub mod mask;
+pub mod plan;
+
+pub use bgp::BgpCluster;
+pub use flat::FlatCluster;
+pub use plan::{FlatPlan, PartitionPlan, Placement, PlacementHint, Plan, PlanToken};
+
+use amjs_sim::SimTime;
+
+/// Number of compute nodes (cores are not modeled; the paper schedules in
+/// node units).
+pub type Nodes = u32;
+
+/// Opaque handle for a live allocation on a [`Platform`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocationId(pub u64);
+
+/// A machine that can run jobs now and describe its future availability.
+pub trait Platform {
+    /// The what-if planning profile type for this machine.
+    type Plan: Plan;
+
+    /// Short machine name for reports (e.g. `"bgp-intrepid"`).
+    fn name(&self) -> &'static str;
+
+    /// Total node count.
+    fn total_nodes(&self) -> Nodes;
+
+    /// Nodes not currently assigned to any allocation. On a partitioned
+    /// machine this counts whole idle partitions' nodes, including ones
+    /// unusable for a given request due to fragmentation.
+    fn idle_nodes(&self) -> Nodes;
+
+    /// The smallest request the machine will allocate (requests are
+    /// rounded up to an allocatable shape; e.g. 512 on Blue Gene/P).
+    fn min_allocation(&self) -> Nodes;
+
+    /// The node count actually consumed by a request of `nodes` (after
+    /// rounding up to an allocatable partition shape).
+    fn rounded_size(&self, nodes: Nodes) -> Nodes;
+
+    /// Whether a request of `nodes` could be allocated right now.
+    fn can_allocate(&self, nodes: Nodes) -> bool;
+
+    /// Allocate `nodes` now. Returns `None` when no suitable shape is
+    /// free (even if `idle_nodes() >= nodes` — that is fragmentation).
+    fn allocate(&mut self, nodes: Nodes) -> Option<AllocationId>;
+
+    /// Allocate `nodes` on the exact block a plan chose (see
+    /// [`plan::PlacementHint`]). A zero-length hint falls back to the
+    /// machine's own choice. Returns `None` if the hinted block is not
+    /// free or does not match the rounded request size.
+    fn allocate_hinted(&mut self, nodes: Nodes, hint: PlacementHint) -> Option<AllocationId>;
+
+    /// Release a live allocation, returning the node count freed.
+    ///
+    /// # Panics
+    /// Panics on an unknown id — double releases are logic errors.
+    fn release(&mut self, id: AllocationId) -> Nodes;
+
+    /// Rounded node count held by a live allocation.
+    fn allocation_size(&self, id: AllocationId) -> Option<Nodes>;
+
+    /// All live allocation ids, in ascending id order (deterministic).
+    fn active_allocations(&self) -> Vec<AllocationId>;
+
+    /// Build a what-if plan of future availability. `release_time(id)`
+    /// must give the expected release time (≥ `now`) of each live
+    /// allocation; the scheduler derives it from job start + requested
+    /// walltime, clamped to `now` for jobs running past their estimate.
+    fn plan(&self, now: SimTime, release_time: &dyn Fn(AllocationId) -> SimTime) -> Self::Plan;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// Exercise the shared Platform contract against both machines.
+    fn contract<P: Platform>(mut p: P) {
+        let total = p.total_nodes();
+        assert_eq!(p.idle_nodes(), total);
+        let min = p.min_allocation();
+        assert!(p.can_allocate(min));
+        let id = p.allocate(min).expect("min allocation fits empty machine");
+        assert_eq!(p.allocation_size(id), Some(p.rounded_size(min)));
+        assert_eq!(p.idle_nodes(), total - p.rounded_size(min));
+        assert_eq!(p.active_allocations(), vec![id]);
+        let freed = p.release(id);
+        assert_eq!(freed, p.rounded_size(min));
+        assert_eq!(p.idle_nodes(), total);
+        assert!(p.active_allocations().is_empty());
+    }
+
+    #[test]
+    fn flat_satisfies_contract() {
+        contract(FlatCluster::new(4096));
+    }
+
+    #[test]
+    fn bgp_satisfies_contract() {
+        contract(BgpCluster::intrepid());
+    }
+}

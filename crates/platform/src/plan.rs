@@ -1,0 +1,738 @@
+//! What-if availability plans.
+//!
+//! A [`Plan`] is a snapshot of a machine's *future* availability: the
+//! running jobs' expected release times plus any tentative commitments the
+//! scheduler has made while exploring a schedule (window permutations,
+//! reservations). Plans answer two questions the paper's algorithm needs:
+//!
+//! * *step 5* — "find an earliest time that it can obtain enough nodes"
+//!   ([`Plan::earliest_start`]), and
+//! * *step 6* — "would starting this backfill job now delay a protected
+//!   reservation?" ([`Plan::can_place_at`] against a plan holding the
+//!   protected reservations).
+//!
+//! Speculative search uses [`Plan::commit_at`] / [`Plan::rollback`] in
+//! strict LIFO order instead of cloning the profile per permutation —
+//! the hot loop of window allocation does no heap allocation beyond the
+//! commitment vector's amortized growth.
+//!
+//! Correctness note: the earliest feasible start of a rigid job on a
+//! profile is always either the requested lower bound or the release time
+//! of some commitment (capacity/shape only improves at releases), so
+//! [`Plan::earliest_start`] scans exactly those candidate instants.
+
+use amjs_sim::{SimDuration, SimTime};
+
+use crate::mask::UnitMask;
+use crate::Nodes;
+
+/// Proof of a speculative commitment; hand it back to [`Plan::rollback`]
+/// in LIFO order to undo.
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "a committed placement must be rolled back or intentionally kept"]
+pub struct PlanToken(pub(crate) usize);
+
+/// Where a job was placed in a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Start time chosen for the job.
+    pub start: SimTime,
+    /// Token to undo the commitment.
+    pub token: usize,
+}
+
+/// The geometry a plan chose for a commitment. The scheduler passes this
+/// back to [`crate::Platform::allocate_hinted`] so the live machine boots
+/// the *same* partition the plan reasoned about — without this, a
+/// backfill admission proven safe against a reservation in the plan could
+/// land on a different block on the machine and delay that reservation
+/// after all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PlacementHint {
+    /// First unit of the chosen block (0 on geometry-free machines).
+    pub unit_start: u16,
+    /// Unit length of the chosen block (0 = no geometry, machine's
+    /// choice).
+    pub unit_len: u16,
+}
+
+/// A cloneable what-if availability profile. See the module docs.
+pub trait Plan: Clone {
+    /// The instant the plan was snapshotted; commitments never begin
+    /// before it.
+    fn now(&self) -> SimTime;
+
+    /// Total machine nodes.
+    fn total_nodes(&self) -> Nodes;
+
+    /// Rounded (allocatable) size of a request — matches the live
+    /// machine's rounding.
+    fn rounded_size(&self, nodes: Nodes) -> Nodes;
+
+    /// Whether a job of `nodes` for `duration` could run over
+    /// `[start, start + duration)` without conflicting with any
+    /// commitment in the plan.
+    fn can_place_at(&self, nodes: Nodes, start: SimTime, duration: SimDuration) -> bool;
+
+    /// The earliest start `>= not_before` at which the job fits. Returns
+    /// [`SimTime::MAX`] only for requests larger than the machine.
+    fn earliest_start(&self, nodes: Nodes, duration: SimDuration, not_before: SimTime) -> SimTime;
+
+    /// Commit the job at exactly `start`; `None` if it does not fit
+    /// there.
+    fn commit_at(
+        &mut self,
+        nodes: Nodes,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Option<PlanToken>;
+
+    /// Find the earliest feasible start `>= not_before` and commit there.
+    /// Returns `None` only for requests larger than the machine.
+    fn place_earliest(
+        &mut self,
+        nodes: Nodes,
+        duration: SimDuration,
+        not_before: SimTime,
+    ) -> Option<(SimTime, PlanToken)> {
+        let start = self.earliest_start(nodes, duration, not_before);
+        if start == SimTime::MAX {
+            return None;
+        }
+        let token = self
+            .commit_at(nodes, start, duration)
+            .expect("earliest_start returned an infeasible time");
+        Some((start, token))
+    }
+
+    /// Undo the most recent outstanding commitment. Must be called in
+    /// strict LIFO order; panics otherwise, and panics on attempts to
+    /// roll back the snapshot's base (running-job) commitments.
+    fn rollback(&mut self, token: PlanToken);
+
+    /// The geometry chosen for an outstanding commitment (the all-zero
+    /// hint on geometry-free machines).
+    fn hint_of(&self, token: &PlanToken) -> PlacementHint;
+
+    /// Void a commitment in place (non-LIFO): it stops occupying any
+    /// resources but keeps its slot, so other tokens stay valid. Used by
+    /// the scheduler to drop *advisory* reservations from a plan while
+    /// keeping the starts and protected reservations exactly where the
+    /// window pass put them. Consumes the token; a deactivated
+    /// commitment cannot be rolled back.
+    fn deactivate(&mut self, token: PlanToken);
+
+    /// Number of commitments, including the base running jobs. Exposed
+    /// for cost accounting in benchmarks.
+    fn commitment_count(&self) -> usize;
+}
+
+/// One busy interval of the profile.
+#[derive(Clone, Copy, Debug)]
+struct Commitment {
+    /// First unit of the block (partitioned) or 0 (flat).
+    unit_start: u16,
+    /// Unit length of the block (partitioned) or the raw node count (flat).
+    unit_len: u32,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl Commitment {
+    #[inline]
+    fn overlaps_time(&self, start: SimTime, end: SimTime) -> bool {
+        // The guard matters for voided commitments (empty intervals):
+        // the classic half-open test misfires on them.
+        self.start < self.end && self.start < end && start < self.end
+    }
+
+    /// Void the commitment: an empty interval overlaps nothing.
+    #[inline]
+    fn void(&mut self) {
+        self.end = self.start;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlatPlan
+// ---------------------------------------------------------------------------
+
+/// Availability profile of a [`crate::FlatCluster`]: only aggregate free
+/// capacity matters.
+#[derive(Clone, Debug)]
+pub struct FlatPlan {
+    now: SimTime,
+    total: Nodes,
+    base_len: usize,
+    commitments: Vec<Commitment>,
+}
+
+impl FlatPlan {
+    /// New plan with the given busy base load: `(nodes, release_time)`
+    /// per running job.
+    pub fn new(now: SimTime, total: Nodes, running: &[(Nodes, SimTime)]) -> Self {
+        let commitments: Vec<Commitment> = running
+            .iter()
+            .map(|&(nodes, release)| Commitment {
+                unit_start: 0,
+                unit_len: nodes,
+                start: now,
+                end: release.max(now + SimDuration::from_secs(1)),
+            })
+            .collect();
+        FlatPlan {
+            now,
+            total,
+            base_len: commitments.len(),
+            commitments,
+        }
+    }
+
+    /// Nodes in use at instant `t` according to the plan.
+    fn used_at(&self, t: SimTime) -> Nodes {
+        self.commitments
+            .iter()
+            .filter(|c| c.start <= t && t < c.end)
+            .map(|c| c.unit_len)
+            .sum()
+    }
+}
+
+impl Plan for FlatPlan {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn total_nodes(&self) -> Nodes {
+        self.total
+    }
+
+    fn rounded_size(&self, nodes: Nodes) -> Nodes {
+        nodes.max(1)
+    }
+
+    fn can_place_at(&self, nodes: Nodes, start: SimTime, duration: SimDuration) -> bool {
+        let nodes = self.rounded_size(nodes);
+        if nodes > self.total {
+            return false;
+        }
+        let end = start + duration.max(SimDuration::from_secs(1));
+        // Capacity only decreases at commitment starts, so checking the
+        // window start plus every commitment start inside the window
+        // covers all minima of free capacity.
+        if self.used_at(start) + nodes > self.total {
+            return false;
+        }
+        for c in &self.commitments {
+            if c.start > start && c.start < end && self.used_at(c.start) + nodes > self.total {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn earliest_start(&self, nodes: Nodes, duration: SimDuration, not_before: SimTime) -> SimTime {
+        let nodes = self.rounded_size(nodes);
+        if nodes > self.total {
+            return SimTime::MAX;
+        }
+        let not_before = not_before.max(self.now);
+        if self.can_place_at(nodes, not_before, duration) {
+            return not_before;
+        }
+        let mut candidates: Vec<SimTime> = self
+            .commitments
+            .iter()
+            .map(|c| c.end)
+            .filter(|&e| e > not_before)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        for t in candidates {
+            if self.can_place_at(nodes, t, duration) {
+                return t;
+            }
+        }
+        unreachable!("a job no larger than the machine fits after all releases")
+    }
+
+    fn commit_at(
+        &mut self,
+        nodes: Nodes,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Option<PlanToken> {
+        if !self.can_place_at(nodes, start, duration) {
+            return None;
+        }
+        let nodes = self.rounded_size(nodes);
+        self.commitments.push(Commitment {
+            unit_start: 0,
+            unit_len: nodes,
+            start,
+            end: start + duration.max(SimDuration::from_secs(1)),
+        });
+        Some(PlanToken(self.commitments.len() - 1))
+    }
+
+    fn rollback(&mut self, token: PlanToken) {
+        assert!(
+            token.0 >= self.base_len,
+            "cannot roll back a base (running-job) commitment"
+        );
+        assert_eq!(
+            token.0,
+            self.commitments.len() - 1,
+            "rollback must be LIFO"
+        );
+        self.commitments.pop();
+    }
+
+    fn hint_of(&self, _token: &PlanToken) -> PlacementHint {
+        PlacementHint::default()
+    }
+
+    fn deactivate(&mut self, token: PlanToken) {
+        assert!(
+            token.0 >= self.base_len,
+            "cannot deactivate a base (running-job) commitment"
+        );
+        self.commitments[token.0].void();
+    }
+
+    fn commitment_count(&self) -> usize {
+        self.commitments.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PartitionPlan
+// ---------------------------------------------------------------------------
+
+/// Availability profile of a [`crate::BgpCluster`]: jobs occupy aligned
+/// power-of-two runs of midplane units (or the full machine), so
+/// placement must find a *specific* free block, not just free capacity.
+#[derive(Clone, Debug)]
+pub struct PartitionPlan {
+    now: SimTime,
+    units: u16,
+    nodes_per_unit: Nodes,
+    max_block: u16,
+    base_len: usize,
+    commitments: Vec<Commitment>,
+}
+
+impl PartitionPlan {
+    /// New plan for a machine of `units` midplanes of `nodes_per_unit`
+    /// nodes, with running blocks `(unit_start, unit_len, release_time)`.
+    pub fn new(
+        now: SimTime,
+        units: u16,
+        nodes_per_unit: Nodes,
+        running: &[(u16, u16, SimTime)],
+    ) -> Self {
+        assert!(
+            units >= 1 && (units as usize) <= crate::mask::MAX_UNITS,
+            "unit count out of range"
+        );
+        let max_block = prev_power_of_two(units);
+        let commitments: Vec<Commitment> = running
+            .iter()
+            .map(|&(unit_start, unit_len, release)| Commitment {
+                unit_start,
+                unit_len: unit_len as u32,
+                start: now,
+                end: release.max(now + SimDuration::from_secs(1)),
+            })
+            .collect();
+        PartitionPlan {
+            now,
+            units,
+            nodes_per_unit,
+            max_block,
+            base_len: commitments.len(),
+            commitments,
+        }
+    }
+
+    /// Unit length a request rounds to, or `None` if larger than the
+    /// machine. Power-of-two up to `max_block`, else the full machine.
+    fn rounded_units(&self, nodes: Nodes) -> Option<u16> {
+        let req = nodes.max(1).div_ceil(self.nodes_per_unit);
+        if req > self.units as u32 {
+            return None;
+        }
+        let k = (req as u16).next_power_of_two();
+        if k > self.max_block {
+            Some(self.units) // full-machine partition
+        } else {
+            Some(k)
+        }
+    }
+
+    /// Bitmask of units busy at any point during `[start, end)`.
+    fn busy_mask(&self, start: SimTime, end: SimTime) -> UnitMask {
+        let mut mask = UnitMask::empty();
+        for c in &self.commitments {
+            if c.overlaps_time(start, end) {
+                mask.set_range(c.unit_start, c.unit_len as u16);
+            }
+        }
+        mask
+    }
+
+    /// Lowest-index aligned free block of `k` units under `busy`, if any.
+    fn find_free_block(&self, k: u16, busy: &UnitMask) -> Option<u16> {
+        if k == self.units {
+            return busy.is_empty().then_some(0);
+        }
+        let mut start = 0u16;
+        while start + k <= self.units {
+            if busy.range_is_clear(start, k) {
+                return Some(start);
+            }
+            start += k;
+        }
+        None
+    }
+}
+
+impl Plan for PartitionPlan {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn total_nodes(&self) -> Nodes {
+        self.units as Nodes * self.nodes_per_unit
+    }
+
+    fn rounded_size(&self, nodes: Nodes) -> Nodes {
+        match self.rounded_units(nodes) {
+            Some(k) => k as Nodes * self.nodes_per_unit,
+            None => Nodes::MAX,
+        }
+    }
+
+    fn can_place_at(&self, nodes: Nodes, start: SimTime, duration: SimDuration) -> bool {
+        let Some(k) = self.rounded_units(nodes) else {
+            return false;
+        };
+        let end = start + duration.max(SimDuration::from_secs(1));
+        let busy = self.busy_mask(start, end);
+        self.find_free_block(k, &busy).is_some()
+    }
+
+    fn earliest_start(&self, nodes: Nodes, duration: SimDuration, not_before: SimTime) -> SimTime {
+        if self.rounded_units(nodes).is_none() {
+            return SimTime::MAX;
+        }
+        let not_before = not_before.max(self.now);
+        if self.can_place_at(nodes, not_before, duration) {
+            return not_before;
+        }
+        let mut candidates: Vec<SimTime> = self
+            .commitments
+            .iter()
+            .map(|c| c.end)
+            .filter(|&e| e > not_before)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        for t in candidates {
+            if self.can_place_at(nodes, t, duration) {
+                return t;
+            }
+        }
+        unreachable!("a job no larger than the machine fits after all releases")
+    }
+
+    fn commit_at(
+        &mut self,
+        nodes: Nodes,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> Option<PlanToken> {
+        let k = self.rounded_units(nodes)?;
+        let end = start + duration.max(SimDuration::from_secs(1));
+        let busy = self.busy_mask(start, end);
+        let block = self.find_free_block(k, &busy)?;
+        self.commitments.push(Commitment {
+            unit_start: block,
+            unit_len: k as u32,
+            start,
+            end,
+        });
+        Some(PlanToken(self.commitments.len() - 1))
+    }
+
+    fn rollback(&mut self, token: PlanToken) {
+        assert!(
+            token.0 >= self.base_len,
+            "cannot roll back a base (running-job) commitment"
+        );
+        assert_eq!(
+            token.0,
+            self.commitments.len() - 1,
+            "rollback must be LIFO"
+        );
+        self.commitments.pop();
+    }
+
+    fn hint_of(&self, token: &PlanToken) -> PlacementHint {
+        let c = &self.commitments[token.0];
+        PlacementHint {
+            unit_start: c.unit_start,
+            unit_len: c.unit_len as u16,
+        }
+    }
+
+    fn deactivate(&mut self, token: PlanToken) {
+        assert!(
+            token.0 >= self.base_len,
+            "cannot deactivate a base (running-job) commitment"
+        );
+        self.commitments[token.0].void();
+    }
+
+    fn commitment_count(&self) -> usize {
+        self.commitments.len()
+    }
+}
+
+/// Largest power of two `<= n` (n >= 1).
+fn prev_power_of_two(n: u16) -> u16 {
+    debug_assert!(n >= 1);
+    let npot = n.next_power_of_two();
+    if npot == n {
+        n
+    } else {
+        npot / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+    fn d(secs: i64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    // ----- FlatPlan -----
+
+    #[test]
+    fn flat_empty_machine_starts_immediately() {
+        let p = FlatPlan::new(t(0), 100, &[]);
+        assert_eq!(p.earliest_start(100, d(60), t(0)), t(0));
+        assert!(p.can_place_at(100, t(0), d(60)));
+        assert!(!p.can_place_at(101, t(0), d(60)));
+        assert_eq!(p.earliest_start(101, d(60), t(0)), SimTime::MAX);
+    }
+
+    #[test]
+    fn flat_waits_for_release() {
+        // 80 nodes busy until t=100; a 50-node job must wait.
+        let p = FlatPlan::new(t(0), 100, &[(80, t(100))]);
+        assert_eq!(p.earliest_start(50, d(10), t(0)), t(100));
+        assert_eq!(p.earliest_start(20, d(10), t(0)), t(0));
+    }
+
+    #[test]
+    fn flat_future_reservation_blocks_long_jobs_only() {
+        let mut p = FlatPlan::new(t(0), 100, &[]);
+        // Reserve 100 nodes over [50, 150).
+        let tok = p.commit_at(100, t(50), d(100)).unwrap();
+        // A 30-second job fits before the reservation...
+        assert!(p.can_place_at(10, t(0), d(30)));
+        // ...a 60-second one does not.
+        assert!(!p.can_place_at(10, t(0), d(60)));
+        assert_eq!(p.earliest_start(10, d(60), t(0)), t(150));
+        p.rollback(tok);
+        assert!(p.can_place_at(10, t(0), d(60)));
+    }
+
+    #[test]
+    fn flat_not_before_is_respected() {
+        let p = FlatPlan::new(t(0), 100, &[]);
+        assert_eq!(p.earliest_start(10, d(10), t(500)), t(500));
+    }
+
+    #[test]
+    fn flat_not_before_clamped_to_now() {
+        let p = FlatPlan::new(t(100), 100, &[]);
+        assert_eq!(p.earliest_start(10, d(10), t(0)), t(100));
+    }
+
+    #[test]
+    fn flat_zero_duration_treated_as_one_second() {
+        let mut p = FlatPlan::new(t(0), 10, &[]);
+        let tok = p.commit_at(10, t(0), d(0)).unwrap();
+        assert!(!p.can_place_at(1, t(0), d(1)));
+        assert_eq!(p.earliest_start(1, d(1), t(0)), t(1));
+        p.rollback(tok);
+    }
+
+    #[test]
+    fn flat_capacity_dip_in_window_is_detected() {
+        // Free now, but 95 nodes start at t=20 for 100s. A 10-node,
+        // 60-second job cannot start at t=0.
+        let mut p = FlatPlan::new(t(0), 100, &[]);
+        let _keep = p.commit_at(95, t(20), d(100)).unwrap();
+        assert!(!p.can_place_at(10, t(0), d(60)));
+        assert!(p.can_place_at(5, t(0), d(60)));
+        assert_eq!(p.earliest_start(10, d(60), t(0)), t(120));
+    }
+
+    #[test]
+    fn flat_place_earliest_commits() {
+        let mut p = FlatPlan::new(t(0), 100, &[(100, t(50))]);
+        let (start, tok) = p.place_earliest(60, d(10), t(0)).unwrap();
+        assert_eq!(start, t(50));
+        // Second identical job must queue behind the first.
+        let (start2, tok2) = p.place_earliest(60, d(10), t(0)).unwrap();
+        assert_eq!(start2, t(60));
+        p.rollback(tok2);
+        p.rollback(tok);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn flat_rollback_out_of_order_panics() {
+        let mut p = FlatPlan::new(t(0), 100, &[]);
+        let tok1 = p.commit_at(10, t(0), d(10)).unwrap();
+        let _tok2 = p.commit_at(10, t(0), d(10)).unwrap();
+        p.rollback(tok1);
+    }
+
+    #[test]
+    #[should_panic(expected = "base")]
+    fn flat_rollback_of_base_panics() {
+        let mut p = FlatPlan::new(t(0), 100, &[(10, t(50))]);
+        p.rollback(PlanToken(0));
+    }
+
+    #[test]
+    fn flat_running_job_past_estimate_clamps_to_now() {
+        // Release time in the past must not make nodes free "now".
+        let p = FlatPlan::new(t(100), 100, &[(100, t(40))]);
+        assert!(!p.can_place_at(10, t(100), d(10)));
+        assert_eq!(p.earliest_start(10, d(10), t(100)), t(101));
+    }
+
+    // ----- PartitionPlan -----
+
+    /// Intrepid-like geometry scaled down: 8 units of 512 nodes.
+    fn small_bgp(running: &[(u16, u16, SimTime)]) -> PartitionPlan {
+        PartitionPlan::new(t(0), 8, 512, running)
+    }
+
+    #[test]
+    fn partition_rounds_to_power_of_two_units() {
+        let p = small_bgp(&[]);
+        assert_eq!(p.rounded_size(1), 512);
+        assert_eq!(p.rounded_size(512), 512);
+        assert_eq!(p.rounded_size(513), 1024);
+        assert_eq!(p.rounded_size(1500), 2048);
+        assert_eq!(p.rounded_size(4096), 4096);
+        assert_eq!(p.rounded_size(4097), Nodes::MAX);
+    }
+
+    #[test]
+    fn partition_full_machine_on_nonpow2_units() {
+        // 10 units, max pow2 block = 8; an 9-unit request takes all 10.
+        let p = PartitionPlan::new(t(0), 10, 512, &[]);
+        assert_eq!(p.rounded_size(8 * 512 + 1), 10 * 512);
+        assert_eq!(p.total_nodes(), 5120);
+    }
+
+    #[test]
+    fn partition_alignment_causes_fragmentation() {
+        // Units 1 and 2 busy: a 2-unit job needs an aligned pair
+        // {0,1},{2,3},{4,5},{6,7}; pairs {4,5} and {6,7} are free.
+        let p = small_bgp(&[(1, 2, t(1000))]);
+        assert!(p.can_place_at(1024, t(0), d(10)));
+        // Now block units 4..8 too: only units 0 and 3 are free — enough
+        // capacity for 2 units, but no aligned free pair.
+        let p = small_bgp(&[(1, 2, t(1000)), (4, 4, t(1000))]);
+        assert!(!p.can_place_at(1024, t(0), d(10)));
+        // A single-unit job still fits (unit 0).
+        assert!(p.can_place_at(512, t(0), d(10)));
+        // The 2-unit job can start when the pair releases at t=1000.
+        assert_eq!(p.earliest_start(1024, d(10), t(0)), t(1000));
+    }
+
+    #[test]
+    fn partition_commit_takes_lowest_block() {
+        let mut p = small_bgp(&[]);
+        let _a = p.commit_at(512, t(0), d(100)).unwrap();
+        // Next single-unit job goes to unit 1, so a 4-unit job can still
+        // use the upper half.
+        let _b = p.commit_at(512, t(0), d(100)).unwrap();
+        assert!(p.can_place_at(2048, t(0), d(100)));
+    }
+
+    #[test]
+    fn partition_full_machine_needs_everything_free() {
+        let mut p = small_bgp(&[]);
+        assert!(p.can_place_at(4096, t(0), d(10)));
+        let tok = p.commit_at(512, t(0), d(50)).unwrap();
+        assert!(!p.can_place_at(4096, t(0), d(10)));
+        assert_eq!(p.earliest_start(4096, d(10), t(0)), t(50));
+        p.rollback(tok);
+        assert!(p.can_place_at(4096, t(0), d(10)));
+    }
+
+    #[test]
+    fn partition_earliest_start_respects_future_reservations() {
+        let mut p = small_bgp(&[]);
+        // Reserve the whole machine over [100, 200).
+        let _keep = p.commit_at(4096, t(100), d(100)).unwrap();
+        // A 90-second single-unit job fits before it; 150-second does not.
+        assert_eq!(p.earliest_start(512, d(90), t(0)), t(0));
+        assert_eq!(p.earliest_start(512, d(150), t(0)), t(200));
+    }
+
+    #[test]
+    fn partition_place_earliest_round_trip() {
+        let mut p = small_bgp(&[(0, 8, t(500))]);
+        let (start, tok) = p.place_earliest(2048, d(60), t(0)).unwrap();
+        assert_eq!(start, t(500));
+        p.rollback(tok);
+        assert_eq!(p.commitment_count(), 1);
+    }
+
+    #[test]
+    fn partition_oversized_request_is_rejected() {
+        let mut p = small_bgp(&[]);
+        assert!(!p.can_place_at(4097, t(0), d(10)));
+        assert_eq!(p.earliest_start(4097, d(10), t(0)), SimTime::MAX);
+        assert!(p.commit_at(4097, t(0), d(10)).is_none());
+        assert!(p.place_earliest(4097, d(10), t(0)).is_none());
+    }
+
+    #[test]
+    fn power_of_two_helper() {
+        assert_eq!(prev_power_of_two(80), 64);
+        assert_eq!(prev_power_of_two(64), 64);
+        assert_eq!(prev_power_of_two(1), 1);
+    }
+
+    #[test]
+    fn intrepid_geometry_at_both_granularities() {
+        let p = PartitionPlan::new(t(0), 80, 512, &[]);
+        assert_eq!(p.total_nodes(), 40_960);
+        assert_eq!(p.rounded_size(40_960), 40_960);
+        assert_eq!(p.rounded_size(32_769), 40_960);
+        assert!(p.can_place_at(40_960, t(0), d(10)));
+
+        // Sub-midplane granularity: 640 units of 64 nodes.
+        let p = PartitionPlan::new(t(0), 640, 64, &[]);
+        assert_eq!(p.total_nodes(), 40_960);
+        assert_eq!(p.rounded_size(64), 64);
+        assert_eq!(p.rounded_size(65), 128);
+        assert!(p.can_place_at(40_960, t(0), d(10)));
+    }
+}

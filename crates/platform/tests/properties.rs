@@ -1,0 +1,216 @@
+//! Property-based tests of the machine models and their plans.
+//!
+//! The invariants checked here are what the scheduler's correctness rests
+//! on: conservation of nodes across allocate/release, agreement between
+//! `can_allocate` and `allocate`, buddy alignment, and consistency between
+//! a plan's `earliest_start` answers and `can_place_at`/`commit_at`.
+
+use amjs_platform::plan::Plan;
+use amjs_platform::{AllocationId, BgpCluster, FlatCluster, Nodes, Platform};
+use amjs_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Random allocate/release scripts, interpreted against a machine.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(Nodes),
+    /// Release the i-th oldest live allocation (mod live count).
+    Release(usize),
+}
+
+fn op_strategy(max_nodes: Nodes) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..=max_nodes).prop_map(Op::Alloc),
+        (0usize..16).prop_map(Op::Release),
+    ]
+}
+
+/// Run a script, checking conservation + agreement invariants throughout.
+fn run_script<P: Platform>(mut machine: P, ops: &[Op]) {
+    let total = machine.total_nodes();
+    let mut live: Vec<(AllocationId, Nodes)> = Vec::new();
+
+    for op in ops {
+        match *op {
+            Op::Alloc(n) => {
+                let could = machine.can_allocate(n);
+                match machine.allocate(n) {
+                    Some(id) => {
+                        assert!(could, "allocate succeeded but can_allocate said no");
+                        let size = machine.allocation_size(id).unwrap();
+                        assert_eq!(size, machine.rounded_size(n));
+                        assert!(size >= n);
+                        live.push((id, size));
+                    }
+                    None => {
+                        assert!(!could, "can_allocate said yes but allocate failed");
+                    }
+                }
+            }
+            Op::Release(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (id, size) = live.remove(i % live.len());
+                assert_eq!(machine.release(id), size);
+            }
+        }
+        // Conservation: idle + live sizes == total.
+        let live_sum: Nodes = live.iter().map(|&(_, s)| s).sum();
+        assert_eq!(machine.idle_nodes() + live_sum, total);
+        // The platform agrees about which allocations are live.
+        let mut ours: Vec<AllocationId> = live.iter().map(|&(id, _)| id).collect();
+        ours.sort();
+        assert_eq!(machine.active_allocations(), ours);
+    }
+
+    // Releasing everything restores a fully idle machine.
+    for (id, _) in live {
+        machine.release(id);
+    }
+    assert_eq!(machine.idle_nodes(), total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flat_conserves_nodes(ops in prop::collection::vec(op_strategy(600), 1..80)) {
+        run_script(FlatCluster::new(512), &ops);
+    }
+
+    #[test]
+    fn bgp_conserves_nodes(ops in prop::collection::vec(op_strategy(5000), 1..80)) {
+        run_script(BgpCluster::new(8, 512), &ops);
+    }
+
+    #[test]
+    fn bgp_intrepid_conserves_nodes(ops in prop::collection::vec(op_strategy(45_000), 1..60)) {
+        run_script(BgpCluster::intrepid(), &ops);
+    }
+
+    /// Buddy alignment: every allocation's block starts at a multiple of
+    /// its length (or is the full machine).
+    #[test]
+    fn bgp_blocks_are_aligned(sizes in prop::collection::vec(1u32..5000, 1..20)) {
+        let mut c = BgpCluster::new(16, 512);
+        for n in sizes {
+            if let Some(id) = c.allocate(n) {
+                let b = c.block_of(id).unwrap();
+                if b.unit_len != c.units() {
+                    prop_assert!(b.unit_len.is_power_of_two());
+                    prop_assert_eq!(b.unit_start % b.unit_len, 0);
+                }
+            }
+        }
+    }
+
+    /// Plans never contradict themselves: earliest_start's answer is
+    /// placeable, nothing earlier is, and committing there succeeds.
+    #[test]
+    fn plan_earliest_start_is_consistent(
+        running in prop::collection::vec((1u32..=8, 1i64..2000), 0..6),
+        req in 1u32..=8,
+        dur in 1i64..2000,
+        not_before in 0i64..1500,
+    ) {
+        let mut machine = BgpCluster::new(8, 512);
+        let mut releases: Vec<(AllocationId, SimTime)> = Vec::new();
+        for &(units, rel) in &running {
+            if let Some(id) = machine.allocate(units * 512) {
+                releases.push((id, SimTime::from_secs(rel)));
+            }
+        }
+        let rel_of = |id: AllocationId| {
+            releases.iter().find(|&&(i, _)| i == id).unwrap().1
+        };
+        let mut plan = machine.plan(SimTime::ZERO, &rel_of);
+
+        let nodes = req * 512;
+        let d = SimDuration::from_secs(dur);
+        let nb = SimTime::from_secs(not_before);
+        let t0 = plan.earliest_start(nodes, d, nb);
+        prop_assert!(t0 != SimTime::MAX);
+        prop_assert!(t0 >= nb);
+        prop_assert!(plan.can_place_at(nodes, t0, d));
+
+        // No release instant strictly before t0 (and >= nb) works.
+        for &(_, rel) in &releases {
+            if rel >= nb && rel < t0 {
+                prop_assert!(!plan.can_place_at(nodes, rel, d));
+            }
+        }
+        if nb < t0 {
+            prop_assert!(!plan.can_place_at(nodes, nb, d));
+        }
+
+        // Committing at the answer succeeds and rolls back cleanly.
+        let count = plan.commitment_count();
+        let tok = plan.commit_at(nodes, t0, d).unwrap();
+        prop_assert_eq!(plan.commitment_count(), count + 1);
+        plan.rollback(tok);
+        prop_assert_eq!(plan.commitment_count(), count);
+    }
+
+    /// Same consistency for the flat plan.
+    #[test]
+    fn flat_plan_earliest_start_is_consistent(
+        running in prop::collection::vec((1u32..512, 1i64..2000), 0..8),
+        req in 1u32..512,
+        dur in 1i64..2000,
+        not_before in 0i64..1500,
+    ) {
+        let mut machine = FlatCluster::new(512);
+        let mut releases: Vec<(AllocationId, SimTime)> = Vec::new();
+        for &(n, rel) in &running {
+            if let Some(id) = machine.allocate(n) {
+                releases.push((id, SimTime::from_secs(rel)));
+            }
+        }
+        let rel_of = |id: AllocationId| {
+            releases.iter().find(|&&(i, _)| i == id).unwrap().1
+        };
+        let plan = machine.plan(SimTime::ZERO, &rel_of);
+
+        let d = SimDuration::from_secs(dur);
+        let nb = SimTime::from_secs(not_before);
+        let t0 = plan.earliest_start(req, d, nb);
+        prop_assert!(t0 != SimTime::MAX);
+        prop_assert!(plan.can_place_at(req, t0, d));
+        for &(_, rel) in &releases {
+            if rel >= nb && rel < t0 {
+                prop_assert!(!plan.can_place_at(req, rel, d));
+            }
+        }
+    }
+
+    /// A sequence of speculative commits rolled back LIFO leaves the plan
+    /// exactly as found (observationally: same earliest_start answers).
+    #[test]
+    fn plan_rollback_restores_answers(
+        commits in prop::collection::vec((1u32..=4, 1i64..500, 0i64..500), 1..8),
+        probe_req in 1u32..=8,
+        probe_dur in 1i64..500,
+    ) {
+        let machine = BgpCluster::new(8, 512);
+        let mut plan = machine.plan(SimTime::ZERO, &|_| SimTime::ZERO);
+        let d_probe = SimDuration::from_secs(probe_dur);
+        let before = plan.earliest_start(probe_req * 512, d_probe, SimTime::ZERO);
+
+        let mut tokens = Vec::new();
+        for &(units, dur, nb) in &commits {
+            if let Some((_, tok)) = plan.place_earliest(
+                units * 512,
+                SimDuration::from_secs(dur),
+                SimTime::from_secs(nb),
+            ) {
+                tokens.push(tok);
+            }
+        }
+        for tok in tokens.into_iter().rev() {
+            plan.rollback(tok);
+        }
+        let after = plan.earliest_start(probe_req * 512, d_probe, SimTime::ZERO);
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,224 @@
+//! The event queue: a time-ordered priority queue with deterministic ties.
+//!
+//! Determinism matters here more than raw speed: the paper's evaluation
+//! compares scheduling policies on the *same* trace, so any nondeterminism
+//! in event ordering would contaminate the comparison. Ties at the same
+//! timestamp are broken first by an explicit [`Priority`] class (e.g. job
+//! terminations are processed before arrivals at the same instant, so a
+//! departing job's nodes are visible to the scheduler handling the arrival)
+//! and then by insertion sequence number (FIFO among equals).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Tie-breaking class for events that share a timestamp. Lower runs first.
+///
+/// The default ordering follows Cobalt's simulator semantics: a job that
+/// ends at time *t* releases its nodes before a job that arrives at *t* is
+/// considered, and periodic monitoring ticks observe the post-transition
+/// state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Resource-releasing events (job termination).
+    Release = 0,
+    /// Resource-demanding events (job arrival).
+    Arrival = 1,
+    /// Observation events (metric sampling, adaptive-tuning check points).
+    Tick = 2,
+}
+
+/// One scheduled event: when, in which tie class, and the payload.
+#[derive(Clone, Debug)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Tie-breaking class at equal `time`.
+    pub priority: Priority,
+    /// Monotonic insertion sequence (assigned by the queue).
+    pub seq: u64,
+    /// The caller's event payload.
+    pub payload: E,
+}
+
+/// Internal heap key: reversed so the `BinaryHeap` max-heap pops the
+/// earliest (time, priority, seq) first.
+#[derive(Clone, Debug)]
+struct HeapItem<E>(EventEntry<E>);
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest (time, priority, seq) should be the heap max.
+        (other.0.time, other.0.priority, other.0.seq).cmp(&(
+            self.0.time,
+            self.0.priority,
+            self.0.seq,
+        ))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use amjs_sim::{EventQueue, Priority, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(10), "arrive");
+/// q.schedule_with(SimTime::from_secs(10), Priority::Release, "finish");
+/// // The release fires first even though it was scheduled second.
+/// assert_eq!(q.pop().unwrap().payload, "finish");
+/// assert_eq!(q.pop().unwrap().payload, "arrive");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapItem<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty queue with pre-allocated capacity (use when the trace size
+    /// is known up front; avoids rehashing growth in the hot loop).
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `time` with [`Priority::Arrival`] semantics.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        self.schedule_with(time, Priority::Arrival, payload);
+    }
+
+    /// Schedule `payload` at `time` in an explicit tie class.
+    pub fn schedule_with(&mut self, time: SimTime, priority: Priority, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapItem(EventEntry {
+            time,
+            priority,
+            seq,
+            payload,
+        }));
+    }
+
+    /// Remove and return the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        self.heap.pop().map(|h| h.0)
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|h| h.0.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events (the sequence counter keeps advancing so
+    /// determinism is preserved across a clear).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), 3);
+        q.schedule(SimTime::from_secs(10), 1);
+        q.schedule(SimTime::from_secs(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_break_by_priority_then_seq() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(100);
+        q.schedule_with(t, Priority::Tick, "tick");
+        q.schedule_with(t, Priority::Arrival, "arrive-a");
+        q.schedule_with(t, Priority::Release, "finish");
+        q.schedule_with(t, Priority::Arrival, "arrive-b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["finish", "arrive-a", "arrive-b", "tick"]);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(7), ());
+        q.schedule(SimTime::from_secs(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        for i in 0..5 {
+            q.schedule(SimTime::from_secs(i), i);
+        }
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+        // Sequence numbers keep increasing after clear.
+        q.schedule(SimTime::ZERO, 99);
+        assert_eq!(q.pop().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn insertion_order_is_stable_for_identical_keys() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1) + SimDuration::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+}

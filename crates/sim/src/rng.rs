@@ -1,0 +1,308 @@
+//! Deterministic randomness utilities.
+//!
+//! Every stochastic component of the reproduction (workload synthesis,
+//! walltime-accuracy jitter) derives its stream from a single `u64` master
+//! seed via [`split_seed`], so a run is a pure function of
+//! `(configuration, seed)`. The raw generator is a self-contained
+//! xoshiro256** seeded through SplitMix64 — implemented here rather than
+//! taken from `rand` so that streams stay stable even across `rand` major
+//! versions — but it also implements [`rand::RngCore`], so all of `rand`'s
+//! distribution adapters work on top of it.
+
+use rand::RngCore;
+
+/// SplitMix64 step: the standard seed-expansion function (Steele et al.).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent sub-seed for a named stream. Use a distinct
+/// `stream` constant per purpose (arrival process, size distribution, ...)
+/// so adding a new consumer never perturbs existing streams.
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut s = master ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+    // Two rounds so that stream=0 does not leak the master seed directly.
+    let a = splitmix64(&mut s);
+    let b = splitmix64(&mut s);
+    a ^ b.rotate_left(17)
+}
+
+/// xoshiro256** — a small, fast, high-quality PRNG (Blackman & Vigna).
+///
+/// Not cryptographically secure; entirely sufficient for workload
+/// synthesis.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed via SplitMix64 expansion, per the reference implementation's
+    /// recommendation (avoids the all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in `[0, 1)` using the high 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f64 in `(0, 1]` — safe as a log() argument.
+    #[inline]
+    pub fn next_f64_open_low(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift method
+    /// (unbiased rejection).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        loop {
+            let x = self.next_raw();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: accept unless in the biased remainder band.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn next_range_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u64 + 1;
+        lo + self.next_below(span) as i64
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    #[inline]
+    pub fn next_exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        -mean * self.next_f64_open_low().ln()
+    }
+
+    /// Standard normal variate (Box–Muller; one draw per call, the paired
+    /// value is discarded to keep the stream position simple to reason
+    /// about).
+    #[inline]
+    pub fn next_standard_normal(&mut self) -> f64 {
+        let u1 = self.next_f64_open_low();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Lognormal variate: `exp(mu + sigma * N(0,1))`.
+    #[inline]
+    pub fn next_lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.next_standard_normal()).exp()
+    }
+
+    /// Pick an index according to non-negative `weights` (at least one must
+    /// be positive).
+    pub fn next_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_raw().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_raw().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_raw() == b.next_raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_seed_streams_are_distinct() {
+        let master = 0xDEAD_BEEF;
+        let s0 = split_seed(master, 0);
+        let s1 = split_seed(master, 1);
+        let s2 = split_seed(master, 2);
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
+        assert_ne!(s0, master);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = Xoshiro256::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open_low();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound_and_covers() {
+        let mut r = Xoshiro256::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = r.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = Xoshiro256::seed_from_u64(11);
+        let (mut lo_hit, mut hi_hit) = (false, false);
+        for _ in 0..10_000 {
+            let v = r.next_range_inclusive(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_hit |= v == -3;
+            hi_hit |= v == 3;
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = Xoshiro256::seed_from_u64(13);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.next_exponential(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = Xoshiro256::seed_from_u64(17);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = Xoshiro256::seed_from_u64(19);
+        for _ in 0..10_000 {
+            assert!(r.next_lognormal(0.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_follows_weights() {
+        let mut r = Xoshiro256::seed_from_u64(23);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[r.next_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio={ratio}");
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut r = Xoshiro256::seed_from_u64(29);
+        let hits = (0..100_000).filter(|_| r.next_bool(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_covers_remainder() {
+        let mut r = Xoshiro256::seed_from_u64(31);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,398 @@
+//! Integer simulated time.
+//!
+//! All simulation logic uses whole seconds. The paper reports waiting times
+//! in minutes and plots hours; conversion happens only at the reporting
+//! edge (see `amjs-metrics`), never inside event ordering.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in simulated time, in whole seconds since the simulation epoch
+/// (time zero = when the first job of the trace is submitted, matching the
+/// x-axis convention of the paper's figures).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(i64);
+
+/// A span of simulated time, in whole seconds. May be negative as an
+/// intermediate value (e.g. `a - b` of two [`SimTime`]s), though most APIs
+/// expect non-negative spans.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(i64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; sorts after every reachable time.
+    pub const MAX: SimTime = SimTime(i64::MAX);
+
+    /// Construct from whole seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Construct from whole minutes since the epoch.
+    #[inline]
+    pub const fn from_mins(mins: i64) -> Self {
+        SimTime(mins * 60)
+    }
+
+    /// Construct from whole hours since the epoch.
+    #[inline]
+    pub const fn from_hours(hours: i64) -> Self {
+        SimTime(hours * 3600)
+    }
+
+    /// Seconds since the epoch.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional minutes since the epoch.
+    #[inline]
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Fractional hours since the epoch.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Span from `earlier` to `self`. Negative if `earlier` is later.
+    #[inline]
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating addition of a duration (clamps at [`SimTime::MAX`]).
+    #[inline]
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(i64::MAX);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_mins(mins: i64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: i64) -> Self {
+        SimDuration(hours * 3600)
+    }
+
+    /// Whole seconds in the span.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional minutes in the span.
+    #[inline]
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Fractional hours in the span.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// True iff the span is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// True iff the span is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Clamp a possibly-negative span to zero.
+    #[inline]
+    pub const fn max_zero(self) -> SimDuration {
+        if self.0 < 0 {
+            SimDuration(0)
+        } else {
+            self
+        }
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn neg(self) -> SimDuration {
+        SimDuration(-self.0)
+    }
+}
+
+impl Mul<i64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{}", format_hms(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_hms(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_hms(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_hms(self.0))
+    }
+}
+
+/// Render seconds as `[-]H:MM:SS`.
+fn format_hms(total: i64) -> String {
+    let sign = if total < 0 { "-" } else { "" };
+    let t = total.unsigned_abs();
+    let h = t / 3600;
+    let m = (t % 3600) / 60;
+    let s = t % 60;
+    format!("{sign}{h}:{m:02}:{s:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion_round_trip() {
+        assert_eq!(SimTime::from_mins(3).as_secs(), 180);
+        assert_eq!(SimTime::from_hours(2).as_secs(), 7200);
+        assert_eq!(SimDuration::from_mins(90).as_hours_f64(), 1.5);
+        assert_eq!(SimTime::from_secs(90).as_mins_f64(), 1.5);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(100);
+        let d = SimDuration::from_secs(40);
+        assert_eq!((t + d).as_secs(), 140);
+        assert_eq!((t - d).as_secs(), 60);
+        assert_eq!((t + d) - t, d);
+        let mut u = t;
+        u += d;
+        u -= SimDuration::from_secs(10);
+        assert_eq!(u.as_secs(), 130);
+    }
+
+    #[test]
+    fn duration_arithmetic_and_sign() {
+        let a = SimDuration::from_secs(30);
+        let b = SimDuration::from_secs(50);
+        assert!((a - b).is_negative());
+        assert_eq!((a - b).max_zero(), SimDuration::ZERO);
+        assert_eq!((-a).as_secs(), -30);
+        assert_eq!((a * 3).as_secs(), 90);
+        assert_eq!((b / 2).as_secs(), 25);
+        assert!(!a.is_zero());
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn since_is_signed() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(25);
+        assert_eq!(b.since(a).as_secs(), 15);
+        assert_eq!(a.since(b).as_secs(), -15);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let t = SimTime::MAX;
+        assert_eq!(t.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let x = SimDuration::from_secs(1);
+        let y = SimDuration::from_secs(2);
+        assert_eq!(x.max(y), y);
+        assert_eq!(x.min(y), x);
+    }
+
+    #[test]
+    fn display_formats_hms() {
+        assert_eq!(SimTime::from_secs(3661).to_string(), "1:01:01");
+        assert_eq!(SimDuration::from_secs(-61).to_string(), "-0:01:01");
+        assert_eq!(format!("{:?}", SimTime::from_secs(59)), "T+0:00:59");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![
+            SimTime::from_secs(5),
+            SimTime::ZERO,
+            SimTime::from_secs(-3),
+            SimTime::MAX,
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::from_secs(-3),
+                SimTime::ZERO,
+                SimTime::from_secs(5),
+                SimTime::MAX
+            ]
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests of the event engine: ordering, determinism, and
+//! tie-breaking under arbitrary event programs.
+
+use amjs_sim::event::Priority;
+use amjs_sim::{Engine, EventQueue, SimDuration, SimTime, World};
+use proptest::prelude::*;
+
+/// A world that records the exact order events are delivered in and can
+/// schedule follow-ups from a scripted table.
+struct Recorder {
+    delivered: Vec<(i64, u32)>,
+    /// For each handled event id, optional (delay, new id) to schedule.
+    followups: std::collections::HashMap<u32, (i64, u32)>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+        self.delivered.push((now.as_secs(), ev));
+        if let Some(&(delay, id)) = self.followups.get(&ev) {
+            q.schedule(now + SimDuration::from_secs(delay), id);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Delivery is globally time-ordered regardless of insertion order.
+    #[test]
+    fn delivery_is_time_ordered(times in prop::collection::vec(0i64..100_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i as u32);
+        }
+        let mut w = Recorder { delivered: Vec::new(), followups: Default::default() };
+        Engine::new().run(&mut w, &mut q);
+        prop_assert_eq!(w.delivered.len(), times.len());
+        for pair in w.delivered.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    /// Equal timestamps deliver in insertion order within a priority
+    /// class (FIFO), and Release < Arrival < Tick across classes.
+    #[test]
+    fn ties_are_deterministic(
+        classes in prop::collection::vec(0u8..3, 2..50),
+    ) {
+        let t = SimTime::from_secs(1000);
+        let mut q = EventQueue::new();
+        for (i, &c) in classes.iter().enumerate() {
+            let prio = match c {
+                0 => Priority::Release,
+                1 => Priority::Arrival,
+                _ => Priority::Tick,
+            };
+            q.schedule_with(t, prio, i as u32);
+        }
+        let mut w = Recorder { delivered: Vec::new(), followups: Default::default() };
+        Engine::new().run(&mut w, &mut q);
+
+        // Expected: stable sort of indices by class.
+        let mut expected: Vec<u32> = (0..classes.len() as u32).collect();
+        expected.sort_by_key(|&i| classes[i as usize]);
+        let got: Vec<u32> = w.delivered.iter().map(|&(_, id)| id).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Two identical runs (including scheduled follow-ups) deliver the
+    /// identical sequence.
+    #[test]
+    fn runs_are_reproducible(
+        seeds in prop::collection::vec((0i64..10_000, 1i64..500), 1..40),
+    ) {
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut followups = std::collections::HashMap::new();
+            for (i, &(t, delay)) in seeds.iter().enumerate() {
+                let id = i as u32;
+                q.schedule(SimTime::from_secs(t), id);
+                // Every event schedules one follow-up with a distinct id.
+                followups.insert(id, (delay, id + 10_000));
+            }
+            let mut w = Recorder { delivered: Vec::new(), followups };
+            Engine::new().run(&mut w, &mut q);
+            w.delivered
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The horizon never delivers a late event and never drops an
+    /// on-time one.
+    #[test]
+    fn horizon_is_exact(
+        times in prop::collection::vec(0i64..1000, 1..100),
+        horizon in 0i64..1000,
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i as u32);
+        }
+        let mut w = Recorder { delivered: Vec::new(), followups: Default::default() };
+        Engine::new()
+            .with_horizon(SimTime::from_secs(horizon))
+            .run(&mut w, &mut q);
+        let on_time = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(w.delivered.len(), on_time);
+        prop_assert!(w.delivered.iter().all(|&(t, _)| t <= horizon));
+        prop_assert_eq!(q.len(), times.len() - on_time);
+    }
+}

@@ -1,0 +1,276 @@
+//! Workload characterization: the distribution views a site operator
+//! (or a calibration pass like DESIGN.md's) reads before choosing a
+//! scheduling policy — size mix, walltime distribution, estimate
+//! accuracy, arrival dynamics, and per-user concentration.
+
+use std::collections::BTreeMap;
+
+use crate::job::Job;
+
+/// A labeled histogram bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bucket {
+    /// Human-readable bucket label (e.g. `"512"`, `"1-2h"`).
+    pub label: String,
+    /// Jobs in the bucket.
+    pub count: usize,
+    /// Fraction of all jobs (0..1).
+    pub fraction: f64,
+}
+
+fn to_buckets(counts: Vec<(String, usize)>, total: usize) -> Vec<Bucket> {
+    counts
+        .into_iter()
+        .map(|(label, count)| Bucket {
+            label,
+            count,
+            fraction: if total > 0 {
+                count as f64 / total as f64
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// Histogram of requested node counts (exact sizes, descending count).
+pub fn size_histogram(jobs: &[Job]) -> Vec<Bucket> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for j in jobs {
+        *counts.entry(j.nodes).or_default() += 1;
+    }
+    let mut v: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(nodes, c)| (nodes.to_string(), c))
+        .collect();
+    v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    to_buckets(v, jobs.len())
+}
+
+/// Histogram of requested walltimes in standard operator buckets.
+pub fn walltime_histogram(jobs: &[Job]) -> Vec<Bucket> {
+    let edges: [(i64, &str); 6] = [
+        (30, "<30m"),
+        (60, "30m-1h"),
+        (2 * 60, "1-2h"),
+        (4 * 60, "2-4h"),
+        (8 * 60, "4-8h"),
+        (i64::MAX, ">8h"),
+    ];
+    let mut counts = vec![0usize; edges.len()];
+    for j in jobs {
+        let mins = j.walltime.as_mins_f64() as i64;
+        let idx = edges.iter().position(|&(hi, _)| mins < hi).unwrap();
+        counts[idx] += 1;
+    }
+    to_buckets(
+        edges
+            .iter()
+            .zip(counts)
+            .map(|(&(_, label), c)| (label.to_string(), c))
+            .collect(),
+        jobs.len(),
+    )
+}
+
+/// Hourly arrival counts over the trace span (index = hour since
+/// epoch). Bursts show up as spikes.
+pub fn arrivals_per_hour(jobs: &[Job]) -> Vec<usize> {
+    let Some(last) = jobs.iter().map(|j| j.submit).max() else {
+        return Vec::new();
+    };
+    let hours = (last.as_hours_f64().floor() as usize) + 1;
+    let mut counts = vec![0usize; hours];
+    for j in jobs {
+        counts[j.submit.as_hours_f64() as usize] += 1;
+    }
+    counts
+}
+
+/// Per-user job counts, descending; reveals the heavy-user skew.
+pub fn jobs_per_user(jobs: &[Job]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for j in jobs {
+        *counts.entry(j.user).or_default() += 1;
+    }
+    let mut v: Vec<(u32, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Deciles of estimate accuracy (`runtime / walltime`): the 10th, 20th,
+/// ..., 90th percentiles. A flat high profile means accurate users;
+/// production traces show a wide spread with a spike at 1.0.
+pub fn accuracy_deciles(jobs: &[Job]) -> Vec<f64> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let mut acc: Vec<f64> = jobs.iter().map(Job::estimate_accuracy).collect();
+    acc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (1..=9)
+        .map(|d| {
+            let rank = ((d as f64 / 10.0) * acc.len() as f64).ceil() as usize;
+            acc[rank.clamp(1, acc.len()) - 1]
+        })
+        .collect()
+}
+
+/// The burstiness index: peak hourly arrival rate over the mean. A
+/// homogeneous Poisson trace sits a little above 1; the calibrated
+/// Intrepid month is far above it.
+pub fn burstiness(jobs: &[Job]) -> f64 {
+    let hourly = arrivals_per_hour(jobs);
+    if hourly.is_empty() {
+        return 0.0;
+    }
+    let peak = *hourly.iter().max().unwrap() as f64;
+    let mean = hourly.iter().sum::<usize>() as f64 / hourly.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        peak / mean
+    }
+}
+
+/// Render the full characterization as a text report.
+pub fn render_report(jobs: &[Job]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("jobs: {}\n\n", jobs.len()));
+
+    out.push_str("size histogram (top 8):\n");
+    for b in size_histogram(jobs).iter().take(8) {
+        out.push_str(&format!("  {:>8} nodes  {:>6}  {:>5.1}%\n", b.label, b.count, b.fraction * 100.0));
+    }
+
+    out.push_str("\nwalltime histogram:\n");
+    for b in walltime_histogram(jobs) {
+        out.push_str(&format!("  {:>8}  {:>6}  {:>5.1}%\n", b.label, b.count, b.fraction * 100.0));
+    }
+
+    let deciles = accuracy_deciles(jobs);
+    if !deciles.is_empty() {
+        out.push_str("\nestimate accuracy deciles (runtime/request):\n  ");
+        for d in &deciles {
+            out.push_str(&format!("{d:.2} "));
+        }
+        out.push('\n');
+    }
+
+    out.push_str(&format!("\nburstiness (peak/mean hourly arrivals): {:.1}\n", burstiness(jobs)));
+
+    let users = jobs_per_user(jobs);
+    if !users.is_empty() {
+        let top: usize = users.iter().take(5).map(|&(_, c)| c).sum();
+        out.push_str(&format!(
+            "users: {} distinct; top-5 submit {:.0}% of jobs\n",
+            users.len(),
+            100.0 * top as f64 / jobs.len() as f64
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::synth::WorkloadSpec;
+    use amjs_sim::{SimDuration, SimTime};
+
+    fn j(id: u64, submit_h: i64, nodes: u32, wall_m: i64, run_m: i64, user: u32) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_hours(submit_h),
+            nodes,
+            SimDuration::from_mins(wall_m),
+            SimDuration::from_mins(run_m),
+            user,
+        )
+    }
+
+    #[test]
+    fn size_histogram_counts_and_orders() {
+        let jobs = vec![
+            j(0, 0, 64, 60, 30, 1),
+            j(1, 0, 64, 60, 30, 1),
+            j(2, 0, 128, 60, 30, 2),
+        ];
+        let h = size_histogram(&jobs);
+        assert_eq!(h[0].label, "64");
+        assert_eq!(h[0].count, 2);
+        assert!((h[0].fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h[1].count, 1);
+    }
+
+    #[test]
+    fn walltime_buckets_cover_all_jobs() {
+        let jobs = vec![
+            j(0, 0, 1, 10, 5, 0),   // <30m
+            j(1, 0, 1, 45, 5, 0),   // 30m-1h
+            j(2, 0, 1, 90, 5, 0),   // 1-2h
+            j(3, 0, 1, 300, 5, 0),  // 4-8h
+            j(4, 0, 1, 700, 5, 0),  // >8h
+        ];
+        let h = walltime_histogram(&jobs);
+        let total: usize = h.iter().map(|b| b.count).sum();
+        assert_eq!(total, jobs.len());
+        assert_eq!(h[0].count, 1);
+        assert_eq!(h[5].count, 1);
+    }
+
+    #[test]
+    fn arrivals_and_burstiness() {
+        // 1 job/hour for 10 hours, then 10 jobs in hour 10.
+        let mut jobs: Vec<Job> = (0..10).map(|h| j(h as u64, h, 1, 60, 30, 0)).collect();
+        for k in 0..10 {
+            jobs.push(j(10 + k, 10, 1, 60, 30, 0));
+        }
+        let hourly = arrivals_per_hour(&jobs);
+        assert_eq!(hourly.len(), 11);
+        assert_eq!(hourly[10], 10);
+        // peak 10, mean 20/11.
+        assert!((burstiness(&jobs) - 10.0 / (20.0 / 11.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_skew_is_visible() {
+        let jobs = vec![
+            j(0, 0, 1, 60, 30, 7),
+            j(1, 0, 1, 60, 30, 7),
+            j(2, 0, 1, 60, 30, 7),
+            j(3, 0, 1, 60, 30, 2),
+        ];
+        let users = jobs_per_user(&jobs);
+        assert_eq!(users[0], (7, 3));
+        assert_eq!(users[1], (2, 1));
+    }
+
+    #[test]
+    fn accuracy_deciles_are_monotone() {
+        let jobs = WorkloadSpec::small_test().generate(8);
+        let d = accuracy_deciles(&jobs);
+        assert_eq!(d.len(), 9);
+        for pair in d.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert!(*d.last().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        assert!(size_histogram(&[]).is_empty());
+        assert!(arrivals_per_hour(&[]).is_empty());
+        assert_eq!(burstiness(&[]), 0.0);
+        assert!(accuracy_deciles(&[]).is_empty());
+        assert!(render_report(&[]).contains("jobs: 0"));
+    }
+
+    #[test]
+    fn month_preset_is_bursty_and_skewed() {
+        let jobs = WorkloadSpec::intrepid_month().generate(42);
+        assert!(burstiness(&jobs) > 4.0, "burstiness {:.1}", burstiness(&jobs));
+        let report = render_report(&jobs);
+        assert!(report.contains("burstiness"));
+        assert!(report.contains("512 nodes") || report.contains("512"));
+    }
+}

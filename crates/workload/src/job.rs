@@ -1,0 +1,166 @@
+//! The job model.
+//!
+//! A job is *rigid*: it requests a fixed node count and a user-estimated
+//! walltime at submission, then runs for its (hidden) actual runtime.
+//! The scheduler sees `nodes` and `walltime`; the simulator uses
+//! `runtime` to fire the termination event. On real systems the runtime
+//! never exceeds the walltime because the resource manager kills jobs at
+//! the estimate — [`Job::new`] enforces the same invariant.
+
+use amjs_sim::{SimDuration, SimTime};
+
+/// Identifies a job within one workload; dense, in submit order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One rigid parallel job of a workload trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// Dense identifier, assigned in submit order.
+    pub id: JobId,
+    /// Submission instant.
+    pub submit: SimTime,
+    /// Requested node count (before any partition rounding).
+    pub nodes: u32,
+    /// User-requested walltime (the estimate the scheduler plans with).
+    pub walltime: SimDuration,
+    /// Actual runtime; `runtime <= walltime` (jobs are killed at the
+    /// estimate, as on the real machine).
+    pub runtime: SimDuration,
+    /// Submitting user (opaque id; used by fairness accounting and
+    /// reports).
+    pub user: u32,
+}
+
+impl Job {
+    /// Construct a job, clamping to the invariants the scheduler relies
+    /// on: at least 1 node, at least 1 second of walltime, and
+    /// `runtime <= walltime` (also at least 1 second).
+    pub fn new(
+        id: JobId,
+        submit: SimTime,
+        nodes: u32,
+        walltime: SimDuration,
+        runtime: SimDuration,
+        user: u32,
+    ) -> Self {
+        let walltime = walltime.max(SimDuration::from_secs(1));
+        let runtime = runtime.max(SimDuration::from_secs(1)).min(walltime);
+        Job {
+            id,
+            submit,
+            nodes: nodes.max(1),
+            walltime,
+            runtime,
+            user,
+        }
+    }
+
+    /// Requested node-seconds (`nodes * walltime`), the scheduler-visible
+    /// demand.
+    pub fn requested_node_secs(&self) -> i64 {
+        self.nodes as i64 * self.walltime.as_secs()
+    }
+
+    /// Delivered node-seconds (`nodes * runtime`), the utilization
+    /// contribution.
+    pub fn delivered_node_secs(&self) -> i64 {
+        self.nodes as i64 * self.runtime.as_secs()
+    }
+
+    /// Runtime-estimate accuracy in `(0, 1]`: `runtime / walltime`.
+    pub fn estimate_accuracy(&self) -> f64 {
+        self.runtime.as_secs() as f64 / self.walltime.as_secs() as f64
+    }
+}
+
+/// Validate that a slice of jobs forms a well-formed trace: sorted by
+/// submit time, ids dense in submit order, invariants per job. Returns a
+/// human-readable description of the first violation.
+pub fn validate_trace(jobs: &[Job]) -> Result<(), String> {
+    for (i, job) in jobs.iter().enumerate() {
+        if job.id != JobId(i as u64) {
+            return Err(format!("job at index {i} has id {} (want {i})", job.id));
+        }
+        if job.nodes == 0 {
+            return Err(format!("{} requests zero nodes", job.id));
+        }
+        if job.walltime < SimDuration::from_secs(1) {
+            return Err(format!("{} has sub-second walltime", job.id));
+        }
+        if job.runtime > job.walltime || job.runtime < SimDuration::from_secs(1) {
+            return Err(format!(
+                "{} runtime {} outside (0, walltime {}]",
+                job.id, job.runtime, job.walltime
+            ));
+        }
+        if i > 0 && jobs[i - 1].submit > job.submit {
+            return Err(format!("{} submitted before its predecessor", job.id));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: i64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn new_clamps_invariants() {
+        let j = Job::new(JobId(0), t(0), 0, d(0), d(100), 1);
+        assert_eq!(j.nodes, 1);
+        assert_eq!(j.walltime, d(1));
+        assert_eq!(j.runtime, d(1)); // clamped to walltime
+
+        let j = Job::new(JobId(1), t(5), 512, d(3600), d(7200), 1);
+        assert_eq!(j.runtime, d(3600)); // killed at the estimate
+    }
+
+    #[test]
+    fn node_seconds_and_accuracy() {
+        let j = Job::new(JobId(0), t(0), 100, d(1000), d(250), 1);
+        assert_eq!(j.requested_node_secs(), 100_000);
+        assert_eq!(j.delivered_node_secs(), 25_000);
+        assert!((j.estimate_accuracy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_trace() {
+        let jobs = vec![
+            Job::new(JobId(0), t(0), 1, d(10), d(5), 0),
+            Job::new(JobId(1), t(0), 2, d(10), d(10), 0),
+            Job::new(JobId(2), t(7), 3, d(10), d(1), 1),
+        ];
+        assert!(validate_trace(&jobs).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ids_and_order() {
+        let mut jobs = vec![
+            Job::new(JobId(0), t(10), 1, d(10), d(5), 0),
+            Job::new(JobId(1), t(5), 2, d(10), d(5), 0),
+        ];
+        assert!(validate_trace(&jobs).unwrap_err().contains("before"));
+        jobs[1].submit = t(20);
+        jobs[1].id = JobId(7);
+        assert!(validate_trace(&jobs).unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(JobId(42).to_string(), "job#42");
+    }
+}

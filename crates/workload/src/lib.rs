@@ -1,0 +1,32 @@
+//! # amjs-workload — jobs, traces, and synthetic workload generation
+//!
+//! The paper evaluates on a one-month production trace from Intrepid
+//! (Blue Gene/P, 40,960 nodes). That trace is not public, so this crate
+//! provides the two substitutes described in `DESIGN.md`:
+//!
+//! * [`swf`] — a parser/writer for the Standard Workload Format used by
+//!   the Parallel Workloads Archive, so any real trace a user has can be
+//!   replayed;
+//! * [`synth`] — a seeded, deterministic generator producing an
+//!   Intrepid-*like* workload: Poisson background arrivals with burst
+//!   episodes (the paper's Fig. 4 shows a large submission burst around
+//!   hour 100), power-of-two-heavy job sizes on partition boundaries,
+//!   lognormal walltime requests, and imperfect runtime estimates (which
+//!   is what gives backfilling room to work).
+//!
+//! [`job::Job`] is the common currency consumed by `amjs-core`'s
+//! scheduler; [`stats`] summarizes a workload (offered load, means) and
+//! [`analysis`] characterizes its distributions (size/walltime
+//! histograms, burstiness, user skew) for calibration and reporting.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod job;
+pub mod stats;
+pub mod swf;
+pub mod synth;
+
+pub use job::{Job, JobId};
+pub use stats::WorkloadStats;
+pub use synth::WorkloadSpec;

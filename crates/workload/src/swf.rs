@@ -1,0 +1,288 @@
+//! Standard Workload Format (SWF) support.
+//!
+//! SWF is the trace format of the Parallel Workloads Archive (Feitelson
+//! et al.): one job per line, 18 whitespace-separated integer fields,
+//! with `;`-prefixed header comments. Supporting it means a user who has
+//! a real trace — including the Intrepid traces published via ANL — can
+//! replay it through this reproduction instead of the synthetic
+//! workload.
+//!
+//! Field mapping (0-based index → meaning used here):
+//!
+//! | # | SWF field                | use |
+//! |---|--------------------------|-----|
+//! | 0 | job number               | ignored (ids are re-densified) |
+//! | 1 | submit time (s)          | [`Job::submit`] |
+//! | 3 | run time (s)             | [`Job::runtime`] |
+//! | 4 | allocated processors     | [`Job::nodes`] (fallback: field 7) |
+//! | 7 | requested processors     | fallback for nodes |
+//! | 8 | requested time (s)       | [`Job::walltime`] (fallback: run time) |
+//! | 10| status                   | jobs with status 0 (failed) are kept — they occupied the machine |
+//! | 11| user id                  | [`Job::user`] |
+//!
+//! Missing values are `-1` per the SWF spec. Jobs whose essential fields
+//! are missing or non-positive (no submit time, no processors, no
+//! runtime at all) are skipped and counted in [`ParseReport::skipped`].
+//! Submit times are rebased so the first job submits at `t = 0`,
+//! matching the paper's "elapsed hours from time zero" axis.
+
+use amjs_sim::{SimDuration, SimTime};
+
+use crate::job::{Job, JobId};
+
+/// Outcome of parsing an SWF document.
+#[derive(Clone, Debug, Default)]
+pub struct ParseReport {
+    /// Parsed jobs, sorted by submit time, ids densified in that order.
+    pub jobs: Vec<Job>,
+    /// Number of data lines skipped for missing/invalid essential fields.
+    pub skipped: usize,
+    /// Header comment lines (without the leading `;`), for provenance.
+    pub header: Vec<String>,
+}
+
+/// Errors from [`parse`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SwfError {
+    /// A data line had a non-integer token.
+    BadField {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A data line had fewer than the 9 fields we require.
+    TooFewFields {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfError::BadField { line, token } => {
+                write!(f, "line {line}: non-integer field {token:?}")
+            }
+            SwfError::TooFewFields { line, found } => {
+                write!(f, "line {line}: only {found} fields (need at least 9)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parse an SWF document from a string.
+///
+/// ```
+/// let trace = "; Computer: demo\n1 0 -1 600 64 -1 -1 64 900 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+/// let report = amjs_workload::swf::parse(trace).unwrap();
+/// assert_eq!(report.jobs.len(), 1);
+/// assert_eq!(report.jobs[0].nodes, 64);
+/// assert_eq!(report.header, vec!["Computer: demo"]);
+/// ```
+pub fn parse(input: &str) -> Result<ParseReport, SwfError> {
+    let mut report = ParseReport::default();
+    let mut raw: Vec<(i64, u32, i64, i64, u32)> = Vec::new(); // submit, nodes, runtime, walltime, user
+
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            report.header.push(comment.trim().to_string());
+            continue;
+        }
+        let fields: Vec<i64> = {
+            let mut v = Vec::with_capacity(18);
+            for tok in line.split_whitespace() {
+                match tok.parse::<i64>() {
+                    Ok(x) => v.push(x),
+                    // Some archives use floats for think time etc.;
+                    // accept a float by truncation rather than failing.
+                    Err(_) => match tok.parse::<f64>() {
+                        Ok(x) => v.push(x as i64),
+                        Err(_) => {
+                            return Err(SwfError::BadField {
+                                line: lineno + 1,
+                                token: tok.to_string(),
+                            })
+                        }
+                    },
+                }
+            }
+            v
+        };
+        if fields.len() < 9 {
+            return Err(SwfError::TooFewFields {
+                line: lineno + 1,
+                found: fields.len(),
+            });
+        }
+
+        let submit = fields[1];
+        let runtime = fields[3];
+        let alloc_procs = fields[4];
+        let req_procs = fields.get(7).copied().unwrap_or(-1);
+        let req_time = fields.get(8).copied().unwrap_or(-1);
+        let user = fields.get(11).copied().unwrap_or(-1);
+
+        let nodes = if alloc_procs > 0 {
+            alloc_procs
+        } else {
+            req_procs
+        };
+        let walltime = if req_time > 0 { req_time } else { runtime };
+
+        if submit < 0 || nodes <= 0 || runtime <= 0 {
+            report.skipped += 1;
+            continue;
+        }
+        raw.push((
+            submit,
+            nodes as u32,
+            runtime,
+            walltime.max(runtime),
+            if user >= 0 { user as u32 } else { 0 },
+        ));
+    }
+
+    // Sort by submit (stable: equal submits keep file order), rebase to
+    // t=0, densify ids.
+    raw.sort_by_key(|&(submit, ..)| submit);
+    let base = raw.first().map(|&(s, ..)| s).unwrap_or(0);
+    report.jobs = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, (submit, nodes, runtime, walltime, user))| {
+            Job::new(
+                JobId(i as u64),
+                SimTime::from_secs(submit - base),
+                nodes,
+                SimDuration::from_secs(walltime),
+                SimDuration::from_secs(runtime),
+                user,
+            )
+        })
+        .collect();
+    Ok(report)
+}
+
+/// Serialize jobs to SWF (fields we don't model are written as `-1`).
+/// Round-trips through [`parse`].
+pub fn write(jobs: &[Job], header: &[&str]) -> String {
+    let mut out = String::new();
+    for h in header {
+        out.push_str("; ");
+        out.push_str(h);
+        out.push('\n');
+    }
+    for job in jobs {
+        // job# submit wait run alloc avgcpu mem reqproc reqtime reqmem
+        // status user group exe queue partition prec think
+        out.push_str(&format!(
+            "{} {} -1 {} {} -1 -1 {} {} -1 1 {} -1 -1 -1 -1 -1 -1\n",
+            job.id.0,
+            job.submit.as_secs(),
+            job.runtime.as_secs(),
+            job.nodes,
+            job.nodes,
+            job.walltime.as_secs(),
+            job.user,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; Computer: Blue Gene/P
+1 100 30 3600 512 -1 -1 512 7200 -1 1 7 -1 -1 -1 -1 -1 -1
+2 50 10 1800 -1 -1 -1 1024 3600 -1 1 9 -1 -1 -1 -1 -1 -1
+3 200 -1 -1 256 -1 -1 256 600 -1 0 7 -1 -1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_and_rebases() {
+        let r = parse(SAMPLE).unwrap();
+        assert_eq!(r.header.len(), 2);
+        // Job 3 has runtime -1 → skipped.
+        assert_eq!(r.skipped, 1);
+        assert_eq!(r.jobs.len(), 2);
+        // Sorted by submit: the job submitted at 50 comes first, rebased
+        // to t=0.
+        assert_eq!(r.jobs[0].id, JobId(0));
+        assert_eq!(r.jobs[0].submit, SimTime::ZERO);
+        assert_eq!(r.jobs[0].nodes, 1024);
+        assert_eq!(r.jobs[0].user, 9);
+        assert_eq!(r.jobs[1].submit, SimTime::from_secs(50));
+        assert_eq!(r.jobs[1].nodes, 512);
+        assert_eq!(r.jobs[1].walltime, SimDuration::from_secs(7200));
+        assert_eq!(r.jobs[1].runtime, SimDuration::from_secs(3600));
+    }
+
+    #[test]
+    fn walltime_defaults_to_runtime_when_missing() {
+        let r = parse("1 0 -1 500 64 -1 -1 64 -1 -1 1 3 -1 -1 -1 -1 -1 -1\n").unwrap();
+        assert_eq!(r.jobs[0].walltime, SimDuration::from_secs(500));
+    }
+
+    #[test]
+    fn runtime_longer_than_estimate_extends_walltime() {
+        // Real traces contain jobs that ran past their request (grace
+        // periods); we keep walltime >= runtime so the Job invariant
+        // holds without truncating history.
+        let r = parse("1 0 -1 900 64 -1 -1 64 600 -1 1 3 -1 -1 -1 -1 -1 -1\n").unwrap();
+        assert_eq!(r.jobs[0].walltime, SimDuration::from_secs(900));
+        assert_eq!(r.jobs[0].runtime, SimDuration::from_secs(900));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("1 2 three 4 5 6 7 8 9\n"),
+            Err(SwfError::BadField { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("1 2 3\n"),
+            Err(SwfError::TooFewFields { line: 1, found: 3 })
+        ));
+    }
+
+    #[test]
+    fn accepts_float_fields_by_truncation() {
+        let r = parse("1 0 -1 500.7 64 -1 -1 64 600 -1 1 3 -1 -1 -1 -1 -1 -1\n").unwrap();
+        assert_eq!(r.jobs[0].runtime, SimDuration::from_secs(500));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let r = parse("").unwrap();
+        assert!(r.jobs.is_empty());
+        assert_eq!(r.skipped, 0);
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let r = parse(SAMPLE).unwrap();
+        let text = write(&r.jobs, &["round-trip"]);
+        let r2 = parse(&text).unwrap();
+        assert_eq!(r.jobs, r2.jobs);
+        assert_eq!(r2.header, vec!["round-trip"]);
+    }
+
+    #[test]
+    fn status_zero_jobs_are_kept() {
+        // Failed jobs still occupied the machine; they must be replayed.
+        let r = parse("1 0 -1 100 64 -1 -1 64 600 -1 0 3 -1 -1 -1 -1 -1 -1\n").unwrap();
+        assert_eq!(r.jobs.len(), 1);
+    }
+}

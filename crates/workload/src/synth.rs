@@ -1,0 +1,528 @@
+//! Synthetic Intrepid-like workload generation.
+//!
+//! Stands in for the proprietary one-month Intrepid trace the paper
+//! evaluates on. The generator reproduces the workload *properties* the
+//! paper's experiments depend on (see `DESIGN.md` §3):
+//!
+//! * **load level** — high enough that FCFS builds deep queues (Table II
+//!   reports a 245-minute average wait for the base policy);
+//! * **bursts** — a non-homogeneous Poisson arrival process with burst
+//!   episodes; the paper's Fig. 4 shows a large submission burst around
+//!   hour 100, so the month preset places one there;
+//! * **partition-shaped sizes** — node counts concentrated on the
+//!   power-of-two partition sizes of a Blue Gene/P, with a small fraction
+//!   of odd sizes that exercise partition round-up;
+//! * **imperfect estimates** — runtimes are a random fraction of the
+//!   requested walltime (with a point mass at exact), which is what gives
+//!   backfilling — and the paper's SJF-style short-job preference —
+//!   something to exploit.
+//!
+//! Everything is a pure function of `(spec, seed)`; arrival, size,
+//! walltime, accuracy and user streams are split from the master seed so
+//! adding a consumer never perturbs the others.
+
+use amjs_sim::rng::{split_seed, Xoshiro256};
+use amjs_sim::{SimDuration, SimTime};
+
+use crate::job::{Job, JobId};
+
+/// RNG stream ids (see [`split_seed`]).
+mod stream {
+    pub const ARRIVAL: u64 = 1;
+    pub const SIZE: u64 = 2;
+    pub const WALLTIME: u64 = 3;
+    pub const ACCURACY: u64 = 4;
+    pub const USER: u64 = 5;
+}
+
+/// An arrival-rate burst episode, optionally with its own job
+/// composition.
+///
+/// Production bursts are rarely a uniform sample of the background
+/// workload — typically one user or campaign floods the queue with many
+/// similar (often small, short) jobs. The composition fields let a
+/// preset model that: during the burst, sampled walltimes are scaled by
+/// `walltime_scale` and job sizes are drawn only from classes at or
+/// below `size_cap`. The burst's composition is what makes FCFS collapse
+/// while a short-job-first ordering drains it (the contrast behind the
+/// paper's Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstSpec {
+    /// When the burst begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// Arrival-rate multiplier while active (multiplicative with other
+    /// overlapping bursts).
+    pub rate_multiplier: f64,
+    /// Walltime multiplier for jobs arriving during the burst (1.0 =
+    /// same distribution as the background).
+    pub walltime_scale: f64,
+    /// If set, burst jobs draw sizes only from classes `<= size_cap`.
+    pub size_cap: Option<u32>,
+}
+
+impl BurstSpec {
+    /// A composition-neutral burst (background job mix, higher rate).
+    pub fn rate_only(start: SimTime, duration: SimDuration, rate_multiplier: f64) -> Self {
+        BurstSpec {
+            start,
+            duration,
+            rate_multiplier,
+            walltime_scale: 1.0,
+            size_cap: None,
+        }
+    }
+
+    fn active_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// One job-size class and its relative frequency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeClass {
+    /// Node count of the class.
+    pub nodes: u32,
+    /// Relative weight (need not be normalized).
+    pub weight: f64,
+}
+
+/// Full description of a synthetic workload. Construct via a preset and
+/// adjust fields, or build from scratch.
+///
+/// ```
+/// use amjs_workload::WorkloadSpec;
+///
+/// // Same spec + same seed = identical trace, always.
+/// let spec = WorkloadSpec::small_test();
+/// assert_eq!(spec.generate(7), spec.generate(7));
+/// assert_ne!(spec.generate(7), spec.generate(8));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Trace span; no job submits after it.
+    pub span: SimDuration,
+    /// Mean interarrival time of the background Poisson process.
+    pub mean_interarrival: SimDuration,
+    /// Burst episodes boosting the arrival rate.
+    pub bursts: Vec<BurstSpec>,
+    /// Diurnal arrival modulation amplitude in `[0, 1)`:
+    /// `rate *= 1 + A*sin(2*pi*t/24h)`. Zero disables.
+    pub diurnal_amplitude: f64,
+    /// Job-size classes (typically the machine's partition sizes).
+    pub size_classes: Vec<SizeClass>,
+    /// Fraction of jobs whose size is perturbed below the class size
+    /// (exercises partition round-up).
+    pub odd_size_fraction: f64,
+    /// Median of the lognormal walltime-request distribution, minutes.
+    pub walltime_median_mins: f64,
+    /// Sigma of the lognormal walltime-request distribution.
+    pub walltime_sigma: f64,
+    /// Clamp range for walltime requests.
+    pub walltime_min: SimDuration,
+    /// Upper clamp for walltime requests.
+    pub walltime_max: SimDuration,
+    /// Requests are rounded up to this granularity (users ask for round
+    /// numbers), minutes.
+    pub walltime_round_mins: i64,
+    /// Probability that the user's estimate is exact
+    /// (`runtime == walltime`).
+    pub exact_estimate_fraction: f64,
+    /// Otherwise `runtime = walltime * U(min_accuracy, 1)`.
+    pub min_accuracy: f64,
+    /// Number of distinct users (ids are skewed toward low ids).
+    pub users: u32,
+}
+
+impl WorkloadSpec {
+    /// One month of Intrepid-like load for the 40,960-node machine:
+    /// ~1.9k jobs with the paper's hour-~100 submission burst plus two
+    /// smaller episodes later in the month. Calibrated (see DESIGN.md
+    /// and EXPERIMENTS.md) so that the base policy (FCFS + EASY,
+    /// backfill depth 16) lands in the paper's regime: average wait in
+    /// the few-hundred-minute range, deep queue-depth excursions during
+    /// the burst, and a strong short-job-first effect (high walltime
+    /// variance — many short jobs sharing the machine with multi-hour
+    /// runs).
+    pub fn intrepid_month() -> Self {
+        WorkloadSpec {
+            name: "intrepid-month",
+            span: SimDuration::from_hours(30 * 24),
+            mean_interarrival: SimDuration::from_secs(1700),
+            bursts: vec![
+                // The paper's hour-~100 event: a campaign of small,
+                // short jobs flooding the queue.
+                BurstSpec {
+                    start: SimTime::from_hours(88),
+                    duration: SimDuration::from_hours(20),
+                    rate_multiplier: 25.0,
+                    walltime_scale: 0.35,
+                    size_cap: Some(4096),
+                },
+                BurstSpec {
+                    start: SimTime::from_hours(400),
+                    duration: SimDuration::from_hours(14),
+                    rate_multiplier: 12.0,
+                    walltime_scale: 0.5,
+                    size_cap: Some(8192),
+                },
+                BurstSpec {
+                    start: SimTime::from_hours(580),
+                    duration: SimDuration::from_hours(12),
+                    rate_multiplier: 8.0,
+                    walltime_scale: 0.6,
+                    size_cap: None,
+                },
+            ],
+            diurnal_amplitude: 0.3,
+            size_classes: intrepid_size_classes(),
+            odd_size_fraction: 0.06,
+            walltime_median_mins: 60.0,
+            walltime_sigma: 1.5,
+            walltime_min: SimDuration::from_mins(10),
+            walltime_max: SimDuration::from_hours(12),
+            walltime_round_mins: 10,
+            exact_estimate_fraction: 0.15,
+            min_accuracy: 0.05,
+            users: 64,
+        }
+    }
+
+    /// First week of the month preset (same parameters, shorter span).
+    /// Keeps the hour-100 burst out of range — useful as a "calm"
+    /// contrast workload.
+    pub fn intrepid_week() -> Self {
+        WorkloadSpec {
+            name: "intrepid-week",
+            span: SimDuration::from_hours(7 * 24),
+            ..Self::intrepid_month()
+        }
+    }
+
+    /// A small, fast workload for unit tests and the quickstart example:
+    /// a few hundred small jobs over 12 hours, sized for a ~1k-node flat
+    /// cluster.
+    pub fn small_test() -> Self {
+        WorkloadSpec {
+            name: "small-test",
+            span: SimDuration::from_hours(12),
+            mean_interarrival: SimDuration::from_secs(120),
+            bursts: vec![BurstSpec::rate_only(
+                SimTime::from_hours(4),
+                SimDuration::from_hours(1),
+                4.0,
+            )],
+            diurnal_amplitude: 0.0,
+            size_classes: vec![
+                SizeClass { nodes: 16, weight: 30.0 },
+                SizeClass { nodes: 32, weight: 25.0 },
+                SizeClass { nodes: 64, weight: 20.0 },
+                SizeClass { nodes: 128, weight: 15.0 },
+                SizeClass { nodes: 256, weight: 8.0 },
+                SizeClass { nodes: 512, weight: 2.0 },
+            ],
+            odd_size_fraction: 0.1,
+            walltime_median_mins: 30.0,
+            walltime_sigma: 0.9,
+            walltime_min: SimDuration::from_mins(5),
+            walltime_max: SimDuration::from_hours(4),
+            walltime_round_mins: 5,
+            exact_estimate_fraction: 0.2,
+            min_accuracy: 0.1,
+            users: 16,
+        }
+    }
+
+    /// Scale the offered load by `factor` (scales the arrival rate; 1.0
+    /// is the preset's calibration).
+    pub fn with_load_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        let secs = (self.mean_interarrival.as_secs() as f64 / factor).round() as i64;
+        self.mean_interarrival = SimDuration::from_secs(secs.max(1));
+        self
+    }
+
+    /// Arrival-rate multiplier at time `t` (bursts × diurnal cycle).
+    fn rate_multiplier_at(&self, t: SimTime) -> f64 {
+        let mut m = 1.0;
+        for b in &self.bursts {
+            if b.active_at(t) {
+                m *= b.rate_multiplier;
+            }
+        }
+        if self.diurnal_amplitude > 0.0 {
+            let phase = 2.0 * std::f64::consts::PI * t.as_hours_f64() / 24.0;
+            m *= 1.0 + self.diurnal_amplitude * phase.sin();
+        }
+        m
+    }
+
+    /// Upper bound on the rate multiplier over the whole span (used by
+    /// the thinning sampler). Evaluates the burst product at every burst
+    /// boundary, then adds the diurnal ceiling.
+    fn max_rate_multiplier(&self) -> f64 {
+        let mut boundaries = vec![SimTime::ZERO];
+        for b in &self.bursts {
+            boundaries.push(b.start);
+        }
+        let mut max_m: f64 = 1.0;
+        for &t in &boundaries {
+            let mut m = 1.0;
+            for b in &self.bursts {
+                if b.active_at(t) {
+                    m *= b.rate_multiplier;
+                }
+            }
+            max_m = max_m.max(m);
+        }
+        max_m * (1.0 + self.diurnal_amplitude)
+    }
+
+    /// Generate the workload deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<Job> {
+        assert!(!self.size_classes.is_empty(), "need at least one size class");
+        let mut arrival_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::ARRIVAL));
+        let mut size_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::SIZE));
+        let mut wall_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::WALLTIME));
+        let mut acc_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::ACCURACY));
+        let mut user_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::USER));
+
+        let weights: Vec<f64> = self.size_classes.iter().map(|c| c.weight).collect();
+        let base_rate = 1.0 / self.mean_interarrival.as_secs() as f64;
+        let max_rate = base_rate * self.max_rate_multiplier();
+
+        let mut jobs = Vec::new();
+        // Thinning (Lewis–Shedler): sample candidates at the ceiling rate,
+        // accept with probability rate(t)/ceiling.
+        let mut t = 0.0f64;
+        let span = self.span.as_secs() as f64;
+        loop {
+            t += arrival_rng.next_exponential(1.0 / max_rate);
+            if t > span {
+                break;
+            }
+            let now = SimTime::from_secs(t as i64);
+            let accept = base_rate * self.rate_multiplier_at(now) / max_rate;
+            if !arrival_rng.next_bool(accept) {
+                continue;
+            }
+
+            // Burst composition in effect at this arrival.
+            let mut walltime_scale = 1.0f64;
+            let mut size_cap: Option<u32> = None;
+            for b in &self.bursts {
+                if b.active_at(now) {
+                    walltime_scale = walltime_scale.min(b.walltime_scale);
+                    size_cap = match (size_cap, b.size_cap) {
+                        (Some(a), Some(c)) => Some(a.min(c)),
+                        (a, c) => a.or(c),
+                    };
+                }
+            }
+
+            // Size: restrict to capped classes during a composition
+            // burst (re-weighted among the remaining classes).
+            let class = match size_cap {
+                Some(cap) => {
+                    let capped: Vec<&SizeClass> = self
+                        .size_classes
+                        .iter()
+                        .filter(|c| c.nodes <= cap)
+                        .collect();
+                    if capped.is_empty() {
+                        self.size_classes[size_rng.next_weighted(&weights)]
+                    } else {
+                        let w: Vec<f64> = capped.iter().map(|c| c.weight).collect();
+                        *capped[size_rng.next_weighted(&w)]
+                    }
+                }
+                None => self.size_classes[size_rng.next_weighted(&weights)],
+            };
+            let nodes = if size_rng.next_bool(self.odd_size_fraction) && class.nodes > 8 {
+                let cut = size_rng.next_below((class.nodes / 8) as u64) as u32 + 1;
+                class.nodes - cut
+            } else {
+                class.nodes
+            };
+
+            // Walltime request: lognormal minutes (scaled during a
+            // composition burst), clamped, rounded up to the request
+            // granularity.
+            let mins = wall_rng.next_lognormal(self.walltime_median_mins.ln(), self.walltime_sigma)
+                * walltime_scale;
+            let mins = mins
+                .max(self.walltime_min.as_mins_f64())
+                .min(self.walltime_max.as_mins_f64());
+            let gran = self.walltime_round_mins.max(1);
+            let rounded_mins = ((mins / gran as f64).ceil() as i64) * gran;
+            let walltime = SimDuration::from_mins(rounded_mins.max(1));
+
+            // Actual runtime.
+            let accuracy = if acc_rng.next_bool(self.exact_estimate_fraction) {
+                1.0
+            } else {
+                self.min_accuracy + (1.0 - self.min_accuracy) * acc_rng.next_f64()
+            };
+            let runtime_secs = (walltime.as_secs() as f64 * accuracy) as i64;
+            let runtime = SimDuration::from_secs(runtime_secs.max(60).min(walltime.as_secs()));
+
+            // Skewed user id: squaring a uniform concentrates mass on low
+            // ids, mimicking the heavy-user skew of production traces.
+            let u = user_rng.next_f64();
+            let user = ((u * u) * self.users as f64) as u32;
+
+            jobs.push(Job::new(
+                JobId(jobs.len() as u64),
+                now,
+                nodes,
+                walltime,
+                runtime,
+                user.min(self.users.saturating_sub(1)),
+            ));
+        }
+        jobs
+    }
+}
+
+/// Intrepid's partition-size mix: weights loosely follow published
+/// Intrepid workload analyses (dominated by 512–4096-node jobs with a
+/// tail of very large runs).
+pub fn intrepid_size_classes() -> Vec<SizeClass> {
+    vec![
+        SizeClass { nodes: 512, weight: 22.0 },
+        SizeClass { nodes: 1024, weight: 20.0 },
+        SizeClass { nodes: 2048, weight: 18.0 },
+        SizeClass { nodes: 4096, weight: 14.0 },
+        SizeClass { nodes: 8192, weight: 12.0 },
+        SizeClass { nodes: 16_384, weight: 8.0 },
+        SizeClass { nodes: 32_768, weight: 4.0 },
+        SizeClass { nodes: 40_960, weight: 2.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::validate_trace;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::small_test();
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a, b);
+        let c = spec.generate(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_trace_is_well_formed() {
+        let jobs = WorkloadSpec::small_test().generate(1);
+        assert!(jobs.len() > 100, "got {} jobs", jobs.len());
+        validate_trace(&jobs).unwrap();
+        let span = WorkloadSpec::small_test().span;
+        for j in &jobs {
+            assert!(j.submit <= SimTime::ZERO + span);
+        }
+    }
+
+    #[test]
+    fn sizes_come_from_classes_or_their_odd_variants() {
+        let spec = WorkloadSpec::small_test();
+        let class_sizes: Vec<u32> = spec.size_classes.iter().map(|c| c.nodes).collect();
+        let jobs = spec.generate(2);
+        for j in &jobs {
+            let ok = class_sizes.iter().any(|&c| j.nodes == c || (j.nodes < c && j.nodes >= c - c / 8));
+            assert!(ok, "unexpected size {}", j.nodes);
+        }
+    }
+
+    #[test]
+    fn walltimes_are_clamped_and_rounded() {
+        let spec = WorkloadSpec::small_test();
+        let jobs = spec.generate(3);
+        for j in &jobs {
+            assert!(j.walltime >= spec.walltime_min);
+            assert!(j.walltime <= spec.walltime_max + SimDuration::from_mins(spec.walltime_round_mins));
+            assert_eq!(j.walltime.as_secs() % (spec.walltime_round_mins * 60), 0);
+            assert!(j.runtime <= j.walltime);
+        }
+    }
+
+    #[test]
+    fn some_estimates_are_exact_and_some_poor() {
+        let jobs = WorkloadSpec::small_test().generate(4);
+        let exact = jobs.iter().filter(|j| j.runtime == j.walltime).count();
+        let poor = jobs
+            .iter()
+            .filter(|j| j.estimate_accuracy() < 0.5)
+            .count();
+        assert!(exact > jobs.len() / 20, "exact={exact}/{}", jobs.len());
+        assert!(poor > jobs.len() / 10, "poor={poor}/{}", jobs.len());
+    }
+
+    #[test]
+    fn burst_raises_local_arrival_rate() {
+        let spec = WorkloadSpec::small_test();
+        let jobs = spec.generate(5);
+        let burst = &spec.bursts[0];
+        let in_burst = jobs
+            .iter()
+            .filter(|j| burst.active_at(j.submit))
+            .count() as f64
+            / burst.duration.as_hours_f64();
+        let before = jobs
+            .iter()
+            .filter(|j| j.submit < burst.start)
+            .count() as f64
+            / burst.start.as_hours_f64();
+        assert!(
+            in_burst > 2.0 * before,
+            "burst rate {in_burst:.1}/h vs background {before:.1}/h"
+        );
+    }
+
+    #[test]
+    fn load_factor_scales_job_count() {
+        let base = WorkloadSpec::small_test().generate(6).len() as f64;
+        let double = WorkloadSpec::small_test()
+            .with_load_factor(2.0)
+            .generate(6)
+            .len() as f64;
+        assert!(
+            double / base > 1.6 && double / base < 2.4,
+            "ratio {}",
+            double / base
+        );
+    }
+
+    #[test]
+    fn month_preset_has_the_hour_100_burst() {
+        let spec = WorkloadSpec::intrepid_month();
+        let jobs = spec.generate(42);
+        assert!(jobs.len() > 1000, "got {}", jobs.len());
+        // Arrivals during the burst window (90h–106h) are much denser
+        // than the background.
+        let burst_window = |j: &Job| {
+            j.submit >= SimTime::from_hours(90) && j.submit < SimTime::from_hours(106)
+        };
+        let calm_window = |j: &Job| {
+            j.submit >= SimTime::from_hours(150) && j.submit < SimTime::from_hours(166)
+        };
+        let nb = jobs.iter().filter(|j| burst_window(j)).count();
+        let nc = jobs.iter().filter(|j| calm_window(j)).count();
+        assert!(nb > 2 * nc, "burst {nb} vs calm {nc}");
+    }
+
+    #[test]
+    fn users_are_skewed_and_bounded() {
+        let spec = WorkloadSpec::small_test();
+        let jobs = spec.generate(9);
+        assert!(jobs.iter().all(|j| j.user < spec.users));
+        let low_half = jobs.iter().filter(|j| j.user < spec.users / 2).count();
+        assert!(low_half as f64 > 0.6 * jobs.len() as f64);
+    }
+}

@@ -1,0 +1,78 @@
+//! Explore the policy space: sweep the balance factor and window size in
+//! parallel and print the wait/fairness/LoC frontier.
+//!
+//! This is the "metrics balancer" workflow from the paper's Fig. 1 used
+//! as a design tool: a site operator simulates recent workload under a
+//! grid of `(BF, W)` configurations and picks the point whose tradeoff
+//! matches the site's priorities. Threads are used exactly as the
+//! experiment harness does: one deterministic single-threaded simulation
+//! per configuration.
+//!
+//! Run: `cargo run --release --example policy_explorer`
+
+use std::thread;
+
+use amjs::prelude::*;
+
+fn main() {
+    let jobs = WorkloadSpec::intrepid_week().generate(11);
+    println!(
+        "workload: {} jobs (one week, Intrepid-like); sweeping 5x3 policies\n",
+        jobs.len()
+    );
+
+    let bfs = [1.0, 0.75, 0.5, 0.25, 0.0];
+    let windows = [1usize, 2, 4];
+
+    // Fan out: each (BF, W) cell simulates independently.
+    let results: Vec<(f64, usize, amjs::metrics::MetricsSummary)> = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &bf in &bfs {
+            for &w in &windows {
+                let jobs = jobs.clone();
+                handles.push(scope.spawn(move || {
+                    let outcome = SimulationBuilder::new(BgpCluster::intrepid(), jobs)
+                        .policy(PolicyParams::new(bf, w))
+                        .backfill_depth(Some(16))
+                        .run();
+                    (bf, w, outcome.summary)
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>7}",
+        "policy", "wait(min)", "unfair#", "LoC(%)", "util"
+    );
+    for (bf, w, s) in &results {
+        println!(
+            "BF={bf:<4} W={w:<3} {:>10.1} {:>8} {:>8.1} {:>7.3}",
+            s.avg_wait_mins, s.unfair_jobs, s.loc_percent, s.avg_utilization
+        );
+    }
+
+    // Pareto frontier on (wait, unfair): a point survives if no other
+    // policy is at least as good on both and better on one.
+    let mut frontier: Vec<&(f64, usize, amjs::metrics::MetricsSummary)> = Vec::new();
+    for cand in &results {
+        let dominated = results.iter().any(|other| {
+            (other.2.avg_wait_mins < cand.2.avg_wait_mins
+                && other.2.unfair_jobs <= cand.2.unfair_jobs)
+                || (other.2.avg_wait_mins <= cand.2.avg_wait_mins
+                    && other.2.unfair_jobs < cand.2.unfair_jobs)
+        });
+        if !dominated {
+            frontier.push(cand);
+        }
+    }
+    frontier.sort_by(|a, b| a.2.avg_wait_mins.partial_cmp(&b.2.avg_wait_mins).unwrap());
+    println!("\nwait/fairness Pareto frontier:");
+    for (bf, w, s) in frontier {
+        println!(
+            "  BF={bf}, W={w}: wait {:.1} min, {} unfair jobs",
+            s.avg_wait_mins, s.unfair_jobs
+        );
+    }
+}

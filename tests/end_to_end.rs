@@ -1,0 +1,197 @@
+//! End-to-end integration tests across all crates: full simulations on
+//! both machine models, checking cross-cutting invariants the unit tests
+//! cannot see.
+
+use amjs::prelude::*;
+
+fn small_jobs(seed: u64) -> Vec<Job> {
+    WorkloadSpec::small_test().generate(seed)
+}
+
+/// Everything submitted completes, and the per-job records are
+/// internally consistent.
+#[test]
+fn per_job_records_are_consistent() {
+    let jobs = small_jobs(1);
+    let by_id: std::collections::HashMap<JobId, Job> =
+        jobs.iter().map(|j| (j.id, j.clone())).collect();
+    let out = SimulationBuilder::new(FlatCluster::new(768), jobs.clone())
+        .policy(PolicyParams::new(0.5, 3))
+        .run();
+    assert_eq!(out.summary.jobs_completed, jobs.len());
+    for rec in &out.per_job {
+        let job = &by_id[&rec.id];
+        assert_eq!(rec.submit, job.submit);
+        assert!(rec.start >= rec.submit, "{rec:?}");
+        assert_eq!(rec.end, rec.start + job.runtime, "{rec:?}");
+        assert_eq!(rec.nodes, job.nodes);
+    }
+    // Every job appears exactly once.
+    let mut ids: Vec<JobId> = out.per_job.iter().map(|r| r.id).collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), jobs.len());
+}
+
+/// At no instant may more nodes be in use than the machine has — checked
+/// by sweeping the per-job records, independently of the utilization
+/// tracker.
+#[test]
+fn node_capacity_is_never_exceeded() {
+    let jobs = small_jobs(2);
+    let total = 640u32;
+    let out = SimulationBuilder::new(FlatCluster::new(total), jobs).run();
+
+    let mut events: Vec<(amjs::sim::SimTime, i64)> = Vec::new();
+    for rec in &out.per_job {
+        events.push((rec.start, rec.nodes as i64));
+        events.push((rec.end, -(rec.nodes as i64)));
+    }
+    events.sort_by_key(|&(t, delta)| (t, delta)); // releases (-) before starts (+) at ties
+    let mut busy = 0i64;
+    for (t, delta) in events {
+        busy += delta;
+        assert!(busy >= 0, "negative busy at {t}");
+        assert!(busy <= total as i64, "over-allocation at {t}: {busy}");
+    }
+}
+
+/// Same, on the partitioned machine with partition round-up: occupancy
+/// accounted at rounded sizes must also fit.
+#[test]
+fn bgp_rounded_capacity_is_never_exceeded() {
+    let mut jobs = small_jobs(3);
+    for j in &mut jobs {
+        j.nodes *= 8; // scale into partition-sized requests
+    }
+    let machine = BgpCluster::new(8, 512);
+    let total = machine.total_nodes();
+    let rounded = |n: u32| {
+        use amjs::platform::Platform;
+        BgpCluster::new(8, 512).rounded_size(n)
+    };
+    let out = SimulationBuilder::new(machine, jobs.clone()).run();
+    assert_eq!(out.summary.jobs_completed + out.skipped_oversized, jobs.len());
+
+    let mut events: Vec<(amjs::sim::SimTime, i64)> = Vec::new();
+    for rec in &out.per_job {
+        let r = rounded(rec.nodes) as i64;
+        events.push((rec.start, r));
+        events.push((rec.end, -r));
+    }
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut busy = 0i64;
+    for (_, delta) in events {
+        busy += delta;
+        assert!(busy <= total as i64);
+    }
+}
+
+/// The full pipeline is bit-deterministic: workload generation,
+/// scheduling, adaptive tuning, metrics.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let jobs = WorkloadSpec::small_test().generate(9);
+        SimulationBuilder::new(FlatCluster::new(512), jobs)
+            .adaptive(AdaptiveScheme::two_d(300.0))
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.per_job, b.per_job);
+    assert_eq!(a.queue_depth, b.queue_depth);
+    assert_eq!(a.bf_series, b.bf_series);
+    assert_eq!(a.window_series, b.window_series);
+}
+
+/// An SWF trace written from generated jobs replays to the same schedule
+/// as the original jobs, modulo the parser's rebasing of the first
+/// submission to t = 0 (every event shifts by the same offset).
+#[test]
+fn swf_round_trip_preserves_schedule() {
+    let jobs = small_jobs(4);
+    let offset = jobs[0].submit - amjs::sim::SimTime::ZERO;
+    let text = swf::write(&jobs, &["round trip"]);
+    let parsed = swf::parse(&text).unwrap();
+    assert_eq!(parsed.jobs.len(), jobs.len());
+    for (a, b) in jobs.iter().zip(&parsed.jobs) {
+        assert_eq!(a.submit, b.submit + offset);
+        assert_eq!((a.nodes, a.walltime, a.runtime, a.user), (b.nodes, b.walltime, b.runtime, b.user));
+    }
+
+    let direct = SimulationBuilder::new(FlatCluster::new(512), jobs).run();
+    let replayed = SimulationBuilder::new(FlatCluster::new(512), parsed.jobs).run();
+    assert_eq!(direct.per_job.len(), replayed.per_job.len());
+    for (a, b) in direct.per_job.iter().zip(&replayed.per_job) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.start, b.start + offset);
+        assert_eq!(a.end, b.end + offset);
+    }
+}
+
+/// Backfill mode ordering: no-backfill waits are the worst, conservative
+/// sits at or above EASY (stricter admission), and all three complete
+/// the full workload.
+#[test]
+fn backfill_modes_order_sensibly() {
+    let jobs = small_jobs(5);
+    let mut waits = Vec::new();
+    for mode in [BackfillMode::None, BackfillMode::Conservative, BackfillMode::Easy] {
+        // 640 nodes: congested for the small-test mix (max job 512) but
+        // large enough that nothing is oversized.
+        let out = SimulationBuilder::new(FlatCluster::new(640), jobs.clone())
+            .backfill(mode)
+            .run();
+        assert_eq!(out.summary.jobs_completed, jobs.len());
+        waits.push(out.summary.avg_wait_mins);
+    }
+    let (none, conservative, easy) = (waits[0], waits[1], waits[2]);
+    assert!(
+        none >= conservative && none >= easy,
+        "no-backfill {none:.1} must be worst (cons {conservative:.1}, easy {easy:.1})"
+    );
+}
+
+/// The adaptive scheme's sampled series reflect actual tunable motion
+/// within configured bounds.
+#[test]
+fn adaptive_series_stay_in_bounds() {
+    let jobs = small_jobs(6);
+    let out = SimulationBuilder::new(FlatCluster::new(384), jobs)
+        .adaptive(AdaptiveScheme::two_d(200.0))
+        .run();
+    for &(_, bf) in out.bf_series.points() {
+        assert!((0.5..=1.0).contains(&bf), "bf={bf}");
+    }
+    for &(_, w) in out.window_series.points() {
+        assert!((1.0..=4.0).contains(&w), "w={w}");
+    }
+}
+
+/// Oversized jobs are dropped up front and never wedge the simulation.
+#[test]
+fn oversized_jobs_never_wedge() {
+    let mut jobs = small_jobs(7);
+    jobs[0].nodes = 100_000;
+    jobs[10].nodes = 50_000;
+    let n = jobs.len();
+    let out = SimulationBuilder::new(BgpCluster::new(8, 512), jobs).run();
+    assert_eq!(out.skipped_oversized, 2);
+    assert_eq!(out.summary.jobs_completed, n - 2);
+}
+
+/// Loss of capacity and utilization live in sane ranges on a congested
+/// partitioned run.
+#[test]
+fn metric_ranges_on_partitioned_machine() {
+    let mut jobs = small_jobs(8);
+    for j in &mut jobs {
+        j.nodes *= 8;
+    }
+    let out = SimulationBuilder::new(BgpCluster::new(8, 512), jobs).run();
+    assert!(out.summary.loc_percent >= 0.0 && out.summary.loc_percent <= 100.0);
+    assert!(out.summary.avg_utilization > 0.0 && out.summary.avg_utilization <= 1.0);
+    assert!(out.summary.max_wait_mins >= out.summary.avg_wait_mins);
+}

@@ -1,0 +1,134 @@
+//! Property-based tests across the whole stack: random workload specs
+//! and policies must always yield complete, capacity-respecting,
+//! deterministic simulations.
+
+use amjs::prelude::*;
+use proptest::prelude::*;
+
+/// Small random workloads: handful of size classes, random load.
+fn spec_strategy() -> impl Strategy<Value = (WorkloadSpec, u64)> {
+    (
+        60i64..600,   // mean interarrival seconds
+        10f64..90.0,  // walltime median minutes
+        0.5f64..1.5,  // walltime sigma
+        any::<u64>(), // seed
+    )
+        .prop_map(|(ia, median, sigma, seed)| {
+            let mut spec = WorkloadSpec::small_test();
+            spec.span = SimDuration::from_hours(6);
+            spec.mean_interarrival = SimDuration::from_secs(ia);
+            spec.walltime_median_mins = median;
+            spec.walltime_sigma = sigma;
+            (spec, seed)
+        })
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicyParams> {
+    (0u8..=4, 1usize..=4).prop_map(|(bf_i, w)| PolicyParams::new(bf_i as f64 * 0.25, w))
+}
+
+fn backfill_strategy() -> impl Strategy<Value = BackfillMode> {
+    prop_oneof![
+        Just(BackfillMode::None),
+        Just(BackfillMode::Easy),
+        Just(BackfillMode::Conservative),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (workload, policy, backfill) combination completes every job
+    /// with consistent per-job records and bounded utilization.
+    #[test]
+    fn simulations_always_complete(
+        (spec, seed) in spec_strategy(),
+        policy in policy_strategy(),
+        backfill in backfill_strategy(),
+    ) {
+        let jobs = spec.generate(seed);
+        prop_assume!(!jobs.is_empty());
+        let n = jobs.len();
+        let out = SimulationBuilder::new(FlatCluster::new(512), jobs)
+            .policy(policy)
+            .backfill(backfill)
+            .run();
+        prop_assert_eq!(out.summary.jobs_completed, n);
+        for rec in &out.per_job {
+            prop_assert!(rec.start >= rec.submit);
+            prop_assert!(rec.end > rec.start);
+        }
+        prop_assert!(out.summary.avg_utilization <= 1.0 + 1e-9);
+        prop_assert!(out.summary.loc_percent <= 100.0 + 1e-9);
+    }
+
+    /// Capacity is never exceeded, reconstructed from per-job records.
+    #[test]
+    fn capacity_respected_under_random_policies(
+        (spec, seed) in spec_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let total = 320u32;
+        let jobs = spec.generate(seed);
+        prop_assume!(!jobs.is_empty());
+        let out = SimulationBuilder::new(FlatCluster::new(total), jobs)
+            .policy(policy)
+            .run();
+        let mut events: Vec<(i64, i64)> = Vec::new();
+        for rec in &out.per_job {
+            events.push((rec.start.as_secs(), rec.nodes as i64));
+            events.push((rec.end.as_secs(), -(rec.nodes as i64)));
+        }
+        events.sort();
+        let mut busy = 0i64;
+        for (_, delta) in events {
+            busy += delta;
+            prop_assert!(busy <= total as i64);
+        }
+    }
+
+    /// Determinism holds for arbitrary seeds and policies.
+    #[test]
+    fn determinism_under_random_configs(
+        (spec, seed) in spec_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let jobs = spec.generate(seed);
+        prop_assume!(!jobs.is_empty());
+        let run = || {
+            SimulationBuilder::new(FlatCluster::new(256), jobs.clone())
+                .policy(policy)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.per_job, b.per_job);
+        prop_assert_eq!(a.summary, b.summary);
+    }
+
+    /// FCFS + no backfill yields non-decreasing start times in
+    /// submission order (strict seniority) — the defining property of
+    /// the ablation baseline.
+    #[test]
+    fn no_backfill_fcfs_is_seniority_ordered(
+        (spec, seed) in spec_strategy(),
+    ) {
+        let jobs = spec.generate(seed);
+        prop_assume!(jobs.len() > 2);
+        let out = SimulationBuilder::new(FlatCluster::new(256), jobs)
+            .policy(PolicyParams::fcfs())
+            .backfill(BackfillMode::None)
+            .run();
+        let mut recs = out.per_job.clone();
+        recs.sort_by_key(|r| r.id);
+        for pair in recs.windows(2) {
+            // Submission order == id order for generated traces.
+            prop_assert!(
+                pair[1].start >= pair[0].start,
+                "{:?} started before its senior {:?}",
+                pair[1],
+                pair[0]
+            );
+        }
+    }
+}
