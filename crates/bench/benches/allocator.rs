@@ -4,54 +4,49 @@
 //!
 //! Run: `cargo bench -p amjs-bench --bench allocator`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use amjs_bench::timing;
 use amjs_platform::plan::Plan;
 use amjs_platform::{BgpCluster, FlatCluster, Platform};
 use amjs_sim::{SimDuration, SimTime};
 
 /// Allocate-until-full then release-everything cycles.
-fn bench_allocate_release(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocate_release_cycle");
-    group.bench_function("bgp_intrepid", |b| {
-        let mut machine = BgpCluster::intrepid();
-        let sizes = [512u32, 1024, 2048, 4096, 512, 1024, 8192, 512];
-        b.iter(|| {
-            let mut ids = Vec::with_capacity(64);
-            let mut i = 0usize;
-            while let Some(id) = machine.allocate(sizes[i % sizes.len()]) {
-                ids.push(id);
-                i += 1;
-            }
-            for id in ids {
-                machine.release(id);
-            }
-            i
-        });
+fn bench_allocate_release() {
+    timing::group("allocate_release_cycle");
+    let sizes = [512u32, 1024, 2048, 4096, 512, 1024, 8192, 512];
+
+    let mut machine = BgpCluster::intrepid();
+    timing::bench("bgp_intrepid", || {
+        let mut ids = Vec::with_capacity(64);
+        let mut i = 0usize;
+        while let Some(id) = machine.allocate(sizes[i % sizes.len()]) {
+            ids.push(id);
+            i += 1;
+        }
+        for id in ids {
+            machine.release(id);
+        }
+        i
     });
-    group.bench_function("flat_40960", |b| {
-        let mut machine = FlatCluster::new(40_960);
-        let sizes = [512u32, 1024, 2048, 4096, 512, 1024, 8192, 512];
-        b.iter(|| {
-            let mut ids = Vec::with_capacity(64);
-            let mut i = 0usize;
-            while let Some(id) = machine.allocate(sizes[i % sizes.len()]) {
-                ids.push(id);
-                i += 1;
-            }
-            for id in ids {
-                machine.release(id);
-            }
-            i
-        });
+
+    let mut machine = FlatCluster::new(40_960);
+    timing::bench("flat_40960", || {
+        let mut ids = Vec::with_capacity(64);
+        let mut i = 0usize;
+        while let Some(id) = machine.allocate(sizes[i % sizes.len()]) {
+            ids.push(id);
+            i += 1;
+        }
+        for id in ids {
+            machine.release(id);
+        }
+        i
     });
-    group.finish();
 }
 
 /// `earliest_start` on plans with increasing commitment counts — the
 /// inner loop of window permutation search and the fairness drain.
-fn bench_plan_earliest_start(c: &mut Criterion) {
-    let mut group = c.benchmark_group("plan_earliest_start");
+fn bench_plan_earliest_start() {
+    timing::group("plan_earliest_start");
     for commitments in [8usize, 32, 128] {
         // Partitioned plan.
         let mut machine = BgpCluster::intrepid();
@@ -68,24 +63,15 @@ fn bench_plan_earliest_start(c: &mut Criterion) {
                 )
                 .unwrap();
         }
-        group.bench_with_input(
-            BenchmarkId::new("bgp", commitments),
-            &commitments,
-            |b, _| {
-                b.iter(|| {
-                    plan.earliest_start(8192, SimDuration::from_hours(1), now)
-                        .as_secs()
-                });
-            },
-        );
+        timing::bench(&format!("bgp/{commitments}"), || {
+            plan.earliest_start(8192, SimDuration::from_hours(1), now)
+                .as_secs()
+        });
         let _ = ids;
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_allocate_release, bench_plan_earliest_start
+fn main() {
+    bench_allocate_release();
+    bench_plan_earliest_start();
 }
-criterion_main!(benches);

@@ -4,8 +4,7 @@
 //!
 //! Run: `cargo bench -p amjs-bench --bench metrics_overhead`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use amjs_bench::timing;
 use amjs_core::fairshare::fair_start_time;
 use amjs_core::scheduler::QueuedJob;
 use amjs_core::QueuePolicy;
@@ -14,7 +13,7 @@ use amjs_platform::{BgpCluster, Platform};
 use amjs_sim::{SimDuration, SimTime};
 use amjs_workload::WorkloadSpec;
 
-fn bench_utilization_tracker(c: &mut Criterion) {
+fn bench_utilization_tracker() {
     // A month of step changes (two per job, ~4k jobs).
     let mut tracker = UtilizationTracker::new(40_960, SimTime::ZERO);
     for i in 0..8_000i64 {
@@ -23,38 +22,36 @@ fn bench_utilization_tracker(c: &mut Criterion) {
     }
     let end = SimTime::from_secs(8_000 * 300);
 
-    c.bench_function("utilization_trailing_avg_24h", |b| {
-        b.iter(|| tracker.trailing_avg(end, SimDuration::from_hours(24)));
+    timing::group("utilization");
+    timing::bench("utilization_trailing_avg_24h", || {
+        tracker.trailing_avg(end, SimDuration::from_hours(24))
     });
-    c.bench_function("utilization_instant", |b| {
-        b.iter(|| tracker.instant(end));
-    });
+    timing::bench("utilization_instant", || tracker.instant(end));
 }
 
-fn bench_loc_accumulation(c: &mut Criterion) {
-    c.bench_function("loc_record_10k_events", |b| {
-        b.iter(|| {
-            let mut loc = LossOfCapacity::new(40_960);
-            for i in 0..10_000i64 {
-                loc.record_event(
-                    SimTime::from_secs(i * 60),
-                    ((i * 31) % 8_192) as u32,
-                    i % 3 == 0,
-                );
-            }
-            loc.percent()
-        });
+fn bench_loc_accumulation() {
+    timing::group("loss_of_capacity");
+    timing::bench("loc_record_10k_events", || {
+        let mut loc = LossOfCapacity::new(40_960);
+        for i in 0..10_000i64 {
+            loc.record_event(
+                SimTime::from_secs(i * 60),
+                ((i * 31) % 8_192) as u32,
+                i % 3 == 0,
+            );
+        }
+        loc.percent()
     });
 }
 
 /// The per-submission fairness drain at various queue depths — the
 /// runner's second-most-expensive operation after the scheduling pass.
-fn bench_fairness_drain(c: &mut Criterion) {
+fn bench_fairness_drain() {
     let jobs = WorkloadSpec::intrepid_month().generate(3);
     let machine = BgpCluster::intrepid();
     let now = SimTime::from_hours(100);
     let plan = machine.plan(now, &|_| now);
-    let mut group = c.benchmark_group("fairness_drain");
+    timing::group("fairness_drain");
     for depth in [10usize, 50, 200] {
         let queue: Vec<QueuedJob> = jobs
             .iter()
@@ -67,38 +64,35 @@ fn bench_fairness_drain(c: &mut Criterion) {
             })
             .collect();
         let target = queue.last().unwrap().id;
-        group.bench_with_input(BenchmarkId::new("queue", depth), &depth, |b, _| {
-            b.iter(|| {
-                fair_start_time(
-                    &plan,
-                    &queue,
-                    target,
-                    QueuePolicy::Balanced { balance_factor: 1.0 },
-                    now,
-                    16,
-                )
-                .as_secs()
-            });
+        timing::bench(&format!("queue/{depth}"), || {
+            fair_start_time(
+                &plan,
+                &queue,
+                target,
+                QueuePolicy::Balanced {
+                    balance_factor: 1.0,
+                },
+                now,
+                16,
+            )
+            .as_secs()
         });
     }
-    group.finish();
 }
 
 /// Synthetic trace generation throughput (a month in one call).
-fn bench_workload_generation(c: &mut Criterion) {
-    c.bench_function("generate_intrepid_month", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            WorkloadSpec::intrepid_month().generate(seed).len()
-        });
+fn bench_workload_generation() {
+    timing::group("workload");
+    let mut seed = 0u64;
+    timing::bench("generate_intrepid_month", || {
+        seed += 1;
+        WorkloadSpec::intrepid_month().generate(seed).len()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_utilization_tracker, bench_loc_accumulation,
-              bench_fairness_drain, bench_workload_generation
+fn main() {
+    bench_utilization_tracker();
+    bench_loc_accumulation();
+    bench_fairness_drain();
+    bench_workload_generation();
 }
-criterion_main!(benches);

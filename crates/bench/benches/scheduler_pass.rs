@@ -3,9 +3,7 @@
 //!
 //! Run: `cargo bench -p amjs-bench --bench scheduler_pass`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use amjs_bench::harness;
+use amjs_bench::{harness, timing};
 use amjs_core::scheduler::{BackfillMode, QueuedJob, Scheduler};
 use amjs_core::PolicyParams;
 use amjs_platform::{AllocationId, Platform};
@@ -40,26 +38,25 @@ fn busy_machine() -> (amjs_platform::BgpCluster, Vec<(AllocationId, SimTime)>) {
     (machine, releases)
 }
 
-fn bench_queue_depth_scaling(c: &mut Criterion) {
+fn bench_queue_depth_scaling() {
     let (machine, releases) = busy_machine();
     let release_of =
         |id: AllocationId| -> SimTime { releases.iter().find(|&&(i, _)| i == id).unwrap().1 };
     let now = SimTime::from_hours(1);
     let base_plan = machine.plan(now, &release_of);
 
-    let mut group = c.benchmark_group("pass_vs_queue_depth");
+    timing::group("pass_vs_queue_depth");
     for depth in [10usize, 50, 200] {
         let queue = make_queue(depth);
-        group.bench_with_input(BenchmarkId::new("jobs", depth), &depth, |b, _| {
-            let mut sched = Scheduler::new(PolicyParams::new(0.5, 1), BackfillMode::Easy);
-            sched.backfill_depth = Some(harness::BACKFILL_DEPTH);
-            b.iter(|| sched.schedule_pass(now, &queue, &base_plan).starts.len());
+        let mut sched = Scheduler::new(PolicyParams::new(0.5, 1), BackfillMode::Easy);
+        sched.backfill_depth = Some(harness::BACKFILL_DEPTH);
+        timing::bench(&format!("jobs/{depth}"), || {
+            sched.schedule_pass(now, &queue, &base_plan).starts.len()
         });
     }
-    group.finish();
 }
 
-fn bench_backfill_modes(c: &mut Criterion) {
+fn bench_backfill_modes() {
     let (machine, releases) = busy_machine();
     let release_of =
         |id: AllocationId| -> SimTime { releases.iter().find(|&&(i, _)| i == id).unwrap().1 };
@@ -67,23 +64,20 @@ fn bench_backfill_modes(c: &mut Criterion) {
     let base_plan = machine.plan(now, &release_of);
     let queue = make_queue(100);
 
-    let mut group = c.benchmark_group("pass_vs_backfill_mode");
+    timing::group("pass_vs_backfill_mode");
     for (name, mode) in [
         ("none", BackfillMode::None),
         ("easy", BackfillMode::Easy),
         ("conservative", BackfillMode::Conservative),
     ] {
-        group.bench_function(name, |b| {
-            let sched = Scheduler::new(PolicyParams::new(1.0, 1), mode);
-            b.iter(|| sched.schedule_pass(now, &queue, &base_plan).starts.len());
+        let sched = Scheduler::new(PolicyParams::new(1.0, 1), mode);
+        timing::bench(name, || {
+            sched.schedule_pass(now, &queue, &base_plan).starts.len()
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_queue_depth_scaling, bench_backfill_modes
+fn main() {
+    bench_queue_depth_scaling();
+    bench_backfill_modes();
 }
-criterion_main!(benches);

@@ -1,11 +1,9 @@
-//! Criterion version of Table III: scheduler-pass latency vs. window
+//! Timed version of Table III: scheduler-pass latency vs. window
 //! size on a congested Intrepid snapshot.
 //!
 //! Run: `cargo bench -p amjs-bench --bench table3`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use amjs_bench::harness;
+use amjs_bench::{harness, timing};
 use amjs_core::scheduler::{BackfillMode, QueuedJob, Scheduler};
 use amjs_core::PolicyParams;
 use amjs_platform::{AllocationId, BgpCluster, Platform};
@@ -44,27 +42,19 @@ fn snapshot() -> (
     (machine, releases, queue, now)
 }
 
-fn bench_scheduling_iteration(c: &mut Criterion) {
+fn main() {
     let (machine, releases, queue, now) = snapshot();
     let release_of =
         |id: AllocationId| -> SimTime { releases.iter().find(|&&(i, _)| i == id).unwrap().1 };
     let base_plan = machine.plan(now, &release_of);
 
-    let mut group = c.benchmark_group("table3_scheduling_iteration");
+    timing::group("table3_scheduling_iteration");
     for w in 1..=5usize {
-        group.bench_with_input(BenchmarkId::new("window", w), &w, |b, &w| {
-            let mut sched = Scheduler::new(PolicyParams::new(0.5, w), BackfillMode::Easy);
-            sched.easy_protected = Some(harness::EASY_PROTECTED);
-            sched.backfill_depth = Some(harness::BACKFILL_DEPTH);
-            b.iter(|| sched.schedule_pass(now, &queue, &base_plan).starts.len());
+        let mut sched = Scheduler::new(PolicyParams::new(0.5, w), BackfillMode::Easy);
+        sched.easy_protected = Some(harness::EASY_PROTECTED);
+        sched.backfill_depth = Some(harness::BACKFILL_DEPTH);
+        timing::bench(&format!("window/{w}"), || {
+            sched.schedule_pass(now, &queue, &base_plan).starts.len()
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_scheduling_iteration
-}
-criterion_main!(benches);

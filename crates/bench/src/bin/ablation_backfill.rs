@@ -38,12 +38,50 @@ fn main() {
 
     let fcfs = PolicyParams::fcfs();
     let w4 = PolicyParams::new(1.0, 4);
-    let variants = [Variant { label: "no-backfill", policy: fcfs, backfill: BackfillMode::None, protection: ProtectionStyle::PinnedBlocks, easy_protected: Some(1) },
-        Variant { label: "easy/head/pinned", policy: fcfs, backfill: BackfillMode::Easy, protection: ProtectionStyle::PinnedBlocks, easy_protected: Some(1) },
-        Variant { label: "easy/head/flexible", policy: fcfs, backfill: BackfillMode::Easy, protection: ProtectionStyle::TimeFlexible, easy_protected: Some(1) },
-        Variant { label: "easy/window/pinned W=4", policy: w4, backfill: BackfillMode::Easy, protection: ProtectionStyle::PinnedBlocks, easy_protected: None },
-        Variant { label: "easy/head/pinned W=4", policy: w4, backfill: BackfillMode::Easy, protection: ProtectionStyle::PinnedBlocks, easy_protected: Some(1) },
-        Variant { label: "conservative", policy: fcfs, backfill: BackfillMode::Conservative, protection: ProtectionStyle::PinnedBlocks, easy_protected: Some(1) }];
+    let variants = [
+        Variant {
+            label: "no-backfill",
+            policy: fcfs,
+            backfill: BackfillMode::None,
+            protection: ProtectionStyle::PinnedBlocks,
+            easy_protected: Some(1),
+        },
+        Variant {
+            label: "easy/head/pinned",
+            policy: fcfs,
+            backfill: BackfillMode::Easy,
+            protection: ProtectionStyle::PinnedBlocks,
+            easy_protected: Some(1),
+        },
+        Variant {
+            label: "easy/head/flexible",
+            policy: fcfs,
+            backfill: BackfillMode::Easy,
+            protection: ProtectionStyle::TimeFlexible,
+            easy_protected: Some(1),
+        },
+        Variant {
+            label: "easy/window/pinned W=4",
+            policy: w4,
+            backfill: BackfillMode::Easy,
+            protection: ProtectionStyle::PinnedBlocks,
+            easy_protected: None,
+        },
+        Variant {
+            label: "easy/head/pinned W=4",
+            policy: w4,
+            backfill: BackfillMode::Easy,
+            protection: ProtectionStyle::PinnedBlocks,
+            easy_protected: Some(1),
+        },
+        Variant {
+            label: "conservative",
+            policy: fcfs,
+            backfill: BackfillMode::Conservative,
+            protection: ProtectionStyle::PinnedBlocks,
+            easy_protected: Some(1),
+        },
+    ];
 
     let outcomes: Vec<_> = std::thread::scope(|s| {
         let handles: Vec<_> = variants

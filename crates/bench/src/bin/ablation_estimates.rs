@@ -57,7 +57,14 @@ fn main() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    let header = ["config / estimates", "wait(min)", "slowdown", "unfair#", "LoC(%)", "backfills"];
+    let header = [
+        "config / estimates",
+        "wait(min)",
+        "slowdown",
+        "unfair#",
+        "LoC(%)",
+        "backfills",
+    ];
     let rows: Vec<Vec<String>> = outcomes
         .iter()
         .map(|o| {

@@ -64,9 +64,18 @@ fn main() {
     // (64-node partitions allocate exactly).
     let mut spec = WorkloadSpec::intrepid_month();
     spec.size_classes.extend([
-        SizeClass { nodes: 64, weight: 20.0 },
-        SizeClass { nodes: 128, weight: 15.0 },
-        SizeClass { nodes: 256, weight: 10.0 },
+        SizeClass {
+            nodes: 64,
+            weight: 20.0,
+        },
+        SizeClass {
+            nodes: 128,
+            weight: 15.0,
+        },
+        SizeClass {
+            nodes: 256,
+            weight: 10.0,
+        },
     ]);
     let dev_jobs = spec.generate(seed);
     let config = RunConfig::fixed(1.0, 1);

@@ -25,7 +25,11 @@ fn main() {
     let configs: Vec<RunConfig> = multiples
         .iter()
         .map(|&m| {
-            let th = if m.is_infinite() { f64::MAX } else { avg_qd * m };
+            let th = if m.is_infinite() {
+                f64::MAX
+            } else {
+                avg_qd * m
+            };
             RunConfig::bf_adaptive(th).named(if m.is_infinite() {
                 "th=inf (≈FCFS)".to_string()
             } else {
@@ -35,7 +39,13 @@ fn main() {
         .collect();
     let outcomes = harness::run_sweep(harness::intrepid, &jobs, &configs);
 
-    let header = ["threshold", "wait(min)", "unfair#", "LoC(%)", "time at BF=0.5 (%)"];
+    let header = [
+        "threshold",
+        "wait(min)",
+        "unfair#",
+        "LoC(%)",
+        "time at BF=0.5 (%)",
+    ];
     let rows: Vec<Vec<String>> = outcomes
         .iter()
         .map(|o| {

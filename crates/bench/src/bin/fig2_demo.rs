@@ -70,11 +70,7 @@ fn main() {
 
         // Assemble the tentative schedule: running job + starts +
         // reservations.
-        let mut rows = vec![(
-            "job#0 (running)".to_string(),
-            now,
-            SimTime::from_mins(60),
-        )];
+        let mut rows = vec![("job#0 (running)".to_string(), now, SimTime::from_mins(60))];
         for s in &decision.starts {
             let j = queue.iter().find(|j| j.id == s.id).unwrap();
             rows.push((format!("{} start", j.id), now, now + j.walltime));

@@ -21,7 +21,11 @@ const WINDOWS: [usize; 5] = [1, 2, 3, 4, 5];
 fn main() {
     let (seed, fast) = harness::parse_args();
     let jobs = harness::experiment_jobs(seed, fast);
-    eprintln!("fig3: {} jobs, {} configurations", jobs.len(), BFS.len() * WINDOWS.len());
+    eprintln!(
+        "fig3: {} jobs, {} configurations",
+        jobs.len(),
+        BFS.len() * WINDOWS.len()
+    );
 
     let configs: Vec<RunConfig> = BFS
         .iter()

@@ -100,11 +100,7 @@ fn main() {
     results::write_result("fig5.txt", &out);
 
     // CSV: both runs' utilization series on the shared grid.
-    let min_len = outcomes
-        .iter()
-        .map(|o| o.util_instant.len())
-        .min()
-        .unwrap();
+    let min_len = outcomes.iter().map(|o| o.util_instant.len()).min().unwrap();
     let mut cols: Vec<amjs_metrics::TimeSeries> = Vec::new();
     for (tag, o) in [("static", &outcomes[0]), ("adaptive", &outcomes[1])] {
         for (name, s) in [

@@ -93,7 +93,12 @@ fn main() {
         }
     }
 
-    let header = ["configuration", "wait (mean±sd)", "unfair (mean±sd)", "LoC% (mean±sd)"];
+    let header = [
+        "configuration",
+        "wait (mean±sd)",
+        "unfair (mean±sd)",
+        "LoC% (mean±sd)",
+    ];
     let rows: Vec<Vec<String>> = labels
         .iter()
         .enumerate()

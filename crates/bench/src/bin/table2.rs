@@ -37,9 +37,7 @@ fn main() {
     // Base pre-run for the adaptive threshold (also Table II row 1).
     let base = harness::run_one(harness::intrepid(), jobs.clone(), &RunConfig::fixed(1.0, 1));
     let threshold = base.queue_depth.mean_value().unwrap_or(1000.0);
-    eprintln!(
-        "table2: base mean queue depth {threshold:.0} min → adaptive threshold"
-    );
+    eprintln!("table2: base mean queue depth {threshold:.0} min → adaptive threshold");
 
     let configs = vec![
         RunConfig::fixed(1.0, 4),
@@ -52,7 +50,14 @@ fn main() {
     let mut outcomes = vec![base];
     outcomes.extend(harness::run_sweep(harness::intrepid, &jobs, &configs));
 
-    let header = ["configuration", "avg. wait (min)", "unfair #", "LoC (%)", "util", "backfills"];
+    let header = [
+        "configuration",
+        "avg. wait (min)",
+        "unfair #",
+        "LoC (%)",
+        "util",
+        "backfills",
+    ];
     let rows: Vec<Vec<String>> = outcomes
         .iter()
         .map(|o| {
@@ -84,9 +89,7 @@ fn main() {
         -improvement_percent(base_s.loc_percent, twod.loc_percent),
         twod.unfair_jobs as f64 / base_s.unfair_jobs.max(1) as f64,
     ));
-    out.push_str(
-        "(paper: wait -71%, LoC -23%, unfair x2 — shape target, not absolute values)\n",
-    );
+    out.push_str("(paper: wait -71%, LoC -23%, unfair x2 — shape target, not absolute values)\n");
 
     print!("{out}");
     let mut csv = String::from(amjs_metrics::report::csv_header());

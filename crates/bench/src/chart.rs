@@ -14,9 +14,20 @@ const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
 /// Render `series` (name, data) as an ASCII chart of `width`×`height`
 /// characters (plot area, excluding axes). With `log_scale`, values are
 /// plotted as `log10(1 + v)`.
-pub fn ascii_chart(series: &[(&str, &TimeSeries)], width: usize, height: usize, log_scale: bool) -> String {
+pub fn ascii_chart(
+    series: &[(&str, &TimeSeries)],
+    width: usize,
+    height: usize,
+    log_scale: bool,
+) -> String {
     assert!(width >= 10 && height >= 4, "chart too small");
-    let transform = |v: f64| if log_scale { (1.0 + v.max(0.0)).log10() } else { v };
+    let transform = |v: f64| {
+        if log_scale {
+            (1.0 + v.max(0.0)).log10()
+        } else {
+            v
+        }
+    };
 
     // Common extents.
     let mut t_min = f64::INFINITY;
@@ -66,7 +77,11 @@ pub fn ascii_chart(series: &[(&str, &TimeSeries)], width: usize, height: usize, 
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("{:>10} └{}\n", format!("{v_min:.1}"), "─".repeat(width)));
+    out.push_str(&format!(
+        "{:>10} └{}\n",
+        format!("{v_min:.1}"),
+        "─".repeat(width)
+    ));
     out.push_str(&format!(
         "{:>12}{:<w$}{:>8}\n",
         format!("{t_min:.0}h"),
@@ -85,8 +100,18 @@ pub fn gantt(rows: &[(String, amjs_sim::SimTime, amjs_sim::SimTime)], width: usi
     if rows.is_empty() {
         return "(no jobs)\n".to_string();
     }
-    let t0 = rows.iter().map(|&(_, s, _)| s).min().unwrap().as_hours_f64();
-    let t1 = rows.iter().map(|&(_, _, e)| e).max().unwrap().as_hours_f64();
+    let t0 = rows
+        .iter()
+        .map(|&(_, s, _)| s)
+        .min()
+        .unwrap()
+        .as_hours_f64();
+    let t1 = rows
+        .iter()
+        .map(|&(_, _, e)| e)
+        .max()
+        .unwrap()
+        .as_hours_f64();
     let span = (t1 - t0).max(1e-9);
     let label_w = rows.iter().map(|(l, ..)| l.len()).max().unwrap().min(16);
 
@@ -160,8 +185,16 @@ mod tests {
     #[test]
     fn gantt_renders_bars_in_start_order() {
         let rows = vec![
-            ("late".to_string(), SimTime::from_hours(2), SimTime::from_hours(4)),
-            ("early".to_string(), SimTime::from_hours(0), SimTime::from_hours(1)),
+            (
+                "late".to_string(),
+                SimTime::from_hours(2),
+                SimTime::from_hours(4),
+            ),
+            (
+                "early".to_string(),
+                SimTime::from_hours(0),
+                SimTime::from_hours(1),
+            ),
         ];
         let g = gantt(&rows, 40);
         let lines: Vec<&str> = g.lines().collect();

@@ -121,7 +121,11 @@ pub fn run_one<P: Platform>(platform: P, jobs: Vec<Job>, config: &RunConfig) -> 
 /// thread per configuration (each simulation is single-threaded and
 /// deterministic; results come back in input order regardless of
 /// completion order).
-pub fn run_sweep<P, F>(platform_factory: F, jobs: &[Job], configs: &[RunConfig]) -> Vec<SimulationOutcome>
+pub fn run_sweep<P, F>(
+    platform_factory: F,
+    jobs: &[Job],
+    configs: &[RunConfig],
+) -> Vec<SimulationOutcome>
 where
     P: Platform,
     F: Fn() -> P + Sync,
@@ -129,18 +133,17 @@ where
     let mut slots: Vec<Option<SimulationOutcome>> = Vec::new();
     slots.resize_with(configs.len(), || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(configs.len());
         for config in configs {
             let factory = &platform_factory;
             let jobs = jobs.to_vec();
-            handles.push(scope.spawn(move |_| run_one(factory(), jobs, config)));
+            handles.push(scope.spawn(move || run_one(factory(), jobs, config)));
         }
         for (slot, handle) in slots.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("simulation thread panicked"));
         }
-    })
-    .expect("sweep scope panicked");
+    });
 
     slots.into_iter().map(Option::unwrap).collect()
 }

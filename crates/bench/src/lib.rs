@@ -10,9 +10,9 @@
 //! * [`chart`] — ASCII line charts so figure binaries can render the
 //!   paper's plots directly into the terminal and experiment logs;
 //! * [`table`] — aligned text tables for Table-II/III-style output;
-//! * [`results`] — CSV/text output under `results/`.
-//!
-//! Criterion benches (Table III and microbenchmarks) live in `benches/`.
+//! * [`results`] — CSV/text output under `results/`;
+//! * [`timing`] — the self-contained measurement loop the `benches/`
+//!   binaries use (Table III and microbenchmarks).
 
 #![warn(missing_docs)]
 
@@ -20,3 +20,4 @@ pub mod chart;
 pub mod harness;
 pub mod results;
 pub mod table;
+pub mod timing;

@@ -1,0 +1,86 @@
+//! Minimal timing harness for the `[[bench]]` binaries.
+//!
+//! The workspace builds fully offline, so the benches use this
+//! self-contained measurement loop instead of an external framework:
+//! warm up, calibrate an iteration count to a target sample duration,
+//! take several samples, and report the median per-iteration time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of samples per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+
+/// Target wall-clock duration of one sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+
+/// Time `f` and print one `name  median/iter  (iters/sample)` line.
+/// The closure's return value is passed through `black_box` so the
+/// measured work cannot be optimised away.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up and calibration: find an iteration count whose total
+    // runtime is close to the target sample duration.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET_SAMPLE / 2 || iters >= 1 << 24 {
+            if elapsed < TARGET_SAMPLE / 2 {
+                break;
+            }
+            let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = ((iters as f64 * scale).round() as u64).max(1);
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<44} {:>14}  ({iters} iters/sample)",
+        fmt_secs(median)
+    );
+}
+
+/// Human-readable duration: picks ns/µs/ms/s.
+fn fmt_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Print a benchmark-group heading.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_picks_sensible_units() {
+        assert!(fmt_secs(5e-9).ends_with("ns"));
+        assert!(fmt_secs(5e-6).ends_with("µs"));
+        assert!(fmt_secs(5e-3).ends_with("ms"));
+        assert!(fmt_secs(5.0).ends_with('s'));
+    }
+}

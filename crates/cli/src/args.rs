@@ -54,11 +54,7 @@ impl ParsedArgs {
     }
 
     /// Typed value with a default.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(raw) => raw
@@ -163,9 +159,24 @@ mod tests {
 
     fn specs() -> Vec<FlagSpec> {
         vec![
-            FlagSpec { name: "seed", is_bool: false, help: "rng seed", default: Some("42") },
-            FlagSpec { name: "fast", is_bool: true, help: "quick run", default: None },
-            FlagSpec { name: "bf", is_bool: false, help: "balance factors", default: None },
+            FlagSpec {
+                name: "seed",
+                is_bool: false,
+                help: "rng seed",
+                default: Some("42"),
+            },
+            FlagSpec {
+                name: "fast",
+                is_bool: true,
+                help: "quick run",
+                default: None,
+            },
+            FlagSpec {
+                name: "bf",
+                is_bool: false,
+                help: "balance factors",
+                default: None,
+            },
         ]
     }
 
@@ -206,9 +217,18 @@ mod tests {
 
     #[test]
     fn rejects_unknown_and_malformed() {
-        assert!(parse(&argv(&["--nope"]), &specs()).unwrap_err().0.contains("unknown"));
-        assert!(parse(&argv(&["--seed"]), &specs()).unwrap_err().0.contains("needs a value"));
-        assert!(parse(&argv(&["--fast=yes"]), &specs()).unwrap_err().0.contains("takes no value"));
+        assert!(parse(&argv(&["--nope"]), &specs())
+            .unwrap_err()
+            .0
+            .contains("unknown"));
+        assert!(parse(&argv(&["--seed"]), &specs())
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(parse(&argv(&["--fast=yes"]), &specs())
+            .unwrap_err()
+            .0
+            .contains("takes no value"));
     }
 
     #[test]

@@ -24,13 +24,84 @@ pub fn top_level_help() -> String {
 
 fn common_flags() -> Vec<FlagSpec> {
     vec![
-        FlagSpec { name: "help", is_bool: true, help: "show this help", default: None },
-        FlagSpec { name: "machine", is_bool: false, help: "machine model: bgp|flat", default: Some("bgp") },
-        FlagSpec { name: "nodes", is_bool: false, help: "machine size in nodes (bgp: multiple of 512)", default: Some("40960") },
-        FlagSpec { name: "workload", is_bool: false, help: "month|week|small or an SWF file path", default: Some("month") },
-        FlagSpec { name: "seed", is_bool: false, help: "workload generation seed", default: Some("42") },
-        FlagSpec { name: "backfill", is_bool: false, help: "easy|conservative|none", default: Some("easy") },
-        FlagSpec { name: "backfill-depth", is_bool: false, help: "max queued jobs the backfill pass considers", default: Some("unlimited") },
+        FlagSpec {
+            name: "help",
+            is_bool: true,
+            help: "show this help",
+            default: None,
+        },
+        FlagSpec {
+            name: "machine",
+            is_bool: false,
+            help: "machine model: bgp|flat",
+            default: Some("bgp"),
+        },
+        FlagSpec {
+            name: "nodes",
+            is_bool: false,
+            help: "machine size in nodes (bgp: multiple of 512)",
+            default: Some("40960"),
+        },
+        FlagSpec {
+            name: "workload",
+            is_bool: false,
+            help: "month|week|small or an SWF file path",
+            default: Some("month"),
+        },
+        FlagSpec {
+            name: "seed",
+            is_bool: false,
+            help: "workload generation seed",
+            default: Some("42"),
+        },
+        FlagSpec {
+            name: "backfill",
+            is_bool: false,
+            help: "easy|conservative|none",
+            default: Some("easy"),
+        },
+        FlagSpec {
+            name: "backfill-depth",
+            is_bool: false,
+            help: "max queued jobs the backfill pass considers",
+            default: Some("unlimited"),
+        },
+        FlagSpec {
+            name: "node-mtbf",
+            is_bool: false,
+            help: "per-node MTBF in hours; enables failure injection",
+            default: None,
+        },
+        FlagSpec {
+            name: "repair-time",
+            is_bool: false,
+            help: "mean repair time in hours",
+            default: Some("4"),
+        },
+        FlagSpec {
+            name: "repair-sigma",
+            is_bool: false,
+            help: "log-normal repair shape (0 = deterministic)",
+            default: Some("0"),
+        },
+        FlagSpec {
+            name: "failure-seed",
+            is_bool: false,
+            help: "failure process seed",
+            default: Some("64017"),
+        },
+        FlagSpec {
+            name: "max-attempts",
+            is_bool: false,
+            help: "abandon a job after this many failed attempts",
+            default: Some("unlimited"),
+        },
+        FlagSpec {
+            name: "retry-backoff",
+            is_bool: false,
+            help: "re-submit backoff base in minutes (doubles per failure)",
+            default: Some("0"),
+        },
     ]
 }
 
@@ -41,14 +112,54 @@ fn common_flags() -> Vec<FlagSpec> {
 fn simulate_flags() -> Vec<FlagSpec> {
     let mut flags = common_flags();
     flags.extend([
-        FlagSpec { name: "bf", is_bool: false, help: "balance factor in [0,1]", default: Some("1") },
-        FlagSpec { name: "window", is_bool: false, help: "allocation window size W", default: Some("1") },
-        FlagSpec { name: "adaptive", is_bool: false, help: "adaptive scheme: none|bf|w|2d", default: Some("none") },
-        FlagSpec { name: "threshold", is_bool: false, help: "queue-depth threshold (min) for bf/2d tuning", default: Some("base-run average") },
-        FlagSpec { name: "series", is_bool: false, help: "write sampled time series CSV to this path", default: None },
-        FlagSpec { name: "jobs-csv", is_bool: false, help: "write per-job records CSV to this path", default: None },
-        FlagSpec { name: "users", is_bool: true, help: "print per-user service table (top 10 by jobs)", default: None },
-        FlagSpec { name: "estimates", is_bool: false, help: "planning walltimes: raw|adaptive", default: Some("raw") },
+        FlagSpec {
+            name: "bf",
+            is_bool: false,
+            help: "balance factor in [0,1]",
+            default: Some("1"),
+        },
+        FlagSpec {
+            name: "window",
+            is_bool: false,
+            help: "allocation window size W",
+            default: Some("1"),
+        },
+        FlagSpec {
+            name: "adaptive",
+            is_bool: false,
+            help: "adaptive scheme: none|bf|w|2d",
+            default: Some("none"),
+        },
+        FlagSpec {
+            name: "threshold",
+            is_bool: false,
+            help: "queue-depth threshold (min) for bf/2d tuning",
+            default: Some("base-run average"),
+        },
+        FlagSpec {
+            name: "series",
+            is_bool: false,
+            help: "write sampled time series CSV to this path",
+            default: None,
+        },
+        FlagSpec {
+            name: "jobs-csv",
+            is_bool: false,
+            help: "write per-job records CSV to this path",
+            default: None,
+        },
+        FlagSpec {
+            name: "users",
+            is_bool: true,
+            help: "print per-user service table (top 10 by jobs)",
+            default: None,
+        },
+        FlagSpec {
+            name: "estimates",
+            is_bool: false,
+            help: "planning walltimes: raw|adaptive",
+            default: Some("raw"),
+        },
     ]);
     flags
 }
@@ -58,7 +169,10 @@ pub fn simulate(argv: &[String]) -> Result<(), ArgError> {
     let flags = simulate_flags();
     let parsed = parse(argv, &flags)?;
     if parsed.get_bool("help") {
-        println!("amjs simulate — run one policy over a workload\n\n{}", render_flags(&flags));
+        println!(
+            "amjs simulate — run one policy over a workload\n\n{}",
+            render_flags(&flags)
+        );
         return Ok(());
     }
     run_simulate(&parsed)
@@ -69,7 +183,10 @@ pub fn replay(argv: &[String]) -> Result<(), ArgError> {
     let flags = simulate_flags();
     let parsed = parse(argv, &flags)?;
     if parsed.get_bool("help") {
-        println!("amjs replay <trace.swf> — simulate a real SWF trace\n\n{}", render_flags(&flags));
+        println!(
+            "amjs replay <trace.swf> — simulate a real SWF trace\n\n{}",
+            render_flags(&flags)
+        );
         return Ok(());
     }
     let path = parsed
@@ -128,14 +245,7 @@ fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
         machine.kind,
         machine.nodes
     );
-    let outcome = run_simulation(
-        machine,
-        jobs,
-        policy,
-        &policy_flags,
-        scheme,
-        policy.label(),
-    );
+    let outcome = run_simulation(machine, jobs, policy, &policy_flags, scheme, policy.label());
 
     println!("{}", report::table_header());
     println!("{}", outcome.summary.table_row());
@@ -146,12 +256,20 @@ fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
         "scheduler passes: {}; backfilled starts: {}",
         outcome.scheduler_passes, outcome.backfilled_starts
     );
+    if outcome.interrupted_jobs > 0 || outcome.summary.abandoned_jobs > 0 {
+        println!(
+            "failures: {} interruptions, {:.0} node-hours lost, {} jobs abandoned",
+            outcome.interrupted_jobs, outcome.lost_node_hours, outcome.summary.abandoned_jobs
+        );
+    }
     if parsed.get_bool("users") {
         let mut rows = outcome.user_service();
         let gini = amjs_metrics::users::wait_gini(&rows);
         rows.sort_by_key(|r| std::cmp::Reverse(r.jobs));
-        println!("
-per-user service (top 10 by jobs; wait gini {gini:.3}):");
+        println!(
+            "
+per-user service (top 10 by jobs; wait gini {gini:.3}):"
+        );
         println!(
             "{:>6} {:>6} {:>12} {:>12} {:>12}",
             "user", "jobs", "mean wait(m)", "max wait(m)", "node-hours"
@@ -173,6 +291,7 @@ per-user service (top 10 by jobs; wait gini {gini:.3}):");
             &outcome.util_24h,
             &outcome.bf_series,
             &outcome.window_series,
+            &outcome.availability,
         ];
         let csv = amjs_metrics::series::to_csv(&series);
         std::fs::write(path, csv).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
@@ -205,9 +324,24 @@ per-user service (top 10 by jobs; wait gini {gini:.3}):");
 fn sweep_flags() -> Vec<FlagSpec> {
     let mut flags = common_flags();
     flags.extend([
-        FlagSpec { name: "bf", is_bool: false, help: "comma-separated balance factors", default: Some("1,0.75,0.5,0.25,0") },
-        FlagSpec { name: "window", is_bool: false, help: "comma-separated window sizes", default: Some("1,2,4") },
-        FlagSpec { name: "csv", is_bool: false, help: "write the sweep grid CSV to this path", default: None },
+        FlagSpec {
+            name: "bf",
+            is_bool: false,
+            help: "comma-separated balance factors",
+            default: Some("1,0.75,0.5,0.25,0"),
+        },
+        FlagSpec {
+            name: "window",
+            is_bool: false,
+            help: "comma-separated window sizes",
+            default: Some("1,2,4"),
+        },
+        FlagSpec {
+            name: "csv",
+            is_bool: false,
+            help: "write the sweep grid CSV to this path",
+            default: None,
+        },
     ]);
     flags
 }
@@ -217,7 +351,10 @@ pub fn sweep(argv: &[String]) -> Result<(), ArgError> {
     let flags = sweep_flags();
     let parsed = parse(argv, &flags)?;
     if parsed.get_bool("help") {
-        println!("amjs sweep — grid-sweep BF x W in parallel\n\n{}", render_flags(&flags));
+        println!(
+            "amjs sweep — grid-sweep BF x W in parallel\n\n{}",
+            render_flags(&flags)
+        );
         return Ok(());
     }
     let machine = MachineConfig::from_args(&parsed)?;
@@ -286,13 +423,48 @@ pub fn sweep(argv: &[String]) -> Result<(), ArgError> {
 
 fn workload_flags() -> Vec<FlagSpec> {
     vec![
-        FlagSpec { name: "help", is_bool: true, help: "show this help", default: None },
-        FlagSpec { name: "preset", is_bool: false, help: "month|week|small", default: Some("month") },
-        FlagSpec { name: "seed", is_bool: false, help: "generation seed", default: Some("42") },
-        FlagSpec { name: "load-factor", is_bool: false, help: "scale the arrival rate", default: Some("1.0") },
-        FlagSpec { name: "out", is_bool: false, help: "write the trace as SWF to this path", default: None },
-        FlagSpec { name: "stats", is_bool: true, help: "print workload statistics", default: None },
-        FlagSpec { name: "analyze", is_bool: true, help: "print the distribution characterization", default: None },
+        FlagSpec {
+            name: "help",
+            is_bool: true,
+            help: "show this help",
+            default: None,
+        },
+        FlagSpec {
+            name: "preset",
+            is_bool: false,
+            help: "month|week|small",
+            default: Some("month"),
+        },
+        FlagSpec {
+            name: "seed",
+            is_bool: false,
+            help: "generation seed",
+            default: Some("42"),
+        },
+        FlagSpec {
+            name: "load-factor",
+            is_bool: false,
+            help: "scale the arrival rate",
+            default: Some("1.0"),
+        },
+        FlagSpec {
+            name: "out",
+            is_bool: false,
+            help: "write the trace as SWF to this path",
+            default: None,
+        },
+        FlagSpec {
+            name: "stats",
+            is_bool: true,
+            help: "print workload statistics",
+            default: None,
+        },
+        FlagSpec {
+            name: "analyze",
+            is_bool: true,
+            help: "print the distribution characterization",
+            default: None,
+        },
     ]
 }
 
@@ -301,7 +473,10 @@ pub fn workload(argv: &[String]) -> Result<(), ArgError> {
     let flags = workload_flags();
     let parsed = parse(argv, &flags)?;
     if parsed.get_bool("help") {
-        println!("amjs workload — generate a synthetic trace\n\n{}", render_flags(&flags));
+        println!(
+            "amjs workload — generate a synthetic trace\n\n{}",
+            render_flags(&flags)
+        );
         return Ok(());
     }
     let seed = parsed.get_parsed("seed", 42u64)?;
@@ -318,7 +493,11 @@ pub fn workload(argv: &[String]) -> Result<(), ArgError> {
     .with_load_factor(load);
 
     let jobs = spec.generate(seed);
-    println!("generated {} jobs ({}, seed {seed}, load x{load})", jobs.len(), spec.name);
+    println!(
+        "generated {} jobs ({}, seed {seed}, load x{load})",
+        jobs.len(),
+        spec.name
+    );
     if parsed.get_bool("stats") {
         print!("{}", WorkloadStats::compute(&jobs).render(Some(40_960)));
     }
@@ -326,7 +505,10 @@ pub fn workload(argv: &[String]) -> Result<(), ArgError> {
         print!("{}", amjs_workload::analysis::render_report(&jobs));
     }
     if let Some(path) = parsed.get("out") {
-        let header = format!("generated by amjs workload: preset {}, seed {seed}, load x{load}", spec.name);
+        let header = format!(
+            "generated by amjs workload: preset {}, seed {seed}, load x{load}",
+            spec.name
+        );
         let text = swf::write(&jobs, &[&header]);
         std::fs::write(path, text).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
@@ -354,23 +536,81 @@ mod tests {
     #[test]
     fn simulate_runs_a_small_workload() {
         simulate(&argv(&[
-            "--workload", "small", "--machine", "flat", "--nodes", "1024", "--bf", "0.5",
-            "--window", "2", "--users",
+            "--workload",
+            "small",
+            "--machine",
+            "flat",
+            "--nodes",
+            "1024",
+            "--bf",
+            "0.5",
+            "--window",
+            "2",
+            "--users",
         ]))
         .unwrap();
     }
 
     #[test]
     fn simulate_rejects_bad_policy() {
-        assert!(simulate(&argv(&["--bf", "1.5", "--workload", "small", "--machine", "flat", "--nodes", "64"])).is_err());
-        assert!(simulate(&argv(&["--window", "0", "--workload", "small", "--machine", "flat", "--nodes", "64"])).is_err());
+        assert!(simulate(&argv(&[
+            "--bf",
+            "1.5",
+            "--workload",
+            "small",
+            "--machine",
+            "flat",
+            "--nodes",
+            "64"
+        ]))
+        .is_err());
+        assert!(simulate(&argv(&[
+            "--window",
+            "0",
+            "--workload",
+            "small",
+            "--machine",
+            "flat",
+            "--nodes",
+            "64"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_with_failure_injection_runs() {
+        simulate(&argv(&[
+            "--workload",
+            "small",
+            "--machine",
+            "flat",
+            "--nodes",
+            "640",
+            "--node-mtbf",
+            "240",
+            "--repair-time",
+            "0.5",
+            "--max-attempts",
+            "5",
+            "--retry-backoff",
+            "5",
+        ]))
+        .unwrap();
     }
 
     #[test]
     fn sweep_runs_a_tiny_grid() {
         sweep(&argv(&[
-            "--workload", "small", "--machine", "flat", "--nodes", "1024", "--bf", "1,0",
-            "--window", "1",
+            "--workload",
+            "small",
+            "--machine",
+            "flat",
+            "--nodes",
+            "1024",
+            "--bf",
+            "1,0",
+            "--window",
+            "1",
         ]))
         .unwrap();
     }
@@ -381,7 +621,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.swf");
         let path_str = path.to_str().unwrap();
-        workload(&argv(&["--preset", "small", "--seed", "5", "--stats", "--analyze", "--out", path_str])).unwrap();
+        workload(&argv(&[
+            "--preset",
+            "small",
+            "--seed",
+            "5",
+            "--stats",
+            "--analyze",
+            "--out",
+            path_str,
+        ]))
+        .unwrap();
         // The written trace replays.
         replay(&argv(&[path_str, "--machine", "flat", "--nodes", "1024"])).unwrap();
         std::fs::remove_file(path).unwrap();

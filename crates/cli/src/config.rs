@@ -2,10 +2,12 @@
 //! simulation builders.
 
 use amjs_core::adaptive::AdaptiveScheme;
+use amjs_core::failures::{FailureSpec, RepairSpec, RetryPolicy};
 use amjs_core::runner::{SimulationBuilder, SimulationOutcome};
 use amjs_core::scheduler::BackfillMode;
 use amjs_core::PolicyParams;
 use amjs_platform::{BgpCluster, FlatCluster, Platform};
+use amjs_sim::SimDuration;
 use amjs_workload::{swf, Job, WorkloadSpec};
 
 use crate::args::{ArgError, ParsedArgs};
@@ -64,8 +66,8 @@ pub fn load_workload(args: &ParsedArgs) -> Result<(Vec<Job>, String), ArgError> 
         path => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| ArgError(format!("cannot read workload {path:?}: {e}")))?;
-            let parsed =
-                swf::parse(&text).map_err(|e| ArgError(format!("SWF parse error in {path}: {e}")))?;
+            let parsed = swf::parse(&text)
+                .map_err(|e| ArgError(format!("SWF parse error in {path}: {e}")))?;
             if parsed.jobs.is_empty() {
                 return Err(ArgError(format!("{path}: no usable jobs")));
             }
@@ -81,6 +83,64 @@ pub struct PolicyFlags {
     pub adaptive: Option<&'static str>,
     pub threshold: Option<f64>,
     pub estimates: amjs_core::estimates::EstimatePolicy,
+    /// Failure injection, enabled by `--node-mtbf`.
+    pub failures: Option<FailureSpec>,
+    /// Retry behavior for failure-killed jobs.
+    pub retry: RetryPolicy,
+}
+
+/// Parse `--node-mtbf`/`--repair-time`/`--repair-sigma`/`--failure-seed`
+/// into a failure spec (`None` when failure injection is off).
+fn failure_flags(args: &ParsedArgs) -> Result<Option<FailureSpec>, ArgError> {
+    let Some(mtbf_hours) = args.get_opt::<f64>("node-mtbf")? else {
+        return Ok(None);
+    };
+    if mtbf_hours <= 0.0 {
+        return Err(ArgError(format!(
+            "--node-mtbf: must be positive hours, got {mtbf_hours}"
+        )));
+    }
+    let repair_hours: f64 = args.get_parsed("repair-time", 4.0)?;
+    if repair_hours <= 0.0 {
+        return Err(ArgError(format!(
+            "--repair-time: must be positive hours, got {repair_hours}"
+        )));
+    }
+    let sigma: f64 = args.get_parsed("repair-sigma", 0.0)?;
+    if sigma < 0.0 {
+        return Err(ArgError(format!(
+            "--repair-sigma: must be >= 0, got {sigma}"
+        )));
+    }
+    let mean = SimDuration::from_secs((repair_hours * 3600.0) as i64);
+    let repair = if sigma == 0.0 {
+        RepairSpec::Deterministic(mean)
+    } else {
+        RepairSpec::LogNormal { mean, sigma }
+    };
+    Ok(Some(FailureSpec {
+        node_mtbf: SimDuration::from_secs((mtbf_hours * 3600.0) as i64),
+        repair,
+        seed: args.get_parsed("failure-seed", 0xFA11u64)?,
+    }))
+}
+
+/// Parse `--max-attempts`/`--retry-backoff` into a retry policy.
+fn retry_flags(args: &ParsedArgs) -> Result<RetryPolicy, ArgError> {
+    let max_attempts = args.get_opt::<u32>("max-attempts")?;
+    if max_attempts == Some(0) {
+        return Err(ArgError("--max-attempts: must be at least 1".to_string()));
+    }
+    let backoff_mins: f64 = args.get_parsed("retry-backoff", 0.0)?;
+    if backoff_mins < 0.0 {
+        return Err(ArgError(format!(
+            "--retry-backoff: must be >= 0 minutes, got {backoff_mins}"
+        )));
+    }
+    Ok(RetryPolicy {
+        max_attempts,
+        backoff_base: SimDuration::from_secs((backoff_mins * 60.0) as i64),
+    })
 }
 
 impl PolicyFlags {
@@ -118,6 +178,8 @@ impl PolicyFlags {
             adaptive,
             threshold: args.get_opt::<f64>("threshold")?,
             estimates,
+            failures: failure_flags(args)?,
+            retry: retry_flags(args)?,
         })
     }
 
@@ -182,6 +244,8 @@ fn configure<P: Platform>(
         .backfill_depth(flags.backfill_depth)
         .easy_protected(Some(1))
         .estimate_policy(flags.estimates)
+        .failures(flags.failures)
+        .retry_policy(flags.retry)
         .adaptive(scheme)
         .label(label)
 }
@@ -191,15 +255,33 @@ mod tests {
     use super::*;
     use crate::args::{parse, FlagSpec};
 
-    const FLAG_NAMES: [&str; 9] = [
-        "machine", "nodes", "seed", "workload", "backfill", "backfill-depth", "adaptive",
-        "threshold", "estimates",
+    const FLAG_NAMES: [&str; 15] = [
+        "machine",
+        "nodes",
+        "seed",
+        "workload",
+        "backfill",
+        "backfill-depth",
+        "adaptive",
+        "threshold",
+        "estimates",
+        "node-mtbf",
+        "repair-time",
+        "repair-sigma",
+        "failure-seed",
+        "max-attempts",
+        "retry-backoff",
     ];
 
     fn flagset() -> Vec<FlagSpec> {
         FLAG_NAMES
             .iter()
-            .map(|&name| FlagSpec { name, is_bool: false, help: "", default: None })
+            .map(|&name| FlagSpec {
+                name,
+                is_bool: false,
+                help: "",
+                default: None,
+            })
             .collect()
     }
 
@@ -211,19 +293,28 @@ mod tests {
     #[test]
     fn machine_defaults_to_intrepid() {
         let m = MachineConfig::from_args(&parsed(&[])).unwrap();
-        assert_eq!(m, MachineConfig { kind: MachineKind::Bgp, nodes: 40_960 });
+        assert_eq!(
+            m,
+            MachineConfig {
+                kind: MachineKind::Bgp,
+                nodes: 40_960
+            }
+        );
     }
 
     #[test]
     fn machine_validation() {
-        assert!(MachineConfig::from_args(&parsed(&["--machine", "flat", "--nodes", "1000"])).is_ok());
+        assert!(
+            MachineConfig::from_args(&parsed(&["--machine", "flat", "--nodes", "1000"])).is_ok()
+        );
         assert!(MachineConfig::from_args(&parsed(&["--nodes", "1000"])).is_err()); // bgp needs x512
         assert!(MachineConfig::from_args(&parsed(&["--machine", "torus"])).is_err());
     }
 
     #[test]
     fn workload_presets_load() {
-        let (jobs, label) = load_workload(&parsed(&["--workload", "small", "--seed", "3"])).unwrap();
+        let (jobs, label) =
+            load_workload(&parsed(&["--workload", "small", "--seed", "3"])).unwrap();
         assert!(!jobs.is_empty());
         assert!(label.contains("small-test"));
         assert!(load_workload(&parsed(&["--workload", "/no/such/file.swf"])).is_err());
@@ -231,7 +322,15 @@ mod tests {
 
     #[test]
     fn policy_flags_parse() {
-        let f = PolicyFlags::from_args(&parsed(&["--backfill", "conservative", "--adaptive", "2d", "--threshold", "500"])).unwrap();
+        let f = PolicyFlags::from_args(&parsed(&[
+            "--backfill",
+            "conservative",
+            "--adaptive",
+            "2d",
+            "--threshold",
+            "500",
+        ]))
+        .unwrap();
         assert_eq!(f.backfill, BackfillMode::Conservative);
         assert_eq!(f.adaptive, Some("2d"));
         assert_eq!(f.threshold, Some(500.0));
@@ -241,11 +340,90 @@ mod tests {
     }
 
     #[test]
+    fn failure_flags_parse_and_validate() {
+        let f = PolicyFlags::from_args(&parsed(&[])).unwrap();
+        assert!(f.failures.is_none());
+        assert_eq!(f.retry, amjs_core::failures::RetryPolicy::default());
+
+        let f = PolicyFlags::from_args(&parsed(&[
+            "--node-mtbf",
+            "87600",
+            "--repair-time",
+            "2",
+            "--repair-sigma",
+            "0.8",
+            "--failure-seed",
+            "7",
+            "--max-attempts",
+            "3",
+            "--retry-backoff",
+            "10",
+        ]))
+        .unwrap();
+        let spec = f.failures.unwrap();
+        assert_eq!(spec.node_mtbf, amjs_sim::SimDuration::from_hours(87_600));
+        assert_eq!(
+            spec.repair,
+            amjs_core::failures::RepairSpec::LogNormal {
+                mean: amjs_sim::SimDuration::from_hours(2),
+                sigma: 0.8
+            }
+        );
+        assert_eq!(spec.seed, 7);
+        assert_eq!(f.retry.max_attempts, Some(3));
+        assert_eq!(f.retry.backoff_base, amjs_sim::SimDuration::from_mins(10));
+
+        // Sigma 0 means deterministic repair.
+        let f = PolicyFlags::from_args(&parsed(&["--node-mtbf", "1000"])).unwrap();
+        assert_eq!(
+            f.failures.unwrap().repair,
+            amjs_core::failures::RepairSpec::Deterministic(amjs_sim::SimDuration::from_hours(4))
+        );
+
+        assert!(PolicyFlags::from_args(&parsed(&["--node-mtbf", "0"])).is_err());
+        assert!(
+            PolicyFlags::from_args(&parsed(&["--node-mtbf", "10", "--repair-time", "-1"])).is_err()
+        );
+        assert!(PolicyFlags::from_args(&parsed(&["--max-attempts", "0"])).is_err());
+        assert!(PolicyFlags::from_args(&parsed(&["--retry-backoff", "-5"])).is_err());
+    }
+
+    #[test]
+    fn degraded_simulation_reports_downtime() {
+        let (jobs, _) = load_workload(&parsed(&["--workload", "small"])).unwrap();
+        let flags = PolicyFlags::from_args(&parsed(&[
+            "--node-mtbf",
+            "200",
+            "--repair-time",
+            "1",
+            "--max-attempts",
+            "4",
+        ]))
+        .unwrap();
+        let out = run_simulation(
+            MachineConfig {
+                kind: MachineKind::Flat,
+                nodes: 640,
+            },
+            jobs,
+            PolicyParams::fcfs(),
+            &flags,
+            AdaptiveScheme::none(),
+            "degraded".into(),
+        );
+        assert!(out.summary.node_downtime_hours > 0.0);
+        assert!(out.availability.points().iter().any(|&(_, v)| v < 1.0));
+    }
+
+    #[test]
     fn end_to_end_small_simulation() {
         let (jobs, _) = load_workload(&parsed(&["--workload", "small"])).unwrap();
         let flags = PolicyFlags::from_args(&parsed(&[])).unwrap();
         let out = run_simulation(
-            MachineConfig { kind: MachineKind::Flat, nodes: 1024 },
+            MachineConfig {
+                kind: MachineKind::Flat,
+                nodes: 1024,
+            },
             jobs.clone(),
             PolicyParams::fcfs(),
             &flags,

@@ -233,11 +233,15 @@ impl AdaptiveScheme {
             switch_rules: vec![
                 PolicySwitchRule {
                     min_queue_len: 0,
-                    ordering: QueuePolicy::Balanced { balance_factor: 1.0 },
+                    ordering: QueuePolicy::Balanced {
+                        balance_factor: 1.0,
+                    },
                 },
                 PolicySwitchRule {
                     min_queue_len: sjf_at,
-                    ordering: QueuePolicy::Balanced { balance_factor: 0.0 },
+                    ordering: QueuePolicy::Balanced {
+                        balance_factor: 0.0,
+                    },
                 },
                 PolicySwitchRule {
                     min_queue_len: ljf_at,
@@ -392,17 +396,26 @@ mod tests {
         assert!(scheme.is_active());
         assert_eq!(
             scheme.switched_ordering(0),
-            Some(QueuePolicy::Balanced { balance_factor: 1.0 })
+            Some(QueuePolicy::Balanced {
+                balance_factor: 1.0
+            })
         );
         assert_eq!(
             scheme.switched_ordering(9),
-            Some(QueuePolicy::Balanced { balance_factor: 1.0 })
+            Some(QueuePolicy::Balanced {
+                balance_factor: 1.0
+            })
         );
         assert_eq!(
             scheme.switched_ordering(10),
-            Some(QueuePolicy::Balanced { balance_factor: 0.0 })
+            Some(QueuePolicy::Balanced {
+                balance_factor: 0.0
+            })
         );
-        assert_eq!(scheme.switched_ordering(51), Some(QueuePolicy::LargestFirst));
+        assert_eq!(
+            scheme.switched_ordering(51),
+            Some(QueuePolicy::LargestFirst)
+        );
     }
 
     #[test]

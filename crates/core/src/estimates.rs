@@ -72,16 +72,14 @@ impl EstimateAdjuster {
     pub fn planning_walltime(&self, user: u32, requested: SimDuration) -> SimDuration {
         match self.policy {
             EstimatePolicy::Requested => requested,
-            EstimatePolicy::UserAdaptive { min_factor, .. } => {
-                match self.per_user.get(&user) {
-                    None => requested,
-                    Some(&ema) => {
-                        let factor = ema.clamp(min_factor, 1.0);
-                        let secs = (requested.as_secs() as f64 * factor).ceil() as i64;
-                        SimDuration::from_secs(secs.max(1))
-                    }
+            EstimatePolicy::UserAdaptive { min_factor, .. } => match self.per_user.get(&user) {
+                None => requested,
+                Some(&ema) => {
+                    let factor = ema.clamp(min_factor, 1.0);
+                    let secs = (requested.as_secs() as f64 * factor).ceil() as i64;
+                    SimDuration::from_secs(secs.max(1))
                 }
-            }
+            },
         }
     }
 
@@ -94,10 +92,7 @@ impl EstimateAdjuster {
             return;
         }
         let accuracy = (actual.as_secs() as f64 / requested.as_secs() as f64).clamp(0.0, 1.0);
-        let ema = self
-            .per_user
-            .entry(user)
-            .or_insert(accuracy);
+        let ema = self.per_user.entry(user).or_insert(accuracy);
         *ema = (1.0 - alpha) * *ema + alpha * accuracy;
     }
 

@@ -1,23 +1,51 @@
-//! Failure injection — the paper's §V names reliability as the second
-//! "system cost" to fold into the balanced metric set, and the authors'
-//! own prior work (ref. 21, *Fault-aware, utility-based job scheduling
-//! on Blue Gene/P*) schedules around exactly the failures modeled here.
+//! Failure injection and the node lifecycle — the paper's §V names
+//! reliability as the second "system cost" to fold into the balanced
+//! metric set, and the authors' own prior work (ref. 21, *Fault-aware,
+//! utility-based job scheduling on Blue Gene/P*) schedules around
+//! exactly the failures modeled here.
 //!
 //! The model: node failures arrive as a Poisson process over the whole
 //! machine (rate = `total_nodes / node_mtbf`). Each failure hits a
-//! uniformly random node; if that node belongs to a running job's
-//! partition, the job is killed — its progress is lost and it returns
-//! to the queue to run again from scratch (the dominant production
-//! behaviour for non-checkpointing jobs). Failures on idle nodes are
-//! absorbed invisibly, and repair is not modeled (Blue Gene repair
-//! draining is short relative to MTBF at this granularity); what the
-//! metrics expose is the *work lost* to interruptions, which is what a
-//! failure-aware policy would minimize — long-running, large jobs carry
-//! quadratically more exposure, so policies that shorten their
-//! in-flight time reduce lost node-hours.
+//! uniformly random node and takes its failure quantum (the node on a
+//! flat machine, the whole midplane on Blue Gene/P) out of service
+//! until a repair completes. If the node belongs to a running job's
+//! partition, the job is killed — its progress is lost — and the
+//! partition drains: its capacity leaves service the moment the
+//! allocation releases. Repair times follow [`RepairSpec`]
+//! (deterministic or log-normal around a mean), drawn from the same
+//! seeded RNG stream as the failure gaps so a run stays a pure function
+//! of `(configuration, seed)`. Killed jobs re-enter the queue under a
+//! [`RetryPolicy`]: exponential re-submit backoff and an optional
+//! attempt cap after which the job is abandoned. While capacity is out
+//! of service, utilization and Loss of Capacity are computed against
+//! *available* nodes, so the adaptive tuner reacts to outages.
 
 use amjs_sim::rng::Xoshiro256;
 use amjs_sim::{SimDuration, SimTime};
+
+/// Repair-time distribution for a failed node's quantum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RepairSpec {
+    /// Every repair takes exactly this long.
+    Deterministic(SimDuration),
+    /// Log-normal repair time with the given mean and shape `sigma`
+    /// (sigma of the underlying normal; the scale is solved from the
+    /// mean). Captures the heavy tail of hardware replacement.
+    LogNormal {
+        /// Mean repair duration.
+        mean: SimDuration,
+        /// Shape parameter of the log-normal (≥ 0).
+        sigma: f64,
+    },
+}
+
+impl RepairSpec {
+    /// A production-flavored default: four-hour deterministic repair
+    /// (service action + reboot of a midplane).
+    pub fn bgp_default() -> Self {
+        RepairSpec::Deterministic(SimDuration::from_hours(4))
+    }
+}
 
 /// Configuration of the failure process.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,16 +55,20 @@ pub struct FailureSpec {
     /// observed node MTBFs on the order of years; tens of failures per
     /// month at Intrepid scale.
     pub node_mtbf: SimDuration,
+    /// How long a failed quantum stays out of service.
+    pub repair: RepairSpec,
     /// Seed of the failure process (independent of the workload seed).
     pub seed: u64,
 }
 
 impl FailureSpec {
     /// A production-flavored default: 50-year node MTBF → roughly one
-    /// machine-level failure per 10.7 hours on 40,960 nodes.
+    /// machine-level failure per 10.7 hours on 40,960 nodes, with
+    /// four-hour deterministic repairs.
     pub fn bgp_production(seed: u64) -> Self {
         FailureSpec {
             node_mtbf: SimDuration::from_hours(50 * 365 * 24),
+            repair: RepairSpec::bgp_default(),
             seed,
         }
     }
@@ -48,12 +80,55 @@ impl FailureSpec {
     }
 }
 
-/// The runtime state of the failure process: draws inter-arrival gaps
-/// and victim nodes deterministically.
+/// What happens to a job interrupted by a failure: how long it waits
+/// before re-entering the queue and when it is given up on entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of *execution attempts* per job (first run plus
+    /// re-runs). `None` = retry forever (the pre-lifecycle behavior).
+    pub max_attempts: Option<u32>,
+    /// Base of the exponential re-submit backoff: after the `k`-th
+    /// failure the job re-enters the queue `base * 2^(k-1)` later.
+    /// [`SimDuration::ZERO`] re-queues immediately.
+    pub backoff_base: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: None,
+            backoff_base: SimDuration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether a job that has now failed `failures` times is abandoned
+    /// instead of re-queued.
+    pub fn abandons_after(&self, failures: u32) -> bool {
+        self.max_attempts.is_some_and(|cap| failures >= cap)
+    }
+
+    /// Delay before the `failures`-th failure's re-submission
+    /// (`failures` ≥ 1). Doubling is capped at 2^20 to avoid overflow
+    /// on absurd attempt counts.
+    pub fn resubmit_delay(&self, failures: u32) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let factor = 1i64 << (failures - 1).min(20);
+        SimDuration::from_secs(self.backoff_base.as_secs().saturating_mul(factor))
+    }
+}
+
+/// The runtime state of the failure process: draws inter-arrival gaps,
+/// victim nodes, and repair durations deterministically from one
+/// seeded stream.
 #[derive(Clone, Debug)]
 pub struct FailureProcess {
     rng: Xoshiro256,
     machine_mtbf_secs: f64,
+    repair: RepairSpec,
     total_nodes: u32,
 }
 
@@ -63,6 +138,7 @@ impl FailureProcess {
         FailureProcess {
             rng: Xoshiro256::seed_from_u64(spec.seed),
             machine_mtbf_secs: spec.machine_mtbf_secs(total_nodes),
+            repair: spec.repair,
             total_nodes,
         }
     }
@@ -75,10 +151,24 @@ impl FailureProcess {
     }
 
     /// Pick the failing node: uniform over the machine. The caller maps
-    /// it onto running jobs by cumulative occupied-node count; values at
-    /// or beyond the occupied total mean the failure hit an idle node.
+    /// it onto the platform via `Platform::mark_down`; failures landing
+    /// on already-down capacity are absorbed.
     pub fn victim_node(&mut self) -> u32 {
         self.rng.next_below(self.total_nodes as u64) as u32
+    }
+
+    /// Draw the repair duration for a fresh failure (at least one
+    /// second, so the repair event lands strictly after the failure).
+    pub fn repair_duration(&mut self) -> SimDuration {
+        let secs = match self.repair {
+            RepairSpec::Deterministic(d) => d.as_secs() as f64,
+            RepairSpec::LogNormal { mean, sigma } => {
+                // Solve the scale from the mean: E[X] = exp(mu + s²/2).
+                let mu = (mean.as_secs() as f64).max(1.0).ln() - sigma * sigma / 2.0;
+                self.rng.next_lognormal(mu, sigma)
+            }
+        };
+        SimDuration::from_secs((secs as i64).max(1))
     }
 }
 
@@ -86,16 +176,24 @@ impl FailureProcess {
 mod tests {
     use super::*;
 
+    fn spec(mtbf_hours: i64, seed: u64) -> FailureSpec {
+        FailureSpec {
+            node_mtbf: SimDuration::from_hours(mtbf_hours),
+            repair: RepairSpec::bgp_default(),
+            seed,
+        }
+    }
+
     #[test]
     fn machine_rate_scales_with_nodes() {
-        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(1000), seed: 1 };
+        let spec = spec(1000, 1);
         assert!((spec.machine_mtbf_secs(10) - 360_000.0).abs() < 1e-9);
         assert!((spec.machine_mtbf_secs(1000) - 3_600.0).abs() < 1e-9);
     }
 
     #[test]
     fn failure_instants_are_increasing_and_deterministic() {
-        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(100), seed: 9 };
+        let spec = spec(100, 9);
         let mut a = FailureProcess::new(spec, 100);
         let mut b = FailureProcess::new(spec, 100);
         let mut now = SimTime::ZERO;
@@ -111,7 +209,7 @@ mod tests {
     #[test]
     fn empirical_rate_matches_mtbf() {
         // 100 nodes at 100-hour node MTBF → machine MTBF = 1 hour.
-        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(100), seed: 3 };
+        let spec = spec(100, 3);
         let mut p = FailureProcess::new(spec, 100);
         let mut now = SimTime::ZERO;
         let mut count = 0u32;
@@ -129,7 +227,7 @@ mod tests {
 
     #[test]
     fn victims_cover_the_machine() {
-        let spec = FailureSpec { node_mtbf: SimDuration::from_hours(1), seed: 5 };
+        let spec = spec(1, 5);
         let mut p = FailureProcess::new(spec, 16);
         let mut seen = [false; 16];
         for _ in 0..1000 {
@@ -143,5 +241,70 @@ mod tests {
         let spec = FailureSpec::bgp_production(1);
         let mtbf_hours = spec.machine_mtbf_secs(40_960) / 3600.0;
         assert!((10.0..=11.5).contains(&mtbf_hours), "mtbf={mtbf_hours:.1}h");
+    }
+
+    #[test]
+    fn deterministic_repair_is_exact() {
+        let mut p = FailureProcess::new(
+            FailureSpec {
+                node_mtbf: SimDuration::from_hours(100),
+                repair: RepairSpec::Deterministic(SimDuration::from_hours(2)),
+                seed: 7,
+            },
+            64,
+        );
+        for _ in 0..10 {
+            assert_eq!(p.repair_duration(), SimDuration::from_hours(2));
+        }
+    }
+
+    #[test]
+    fn lognormal_repair_matches_mean_and_is_deterministic() {
+        let make = || {
+            FailureProcess::new(
+                FailureSpec {
+                    node_mtbf: SimDuration::from_hours(100),
+                    repair: RepairSpec::LogNormal {
+                        mean: SimDuration::from_hours(4),
+                        sigma: 0.8,
+                    },
+                    seed: 11,
+                },
+                64,
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let da = a.repair_duration();
+            assert_eq!(da, b.repair_duration());
+            assert!(da >= SimDuration::from_secs(1));
+            sum += da.as_secs() as f64;
+        }
+        let mean_hours = sum / n as f64 / 3600.0;
+        assert!((mean_hours - 4.0).abs() < 0.2, "mean={mean_hours:.2}h");
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles() {
+        let p = RetryPolicy {
+            max_attempts: Some(3),
+            backoff_base: SimDuration::from_secs(100),
+        };
+        assert_eq!(p.resubmit_delay(1), SimDuration::from_secs(100));
+        assert_eq!(p.resubmit_delay(2), SimDuration::from_secs(200));
+        assert_eq!(p.resubmit_delay(3), SimDuration::from_secs(400));
+        assert!(!p.abandons_after(2));
+        assert!(p.abandons_after(3));
+        assert!(p.abandons_after(4));
+    }
+
+    #[test]
+    fn default_retry_policy_is_pre_lifecycle_behavior() {
+        let p = RetryPolicy::default();
+        assert!(!p.abandons_after(1_000_000));
+        assert_eq!(p.resubmit_delay(30), SimDuration::ZERO);
     }
 }

@@ -110,18 +110,25 @@ mod tests {
     }
 
     fn fcfs() -> QueuePolicy {
-        QueuePolicy::Balanced { balance_factor: 1.0 }
+        QueuePolicy::Balanced {
+            balance_factor: 1.0,
+        }
     }
 
     fn sjf() -> QueuePolicy {
-        QueuePolicy::Balanced { balance_factor: 0.0 }
+        QueuePolicy::Balanced {
+            balance_factor: 0.0,
+        }
     }
 
     #[test]
     fn empty_machine_fair_start_is_now() {
         let plan = FlatPlan::new(t(100), 64, &[]);
         let q = vec![qj(0, 100, 32, 600)];
-        assert_eq!(fair_start_time(&plan, &q, JobId(0), fcfs(), t(100), usize::MAX), t(100));
+        assert_eq!(
+            fair_start_time(&plan, &q, JobId(0), fcfs(), t(100), usize::MAX),
+            t(100)
+        );
     }
 
     #[test]
@@ -130,9 +137,15 @@ mod tests {
         // now+50); j1 100 nodes [50,100); target j2 100 nodes → 100.
         let plan = FlatPlan::new(t(0), 100, &[]);
         let q = vec![qj(0, 0, 100, 50), qj(1, 1, 100, 50), qj(2, 2, 100, 50)];
-        assert_eq!(fair_start_time(&plan, &q, JobId(2), fcfs(), t(2), usize::MAX), t(102));
+        assert_eq!(
+            fair_start_time(&plan, &q, JobId(2), fcfs(), t(2), usize::MAX),
+            t(102)
+        );
         // The head's fair start is immediate.
-        assert_eq!(fair_start_time(&plan, &q, JobId(0), fcfs(), t(2), usize::MAX), t(2));
+        assert_eq!(
+            fair_start_time(&plan, &q, JobId(0), fcfs(), t(2), usize::MAX),
+            t(2)
+        );
     }
 
     #[test]
@@ -142,7 +155,10 @@ mod tests {
         // j0's reservation → fair start = now.
         let plan = FlatPlan::new(t(0), 100, &[(80, t(100))]);
         let q = vec![qj(0, 0, 100, 100), qj(1, 5, 20, 50)];
-        assert_eq!(fair_start_time(&plan, &q, JobId(1), fcfs(), t(10), usize::MAX), t(10));
+        assert_eq!(
+            fair_start_time(&plan, &q, JobId(1), fcfs(), t(10), usize::MAX),
+            t(10)
+        );
     }
 
     #[test]
@@ -154,11 +170,20 @@ mod tests {
         // FCFS: j1 waits for j0's slot... j0 [now, now+5000); j1 can't
         // overlap (50+50+50 > 100) → j1 at 1000+... j0 takes the free 50
         // now; at t=1000 base releases → j1 at 1000.
-        assert_eq!(fair_start_time(&plan, &q, JobId(1), fcfs(), t(20), usize::MAX), t(1000));
+        assert_eq!(
+            fair_start_time(&plan, &q, JobId(1), fcfs(), t(20), usize::MAX),
+            t(1000)
+        );
         // SJF: j1 sorts first and takes the free slot immediately.
-        assert_eq!(fair_start_time(&plan, &q, JobId(1), sjf(), t(20), usize::MAX), t(20));
+        assert_eq!(
+            fair_start_time(&plan, &q, JobId(1), sjf(), t(20), usize::MAX),
+            t(20)
+        );
         // ...and j0 follows as soon as j1's 100 s slot frees at t=120.
-        assert_eq!(fair_start_time(&plan, &q, JobId(0), sjf(), t(20), usize::MAX), t(120));
+        assert_eq!(
+            fair_start_time(&plan, &q, JobId(0), sjf(), t(20), usize::MAX),
+            t(120)
+        );
     }
 
     #[test]

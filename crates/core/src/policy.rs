@@ -116,8 +116,7 @@ impl QueuePolicy {
                 }
             }
         };
-        let mut keyed: Vec<(f64, QueuedJob)> =
-            queue.iter().map(|j| (key(j), j.clone())).collect();
+        let mut keyed: Vec<(f64, QueuedJob)> = queue.iter().map(|j| (key(j), j.clone())).collect();
         keyed.sort_by(|(ka, a), (kb, b)| {
             kb.partial_cmp(ka)
                 .unwrap_or(Ordering::Equal)
@@ -173,7 +172,10 @@ mod tests {
     fn balanced_bf1_is_fcfs_order() {
         let now = SimTime::from_secs(10_000);
         let mut q = vec![qj(2, 300, 5), qj(0, 100, 500), qj(1, 200, 50)];
-        QueuePolicy::Balanced { balance_factor: 1.0 }.sort(&mut q, now);
+        QueuePolicy::Balanced {
+            balance_factor: 1.0,
+        }
+        .sort(&mut q, now);
         assert_eq!(ids(&q), vec![0, 1, 2]);
     }
 
@@ -181,7 +183,10 @@ mod tests {
     fn balanced_bf0_is_sjf_order() {
         let now = SimTime::from_secs(10_000);
         let mut q = vec![qj(0, 100, 500), qj(1, 200, 50), qj(2, 300, 5)];
-        QueuePolicy::Balanced { balance_factor: 0.0 }.sort(&mut q, now);
+        QueuePolicy::Balanced {
+            balance_factor: 0.0,
+        }
+        .sort(&mut q, now);
         assert_eq!(ids(&q), vec![2, 1, 0]);
     }
 
@@ -192,7 +197,10 @@ mod tests {
         // identical S_w. All priorities equal: stable FCFS order by
         // (submit, id).
         let mut q = vec![qj(3, 500, 60), qj(1, 100, 60), qj(2, 100, 60)];
-        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut q, now);
+        QueuePolicy::Balanced {
+            balance_factor: 0.5,
+        }
+        .sort(&mut q, now);
         assert_eq!(ids(&q), vec![1, 2, 3]);
     }
 
@@ -217,9 +225,15 @@ mod tests {
     #[test]
     fn empty_and_single_queues_are_noops() {
         let mut empty: Vec<QueuedJob> = vec![];
-        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut empty, SimTime::ZERO);
+        QueuePolicy::Balanced {
+            balance_factor: 0.5,
+        }
+        .sort(&mut empty, SimTime::ZERO);
         let mut single = vec![qj(0, 0, 10)];
-        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut single, SimTime::ZERO);
+        QueuePolicy::Balanced {
+            balance_factor: 0.5,
+        }
+        .sort(&mut single, SimTime::ZERO);
         assert_eq!(ids(&single), vec![0]);
     }
 
@@ -228,10 +242,16 @@ mod tests {
         let now = SimTime::from_secs(1000);
         // a: Sw=100, Sr=0 → Sp(0.5)=50. b: Sw=50, Sr=100 → Sp=75.
         let mut q = vec![qj(0, 0, 100), qj(1, 500, 10)];
-        QueuePolicy::Balanced { balance_factor: 0.5 }.sort(&mut q, now);
+        QueuePolicy::Balanced {
+            balance_factor: 0.5,
+        }
+        .sort(&mut q, now);
         assert_eq!(ids(&q), vec![1, 0]);
         // At BF=0.8 the older job wins: 80 vs 0.8*50+0.2*100 = 60.
-        QueuePolicy::Balanced { balance_factor: 0.8 }.sort(&mut q, now);
+        QueuePolicy::Balanced {
+            balance_factor: 0.8,
+        }
+        .sort(&mut q, now);
         assert_eq!(ids(&q), vec![0, 1]);
     }
 }

@@ -24,10 +24,8 @@
 use std::collections::HashMap;
 
 use amjs_metrics::report::MetricsSummary;
-use amjs_metrics::{
-    FairnessTracker, LossOfCapacity, TimeSeries, UtilizationTracker, WaitStats,
-};
-use amjs_platform::{AllocationId, Platform};
+use amjs_metrics::{FairnessTracker, LossOfCapacity, TimeSeries, UtilizationTracker, WaitStats};
+use amjs_platform::{AllocationId, DrainOutcome, Platform};
 use amjs_sim::event::Priority;
 use amjs_sim::{Engine, EventQueue, SimDuration, SimTime, World};
 use amjs_workload::{Job, JobId};
@@ -36,7 +34,7 @@ use amjs_metrics::energy::{energy_report, EnergyModel, EnergyReport};
 
 use crate::adaptive::{AdaptiveScheme, MonitoredMetric};
 use crate::estimates::{EstimateAdjuster, EstimatePolicy};
-use crate::failures::{FailureProcess, FailureSpec};
+use crate::failures::{FailureProcess, FailureSpec, RetryPolicy};
 use crate::fairshare::fair_start_time;
 use crate::scheduler::{BackfillMode, ProtectionStyle, QueuedJob, Scheduler};
 use crate::PolicyParams;
@@ -53,6 +51,10 @@ enum Ev {
     Finish(JobId, u32),
     /// A node fails somewhere in the machine (failure injection).
     Fail,
+    /// The failure quantum containing this node returns to service.
+    Repair(u32),
+    /// A killed job's retry backoff expired; it re-enters the queue.
+    Resubmit(usize),
     /// Metric sampling / adaptive tuning check point.
     Tick,
 }
@@ -111,6 +113,9 @@ pub struct SimulationOutcome {
     pub bf_series: TimeSeries,
     /// Window size in effect at each check point.
     pub window_series: TimeSeries,
+    /// In-service fraction of the machine at each check point (1.0
+    /// everywhere when failure injection is off).
+    pub availability: TimeSeries,
     /// Per-job submit/start/end records, in completion order.
     pub per_job: Vec<JobOutcome>,
     /// Jobs dropped at load because they exceed the machine.
@@ -175,6 +180,7 @@ pub struct SimulationBuilder<P: Platform> {
     backfill_depth: Option<usize>,
     protection: ProtectionStyle,
     failures: Option<FailureSpec>,
+    retry: RetryPolicy,
     energy_model: Option<EnergyModel>,
     estimate_policy: EstimatePolicy,
     checkpoint_interval: Option<SimDuration>,
@@ -201,6 +207,7 @@ impl<P: Platform> SimulationBuilder<P> {
             backfill_depth: None,
             protection: ProtectionStyle::PinnedBlocks,
             failures: None,
+            retry: RetryPolicy::default(),
             energy_model: None,
             estimate_policy: EstimatePolicy::Requested,
             checkpoint_interval: None,
@@ -291,6 +298,13 @@ impl<P: Platform> SimulationBuilder<P> {
         self
     }
 
+    /// How killed jobs are retried (see [`RetryPolicy`]). The default
+    /// retries forever with no backoff — the historical behavior.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Enable application-level checkpointing: jobs save their progress
     /// every `interval`, so a failure only destroys the work since the
     /// last checkpoint and the rerun resumes from it. Without this, a
@@ -376,15 +390,21 @@ impl<P: Platform> SimulationBuilder<P> {
             util_24h: TimeSeries::new("util_24h"),
             bf_series: TimeSeries::new("balance_factor"),
             window_series: TimeSeries::new("window_size"),
+            availability: TimeSeries::new("availability"),
+            down_track: UtilizationTracker::new(total_nodes, SimTime::ZERO),
             per_job: Vec::with_capacity(jobs.len()),
             sample_interval: self.sample_interval,
             remaining_submits: jobs.len(),
             scheduler_passes: 0,
             backfilled_starts: 0,
             interrupted_jobs: 0,
+            abandoned_jobs: 0,
+            pending_resubmits: 0,
             lost_node_secs: 0.0,
             started_once: std::collections::HashSet::new(),
             generations: HashMap::new(),
+            failure_counts: HashMap::new(),
+            retry: self.retry,
             estimates: EstimateAdjuster::new(self.estimate_policy),
             checkpoint_interval: self.checkpoint_interval,
             saved_progress: HashMap::new(),
@@ -411,26 +431,53 @@ impl<P: Platform> SimulationBuilder<P> {
         }
 
         let stats = Engine::new().run(&mut world, &mut queue);
+        // Abandoned jobs (retry budget exhausted) legitimately never
+        // complete; everything else must have drained.
         assert!(
-            world.queue.is_empty() && world.running.is_empty(),
-            "simulation ended with live jobs — event wiring bug"
+            world.queue.is_empty() && world.running.is_empty() && world.pending_resubmits == 0,
+            "simulation ended with live jobs — event wiring bug \
+             ({} abandoned jobs are accounted separately)",
+            world.abandoned_jobs,
         );
 
         let end = world.last_end.max(stats.end_time);
+        // Utilization and LoC are normalized against *available*
+        // node-seconds: installed capacity minus the integral of the
+        // out-of-service level, so outages don't read as scheduler
+        // inefficiency. With failures off the down integral is exactly
+        // zero and both reduce to the classic definitions.
+        let busy_int = world.util.busy_node_secs(end);
+        let down_int = world.down_track.busy_node_secs(end);
+        let available_node_secs = total_nodes as f64 * world.util.elapsed_secs(end) - down_int;
+        let loc_percent = match world.loc.event_span() {
+            Some((first, last)) if last > first => {
+                let span_down =
+                    world.down_track.busy_node_secs(last) - world.down_track.busy_node_secs(first);
+                let denom = total_nodes as f64 * (last - first).as_secs() as f64 - span_down;
+                if denom > 0.0 {
+                    world.loc.lost_node_secs() / denom * 100.0
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        };
         let summary = MetricsSummary {
             label,
             jobs_completed: world.per_job.len(),
             avg_wait_mins: world.wait.mean_mins(),
             max_wait_mins: world.wait.max_mins(),
             unfair_jobs: world.fairness.unfair_count(),
-            loc_percent: world.loc.percent(),
-            avg_utilization: if end > SimTime::ZERO {
-                world.util.overall_avg(end)
+            loc_percent,
+            avg_utilization: if available_node_secs > 0.0 {
+                busy_int / available_node_secs
             } else {
                 0.0
             },
             mean_bounded_slowdown: world.wait.mean_bounded_slowdown(),
             makespan: end - SimTime::ZERO,
+            node_downtime_hours: down_int / 3600.0,
+            abandoned_jobs: world.abandoned_jobs,
         };
         let energy = self
             .energy_model
@@ -444,6 +491,7 @@ impl<P: Platform> SimulationBuilder<P> {
             util_24h: world.util_24h,
             bf_series: world.bf_series,
             window_series: world.window_series,
+            availability: world.availability,
             per_job: world.per_job,
             skipped_oversized,
             scheduler_passes: world.scheduler_passes,
@@ -476,18 +524,30 @@ struct Runner<P: Platform> {
     util_24h: TimeSeries,
     bf_series: TimeSeries,
     window_series: TimeSeries,
+    availability: TimeSeries,
+    /// Integral of the out-of-service node level ("busy" = down), the
+    /// downtime denominator correction for utilization and LoC.
+    down_track: UtilizationTracker,
     per_job: Vec<JobOutcome>,
     sample_interval: SimDuration,
     remaining_submits: usize,
     scheduler_passes: u64,
     backfilled_starts: u64,
     interrupted_jobs: u64,
+    /// Jobs dropped after exhausting [`RetryPolicy::max_attempts`].
+    abandoned_jobs: usize,
+    /// Backoff re-submissions scheduled but not yet delivered (keeps
+    /// the failure/tick processes alive while jobs are off-queue).
+    pending_resubmits: usize,
     lost_node_secs: f64,
     /// Jobs whose *first* start has been recorded (wait/fairness are
     /// measured to the first start; failure re-runs don't re-count).
     started_once: std::collections::HashSet<JobId>,
     /// Next attempt number per interrupted job.
     generations: HashMap<JobId, u32>,
+    /// Failures suffered so far, per job (drives the retry policy).
+    failure_counts: HashMap<JobId, u32>,
+    retry: RetryPolicy,
     /// Per-user walltime-accuracy model (planning estimates).
     estimates: EstimateAdjuster,
     /// Checkpoint interval, when checkpointing is enabled.
@@ -499,9 +559,14 @@ struct Runner<P: Platform> {
 }
 
 impl<P: Platform> Runner<P> {
+    /// The queue as the scheduler sees it. Jobs too large for the
+    /// capacity currently in service are held back entirely — planning
+    /// them would promise capacity that is down (and the permutation
+    /// search treats an unplaceable job as a hard error).
     fn queued_jobs(&self) -> Vec<QueuedJob> {
         self.queue
             .iter()
+            .filter(|&&i| self.platform.could_ever_allocate(self.jobs[i].nodes))
             .map(|&i| {
                 let j = &self.jobs[i];
                 QueuedJob {
@@ -533,19 +598,28 @@ impl<P: Platform> Runner<P> {
         self.generations.get(&job).copied().unwrap_or(0)
     }
 
+    /// Record the machine's busy and out-of-service levels after any
+    /// change to allocations or the down set. "Busy" is measured
+    /// against in-service capacity (down nodes are neither busy nor
+    /// idle).
+    fn note_capacity(&mut self, now: SimTime) {
+        let available = self.platform.available_nodes();
+        self.util
+            .set_busy(now, available - self.platform.idle_nodes());
+        self.down_track
+            .set_busy(now, self.platform.total_nodes() - available);
+    }
+
     /// Kill the running job hit by a node failure: release its
-    /// partition, account the lost progress, and put it back in the
-    /// queue (it will rerun from scratch).
-    fn kill_job(&mut self, id: JobId, now: SimTime) {
+    /// partition, account the lost progress, and hand it to the retry
+    /// policy (re-queue now, re-queue after backoff, or abandon).
+    fn kill_job(&mut self, id: JobId, now: SimTime, events: &mut EventQueue<Ev>) {
         let running = self
             .running
             .remove(&id)
             .expect("kill_job victim must be running");
         let freed = self.platform.release(running.alloc);
-        self.util.set_busy(
-            now,
-            self.platform.total_nodes() - self.platform.idle_nodes(),
-        );
+        self.note_capacity(now);
         let elapsed = (now - running.start).max_zero();
         // With checkpointing, whole intervals of progress survive the
         // failure; only the tail since the last checkpoint is lost.
@@ -558,10 +632,7 @@ impl<P: Platform> Runner<P> {
         };
         if !banked.is_zero() {
             let job = &self.jobs[running.trace_idx];
-            let entry = self
-                .saved_progress
-                .entry(id)
-                .or_insert(SimDuration::ZERO);
+            let entry = self.saved_progress.entry(id).or_insert(SimDuration::ZERO);
             // Cap: never bank the full runtime, or the rerun would be
             // zero-length.
             *entry = (*entry + banked).min(job.runtime - SimDuration::from_secs(1));
@@ -570,7 +641,27 @@ impl<P: Platform> Runner<P> {
         self.lost_node_secs += freed as f64 * lost.max_zero().as_secs() as f64;
         self.interrupted_jobs += 1;
         self.generations.insert(id, running.gen + 1);
-        self.queue.push(running.trace_idx);
+        let failures = {
+            let count = self.failure_counts.entry(id).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if self.retry.abandons_after(failures) {
+            self.abandoned_jobs += 1;
+            self.saved_progress.remove(&id);
+            return;
+        }
+        let delay = self.retry.resubmit_delay(failures);
+        if delay.is_zero() {
+            self.queue.push(running.trace_idx);
+        } else {
+            self.pending_resubmits += 1;
+            events.schedule_with(
+                now + delay,
+                Priority::Arrival,
+                Ev::Resubmit(running.trace_idx),
+            );
+        }
     }
 
     /// Queue depth in minutes: the sum of waiting time accrued so far by
@@ -624,11 +715,7 @@ impl<P: Platform> Runner<P> {
                 .copied()
                 .unwrap_or(SimDuration::ZERO);
             let remaining = (job.runtime - saved).max(SimDuration::from_secs(1));
-            events.schedule_with(
-                now + remaining,
-                Priority::Release,
-                Ev::Finish(job.id, gen),
-            );
+            events.schedule_with(now + remaining, Priority::Release, Ev::Finish(job.id, gen));
 
             if self.started_once.insert(job.id) {
                 let wait = (now - job.submit).max_zero();
@@ -642,8 +729,7 @@ impl<P: Platform> Runner<P> {
                 self.backfilled_starts += 1;
             }
         }
-        self.util
-            .set_busy(now, self.platform.total_nodes() - self.platform.idle_nodes());
+        self.note_capacity(now);
     }
 
     /// Record a Loss-of-Capacity scheduling event (after the pass).
@@ -662,14 +748,22 @@ impl<P: Platform> Runner<P> {
         self.util_instant.push(now, self.util.instant(now));
         self.util_1h
             .push(now, self.util.trailing_avg(now, SimDuration::from_hours(1)));
-        self.util_10h
-            .push(now, self.util.trailing_avg(now, SimDuration::from_hours(10)));
-        self.util_24h
-            .push(now, self.util.trailing_avg(now, SimDuration::from_hours(24)));
+        self.util_10h.push(
+            now,
+            self.util.trailing_avg(now, SimDuration::from_hours(10)),
+        );
+        self.util_24h.push(
+            now,
+            self.util.trailing_avg(now, SimDuration::from_hours(24)),
+        );
         self.bf_series
             .push(now, self.scheduler.policy.balance_factor);
         self.window_series
             .push(now, self.scheduler.policy.window as f64);
+        self.availability.push(
+            now,
+            self.platform.available_nodes() as f64 / self.platform.total_nodes() as f64,
+        );
     }
 
     /// Algorithm 1's check-point body. Returns true if the policy
@@ -708,17 +802,26 @@ impl<P: Platform> World for Runner<P> {
                 self.remaining_submits -= 1;
                 self.queue.push(trace_idx);
                 if self.compute_fairness {
-                    let job_id = self.jobs[trace_idx].id;
-                    let queued = self.queued_jobs();
-                    let base_plan = self.base_plan(now);
-                    let fair = fair_start_time(
-                        &base_plan,
-                        &queued,
-                        job_id,
-                        self.scheduler.ordering(),
-                        now,
-                        self.scheduler.backfill_depth.unwrap_or(usize::MAX),
-                    );
+                    let job = &self.jobs[trace_idx];
+                    let job_id = job.id;
+                    // On a machine degraded below the job's size the
+                    // no-later-arrivals drain cannot place it at all;
+                    // use the submission instant as its fair start (any
+                    // wait on repairs then counts as unfair treatment).
+                    let fair = if self.platform.could_ever_allocate(job.nodes) {
+                        let queued = self.queued_jobs();
+                        let base_plan = self.base_plan(now);
+                        fair_start_time(
+                            &base_plan,
+                            &queued,
+                            job_id,
+                            self.scheduler.ordering(),
+                            now,
+                            self.scheduler.backfill_depth.unwrap_or(usize::MAX),
+                        )
+                    } else {
+                        now
+                    };
                     self.fairness.record_fair_start(job_id, fair);
                 }
                 self.run_scheduler(now, events);
@@ -736,10 +839,7 @@ impl<P: Platform> World for Runner<P> {
                     .remove(&id)
                     .expect("finish event for a job that is not running");
                 self.platform.release(running.alloc);
-                self.util.set_busy(
-                    now,
-                    self.platform.total_nodes() - self.platform.idle_nodes(),
-                );
+                self.note_capacity(now);
                 let job = &self.jobs[running.trace_idx];
                 self.estimates.observe(job.user, job.walltime, job.runtime);
                 self.per_job.push(JobOutcome {
@@ -763,42 +863,65 @@ impl<P: Platform> World for Runner<P> {
                     .failure_process
                     .take()
                     .expect("Fail event without a failure process");
-                // Map the failing node onto running jobs by cumulative
-                // occupied-node count (deterministic id order); misses
-                // land on idle nodes and are harmless.
+                // The platform maps the failing node onto its failure
+                // quantum (the node itself, or the whole midplane on a
+                // partitioned machine) and tells us what it hit.
                 let victim_node = process.victim_node();
-                let mut ids: Vec<JobId> = self.running.keys().copied().collect();
-                ids.sort();
-                let mut cursor = 0u64;
-                let mut victim: Option<JobId> = None;
-                for id in ids {
-                    let r = &self.running[&id];
-                    let span = self
-                        .platform
-                        .allocation_size(r.alloc)
-                        .expect("running job has a live allocation")
-                        as u64;
-                    if (victim_node as u64) < cursor + span {
-                        victim = Some(id);
-                        break;
+                match self.platform.mark_down(victim_node) {
+                    DrainOutcome::AlreadyDown => {
+                        // The quantum is already out of service and a
+                        // repair is already pending; the failure is
+                        // absorbed without drawing a repair time.
                     }
-                    cursor += span;
-                }
-                if let Some(id) = victim {
-                    self.kill_job(id, now);
-                    self.run_scheduler(now, events);
-                    self.record_loc(now);
+                    DrainOutcome::Down => {
+                        self.note_capacity(now);
+                        let d = process.repair_duration();
+                        events.schedule_with(now + d, Priority::Release, Ev::Repair(victim_node));
+                        self.run_scheduler(now, events);
+                        self.record_loc(now);
+                    }
+                    DrainOutcome::Draining(alloc) => {
+                        // The failure landed inside a running job's
+                        // partition: kill the job (its capacity leaves
+                        // service at the release inside kill_job) and
+                        // repair the quantum after the drawn delay.
+                        let id = self
+                            .running
+                            .iter()
+                            .find(|(_, r)| r.alloc == alloc)
+                            .map(|(&id, _)| id)
+                            .expect("draining allocation belongs to a running job");
+                        self.kill_job(id, now, events);
+                        let d = process.repair_duration();
+                        events.schedule_with(now + d, Priority::Release, Ev::Repair(victim_node));
+                        self.run_scheduler(now, events);
+                        self.record_loc(now);
+                    }
                 }
                 // Keep the process alive while there is anything left to
                 // interrupt.
                 if self.remaining_submits > 0
                     || !self.queue.is_empty()
                     || !self.running.is_empty()
+                    || self.pending_resubmits > 0
                 {
                     let next = process.next_failure_after(now);
                     events.schedule_with(next, Priority::Release, Ev::Fail);
                 }
                 self.failure_process = Some(process);
+            }
+            Ev::Repair(node) => {
+                self.platform.mark_up(node);
+                self.note_capacity(now);
+                // Restored capacity may unblock held-back jobs.
+                self.run_scheduler(now, events);
+                self.record_loc(now);
+            }
+            Ev::Resubmit(trace_idx) => {
+                self.pending_resubmits -= 1;
+                self.queue.push(trace_idx);
+                self.run_scheduler(now, events);
+                self.record_loc(now);
             }
             Ev::Tick => {
                 self.sample_metrics(now);
@@ -809,12 +932,9 @@ impl<P: Platform> World for Runner<P> {
                 if self.remaining_submits > 0
                     || !self.queue.is_empty()
                     || !self.running.is_empty()
+                    || self.pending_resubmits > 0
                 {
-                    events.schedule_with(
-                        now + self.sample_interval,
-                        Priority::Tick,
-                        Ev::Tick,
-                    );
+                    events.schedule_with(now + self.sample_interval, Priority::Tick, Ev::Tick);
                 }
             }
         }
@@ -958,9 +1078,130 @@ mod tests {
             &out.util_24h,
             &out.bf_series,
             &out.window_series,
+            &out.availability,
         ] {
             assert_eq!(s.len(), n);
         }
+    }
+
+    #[test]
+    fn failure_free_runs_have_full_availability_and_no_downtime() {
+        let out = SimulationBuilder::new(FlatCluster::new(512), small_jobs(19)).run();
+        assert_eq!(out.summary.node_downtime_hours, 0.0);
+        assert_eq!(out.summary.abandoned_jobs, 0);
+        for &(_, v) in out.availability.points() {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn repairs_restore_capacity_and_downtime_is_accounted() {
+        use crate::failures::{FailureSpec, RepairSpec};
+        let jobs = small_jobs(20);
+        let n = jobs.len();
+        // Low MTBF + long repairs: the machine must visibly degrade.
+        let out = SimulationBuilder::new(FlatCluster::new(640), jobs)
+            .failures(Some(FailureSpec {
+                node_mtbf: SimDuration::from_hours(120),
+                repair: RepairSpec::Deterministic(SimDuration::from_hours(4)),
+                seed: 21,
+            }))
+            .run();
+        assert_eq!(out.summary.jobs_completed, n, "repairs must unblock reruns");
+        assert!(out.summary.node_downtime_hours > 0.0);
+        assert!(
+            out.availability.points().iter().any(|&(_, v)| v < 1.0),
+            "some sample must catch the machine degraded"
+        );
+        assert!(out.summary.avg_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn max_attempts_abandons_jobs_instead_of_retrying_forever() {
+        use crate::failures::{FailureSpec, RepairSpec, RetryPolicy};
+        let jobs = small_jobs(21);
+        let n = jobs.len();
+        let run = |retry: RetryPolicy| {
+            SimulationBuilder::new(FlatCluster::new(640), small_jobs(21))
+                .failures(Some(FailureSpec {
+                    node_mtbf: SimDuration::from_hours(240),
+                    repair: RepairSpec::Deterministic(SimDuration::from_mins(30)),
+                    seed: 99,
+                }))
+                .retry_policy(retry)
+                .run()
+        };
+        let strict = run(RetryPolicy {
+            max_attempts: Some(1),
+            backoff_base: SimDuration::ZERO,
+        });
+        assert!(strict.interrupted_jobs > 0);
+        assert!(
+            strict.summary.abandoned_jobs > 0,
+            "first failure must abandon"
+        );
+        assert_eq!(
+            strict.summary.jobs_completed + strict.summary.abandoned_jobs,
+            jobs.len()
+        );
+        let lenient = run(RetryPolicy::default());
+        assert_eq!(lenient.summary.jobs_completed, n);
+        assert_eq!(lenient.summary.abandoned_jobs, 0);
+    }
+
+    #[test]
+    fn retry_backoff_delays_reruns_but_everything_completes() {
+        use crate::failures::{FailureSpec, RepairSpec, RetryPolicy};
+        let jobs = small_jobs(22);
+        let n = jobs.len();
+        let spec = FailureSpec {
+            node_mtbf: SimDuration::from_hours(240),
+            repair: RepairSpec::Deterministic(SimDuration::from_mins(30)),
+            seed: 13,
+        };
+        let run = |backoff| {
+            SimulationBuilder::new(FlatCluster::new(640), small_jobs(22))
+                .failures(Some(spec))
+                .retry_policy(RetryPolicy {
+                    max_attempts: None,
+                    backoff_base: backoff,
+                })
+                .run()
+        };
+        let delayed = run(SimDuration::from_mins(20));
+        assert_eq!(delayed.summary.jobs_completed, n);
+        assert!(delayed.interrupted_jobs > 0);
+        // Backoff holds reruns out of the queue, so it can only push the
+        // makespan out relative to immediate re-queueing.
+        let immediate = run(SimDuration::ZERO);
+        assert_eq!(immediate.summary.jobs_completed, n);
+        assert!(delayed.summary.makespan >= immediate.summary.makespan);
+    }
+
+    #[test]
+    fn lifecycle_runs_are_byte_identical() {
+        use crate::failures::{FailureSpec, RepairSpec, RetryPolicy};
+        let run = || {
+            SimulationBuilder::new(FlatCluster::new(512), small_jobs(23))
+                .failures(Some(FailureSpec {
+                    node_mtbf: SimDuration::from_hours(200),
+                    repair: RepairSpec::LogNormal {
+                        mean: SimDuration::from_hours(2),
+                        sigma: 1.0,
+                    },
+                    seed: 31,
+                }))
+                .retry_policy(RetryPolicy {
+                    max_attempts: Some(3),
+                    backoff_base: SimDuration::from_mins(5),
+                })
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.summary.csv_row(), b.summary.csv_row());
+        assert_eq!(a.per_job, b.per_job);
+        assert_eq!(a.availability, b.availability);
     }
 
     #[test]
@@ -986,13 +1227,14 @@ mod tests {
 
     #[test]
     fn failures_interrupt_but_everything_still_completes() {
-        use crate::failures::FailureSpec;
+        use crate::failures::{FailureSpec, RepairSpec};
         let jobs = small_jobs(12);
         let n = jobs.len();
         // Aggressive failure rate so interruptions definitely occur on a
         // 12-hour trace: machine MTBF ≈ 22 minutes.
         let spec = FailureSpec {
             node_mtbf: SimDuration::from_hours(240),
+            repair: RepairSpec::Deterministic(SimDuration::from_mins(30)),
             seed: 99,
         };
         let out = SimulationBuilder::new(FlatCluster::new(640), jobs)
@@ -1010,9 +1252,13 @@ mod tests {
 
     #[test]
     fn failure_runs_are_deterministic() {
-        use crate::failures::FailureSpec;
+        use crate::failures::{FailureSpec, RepairSpec};
         let spec = FailureSpec {
             node_mtbf: SimDuration::from_hours(300),
+            repair: RepairSpec::LogNormal {
+                mean: SimDuration::from_hours(1),
+                sigma: 0.7,
+            },
             seed: 7,
         };
         let run = || {
@@ -1072,9 +1318,10 @@ mod tests {
 
     #[test]
     fn checkpointing_reduces_lost_work() {
-        use crate::failures::FailureSpec;
+        use crate::failures::{FailureSpec, RepairSpec};
         let spec = FailureSpec {
             node_mtbf: SimDuration::from_hours(240),
+            repair: RepairSpec::Deterministic(SimDuration::from_mins(30)),
             seed: 5,
         };
         let jobs = small_jobs(18);
@@ -1114,12 +1361,13 @@ mod tests {
 
     #[test]
     fn wait_counts_first_start_only_under_failures() {
-        use crate::failures::FailureSpec;
+        use crate::failures::{FailureSpec, RepairSpec};
         let jobs = small_jobs(15);
         let n = jobs.len();
         let out = SimulationBuilder::new(FlatCluster::new(640), jobs)
             .failures(Some(FailureSpec {
                 node_mtbf: SimDuration::from_hours(240),
+                repair: RepairSpec::Deterministic(SimDuration::from_mins(30)),
                 seed: 3,
             }))
             .run();

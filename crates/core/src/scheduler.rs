@@ -37,7 +37,7 @@
 
 use std::collections::HashSet;
 
-use amjs_platform::plan::{Plan, PlanToken, PlacementHint};
+use amjs_platform::plan::{PlacementHint, Plan, PlanToken};
 use amjs_sim::{SimDuration, SimTime};
 use amjs_workload::JobId;
 
@@ -334,7 +334,10 @@ impl Scheduler {
         // candidate is admitted iff it fits now and no protected
         // reservation is delayed (per the configured protection style).
         if self.backfill != BackfillMode::None {
-            let candidates = self.backfill_depth.unwrap_or(sorted.len()).min(sorted.len());
+            let candidates = self
+                .backfill_depth
+                .unwrap_or(sorted.len())
+                .min(sorted.len());
             for job in &sorted[..candidates] {
                 if started.contains(&job.id) || protected_jobs.contains(&job.id) {
                     continue;
@@ -494,8 +497,11 @@ mod tests {
         let easy = fcfs_easy().schedule_pass(t(0), &queue, &plan);
         assert_eq!(start_ids(&easy), vec![2]);
 
-        let cons = Scheduler::new(PolicyParams::fcfs(), BackfillMode::Conservative)
-            .schedule_pass(t(0), &queue, &plan);
+        let cons = Scheduler::new(PolicyParams::fcfs(), BackfillMode::Conservative).schedule_pass(
+            t(0),
+            &queue,
+            &plan,
+        );
         assert!(cons.starts.is_empty());
         assert_eq!(
             cons.reservations,
@@ -508,8 +514,11 @@ mod tests {
         // Head can't start; followers that fit must NOT start.
         let plan = FlatPlan::new(t(0), 100, &[(80, t(100))]);
         let queue = vec![qj(0, 0, 50, 100), qj(1, 10, 10, 10)];
-        let d = Scheduler::new(PolicyParams::fcfs(), BackfillMode::None)
-            .schedule_pass(t(50), &queue, &plan);
+        let d = Scheduler::new(PolicyParams::fcfs(), BackfillMode::None).schedule_pass(
+            t(50),
+            &queue,
+            &plan,
+        );
         assert!(d.starts.is_empty());
     }
 
@@ -518,13 +527,12 @@ mod tests {
         // One free slot of 50 nodes; three 50-node jobs, different
         // walltimes. Under BF=0 the shortest must start.
         let plan = FlatPlan::new(t(0), 100, &[(50, t(1000))]);
-        let queue = vec![
-            qj(0, 0, 50, 5000),
-            qj(1, 10, 50, 100),
-            qj(2, 20, 50, 900),
-        ];
-        let d = Scheduler::new(PolicyParams::sjf(), BackfillMode::Easy)
-            .schedule_pass(t(30), &queue, &plan);
+        let queue = vec![qj(0, 0, 50, 5000), qj(1, 10, 50, 100), qj(2, 20, 50, 900)];
+        let d = Scheduler::new(PolicyParams::sjf(), BackfillMode::Easy).schedule_pass(
+            t(30),
+            &queue,
+            &plan,
+        );
         assert_eq!(start_ids(&d), vec![1]);
     }
 
@@ -539,14 +547,20 @@ mod tests {
 
         // W=1 (EASY): A reserved at [20,50); B backfill at now? B [0,25)
         // overlaps A's reservation (5+10>10 during [20,25)) → rejected.
-        let w1 = Scheduler::new(PolicyParams::new(1.0, 1), BackfillMode::Easy)
-            .schedule_pass(t(0), &queue, &plan);
+        let w1 = Scheduler::new(PolicyParams::new(1.0, 1), BackfillMode::Easy).schedule_pass(
+            t(0),
+            &queue,
+            &plan,
+        );
         assert!(w1.starts.is_empty());
 
         // W=2: B-first permutation starts B now and reserves A at
         // [25,55) — shorter makespan, and B actually runs.
-        let w2 = Scheduler::new(PolicyParams::new(1.0, 2), BackfillMode::Easy)
-            .schedule_pass(t(0), &queue, &plan);
+        let w2 = Scheduler::new(PolicyParams::new(1.0, 2), BackfillMode::Easy).schedule_pass(
+            t(0),
+            &queue,
+            &plan,
+        );
         assert_eq!(start_ids(&w2), vec![1]);
         assert_eq!(w2.reservations, vec![(JobId(0), t(25))]);
     }
@@ -580,7 +594,14 @@ mod tests {
     fn deterministic_across_runs() {
         let plan = FlatPlan::new(t(0), 100, &[(30, t(500)), (30, t(700))]);
         let queue: Vec<QueuedJob> = (0..12)
-            .map(|i| qj(i, (i as i64) * 7, 10 + (i as u32 % 5) * 13, 100 + (i as i64) * 37))
+            .map(|i| {
+                qj(
+                    i,
+                    (i as i64) * 7,
+                    10 + (i as u32 % 5) * 13,
+                    100 + (i as i64) * 37,
+                )
+            })
             .collect();
         let s = Scheduler::new(PolicyParams::new(0.5, 3), BackfillMode::Easy);
         let a = s.schedule_pass(t(100), &queue, &plan);

@@ -353,8 +353,7 @@ mod tests {
         // Permutation search must find the B-first schedule.
         let mut plan = FlatPlan::new(t(0), 10, &[(5, t(20))]);
         let best = place_best_permutation(&mut plan, &window, t(0), 120);
-        let starts: Vec<(usize, i64)> =
-            best.iter().map(|p| (p.slot, p.start.as_secs())).collect();
+        let starts: Vec<(usize, i64)> = best.iter().map(|p| (p.slot, p.start.as_secs())).collect();
         assert_eq!(starts, vec![(1, 0), (0, 25)]);
     }
 

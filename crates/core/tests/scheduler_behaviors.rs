@@ -94,8 +94,8 @@ fn ordering_overrides_change_who_starts() {
     // One free 50-node slot; jobs differ only in walltime.
     let plan = FlatPlan::new(t(0), 100, &[(50, t(10_000))]);
     let queue = vec![
-        qj(0, 0, 50, 100),   // shortest
-        qj(1, 0, 50, 5000),  // longest
+        qj(0, 0, 50, 100),  // shortest
+        qj(1, 0, 50, 5000), // longest
         qj(2, 0, 50, 1000),
     ];
     let mut sched = Scheduler::new(PolicyParams::fcfs(), BackfillMode::Easy);
@@ -104,7 +104,9 @@ fn ordering_overrides_change_who_starts() {
     let d = sched.schedule_pass(t(5), &queue, &plan);
     assert_eq!(d.starts[0].id, JobId(1), "LJF must start the longest");
 
-    sched.ordering_override = Some(QueuePolicy::Balanced { balance_factor: 0.0 });
+    sched.ordering_override = Some(QueuePolicy::Balanced {
+        balance_factor: 0.0,
+    });
     let d = sched.schedule_pass(t(5), &queue, &plan);
     assert_eq!(d.starts[0].id, JobId(0), "SJF must start the shortest");
 
@@ -164,8 +166,7 @@ fn conservative_protects_everything_with_windows() {
     let sched = Scheduler::new(PolicyParams::new(1.0, 2), BackfillMode::Conservative);
     let d = sched.schedule_pass(t(0), &queue, &plan);
     // Every reservation is protected under conservative.
-    let reserved: std::collections::HashSet<_> =
-        d.reservations.iter().map(|&(id, _)| id).collect();
+    let reserved: std::collections::HashSet<_> = d.reservations.iter().map(|&(id, _)| id).collect();
     let protected: std::collections::HashSet<_> = d.protected.iter().copied().collect();
     assert_eq!(reserved, protected);
 }

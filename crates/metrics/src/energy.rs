@@ -103,7 +103,10 @@ mod tests {
         // 100 nodes busy for one hour at 10 W busy / 1 W idle.
         let mut u = UtilizationTracker::new(100, t(0));
         u.set_busy(t(0), 100);
-        let model = EnergyModel { busy_watts: 10.0, idle_watts: 1.0 };
+        let model = EnergyModel {
+            busy_watts: 10.0,
+            idle_watts: 1.0,
+        };
         let r = energy_report(&u, model, t(3600));
         // 100 nodes * 3600 s * 10 W = 3.6e6 J = 1e-3 MWh.
         assert!((r.busy_mwh - 1e-3).abs() < 1e-12);
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn idle_machine_burns_idle_power_only() {
         let u = UtilizationTracker::new(10, t(0));
-        let model = EnergyModel { busy_watts: 10.0, idle_watts: 2.0 };
+        let model = EnergyModel {
+            busy_watts: 10.0,
+            idle_watts: 2.0,
+        };
         let r = energy_report(&u, model, t(3600));
         assert_eq!(r.busy_mwh, 0.0);
         // 10 nodes * 3600 s * 2 W = 72 kJ = 2e-5 MWh.

@@ -84,6 +84,14 @@ impl LossOfCapacity {
     pub fn lost_node_secs(&self) -> f64 {
         self.lost_node_secs
     }
+
+    /// The `(first, last)` scheduling-event span covered so far — the
+    /// denominator interval of eq. (4). `None` before any event. Lets a
+    /// caller re-normalize the ratio against a degraded machine
+    /// (available rather than installed node-seconds).
+    pub fn event_span(&self) -> Option<(SimTime, SimTime)> {
+        self.first_event.zip(self.last_event)
+    }
 }
 
 #[cfg(test)]

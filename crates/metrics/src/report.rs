@@ -26,26 +26,33 @@ pub struct MetricsSummary {
     pub mean_bounded_slowdown: f64,
     /// When the last job finished.
     pub makespan: SimDuration,
+    /// Node-hours of capacity out of service (failed, awaiting repair);
+    /// 0 when failure injection is off.
+    pub node_downtime_hours: f64,
+    /// Jobs given up on after exhausting their retry budget.
+    pub abandoned_jobs: usize,
 }
 
 impl MetricsSummary {
     /// Render as one aligned text row; pair with [`table_header`].
     pub fn table_row(&self) -> String {
         format!(
-            "{:<14} {:>10.1} {:>8} {:>8.1} {:>8.3} {:>10.1}",
+            "{:<14} {:>10.1} {:>8} {:>8.1} {:>8.3} {:>10.1} {:>8.1} {:>7}",
             self.label,
             self.avg_wait_mins,
             self.unfair_jobs,
             self.loc_percent,
             self.avg_utilization,
             self.makespan.as_hours_f64(),
+            self.node_downtime_hours,
+            self.abandoned_jobs,
         )
     }
 
     /// CSV row matching [`csv_header`].
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{:.3},{:.3},{},{:.4},{:.5},{:.3},{:.3}",
+            "{},{},{:.3},{:.3},{},{:.4},{:.5},{:.3},{:.3},{:.3},{}",
             self.label,
             self.jobs_completed,
             self.avg_wait_mins,
@@ -55,6 +62,8 @@ impl MetricsSummary {
             self.avg_utilization,
             self.mean_bounded_slowdown,
             self.makespan.as_hours_f64(),
+            self.node_downtime_hours,
+            self.abandoned_jobs,
         )
     }
 }
@@ -62,14 +71,14 @@ impl MetricsSummary {
 /// Header for [`MetricsSummary::table_row`].
 pub fn table_header() -> String {
     format!(
-        "{:<14} {:>10} {:>8} {:>8} {:>8} {:>10}",
-        "config", "wait(min)", "unfair#", "LoC(%)", "util", "mkspan(h)"
+        "{:<14} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8} {:>7}",
+        "config", "wait(min)", "unfair#", "LoC(%)", "util", "mkspan(h)", "down(nh)", "aband#"
     )
 }
 
 /// Header for [`MetricsSummary::csv_row`].
 pub fn csv_header() -> &'static str {
-    "config,jobs,avg_wait_mins,max_wait_mins,unfair_jobs,loc_percent,avg_utilization,mean_bounded_slowdown,makespan_hours"
+    "config,jobs,avg_wait_mins,max_wait_mins,unfair_jobs,loc_percent,avg_utilization,mean_bounded_slowdown,makespan_hours,node_downtime_hours,abandoned_jobs"
 }
 
 /// Relative improvement of `new` over `base` in percent
@@ -101,6 +110,8 @@ mod tests {
             avg_utilization: 0.81,
             mean_bounded_slowdown: 4.2,
             makespan: SimDuration::from_hours(720),
+            node_downtime_hours: 12.5,
+            abandoned_jobs: 2,
         }
     }
 

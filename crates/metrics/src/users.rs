@@ -87,7 +87,12 @@ pub fn wait_gini(rows: &[UserServiceRow]) -> f64 {
 mod tests {
     use super::*;
 
-    fn rec(user: u32, wait_mins: i64, nodes: u32, run_mins: i64) -> (u32, SimDuration, u32, SimDuration) {
+    fn rec(
+        user: u32,
+        wait_mins: i64,
+        nodes: u32,
+        run_mins: i64,
+    ) -> (u32, SimDuration, u32, SimDuration) {
         (
             user,
             SimDuration::from_mins(wait_mins),

@@ -47,7 +47,11 @@ impl UtilizationTracker {
     /// Panics if `t` precedes the previous step or `busy` exceeds the
     /// machine.
     pub fn set_busy(&mut self, t: SimTime, busy: u32) {
-        assert!(busy <= self.total_nodes, "busy {busy} > total {}", self.total_nodes);
+        assert!(
+            busy <= self.total_nodes,
+            "busy {busy} > total {}",
+            self.total_nodes
+        );
         let &(last_t, last_busy, last_int) = self.steps.last().unwrap();
         assert!(t >= last_t, "utilization steps must be time-ordered");
         if busy == last_busy {

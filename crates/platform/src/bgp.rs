@@ -22,7 +22,7 @@ use amjs_sim::SimTime;
 
 use crate::mask::{UnitMask, MAX_UNITS};
 use crate::plan::PartitionPlan;
-use crate::{AllocationId, Nodes, PlacementHint, Platform};
+use crate::{AllocationId, DrainOutcome, Nodes, PlacementHint, Platform};
 
 /// A partitioned Blue Gene/P-style machine.
 #[derive(Clone, Debug)]
@@ -32,6 +32,12 @@ pub struct BgpCluster {
     max_block: u16,
     /// Bit i set = unit i busy.
     busy: UnitMask,
+    /// Bit i set = unit i out of service (failed, not yet repaired).
+    /// Disjoint from `busy`: an in-use unit drains first.
+    down: UnitMask,
+    /// Bit i set = unit i failed while inside a live block; it moves to
+    /// `down` when that block releases. Always a subset of `busy`.
+    draining: UnitMask,
     next_id: u64,
     live: BTreeMap<AllocationId, Block>,
 }
@@ -61,6 +67,8 @@ impl BgpCluster {
             nodes_per_unit,
             max_block: prev_power_of_two(units),
             busy: UnitMask::empty(),
+            down: UnitMask::empty(),
+            draining: UnitMask::empty(),
             next_id: 0,
             live: BTreeMap::new(),
         }
@@ -99,19 +107,37 @@ impl BgpCluster {
         }
     }
 
-    /// Lowest-index aligned free block of `k` units right now.
-    fn find_free_block(&self, k: u16) -> Option<u16> {
+    /// Units unusable for new allocations: busy or out of service.
+    fn unusable_mask(&self) -> UnitMask {
+        let mut mask = self.busy;
+        mask.or_with(&self.down);
+        mask
+    }
+
+    /// Lowest-index aligned block of `k` units clear under `mask`.
+    fn find_block_in(&self, k: u16, mask: &UnitMask) -> Option<u16> {
         if k == self.units {
-            return self.busy.is_empty().then_some(0);
+            return mask.is_empty().then_some(0);
         }
         let mut start = 0u16;
         while start + k <= self.units {
-            if self.busy.range_is_clear(start, k) {
+            if mask.range_is_clear(start, k) {
                 return Some(start);
             }
             start += k;
         }
         None
+    }
+
+    /// Lowest-index aligned free block of `k` units right now.
+    fn find_free_block(&self, k: u16) -> Option<u16> {
+        self.find_block_in(k, &self.unusable_mask())
+    }
+
+    /// The midplane unit containing node index `node`.
+    fn unit_of(&self, node: Nodes) -> u16 {
+        assert!(node < self.total_nodes(), "node index out of range");
+        (node / self.nodes_per_unit) as u16
     }
 
     /// Geometry of a live allocation.
@@ -142,7 +168,7 @@ impl Platform for BgpCluster {
     }
 
     fn idle_nodes(&self) -> Nodes {
-        (self.units as u32 - self.busy.count_ones()) * self.nodes_per_unit
+        (self.units as u32 - self.busy.count_ones() - self.down.count_ones()) * self.nodes_per_unit
     }
 
     fn min_allocation(&self) -> Nodes {
@@ -187,8 +213,8 @@ impl Platform for BgpCluster {
         if k != hint.unit_len || hint.unit_start + k > self.units {
             return None; // hint does not match this request's shape
         }
-        if !self.busy.range_is_clear(hint.unit_start, k) {
-            return None; // hinted block is (partially) busy
+        if !self.unusable_mask().range_is_clear(hint.unit_start, k) {
+            return None; // hinted block is (partially) busy or down
         }
         self.busy.set_range(hint.unit_start, k);
         let id = AllocationId(self.next_id);
@@ -213,6 +239,13 @@ impl Platform for BgpCluster {
             "released units were not busy"
         );
         self.busy.clear_range(block.unit_start, block.unit_len);
+        // Draining units of the block leave service now.
+        for u in block.unit_start..block.unit_start + block.unit_len {
+            if self.draining.range_is_set(u, 1) {
+                self.draining.clear_range(u, 1);
+                self.down.set_range(u, 1);
+            }
+        }
         block.unit_len as Nodes * self.nodes_per_unit
     }
 
@@ -232,7 +265,50 @@ impl Platform for BgpCluster {
             .iter()
             .map(|(&id, b)| (b.unit_start, b.unit_len, release_time(id)))
             .collect();
-        PartitionPlan::new(now, self.units, self.nodes_per_unit, &running)
+        PartitionPlan::new(now, self.units, self.nodes_per_unit, &running).with_down(self.down)
+    }
+
+    fn available_nodes(&self) -> Nodes {
+        (self.units as u32 - self.down.count_ones()) * self.nodes_per_unit
+    }
+
+    fn mark_down(&mut self, node: Nodes) -> DrainOutcome {
+        let u = self.unit_of(node);
+        if self.down.range_is_set(u, 1) || self.draining.range_is_set(u, 1) {
+            return DrainOutcome::AlreadyDown;
+        }
+        if self.busy.range_is_set(u, 1) {
+            let id = self
+                .allocation_containing(node)
+                .expect("busy unit must belong to a live block");
+            self.draining.set_range(u, 1);
+            return DrainOutcome::Draining(id);
+        }
+        self.down.set_range(u, 1);
+        DrainOutcome::Down
+    }
+
+    fn mark_up(&mut self, node: Nodes) {
+        let u = self.unit_of(node);
+        // Clears a completed outage or cancels a pending drain; no-op
+        // on an in-service unit.
+        self.down.clear_range(u, 1);
+        self.draining.clear_range(u, 1);
+    }
+
+    fn allocation_containing(&self, node: Nodes) -> Option<AllocationId> {
+        let u = self.unit_of(node);
+        self.live
+            .iter()
+            .find(|(_, b)| b.unit_start <= u && u < b.unit_start + b.unit_len)
+            .map(|(&id, _)| id)
+    }
+
+    fn could_ever_allocate(&self, nodes: Nodes) -> bool {
+        match self.rounded_units(nodes) {
+            Some(k) => self.find_block_in(k, &self.down).is_some(),
+            None => false,
+        }
     }
 }
 
@@ -270,13 +346,31 @@ mod tests {
         let mut c = BgpCluster::new(8, 512);
         // Take unit 0 (one midplane).
         let a = c.allocate(512).unwrap();
-        assert_eq!(c.block_of(a).unwrap(), Block { unit_start: 0, unit_len: 1 });
+        assert_eq!(
+            c.block_of(a).unwrap(),
+            Block {
+                unit_start: 0,
+                unit_len: 1
+            }
+        );
         // A 2-unit job must go to the aligned pair {2,3}, not {1,2}.
         let b = c.allocate(1024).unwrap();
-        assert_eq!(c.block_of(b).unwrap(), Block { unit_start: 2, unit_len: 2 });
+        assert_eq!(
+            c.block_of(b).unwrap(),
+            Block {
+                unit_start: 2,
+                unit_len: 2
+            }
+        );
         // A 4-unit job takes the upper half.
         let d = c.allocate(2048).unwrap();
-        assert_eq!(c.block_of(d).unwrap(), Block { unit_start: 4, unit_len: 4 });
+        assert_eq!(
+            c.block_of(d).unwrap(),
+            Block {
+                unit_start: 4,
+                unit_len: 4
+            }
+        );
         // Only unit 1 is free now: capacity 512 idle.
         assert_eq!(c.idle_nodes(), 512);
         assert!(c.can_allocate(512));
@@ -368,6 +462,85 @@ mod tests {
     #[should_panic(expected = "units supported")]
     fn too_many_units_panics() {
         let _ = BgpCluster::new(1025, 512);
+    }
+
+    #[test]
+    fn failed_free_midplane_goes_down_immediately() {
+        use crate::DrainOutcome;
+        let mut c = BgpCluster::new(8, 512);
+        // Node 3000 is in unit 5 (free).
+        assert_eq!(c.mark_down(3000), DrainOutcome::Down);
+        assert_eq!(c.available_nodes(), 7 * 512);
+        assert_eq!(c.idle_nodes(), 7 * 512);
+        // The upper half (units 4..8) now contains a down unit: a
+        // 4-unit job must land on the lower half.
+        let big = c.allocate(2048).unwrap();
+        assert_eq!(c.block_of(big).unwrap().unit_start, 0);
+        assert!(!c.can_allocate(2048));
+        // Second failure on the same unit is absorbed.
+        assert_eq!(c.mark_down(3000), DrainOutcome::AlreadyDown);
+        c.mark_up(3000);
+        assert_eq!(c.available_nodes(), 8 * 512);
+        assert!(c.can_allocate(2048));
+    }
+
+    #[test]
+    fn failed_busy_midplane_drains_on_release() {
+        use crate::DrainOutcome;
+        let mut c = BgpCluster::new(8, 512);
+        let a = c.allocate(1024).unwrap(); // units 0..2
+        assert_eq!(c.allocation_containing(600), Some(a));
+        assert_eq!(c.mark_down(600), DrainOutcome::Draining(a));
+        // Still in service while the block runs.
+        assert_eq!(c.available_nodes(), 8 * 512);
+        // Release takes unit 1 out of service; unit 0 goes idle.
+        c.release(a);
+        assert_eq!(c.available_nodes(), 7 * 512);
+        assert_eq!(c.idle_nodes(), 7 * 512);
+        // The pair {0,1} is no longer allocatable; {2,3} is.
+        let b = c.allocate(1024).unwrap();
+        assert_eq!(c.block_of(b).unwrap().unit_start, 2);
+        c.mark_up(600);
+        assert_eq!(c.available_nodes(), 8 * 512);
+    }
+
+    #[test]
+    fn repair_before_release_cancels_drain() {
+        let mut c = BgpCluster::new(8, 512);
+        let a = c.allocate(512).unwrap();
+        c.mark_down(100); // unit 0, busy → draining
+        c.mark_up(100); // repaired before the job ended
+        c.release(a);
+        assert_eq!(c.available_nodes(), 8 * 512);
+        assert_eq!(c.idle_nodes(), 8 * 512);
+    }
+
+    #[test]
+    fn full_machine_needs_every_unit_in_service() {
+        let mut c = BgpCluster::new(8, 512);
+        assert!(c.could_ever_allocate(4096));
+        c.mark_down(0);
+        assert!(!c.can_allocate(4096));
+        assert!(!c.could_ever_allocate(4096));
+        assert!(c.could_ever_allocate(2048)); // upper half intact
+        c.mark_up(0);
+        assert!(c.could_ever_allocate(4096));
+    }
+
+    #[test]
+    fn degraded_plan_never_promises_down_units() {
+        use crate::plan::Plan;
+        use amjs_sim::SimDuration;
+        let mut c = BgpCluster::new(8, 512);
+        c.mark_down(6 * 512); // unit 6 down
+        let plan = c.plan(SimTime::ZERO, &|_| SimTime::ZERO);
+        // A 2-unit job cannot use pair {6,7}; {0,1} is fine.
+        assert!(plan.can_place_at(1024, SimTime::ZERO, SimDuration::from_secs(10)));
+        // The full machine can never start while a unit is down.
+        assert_eq!(
+            plan.earliest_start(4096, SimDuration::from_secs(10), SimTime::ZERO),
+            SimTime::MAX
+        );
     }
 
     #[test]

@@ -12,13 +12,19 @@ use std::collections::BTreeMap;
 use amjs_sim::SimTime;
 
 use crate::plan::FlatPlan;
-use crate::{AllocationId, Nodes, PlacementHint, Platform};
+use crate::{AllocationId, DrainOutcome, Nodes, PlacementHint, Platform};
 
 /// A pool of `total` interchangeable nodes.
 #[derive(Clone, Debug)]
 pub struct FlatCluster {
     total: Nodes,
     idle: Nodes,
+    /// Nodes out of service (failed, not yet repaired). Never counted
+    /// in `idle` and never allocated.
+    down: Nodes,
+    /// Per-allocation count of nodes that leave service when the
+    /// allocation releases (failed while in use).
+    draining: BTreeMap<AllocationId, Nodes>,
     next_id: u64,
     // BTreeMap keeps `active_allocations` deterministic in id order.
     live: BTreeMap<AllocationId, Nodes>,
@@ -34,6 +40,8 @@ impl FlatCluster {
         FlatCluster {
             total,
             idle: total,
+            down: 0,
+            draining: BTreeMap::new(),
             next_id: 0,
             live: BTreeMap::new(),
         }
@@ -89,7 +97,10 @@ impl Platform for FlatCluster {
             .live
             .remove(&id)
             .unwrap_or_else(|| panic!("release of unknown allocation {id:?}"));
-        self.idle += nodes;
+        // Draining nodes leave service now instead of going idle.
+        let drained = self.draining.remove(&id).unwrap_or(0);
+        self.idle += nodes - drained;
+        self.down += drained;
         nodes
     }
 
@@ -107,7 +118,63 @@ impl Platform for FlatCluster {
             .iter()
             .map(|(&id, &nodes)| (nodes, release_time(id)))
             .collect();
-        FlatPlan::new(now, self.total, &running)
+        FlatPlan::new(now, self.total, &running).with_down(self.down)
+    }
+
+    fn available_nodes(&self) -> Nodes {
+        self.total - self.down
+    }
+
+    fn mark_down(&mut self, node: Nodes) -> DrainOutcome {
+        assert!(node < self.total, "node index out of range");
+        // Index fiction for a geometry-free pool: live allocations
+        // occupy consecutive index ranges from 0 in id order, idle
+        // nodes follow, out-of-service nodes sit at the top.
+        if node >= self.total - self.down {
+            return DrainOutcome::AlreadyDown;
+        }
+        if let Some(id) = self.allocation_containing(node) {
+            let size = self.live[&id];
+            let count = self.draining.entry(id).or_insert(0);
+            if *count >= size {
+                return DrainOutcome::AlreadyDown;
+            }
+            *count += 1;
+            return DrainOutcome::Draining(id);
+        }
+        self.idle -= 1;
+        self.down += 1;
+        DrainOutcome::Down
+    }
+
+    fn mark_up(&mut self, node: Nodes) {
+        assert!(node < self.total, "node index out of range");
+        if self.down > 0 {
+            self.down -= 1;
+            self.idle += 1;
+        } else if let Some((&id, _)) = self.draining.iter().next() {
+            // Repair arrived before the drain completed: cancel it.
+            let count = self.draining.get_mut(&id).unwrap();
+            *count -= 1;
+            if *count == 0 {
+                self.draining.remove(&id);
+            }
+        }
+    }
+
+    fn allocation_containing(&self, node: Nodes) -> Option<AllocationId> {
+        let mut cum = 0;
+        for (&id, &size) in &self.live {
+            cum += size;
+            if node < cum {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn could_ever_allocate(&self, nodes: Nodes) -> bool {
+        self.rounded_size(nodes) <= self.total - self.down
     }
 }
 
@@ -184,5 +251,77 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_total_panics() {
         let _ = FlatCluster::new(0);
+    }
+
+    #[test]
+    fn idle_node_goes_down_immediately() {
+        use crate::DrainOutcome;
+        let mut c = FlatCluster::new(100);
+        let _a = c.allocate(40).unwrap();
+        // Node 90 is idle (live span is [0,40)).
+        assert_eq!(c.mark_down(90), DrainOutcome::Down);
+        assert_eq!(c.available_nodes(), 99);
+        assert_eq!(c.idle_nodes(), 59);
+        assert!(!c.can_allocate(60));
+        assert!(c.can_allocate(59));
+        c.mark_up(90);
+        assert_eq!(c.available_nodes(), 100);
+        assert_eq!(c.idle_nodes(), 60);
+    }
+
+    #[test]
+    fn busy_node_drains_until_release() {
+        use crate::DrainOutcome;
+        let mut c = FlatCluster::new(100);
+        let a = c.allocate(40).unwrap();
+        assert_eq!(c.allocation_containing(10), Some(a));
+        assert_eq!(c.mark_down(10), DrainOutcome::Draining(a));
+        // Still in service while the job runs.
+        assert_eq!(c.available_nodes(), 100);
+        assert_eq!(c.idle_nodes(), 60);
+        // Release completes the drain: 39 nodes go idle, 1 goes down.
+        assert_eq!(c.release(a), 40);
+        assert_eq!(c.available_nodes(), 99);
+        assert_eq!(c.idle_nodes(), 99);
+        c.mark_up(10);
+        assert_eq!(c.available_nodes(), 100);
+    }
+
+    #[test]
+    fn repair_before_release_cancels_drain() {
+        let mut c = FlatCluster::new(100);
+        let a = c.allocate(40).unwrap();
+        c.mark_down(10);
+        c.mark_up(10);
+        assert_eq!(c.release(a), 40);
+        assert_eq!(c.available_nodes(), 100);
+        assert_eq!(c.idle_nodes(), 100);
+    }
+
+    #[test]
+    fn down_node_is_already_down() {
+        use crate::DrainOutcome;
+        let mut c = FlatCluster::new(10);
+        assert_eq!(c.mark_down(9), DrainOutcome::Down);
+        // The top index region is out of service now.
+        assert_eq!(c.mark_down(9), DrainOutcome::AlreadyDown);
+        assert_eq!(c.available_nodes(), 9);
+    }
+
+    #[test]
+    fn degraded_plan_never_promises_down_capacity() {
+        use amjs_sim::SimDuration;
+        let mut c = FlatCluster::new(100);
+        c.mark_down(50);
+        c.mark_down(51);
+        let plan = c.plan(SimTime::ZERO, &|_| SimTime::ZERO);
+        assert!(plan.can_place_at(98, SimTime::ZERO, SimDuration::from_secs(10)));
+        assert!(!plan.can_place_at(99, SimTime::ZERO, SimDuration::from_secs(10)));
+        assert_eq!(
+            plan.earliest_start(99, SimDuration::from_secs(10), SimTime::ZERO),
+            SimTime::MAX
+        );
+        assert!(c.could_ever_allocate(98));
+        assert!(!c.could_ever_allocate(99));
     }
 }

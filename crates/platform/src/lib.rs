@@ -45,6 +45,20 @@ pub type Nodes = u32;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AllocationId(pub u64);
 
+/// Result of taking a node out of service ([`Platform::mark_down`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// The node's capacity was free; it left service immediately.
+    Down,
+    /// The node sits inside the given live allocation. Its capacity
+    /// leaves service when that allocation releases (job end or kill);
+    /// until then the allocation keeps running ("draining").
+    Draining(AllocationId),
+    /// The node was already out of service (or already draining); the
+    /// call changed nothing.
+    AlreadyDown,
+}
+
 /// A machine that can run jobs now and describe its future availability.
 pub trait Platform {
     /// The what-if planning profile type for this machine.
@@ -98,7 +112,48 @@ pub trait Platform {
     /// must give the expected release time (≥ `now`) of each live
     /// allocation; the scheduler derives it from job start + requested
     /// walltime, clamped to `now` for jobs running past their estimate.
+    /// The plan never promises capacity that is out of service.
     fn plan(&self, now: SimTime, release_time: &dyn Fn(AllocationId) -> SimTime) -> Self::Plan;
+
+    // ----- node lifecycle (failure → drain → repair) -----
+
+    /// Nodes currently in service: `total_nodes()` minus out-of-service
+    /// capacity. Draining capacity (inside a live allocation) still
+    /// counts as in service until its allocation releases.
+    fn available_nodes(&self) -> Nodes {
+        self.total_nodes()
+    }
+
+    /// Take the failure quantum containing node index `node` (one node
+    /// on a flat machine, the whole midplane on a partitioned one) out
+    /// of service. Free capacity leaves service immediately; capacity
+    /// inside a live allocation drains — it leaves service when the
+    /// allocation releases. Idempotent via [`DrainOutcome::AlreadyDown`].
+    ///
+    /// # Panics
+    /// Panics if `node >= total_nodes()`.
+    fn mark_down(&mut self, node: Nodes) -> DrainOutcome;
+
+    /// Return the failure quantum containing node index `node` to
+    /// service (repair completed). Cancels a pending drain if the
+    /// capacity had not left service yet. No-op if it was in service.
+    ///
+    /// # Panics
+    /// Panics if `node >= total_nodes()`.
+    fn mark_up(&mut self, node: Nodes);
+
+    /// The live allocation whose capacity contains node index `node`,
+    /// if any. On a flat machine the mapping is a modeling fiction
+    /// (allocations occupy consecutive index ranges in id order); on a
+    /// partitioned machine it is the block owning the node's unit.
+    fn allocation_containing(&self, node: Nodes) -> Option<AllocationId>;
+
+    /// Whether a request of `nodes` could ever be satisfied with the
+    /// current out-of-service set, even on an otherwise empty machine.
+    /// The scheduler holds back jobs for which this is `false` until a
+    /// repair restores enough capacity (instead of planning them onto
+    /// capacity that is down).
+    fn could_ever_allocate(&self, nodes: Nodes) -> bool;
 }
 
 #[cfg(test)]

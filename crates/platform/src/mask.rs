@@ -121,7 +121,10 @@ impl UnitMask {
 fn range_bounds(start: u16, len: u16) -> (usize, usize) {
     let start = start as usize;
     let end = start + len as usize;
-    assert!(end <= MAX_UNITS, "unit range {start}..{end} exceeds {MAX_UNITS}");
+    assert!(
+        end <= MAX_UNITS,
+        "unit range {start}..{end} exceeds {MAX_UNITS}"
+    );
     (start, end)
 }
 

@@ -163,6 +163,8 @@ impl Commitment {
 pub struct FlatPlan {
     now: SimTime,
     total: Nodes,
+    /// Out-of-service nodes; never promised to any placement.
+    down: Nodes,
     base_len: usize,
     commitments: Vec<Commitment>,
 }
@@ -183,9 +185,23 @@ impl FlatPlan {
         FlatPlan {
             now,
             total,
+            down: 0,
             base_len: commitments.len(),
             commitments,
         }
+    }
+
+    /// Exclude `down` out-of-service nodes from every placement answer
+    /// (the machine's failed capacity).
+    pub fn with_down(mut self, down: Nodes) -> Self {
+        assert!(down <= self.total);
+        self.down = down;
+        self
+    }
+
+    /// In-service capacity.
+    fn in_service(&self) -> Nodes {
+        self.total - self.down
     }
 
     /// Nodes in use at instant `t` according to the plan.
@@ -213,18 +229,19 @@ impl Plan for FlatPlan {
 
     fn can_place_at(&self, nodes: Nodes, start: SimTime, duration: SimDuration) -> bool {
         let nodes = self.rounded_size(nodes);
-        if nodes > self.total {
+        if nodes > self.in_service() {
             return false;
         }
         let end = start + duration.max(SimDuration::from_secs(1));
         // Capacity only decreases at commitment starts, so checking the
         // window start plus every commitment start inside the window
         // covers all minima of free capacity.
-        if self.used_at(start) + nodes > self.total {
+        if self.used_at(start) + nodes > self.in_service() {
             return false;
         }
         for c in &self.commitments {
-            if c.start > start && c.start < end && self.used_at(c.start) + nodes > self.total {
+            if c.start > start && c.start < end && self.used_at(c.start) + nodes > self.in_service()
+            {
                 return false;
             }
         }
@@ -233,7 +250,7 @@ impl Plan for FlatPlan {
 
     fn earliest_start(&self, nodes: Nodes, duration: SimDuration, not_before: SimTime) -> SimTime {
         let nodes = self.rounded_size(nodes);
-        if nodes > self.total {
+        if nodes > self.in_service() {
             return SimTime::MAX;
         }
         let not_before = not_before.max(self.now);
@@ -280,11 +297,7 @@ impl Plan for FlatPlan {
             token.0 >= self.base_len,
             "cannot roll back a base (running-job) commitment"
         );
-        assert_eq!(
-            token.0,
-            self.commitments.len() - 1,
-            "rollback must be LIFO"
-        );
+        assert_eq!(token.0, self.commitments.len() - 1, "rollback must be LIFO");
         self.commitments.pop();
     }
 
@@ -318,6 +331,8 @@ pub struct PartitionPlan {
     units: u16,
     nodes_per_unit: Nodes,
     max_block: u16,
+    /// Out-of-service units; never promised to any placement.
+    down: UnitMask,
     base_len: usize,
     commitments: Vec<Commitment>,
 }
@@ -350,9 +365,17 @@ impl PartitionPlan {
             units,
             nodes_per_unit,
             max_block,
+            down: UnitMask::empty(),
             base_len: commitments.len(),
             commitments,
         }
+    }
+
+    /// Exclude the units in `down` from every placement answer (the
+    /// machine's failed midplanes).
+    pub fn with_down(mut self, down: UnitMask) -> Self {
+        self.down = down;
+        self
     }
 
     /// Unit length a request rounds to, or `None` if larger than the
@@ -370,9 +393,10 @@ impl PartitionPlan {
         }
     }
 
-    /// Bitmask of units busy at any point during `[start, end)`.
+    /// Bitmask of units unusable at any point during `[start, end)`:
+    /// busy with a commitment or out of service.
     fn busy_mask(&self, start: SimTime, end: SimTime) -> UnitMask {
-        let mut mask = UnitMask::empty();
+        let mut mask = self.down;
         for c in &self.commitments {
             if c.overlaps_time(start, end) {
                 mask.set_range(c.unit_start, c.unit_len as u16);
@@ -423,7 +447,12 @@ impl Plan for PartitionPlan {
     }
 
     fn earliest_start(&self, nodes: Nodes, duration: SimDuration, not_before: SimTime) -> SimTime {
-        if self.rounded_units(nodes).is_none() {
+        let Some(k) = self.rounded_units(nodes) else {
+            return SimTime::MAX;
+        };
+        // With units out of service the request may not fit even on an
+        // otherwise empty machine.
+        if self.find_free_block(k, &self.down).is_none() {
             return SimTime::MAX;
         }
         let not_before = not_before.max(self.now);
@@ -470,11 +499,7 @@ impl Plan for PartitionPlan {
             token.0 >= self.base_len,
             "cannot roll back a base (running-job) commitment"
         );
-        assert_eq!(
-            token.0,
-            self.commitments.len() - 1,
-            "rollback must be LIFO"
-        );
+        assert_eq!(token.0, self.commitments.len() - 1, "rollback must be LIFO");
         self.commitments.pop();
     }
 

@@ -1,4 +1,5 @@
-//! Property-based tests of the machine models and their plans.
+//! Randomized property tests of the machine models and their plans,
+//! driven by a seeded in-repo PRNG so every case is reproducible.
 //!
 //! The invariants checked here are what the scheduler's correctness rests
 //! on: conservation of nodes across allocate/release, agreement between
@@ -7,8 +8,8 @@
 
 use amjs_platform::plan::Plan;
 use amjs_platform::{AllocationId, BgpCluster, FlatCluster, Nodes, Platform};
+use amjs_sim::rng::Xoshiro256;
 use amjs_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
 
 /// Random allocate/release scripts, interpreted against a machine.
 #[derive(Clone, Debug)]
@@ -18,11 +19,16 @@ enum Op {
     Release(usize),
 }
 
-fn op_strategy(max_nodes: Nodes) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1..=max_nodes).prop_map(Op::Alloc),
-        (0usize..16).prop_map(Op::Release),
-    ]
+fn random_script(rng: &mut Xoshiro256, max_nodes: Nodes, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            if rng.next_bool(0.5) {
+                Op::Alloc(1 + rng.next_below(max_nodes as u64) as Nodes)
+            } else {
+                Op::Release(rng.next_below(16) as usize)
+            }
+        })
+        .collect()
 }
 
 /// Run a script, checking conservation + agreement invariants throughout.
@@ -71,134 +77,260 @@ fn run_script<P: Platform>(mut machine: P, ops: &[Op]) {
     assert_eq!(machine.idle_nodes(), total);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn flat_conserves_nodes(ops in prop::collection::vec(op_strategy(600), 1..80)) {
+#[test]
+fn flat_conserves_nodes() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF1A7);
+    for _ in 0..128 {
+        let len = 1 + rng.next_below(79) as usize;
+        let ops = random_script(&mut rng, 600, len);
         run_script(FlatCluster::new(512), &ops);
     }
+}
 
-    #[test]
-    fn bgp_conserves_nodes(ops in prop::collection::vec(op_strategy(5000), 1..80)) {
+#[test]
+fn bgp_conserves_nodes() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB690);
+    for _ in 0..128 {
+        let len = 1 + rng.next_below(79) as usize;
+        let ops = random_script(&mut rng, 5000, len);
         run_script(BgpCluster::new(8, 512), &ops);
     }
+}
 
-    #[test]
-    fn bgp_intrepid_conserves_nodes(ops in prop::collection::vec(op_strategy(45_000), 1..60)) {
+#[test]
+fn bgp_intrepid_conserves_nodes() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1472);
+    for _ in 0..64 {
+        let len = 1 + rng.next_below(59) as usize;
+        let ops = random_script(&mut rng, 45_000, len);
         run_script(BgpCluster::intrepid(), &ops);
     }
+}
 
-    /// Buddy alignment: every allocation's block starts at a multiple of
-    /// its length (or is the full machine).
-    #[test]
-    fn bgp_blocks_are_aligned(sizes in prop::collection::vec(1u32..5000, 1..20)) {
+/// Buddy alignment: every allocation's block starts at a multiple of
+/// its length (or is the full machine).
+#[test]
+fn bgp_blocks_are_aligned() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA119);
+    for _ in 0..128 {
         let mut c = BgpCluster::new(16, 512);
-        for n in sizes {
+        let count = 1 + rng.next_below(19) as usize;
+        for _ in 0..count {
+            let n = 1 + rng.next_below(4999) as u32;
             if let Some(id) = c.allocate(n) {
                 let b = c.block_of(id).unwrap();
                 if b.unit_len != c.units() {
-                    prop_assert!(b.unit_len.is_power_of_two());
-                    prop_assert_eq!(b.unit_start % b.unit_len, 0);
+                    assert!(b.unit_len.is_power_of_two());
+                    assert_eq!(b.unit_start % b.unit_len, 0);
                 }
             }
         }
     }
+}
 
-    /// Plans never contradict themselves: earliest_start's answer is
-    /// placeable, nothing earlier is, and committing there succeeds.
-    #[test]
-    fn plan_earliest_start_is_consistent(
-        running in prop::collection::vec((1u32..=8, 1i64..2000), 0..6),
-        req in 1u32..=8,
-        dur in 1i64..2000,
-        not_before in 0i64..1500,
-    ) {
+/// Plans never contradict themselves: earliest_start's answer is
+/// placeable, nothing earlier is, and committing there succeeds.
+#[test]
+fn plan_earliest_start_is_consistent() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE512);
+    for _ in 0..128 {
         let mut machine = BgpCluster::new(8, 512);
         let mut releases: Vec<(AllocationId, SimTime)> = Vec::new();
-        for &(units, rel) in &running {
+        let count = rng.next_below(6) as usize;
+        for _ in 0..count {
+            let units = 1 + rng.next_below(8) as u32;
+            let rel = 1 + rng.next_below(1999) as i64;
             if let Some(id) = machine.allocate(units * 512) {
                 releases.push((id, SimTime::from_secs(rel)));
             }
         }
-        let rel_of = |id: AllocationId| {
-            releases.iter().find(|&&(i, _)| i == id).unwrap().1
-        };
+        let rel_of = |id: AllocationId| releases.iter().find(|&&(i, _)| i == id).unwrap().1;
         let mut plan = machine.plan(SimTime::ZERO, &rel_of);
 
-        let nodes = req * 512;
-        let d = SimDuration::from_secs(dur);
-        let nb = SimTime::from_secs(not_before);
+        let nodes = (1 + rng.next_below(8) as u32) * 512;
+        let d = SimDuration::from_secs(1 + rng.next_below(1999) as i64);
+        let nb = SimTime::from_secs(rng.next_below(1500) as i64);
         let t0 = plan.earliest_start(nodes, d, nb);
-        prop_assert!(t0 != SimTime::MAX);
-        prop_assert!(t0 >= nb);
-        prop_assert!(plan.can_place_at(nodes, t0, d));
+        assert!(t0 != SimTime::MAX);
+        assert!(t0 >= nb);
+        assert!(plan.can_place_at(nodes, t0, d));
 
         // No release instant strictly before t0 (and >= nb) works.
         for &(_, rel) in &releases {
             if rel >= nb && rel < t0 {
-                prop_assert!(!plan.can_place_at(nodes, rel, d));
+                assert!(!plan.can_place_at(nodes, rel, d));
             }
         }
         if nb < t0 {
-            prop_assert!(!plan.can_place_at(nodes, nb, d));
+            assert!(!plan.can_place_at(nodes, nb, d));
         }
 
         // Committing at the answer succeeds and rolls back cleanly.
         let count = plan.commitment_count();
         let tok = plan.commit_at(nodes, t0, d).unwrap();
-        prop_assert_eq!(plan.commitment_count(), count + 1);
+        assert_eq!(plan.commitment_count(), count + 1);
         plan.rollback(tok);
-        prop_assert_eq!(plan.commitment_count(), count);
+        assert_eq!(plan.commitment_count(), count);
     }
+}
 
-    /// Same consistency for the flat plan.
-    #[test]
-    fn flat_plan_earliest_start_is_consistent(
-        running in prop::collection::vec((1u32..512, 1i64..2000), 0..8),
-        req in 1u32..512,
-        dur in 1i64..2000,
-        not_before in 0i64..1500,
-    ) {
+/// Same consistency for the flat plan.
+#[test]
+fn flat_plan_earliest_start_is_consistent() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF1E5);
+    for _ in 0..128 {
         let mut machine = FlatCluster::new(512);
         let mut releases: Vec<(AllocationId, SimTime)> = Vec::new();
-        for &(n, rel) in &running {
+        let count = rng.next_below(8) as usize;
+        for _ in 0..count {
+            let n = 1 + rng.next_below(511) as u32;
+            let rel = 1 + rng.next_below(1999) as i64;
             if let Some(id) = machine.allocate(n) {
                 releases.push((id, SimTime::from_secs(rel)));
             }
         }
-        let rel_of = |id: AllocationId| {
-            releases.iter().find(|&&(i, _)| i == id).unwrap().1
-        };
+        let rel_of = |id: AllocationId| releases.iter().find(|&&(i, _)| i == id).unwrap().1;
         let plan = machine.plan(SimTime::ZERO, &rel_of);
 
-        let d = SimDuration::from_secs(dur);
-        let nb = SimTime::from_secs(not_before);
+        let req = 1 + rng.next_below(511) as u32;
+        let d = SimDuration::from_secs(1 + rng.next_below(1999) as i64);
+        let nb = SimTime::from_secs(rng.next_below(1500) as i64);
         let t0 = plan.earliest_start(req, d, nb);
-        prop_assert!(t0 != SimTime::MAX);
-        prop_assert!(plan.can_place_at(req, t0, d));
+        assert!(t0 != SimTime::MAX);
+        assert!(plan.can_place_at(req, t0, d));
         for &(_, rel) in &releases {
             if rel >= nb && rel < t0 {
-                prop_assert!(!plan.can_place_at(req, rel, d));
+                assert!(!plan.can_place_at(req, rel, d));
             }
         }
     }
+}
 
-    /// A sequence of speculative commits rolled back LIFO leaves the plan
-    /// exactly as found (observationally: same earliest_start answers).
-    #[test]
-    fn plan_rollback_restores_answers(
-        commits in prop::collection::vec((1u32..=4, 1i64..500, 0i64..500), 1..8),
-        probe_req in 1u32..=8,
-        probe_dur in 1i64..500,
-    ) {
+/// The lifecycle safety property: an allocation is never placed on a
+/// down midplane. Over random interleavings of allocate / release /
+/// mark_down / mark_up, every node whose failure quantum has fully left
+/// service belongs to no live allocation, and draining quanta stay
+/// pinned to the allocation they were in when the failure hit.
+#[test]
+fn bgp_never_places_on_a_down_midplane() {
+    use amjs_platform::DrainOutcome;
+    let mut rng = Xoshiro256::seed_from_u64(0xD04E);
+    for _ in 0..96 {
+        let units: u32 = 8;
+        let npu: u32 = 512;
+        let mut c = BgpCluster::new(units as u16, npu);
+        let total = c.total_nodes();
+        let mut live: Vec<AllocationId> = Vec::new();
+        // Unit index → state we expect the platform to honor.
+        let mut down_units: Vec<u32> = Vec::new();
+        let mut draining: Vec<(u32, AllocationId)> = Vec::new();
+
+        let steps = 20 + rng.next_below(60) as usize;
+        for _ in 0..steps {
+            match rng.next_below(4) {
+                0 => {
+                    let n = 1 + rng.next_below((total - 1) as u64) as u32;
+                    if let Some(id) = c.allocate(n) {
+                        // The fresh allocation must avoid every down unit.
+                        for &u in &down_units {
+                            assert_ne!(
+                                c.allocation_containing(u * npu),
+                                Some(id),
+                                "allocation placed on down midplane {u}"
+                            );
+                        }
+                        live.push(id);
+                    }
+                }
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.remove(rng.next_below(live.len() as u64) as usize);
+                    c.release(id);
+                    // Draining units of this allocation are down now.
+                    draining.retain(|&(u, owner)| {
+                        if owner == id {
+                            down_units.push(u);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                2 => {
+                    let node = rng.next_below(total as u64) as u32;
+                    let unit = node / npu;
+                    match c.mark_down(node) {
+                        DrainOutcome::Down => down_units.push(unit),
+                        DrainOutcome::Draining(id) => {
+                            assert_eq!(c.allocation_containing(node), Some(id));
+                            draining.push((unit, id));
+                        }
+                        DrainOutcome::AlreadyDown => {
+                            assert!(
+                                down_units.contains(&unit)
+                                    || draining.iter().any(|&(u, _)| u == unit),
+                                "AlreadyDown for a unit we believe is in service"
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    let node = rng.next_below(total as u64) as u32;
+                    let unit = node / npu;
+                    c.mark_up(node);
+                    down_units.retain(|&u| u != unit);
+                    draining.retain(|&(u, _)| u != unit);
+                }
+            }
+            // Invariants after every step: down units belong to no live
+            // allocation; draining units still belong to their owner;
+            // the in-service count matches our model.
+            for &u in &down_units {
+                assert_eq!(
+                    c.allocation_containing(u * npu),
+                    None,
+                    "down midplane {u} is inside a live allocation"
+                );
+            }
+            for &(u, owner) in &draining {
+                assert_eq!(c.allocation_containing(u * npu), Some(owner));
+            }
+            assert_eq!(
+                c.available_nodes(),
+                total - down_units.len() as u32 * npu,
+                "available_nodes disagrees with the modeled down set"
+            );
+            // could_ever_allocate is consistent with the down set: the
+            // whole machine is only ever allocatable when nothing is
+            // down or draining (the full-machine partition needs every
+            // midplane).
+            if !down_units.is_empty() {
+                assert!(!c.could_ever_allocate(total));
+            }
+        }
+    }
+}
+
+/// A sequence of speculative commits rolled back LIFO leaves the plan
+/// exactly as found (observationally: same earliest_start answers).
+#[test]
+fn plan_rollback_restores_answers() {
+    let mut rng = Xoshiro256::seed_from_u64(0x4011);
+    for _ in 0..128 {
         let machine = BgpCluster::new(8, 512);
         let mut plan = machine.plan(SimTime::ZERO, &|_| SimTime::ZERO);
-        let d_probe = SimDuration::from_secs(probe_dur);
+        let probe_req = 1 + rng.next_below(8) as u32;
+        let d_probe = SimDuration::from_secs(1 + rng.next_below(499) as i64);
         let before = plan.earliest_start(probe_req * 512, d_probe, SimTime::ZERO);
 
         let mut tokens = Vec::new();
-        for &(units, dur, nb) in &commits {
+        let commits = 1 + rng.next_below(7) as usize;
+        for _ in 0..commits {
+            let units = 1 + rng.next_below(4) as u32;
+            let dur = 1 + rng.next_below(499) as i64;
+            let nb = rng.next_below(500) as i64;
             if let Some((_, tok)) = plan.place_earliest(
                 units * 512,
                 SimDuration::from_secs(dur),
@@ -211,6 +343,6 @@ proptest! {
             plan.rollback(tok);
         }
         let after = plan.earliest_start(probe_req * 512, d_probe, SimTime::ZERO);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
 }

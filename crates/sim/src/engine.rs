@@ -65,11 +65,7 @@ impl Engine {
     /// Panics if the queue yields an event earlier than one already
     /// handled — that means the world scheduled into the past, which is a
     /// logic error worth failing loudly on.
-    pub fn run<W: World>(
-        &self,
-        world: &mut W,
-        queue: &mut EventQueue<W::Event>,
-    ) -> RunStats {
+    pub fn run<W: World>(&self, world: &mut W, queue: &mut EventQueue<W::Event>) -> RunStats {
         let mut stats = RunStats::default();
         let mut last_time: Option<SimTime> = None;
 

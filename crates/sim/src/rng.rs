@@ -5,11 +5,8 @@
 //! seed via [`split_seed`], so a run is a pure function of
 //! `(configuration, seed)`. The raw generator is a self-contained
 //! xoshiro256** seeded through SplitMix64 — implemented here rather than
-//! taken from `rand` so that streams stay stable even across `rand` major
-//! versions — but it also implements [`rand::RngCore`], so all of `rand`'s
-//! distribution adapters work on top of it.
-
-use rand::RngCore;
+//! taken from an external crate so that streams stay stable forever and
+//! the whole workspace builds with no dependencies.
 
 /// SplitMix64 step: the standard seed-expansion function (Steele et al.).
 #[inline]
@@ -58,10 +55,7 @@ impl Xoshiro256 {
     /// Next raw 64 random bits.
     #[inline]
     pub fn next_raw(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -157,14 +151,9 @@ impl Xoshiro256 {
     }
 }
 
-impl RngCore for Xoshiro256 {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_raw() >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.next_raw()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl Xoshiro256 {
+    /// Fill `dest` with random bytes (little-endian words).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_raw().to_le_bytes());
@@ -174,10 +163,6 @@ impl RngCore for Xoshiro256 {
             let bytes = self.next_raw().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -299,7 +284,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_covers_remainder() {
+    fn fill_bytes_covers_remainder() {
         let mut r = Xoshiro256::seed_from_u64(31);
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);

@@ -1,9 +1,10 @@
-//! Property tests of the event engine: ordering, determinism, and
-//! tie-breaking under arbitrary event programs.
+//! Randomized property tests of the event engine: ordering, determinism,
+//! and tie-breaking under arbitrary event programs, driven by a seeded
+//! in-repo PRNG so every case is reproducible.
 
 use amjs_sim::event::Priority;
+use amjs_sim::rng::Xoshiro256;
 use amjs_sim::{Engine, EventQueue, SimDuration, SimTime, World};
-use proptest::prelude::*;
 
 /// A world that records the exact order events are delivered in and can
 /// schedule follow-ups from a scripted table.
@@ -23,30 +24,37 @@ impl World for Recorder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Delivery is globally time-ordered regardless of insertion order.
-    #[test]
-    fn delivery_is_time_ordered(times in prop::collection::vec(0i64..100_000, 1..200)) {
+/// Delivery is globally time-ordered regardless of insertion order.
+#[test]
+fn delivery_is_time_ordered() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0DE7);
+    for _ in 0..128 {
+        let n = 1 + rng.next_below(199) as usize;
+        let times: Vec<i64> = (0..n).map(|_| rng.next_below(100_000) as i64).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(t), i as u32);
         }
-        let mut w = Recorder { delivered: Vec::new(), followups: Default::default() };
+        let mut w = Recorder {
+            delivered: Vec::new(),
+            followups: Default::default(),
+        };
         Engine::new().run(&mut w, &mut q);
-        prop_assert_eq!(w.delivered.len(), times.len());
+        assert_eq!(w.delivered.len(), times.len());
         for pair in w.delivered.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].0 <= pair[1].0);
         }
     }
+}
 
-    /// Equal timestamps deliver in insertion order within a priority
-    /// class (FIFO), and Release < Arrival < Tick across classes.
-    #[test]
-    fn ties_are_deterministic(
-        classes in prop::collection::vec(0u8..3, 2..50),
-    ) {
+/// Equal timestamps deliver in insertion order within a priority
+/// class (FIFO), and Release < Arrival < Tick across classes.
+#[test]
+fn ties_are_deterministic() {
+    let mut rng = Xoshiro256::seed_from_u64(0x71E5);
+    for _ in 0..128 {
+        let n = 2 + rng.next_below(48) as usize;
+        let classes: Vec<u8> = (0..n).map(|_| rng.next_below(3) as u8).collect();
         let t = SimTime::from_secs(1000);
         let mut q = EventQueue::new();
         for (i, &c) in classes.iter().enumerate() {
@@ -57,22 +65,35 @@ proptest! {
             };
             q.schedule_with(t, prio, i as u32);
         }
-        let mut w = Recorder { delivered: Vec::new(), followups: Default::default() };
+        let mut w = Recorder {
+            delivered: Vec::new(),
+            followups: Default::default(),
+        };
         Engine::new().run(&mut w, &mut q);
 
         // Expected: stable sort of indices by class.
         let mut expected: Vec<u32> = (0..classes.len() as u32).collect();
         expected.sort_by_key(|&i| classes[i as usize]);
         let got: Vec<u32> = w.delivered.iter().map(|&(_, id)| id).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// Two identical runs (including scheduled follow-ups) deliver the
-    /// identical sequence.
-    #[test]
-    fn runs_are_reproducible(
-        seeds in prop::collection::vec((0i64..10_000, 1i64..500), 1..40),
-    ) {
+/// Two identical runs (including scheduled follow-ups) deliver the
+/// identical sequence.
+#[test]
+fn runs_are_reproducible() {
+    let mut rng = Xoshiro256::seed_from_u64(0x4E40);
+    for _ in 0..128 {
+        let n = 1 + rng.next_below(39) as usize;
+        let seeds: Vec<(i64, i64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.next_below(10_000) as i64,
+                    1 + rng.next_below(499) as i64,
+                )
+            })
+            .collect();
         let run = || {
             let mut q = EventQueue::new();
             let mut followups = std::collections::HashMap::new();
@@ -82,31 +103,40 @@ proptest! {
                 // Every event schedules one follow-up with a distinct id.
                 followups.insert(id, (delay, id + 10_000));
             }
-            let mut w = Recorder { delivered: Vec::new(), followups };
+            let mut w = Recorder {
+                delivered: Vec::new(),
+                followups,
+            };
             Engine::new().run(&mut w, &mut q);
             w.delivered
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// The horizon never delivers a late event and never drops an
-    /// on-time one.
-    #[test]
-    fn horizon_is_exact(
-        times in prop::collection::vec(0i64..1000, 1..100),
-        horizon in 0i64..1000,
-    ) {
+/// The horizon never delivers a late event and never drops an
+/// on-time one.
+#[test]
+fn horizon_is_exact() {
+    let mut rng = Xoshiro256::seed_from_u64(0x4042);
+    for _ in 0..128 {
+        let n = 1 + rng.next_below(99) as usize;
+        let times: Vec<i64> = (0..n).map(|_| rng.next_below(1000) as i64).collect();
+        let horizon = rng.next_below(1000) as i64;
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(t), i as u32);
         }
-        let mut w = Recorder { delivered: Vec::new(), followups: Default::default() };
+        let mut w = Recorder {
+            delivered: Vec::new(),
+            followups: Default::default(),
+        };
         Engine::new()
             .with_horizon(SimTime::from_secs(horizon))
             .run(&mut w, &mut q);
         let on_time = times.iter().filter(|&&t| t <= horizon).count();
-        prop_assert_eq!(w.delivered.len(), on_time);
-        prop_assert!(w.delivered.iter().all(|&(t, _)| t <= horizon));
-        prop_assert_eq!(q.len(), times.len() - on_time);
+        assert_eq!(w.delivered.len(), on_time);
+        assert!(w.delivered.iter().all(|&(t, _)| t <= horizon));
+        assert_eq!(q.len(), times.len() - on_time);
     }
 }

@@ -139,12 +139,22 @@ pub fn render_report(jobs: &[Job]) -> String {
 
     out.push_str("size histogram (top 8):\n");
     for b in size_histogram(jobs).iter().take(8) {
-        out.push_str(&format!("  {:>8} nodes  {:>6}  {:>5.1}%\n", b.label, b.count, b.fraction * 100.0));
+        out.push_str(&format!(
+            "  {:>8} nodes  {:>6}  {:>5.1}%\n",
+            b.label,
+            b.count,
+            b.fraction * 100.0
+        ));
     }
 
     out.push_str("\nwalltime histogram:\n");
     for b in walltime_histogram(jobs) {
-        out.push_str(&format!("  {:>8}  {:>6}  {:>5.1}%\n", b.label, b.count, b.fraction * 100.0));
+        out.push_str(&format!(
+            "  {:>8}  {:>6}  {:>5.1}%\n",
+            b.label,
+            b.count,
+            b.fraction * 100.0
+        ));
     }
 
     let deciles = accuracy_deciles(jobs);
@@ -156,7 +166,10 @@ pub fn render_report(jobs: &[Job]) -> String {
         out.push('\n');
     }
 
-    out.push_str(&format!("\nburstiness (peak/mean hourly arrivals): {:.1}\n", burstiness(jobs)));
+    out.push_str(&format!(
+        "\nburstiness (peak/mean hourly arrivals): {:.1}\n",
+        burstiness(jobs)
+    ));
 
     let users = jobs_per_user(jobs);
     if !users.is_empty() {
@@ -205,11 +218,11 @@ mod tests {
     #[test]
     fn walltime_buckets_cover_all_jobs() {
         let jobs = vec![
-            j(0, 0, 1, 10, 5, 0),   // <30m
-            j(1, 0, 1, 45, 5, 0),   // 30m-1h
-            j(2, 0, 1, 90, 5, 0),   // 1-2h
-            j(3, 0, 1, 300, 5, 0),  // 4-8h
-            j(4, 0, 1, 700, 5, 0),  // >8h
+            j(0, 0, 1, 10, 5, 0),  // <30m
+            j(1, 0, 1, 45, 5, 0),  // 30m-1h
+            j(2, 0, 1, 90, 5, 0),  // 1-2h
+            j(3, 0, 1, 300, 5, 0), // 4-8h
+            j(4, 0, 1, 700, 5, 0), // >8h
         ];
         let h = walltime_histogram(&jobs);
         let total: usize = h.iter().map(|b| b.count).sum();
@@ -268,7 +281,11 @@ mod tests {
     #[test]
     fn month_preset_is_bursty_and_skewed() {
         let jobs = WorkloadSpec::intrepid_month().generate(42);
-        assert!(burstiness(&jobs) > 4.0, "burstiness {:.1}", burstiness(&jobs));
+        assert!(
+            burstiness(&jobs) > 4.0,
+            "burstiness {:.1}",
+            burstiness(&jobs)
+        );
         let report = render_report(&jobs);
         assert!(report.contains("burstiness"));
         assert!(report.contains("512 nodes") || report.contains("512"));

@@ -217,12 +217,30 @@ impl WorkloadSpec {
             )],
             diurnal_amplitude: 0.0,
             size_classes: vec![
-                SizeClass { nodes: 16, weight: 30.0 },
-                SizeClass { nodes: 32, weight: 25.0 },
-                SizeClass { nodes: 64, weight: 20.0 },
-                SizeClass { nodes: 128, weight: 15.0 },
-                SizeClass { nodes: 256, weight: 8.0 },
-                SizeClass { nodes: 512, weight: 2.0 },
+                SizeClass {
+                    nodes: 16,
+                    weight: 30.0,
+                },
+                SizeClass {
+                    nodes: 32,
+                    weight: 25.0,
+                },
+                SizeClass {
+                    nodes: 64,
+                    weight: 20.0,
+                },
+                SizeClass {
+                    nodes: 128,
+                    weight: 15.0,
+                },
+                SizeClass {
+                    nodes: 256,
+                    weight: 8.0,
+                },
+                SizeClass {
+                    nodes: 512,
+                    weight: 2.0,
+                },
             ],
             odd_size_fraction: 0.1,
             walltime_median_mins: 30.0,
@@ -283,7 +301,10 @@ impl WorkloadSpec {
 
     /// Generate the workload deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> Vec<Job> {
-        assert!(!self.size_classes.is_empty(), "need at least one size class");
+        assert!(
+            !self.size_classes.is_empty(),
+            "need at least one size class"
+        );
         let mut arrival_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::ARRIVAL));
         let mut size_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::SIZE));
         let mut wall_rng = Xoshiro256::seed_from_u64(split_seed(seed, stream::WALLTIME));
@@ -392,14 +413,38 @@ impl WorkloadSpec {
 /// tail of very large runs).
 pub fn intrepid_size_classes() -> Vec<SizeClass> {
     vec![
-        SizeClass { nodes: 512, weight: 22.0 },
-        SizeClass { nodes: 1024, weight: 20.0 },
-        SizeClass { nodes: 2048, weight: 18.0 },
-        SizeClass { nodes: 4096, weight: 14.0 },
-        SizeClass { nodes: 8192, weight: 12.0 },
-        SizeClass { nodes: 16_384, weight: 8.0 },
-        SizeClass { nodes: 32_768, weight: 4.0 },
-        SizeClass { nodes: 40_960, weight: 2.0 },
+        SizeClass {
+            nodes: 512,
+            weight: 22.0,
+        },
+        SizeClass {
+            nodes: 1024,
+            weight: 20.0,
+        },
+        SizeClass {
+            nodes: 2048,
+            weight: 18.0,
+        },
+        SizeClass {
+            nodes: 4096,
+            weight: 14.0,
+        },
+        SizeClass {
+            nodes: 8192,
+            weight: 12.0,
+        },
+        SizeClass {
+            nodes: 16_384,
+            weight: 8.0,
+        },
+        SizeClass {
+            nodes: 32_768,
+            weight: 4.0,
+        },
+        SizeClass {
+            nodes: 40_960,
+            weight: 2.0,
+        },
     ]
 }
 
@@ -435,7 +480,9 @@ mod tests {
         let class_sizes: Vec<u32> = spec.size_classes.iter().map(|c| c.nodes).collect();
         let jobs = spec.generate(2);
         for j in &jobs {
-            let ok = class_sizes.iter().any(|&c| j.nodes == c || (j.nodes < c && j.nodes >= c - c / 8));
+            let ok = class_sizes
+                .iter()
+                .any(|&c| j.nodes == c || (j.nodes < c && j.nodes >= c - c / 8));
             assert!(ok, "unexpected size {}", j.nodes);
         }
     }
@@ -446,7 +493,9 @@ mod tests {
         let jobs = spec.generate(3);
         for j in &jobs {
             assert!(j.walltime >= spec.walltime_min);
-            assert!(j.walltime <= spec.walltime_max + SimDuration::from_mins(spec.walltime_round_mins));
+            assert!(
+                j.walltime <= spec.walltime_max + SimDuration::from_mins(spec.walltime_round_mins)
+            );
             assert_eq!(j.walltime.as_secs() % (spec.walltime_round_mins * 60), 0);
             assert!(j.runtime <= j.walltime);
         }
@@ -456,10 +505,7 @@ mod tests {
     fn some_estimates_are_exact_and_some_poor() {
         let jobs = WorkloadSpec::small_test().generate(4);
         let exact = jobs.iter().filter(|j| j.runtime == j.walltime).count();
-        let poor = jobs
-            .iter()
-            .filter(|j| j.estimate_accuracy() < 0.5)
-            .count();
+        let poor = jobs.iter().filter(|j| j.estimate_accuracy() < 0.5).count();
         assert!(exact > jobs.len() / 20, "exact={exact}/{}", jobs.len());
         assert!(poor > jobs.len() / 10, "poor={poor}/{}", jobs.len());
     }
@@ -469,15 +515,9 @@ mod tests {
         let spec = WorkloadSpec::small_test();
         let jobs = spec.generate(5);
         let burst = &spec.bursts[0];
-        let in_burst = jobs
-            .iter()
-            .filter(|j| burst.active_at(j.submit))
-            .count() as f64
+        let in_burst = jobs.iter().filter(|j| burst.active_at(j.submit)).count() as f64
             / burst.duration.as_hours_f64();
-        let before = jobs
-            .iter()
-            .filter(|j| j.submit < burst.start)
-            .count() as f64
+        let before = jobs.iter().filter(|j| j.submit < burst.start).count() as f64
             / burst.start.as_hours_f64();
         assert!(
             in_burst > 2.0 * before,
@@ -506,12 +546,10 @@ mod tests {
         assert!(jobs.len() > 1000, "got {}", jobs.len());
         // Arrivals during the burst window (90h–106h) are much denser
         // than the background.
-        let burst_window = |j: &Job| {
-            j.submit >= SimTime::from_hours(90) && j.submit < SimTime::from_hours(106)
-        };
-        let calm_window = |j: &Job| {
-            j.submit >= SimTime::from_hours(150) && j.submit < SimTime::from_hours(166)
-        };
+        let burst_window =
+            |j: &Job| j.submit >= SimTime::from_hours(90) && j.submit < SimTime::from_hours(106);
+        let calm_window =
+            |j: &Job| j.submit >= SimTime::from_hours(150) && j.submit < SimTime::from_hours(166);
         let nb = jobs.iter().filter(|j| burst_window(j)).count();
         let nc = jobs.iter().filter(|j| calm_window(j)).count();
         assert!(nb > 2 * nc, "burst {nb} vs calm {nc}");

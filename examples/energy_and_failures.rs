@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example energy_and_failures`
 
-use amjs::core::failures::FailureSpec;
+use amjs::core::failures::{FailureSpec, RepairSpec};
 use amjs::metrics::energy::EnergyModel;
 use amjs::prelude::*;
 
@@ -18,6 +18,7 @@ fn main() {
 
     let failure_spec = FailureSpec {
         node_mtbf: SimDuration::from_hours(40 * 365 * 24),
+        repair: RepairSpec::bgp_default(),
         seed: 1234,
     };
 

@@ -33,8 +33,7 @@ fn main() {
     println!("{}", fcfs.summary.table_row());
     println!("{}", balanced.summary.table_row());
 
-    let improvement =
-        100.0 * (1.0 - balanced.summary.avg_wait_mins / fcfs.summary.avg_wait_mins);
+    let improvement = 100.0 * (1.0 - balanced.summary.avg_wait_mins / fcfs.summary.avg_wait_mins);
     println!(
         "\nbalanced policy cut the average wait by {improvement:.0}% \
          (at the cost of {} vs {} unfairly delayed jobs)",

@@ -28,8 +28,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (text, nodes, source) = match args.get(1) {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             let nodes: u32 = args
                 .get(2)
                 .map(|s| s.parse().expect("nodes must be an integer"))

@@ -71,7 +71,10 @@ fn bgp_rounded_capacity_is_never_exceeded() {
         BgpCluster::new(8, 512).rounded_size(n)
     };
     let out = SimulationBuilder::new(machine, jobs.clone()).run();
-    assert_eq!(out.summary.jobs_completed + out.skipped_oversized, jobs.len());
+    assert_eq!(
+        out.summary.jobs_completed + out.skipped_oversized,
+        jobs.len()
+    );
 
     let mut events: Vec<(amjs::sim::SimTime, i64)> = Vec::new();
     for rec in &out.per_job {
@@ -118,7 +121,10 @@ fn swf_round_trip_preserves_schedule() {
     assert_eq!(parsed.jobs.len(), jobs.len());
     for (a, b) in jobs.iter().zip(&parsed.jobs) {
         assert_eq!(a.submit, b.submit + offset);
-        assert_eq!((a.nodes, a.walltime, a.runtime, a.user), (b.nodes, b.walltime, b.runtime, b.user));
+        assert_eq!(
+            (a.nodes, a.walltime, a.runtime, a.user),
+            (b.nodes, b.walltime, b.runtime, b.user)
+        );
     }
 
     let direct = SimulationBuilder::new(FlatCluster::new(512), jobs).run();
@@ -138,7 +144,11 @@ fn swf_round_trip_preserves_schedule() {
 fn backfill_modes_order_sensibly() {
     let jobs = small_jobs(5);
     let mut waits = Vec::new();
-    for mode in [BackfillMode::None, BackfillMode::Conservative, BackfillMode::Easy] {
+    for mode in [
+        BackfillMode::None,
+        BackfillMode::Conservative,
+        BackfillMode::Easy,
+    ] {
         // 640 nodes: congested for the small-test mix (max job 512) but
         // large enough that nothing is oversized.
         let out = SimulationBuilder::new(FlatCluster::new(640), jobs.clone())

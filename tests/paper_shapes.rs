@@ -16,10 +16,22 @@ fn scenario(seed: u64) -> (BgpCluster, Vec<Job>) {
     spec.walltime_sigma = 1.5;
     spec.walltime_median_mins = 45.0;
     spec.size_classes = vec![
-        amjs::workload::synth::SizeClass { nodes: 512, weight: 30.0 },
-        amjs::workload::synth::SizeClass { nodes: 1024, weight: 30.0 },
-        amjs::workload::synth::SizeClass { nodes: 2048, weight: 25.0 },
-        amjs::workload::synth::SizeClass { nodes: 4096, weight: 15.0 },
+        amjs::workload::synth::SizeClass {
+            nodes: 512,
+            weight: 30.0,
+        },
+        amjs::workload::synth::SizeClass {
+            nodes: 1024,
+            weight: 30.0,
+        },
+        amjs::workload::synth::SizeClass {
+            nodes: 2048,
+            weight: 25.0,
+        },
+        amjs::workload::synth::SizeClass {
+            nodes: 4096,
+            weight: 15.0,
+        },
     ];
     spec.bursts = vec![BurstSpec {
         start: SimTime::from_hours(10),
@@ -108,7 +120,12 @@ fn adaptive_bf_tames_burst_and_limits_unfairness() {
         bf05.summary.unfair_jobs
     );
     // The tuner really toggled.
-    let bfs: Vec<f64> = adaptive.bf_series.points().iter().map(|&(_, v)| v).collect();
+    let bfs: Vec<f64> = adaptive
+        .bf_series
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .collect();
     assert!(bfs.contains(&1.0) && bfs.contains(&0.5));
 }
 
@@ -151,9 +168,8 @@ fn scheduling_pass_is_fast_enough_at_w5() {
             releases.push((id, now + job.walltime));
         }
     }
-    let release_of = |id: amjs::platform::AllocationId| {
-        releases.iter().find(|&&(i, _)| i == id).unwrap().1
-    };
+    let release_of =
+        |id: amjs::platform::AllocationId| releases.iter().find(|&&(i, _)| i == id).unwrap().1;
     let plan = machine.plan(now, &release_of);
     let queue: Vec<QueuedJob> = jobs
         .iter()
