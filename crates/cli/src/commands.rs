@@ -102,6 +102,30 @@ fn common_flags() -> Vec<FlagSpec> {
             help: "re-submit backoff base in minutes (doubles per failure)",
             default: Some("0"),
         },
+        FlagSpec {
+            name: "cascade-prob",
+            is_bool: false,
+            help: "per-level fault escalation probability in [0,1]",
+            default: Some("0"),
+        },
+        FlagSpec {
+            name: "failure-domains",
+            is_bool: false,
+            help: "domain geometry: nodes-per-midplane,midplanes-per-rack,racks-per-power",
+            default: Some("512,2,8"),
+        },
+        FlagSpec {
+            name: "burst-model",
+            is_bool: false,
+            help: "failure clustering: none|weibull:<shape>|markov:<boost>,<calm-h>,<burst-h>",
+            default: Some("none"),
+        },
+        FlagSpec {
+            name: "oracle",
+            is_bool: true,
+            help: "check runtime invariants after every event (always on in debug builds)",
+            default: None,
+        },
     ]
 }
 
@@ -262,6 +286,9 @@ fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
             outcome.interrupted_jobs, outcome.lost_node_hours, outcome.summary.abandoned_jobs
         );
     }
+    if !outcome.domain_downtime.is_empty() {
+        print!("{}", outcome.domain_downtime.render_table());
+    }
     if parsed.get_bool("users") {
         let mut rows = outcome.user_service();
         let gini = amjs_metrics::users::wait_gini(&rows);
@@ -292,6 +319,7 @@ per-user service (top 10 by jobs; wait gini {gini:.3}):"
             &outcome.bf_series,
             &outcome.window_series,
             &outcome.availability,
+            &outcome.down_nodes,
         ];
         let csv = amjs_metrics::series::to_csv(&series);
         std::fs::write(path, csv).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
@@ -594,6 +622,30 @@ mod tests {
             "5",
             "--retry-backoff",
             "5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_with_cascading_failures_runs() {
+        simulate(&argv(&[
+            "--workload",
+            "small",
+            "--machine",
+            "bgp",
+            "--nodes",
+            "4096",
+            "--node-mtbf",
+            "120",
+            "--repair-time",
+            "0.5",
+            "--max-attempts",
+            "5",
+            "--cascade-prob",
+            "0.4",
+            "--burst-model",
+            "weibull:0.7",
+            "--oracle",
         ]))
         .unwrap();
     }

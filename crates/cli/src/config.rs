@@ -2,7 +2,9 @@
 //! simulation builders.
 
 use amjs_core::adaptive::AdaptiveScheme;
-use amjs_core::failures::{FailureSpec, RepairSpec, RetryPolicy};
+use amjs_core::failures::{
+    BurstModel, CorrelationSpec, DomainSpec, FailureSpec, RepairSpec, RetryPolicy,
+};
 use amjs_core::runner::{SimulationBuilder, SimulationOutcome};
 use amjs_core::scheduler::BackfillMode;
 use amjs_core::PolicyParams;
@@ -87,6 +89,11 @@ pub struct PolicyFlags {
     pub failures: Option<FailureSpec>,
     /// Retry behavior for failure-killed jobs.
     pub retry: RetryPolicy,
+    /// Correlated failure layer (`None` = plain uncorrelated process).
+    pub correlation: Option<CorrelationSpec>,
+    /// Force the runtime invariant oracle on (it is always on in debug
+    /// builds; this opts release builds in).
+    pub oracle: bool,
 }
 
 /// Parse `--node-mtbf`/`--repair-time`/`--repair-sigma`/`--failure-seed`
@@ -122,6 +129,110 @@ fn failure_flags(args: &ParsedArgs) -> Result<Option<FailureSpec>, ArgError> {
         node_mtbf: SimDuration::from_secs((mtbf_hours * 3600.0) as i64),
         repair,
         seed: args.get_parsed("failure-seed", 0xFA11u64)?,
+    }))
+}
+
+/// Parse `--cascade-prob`/`--failure-domains`/`--burst-model` into a
+/// correlation spec (`None` when none of the flags are given).
+fn correlation_flags(args: &ParsedArgs) -> Result<Option<CorrelationSpec>, ArgError> {
+    let cascade = args.get_opt::<f64>("cascade-prob")?;
+    let domains_raw = args.get("failure-domains");
+    let burst_raw = args.get("burst-model");
+    if cascade.is_none() && domains_raw.is_none() && burst_raw.is_none() {
+        return Ok(None);
+    }
+    let cascade_prob = cascade.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&cascade_prob) {
+        return Err(ArgError(format!(
+            "--cascade-prob: must be in [0, 1], got {cascade_prob}"
+        )));
+    }
+    let domains = match domains_raw {
+        None => DomainSpec::intrepid(),
+        Some(raw) => {
+            let parts: Vec<u32> = raw
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse()
+                        .map_err(|_| ArgError(format!("--failure-domains: cannot parse {tok:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            let [midplane_nodes, midplanes_per_rack, racks_per_power_domain] = parts[..] else {
+                return Err(ArgError(format!(
+                    "--failure-domains: expected \
+                     <nodes-per-midplane>,<midplanes-per-rack>,<racks-per-power>, got {raw:?}"
+                )));
+            };
+            if midplane_nodes == 0 || midplanes_per_rack == 0 || racks_per_power_domain == 0 {
+                return Err(ArgError(
+                    "--failure-domains: all three counts must be positive".to_string(),
+                ));
+            }
+            DomainSpec {
+                midplane_nodes,
+                midplanes_per_rack,
+                racks_per_power_domain,
+            }
+        }
+    };
+    let burst = match burst_raw {
+        None | Some("none") => BurstModel::None,
+        Some(raw) => match raw.split_once(':') {
+            Some(("weibull", shape)) => {
+                let shape: f64 = shape
+                    .parse()
+                    .map_err(|_| ArgError(format!("--burst-model: bad weibull shape {shape:?}")))?;
+                if shape <= 0.0 {
+                    return Err(ArgError(format!(
+                        "--burst-model: weibull shape must be positive, got {shape}"
+                    )));
+                }
+                BurstModel::Weibull { shape }
+            }
+            Some(("markov", params)) => {
+                let parts: Vec<f64> = params
+                    .split(',')
+                    .map(|tok| {
+                        tok.trim()
+                            .parse()
+                            .map_err(|_| ArgError(format!("--burst-model: cannot parse {tok:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let [boost, calm_h, burst_h] = parts[..] else {
+                    return Err(ArgError(format!(
+                        "--burst-model: markov needs <boost>,<calm-hours>,<burst-hours>, \
+                         got {raw:?}"
+                    )));
+                };
+                if boost < 1.0 {
+                    return Err(ArgError(format!(
+                        "--burst-model: markov boost must be >= 1, got {boost}"
+                    )));
+                }
+                if calm_h <= 0.0 || burst_h <= 0.0 {
+                    return Err(ArgError(
+                        "--burst-model: markov dwell times must be positive hours".to_string(),
+                    ));
+                }
+                BurstModel::Markov {
+                    rate_boost: boost,
+                    mean_calm: SimDuration::from_secs((calm_h * 3600.0) as i64),
+                    mean_burst: SimDuration::from_secs((burst_h * 3600.0) as i64),
+                }
+            }
+            _ => {
+                return Err(ArgError(format!(
+                    "--burst-model: expected none, weibull:<shape>, or \
+                     markov:<boost>,<calm-hours>,<burst-hours>, got {raw:?}"
+                )))
+            }
+        },
+    };
+    Ok(Some(CorrelationSpec {
+        cascade_prob,
+        domains,
+        burst,
     }))
 }
 
@@ -180,6 +291,8 @@ impl PolicyFlags {
             estimates,
             failures: failure_flags(args)?,
             retry: retry_flags(args)?,
+            correlation: correlation_flags(args)?,
+            oracle: args.get_bool("oracle"),
         })
     }
 
@@ -238,7 +351,7 @@ fn configure<P: Platform>(
     scheme: AdaptiveScheme,
     label: String,
 ) -> SimulationBuilder<P> {
-    builder
+    let mut builder = builder
         .policy(policy)
         .backfill(flags.backfill)
         .backfill_depth(flags.backfill_depth)
@@ -246,8 +359,15 @@ fn configure<P: Platform>(
         .estimate_policy(flags.estimates)
         .failures(flags.failures)
         .retry_policy(flags.retry)
+        .correlated_failures(flags.correlation)
         .adaptive(scheme)
-        .label(label)
+        .label(label);
+    if flags.oracle {
+        // Only force the oracle *on*; leave the debug-build default alone
+        // otherwise.
+        builder = builder.oracle(true);
+    }
+    builder
 }
 
 #[cfg(test)]
@@ -255,7 +375,7 @@ mod tests {
     use super::*;
     use crate::args::{parse, FlagSpec};
 
-    const FLAG_NAMES: [&str; 15] = [
+    const FLAG_NAMES: [&str; 19] = [
         "machine",
         "nodes",
         "seed",
@@ -271,6 +391,10 @@ mod tests {
         "failure-seed",
         "max-attempts",
         "retry-backoff",
+        "cascade-prob",
+        "failure-domains",
+        "burst-model",
+        "oracle",
     ];
 
     fn flagset() -> Vec<FlagSpec> {
@@ -278,7 +402,7 @@ mod tests {
             .iter()
             .map(|&name| FlagSpec {
                 name,
-                is_bool: false,
+                is_bool: name == "oracle",
                 help: "",
                 default: None,
             })
@@ -386,6 +510,108 @@ mod tests {
         );
         assert!(PolicyFlags::from_args(&parsed(&["--max-attempts", "0"])).is_err());
         assert!(PolicyFlags::from_args(&parsed(&["--retry-backoff", "-5"])).is_err());
+    }
+
+    #[test]
+    fn correlation_flags_parse_and_validate() {
+        // No flags → no correlation layer, oracle off.
+        let f = PolicyFlags::from_args(&parsed(&[])).unwrap();
+        assert!(f.correlation.is_none());
+        assert!(!f.oracle);
+
+        let f = PolicyFlags::from_args(&parsed(&[
+            "--cascade-prob",
+            "0.3",
+            "--failure-domains",
+            "256,4,2",
+            "--burst-model",
+            "markov:10,168,6",
+            "--oracle",
+        ]))
+        .unwrap();
+        let corr = f.correlation.unwrap();
+        assert_eq!(corr.cascade_prob, 0.3);
+        assert_eq!(
+            corr.domains,
+            DomainSpec {
+                midplane_nodes: 256,
+                midplanes_per_rack: 4,
+                racks_per_power_domain: 2,
+            }
+        );
+        assert_eq!(
+            corr.burst,
+            BurstModel::Markov {
+                rate_boost: 10.0,
+                mean_calm: SimDuration::from_hours(168),
+                mean_burst: SimDuration::from_hours(6),
+            }
+        );
+        assert!(f.oracle);
+
+        // A single correlation flag is enough; the rest default.
+        let f = PolicyFlags::from_args(&parsed(&["--burst-model", "weibull:0.7"])).unwrap();
+        let corr = f.correlation.unwrap();
+        assert_eq!(corr.cascade_prob, 0.0);
+        assert_eq!(corr.domains, DomainSpec::intrepid());
+        assert_eq!(corr.burst, BurstModel::Weibull { shape: 0.7 });
+
+        let f = PolicyFlags::from_args(&parsed(&["--burst-model", "none"])).unwrap();
+        assert_eq!(f.correlation.unwrap().burst, BurstModel::None);
+
+        for bad in [
+            &["--cascade-prob", "1.5"][..],
+            &["--cascade-prob", "-0.1"],
+            &["--failure-domains", "512,2"],
+            &["--failure-domains", "512,0,8"],
+            &["--failure-domains", "a,b,c"],
+            &["--burst-model", "weibull:0"],
+            &["--burst-model", "weibull:x"],
+            &["--burst-model", "markov:0.5,168,6"],
+            &["--burst-model", "markov:10,0,6"],
+            &["--burst-model", "markov:10,168"],
+            &["--burst-model", "gamma:2"],
+        ] {
+            assert!(
+                PolicyFlags::from_args(&parsed(bad)).is_err(),
+                "expected rejection of {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cascaded_simulation_reports_domain_downtime() {
+        let (jobs, _) = load_workload(&parsed(&["--workload", "small"])).unwrap();
+        let flags = PolicyFlags::from_args(&parsed(&[
+            "--node-mtbf",
+            "300",
+            "--repair-time",
+            "1",
+            "--max-attempts",
+            "4",
+            "--cascade-prob",
+            "0.5",
+            "--failure-domains",
+            "64,2,2",
+            "--burst-model",
+            "weibull:0.7",
+            "--oracle",
+        ]))
+        .unwrap();
+        let out = run_simulation(
+            MachineConfig {
+                kind: MachineKind::Flat,
+                nodes: 640,
+            },
+            jobs,
+            PolicyParams::fcfs(),
+            &flags,
+            AdaptiveScheme::none(),
+            "cascaded".into(),
+        );
+        assert!(out.summary.node_downtime_hours > 0.0);
+        assert!(!out.domain_downtime.is_empty());
+        assert!(!out.down_nodes.points().is_empty());
     }
 
     #[test]

@@ -24,17 +24,21 @@
 use std::collections::HashMap;
 
 use amjs_metrics::report::MetricsSummary;
-use amjs_metrics::{FairnessTracker, LossOfCapacity, TimeSeries, UtilizationTracker, WaitStats};
+use amjs_metrics::{
+    DomainDowntime, FairnessTracker, FaultDomain, LossOfCapacity, TimeSeries, UtilizationTracker,
+    WaitStats,
+};
+use amjs_platform::plan::Plan;
 use amjs_platform::{AllocationId, DrainOutcome, Platform};
 use amjs_sim::event::Priority;
-use amjs_sim::{Engine, EventQueue, SimDuration, SimTime, World};
+use amjs_sim::{Engine, EventQueue, Oracle, SimDuration, SimTime, World};
 use amjs_workload::{Job, JobId};
 
 use amjs_metrics::energy::{energy_report, EnergyModel, EnergyReport};
 
 use crate::adaptive::{AdaptiveScheme, MonitoredMetric};
 use crate::estimates::{EstimateAdjuster, EstimatePolicy};
-use crate::failures::{FailureProcess, FailureSpec, RetryPolicy};
+use crate::failures::{CorrelationSpec, FailureProcess, FailureSpec, RetryPolicy};
 use crate::fairshare::fair_start_time;
 use crate::scheduler::{BackfillMode, ProtectionStyle, QueuedJob, Scheduler};
 use crate::PolicyParams;
@@ -116,6 +120,14 @@ pub struct SimulationOutcome {
     /// In-service fraction of the machine at each check point (1.0
     /// everywhere when failure injection is off).
     pub availability: TimeSeries,
+    /// Out-of-service node count at each check point — the
+    /// capacity-collapse view of correlated outages (flat zero without
+    /// failure injection).
+    pub down_nodes: TimeSeries,
+    /// Per-failure-domain accounting: faults, quanta downed, and
+    /// injected node-hours at each escalation level (empty without
+    /// failure injection).
+    pub domain_downtime: DomainDowntime,
     /// Per-job submit/start/end records, in completion order.
     pub per_job: Vec<JobOutcome>,
     /// Jobs dropped at load because they exceed the machine.
@@ -180,6 +192,8 @@ pub struct SimulationBuilder<P: Platform> {
     backfill_depth: Option<usize>,
     protection: ProtectionStyle,
     failures: Option<FailureSpec>,
+    correlation: Option<CorrelationSpec>,
+    oracle: Option<bool>,
     retry: RetryPolicy,
     energy_model: Option<EnergyModel>,
     estimate_policy: EstimatePolicy,
@@ -207,6 +221,8 @@ impl<P: Platform> SimulationBuilder<P> {
             backfill_depth: None,
             protection: ProtectionStyle::PinnedBlocks,
             failures: None,
+            correlation: None,
+            oracle: None,
             retry: RetryPolicy::default(),
             energy_model: None,
             estimate_policy: EstimatePolicy::Requested,
@@ -298,6 +314,28 @@ impl<P: Platform> SimulationBuilder<P> {
         self
     }
 
+    /// Layer correlated failure domains over the injection process:
+    /// faults escalate (midplane → rack → power domain → machine) with
+    /// the spec's cascade probability and arrive in temporal bursts
+    /// (see [`CorrelationSpec`]). Ignored unless
+    /// [`SimulationBuilder::failures`] is also set. `None` (the
+    /// default) keeps the uncorrelated process bit-for-bit.
+    pub fn correlated_failures(mut self, spec: Option<CorrelationSpec>) -> Self {
+        self.correlation = spec;
+        self
+    }
+
+    /// Force the runtime invariant oracle on (`true`) or off (`false`).
+    /// The oracle re-checks allocator consistency, the job-set
+    /// partition, node conservation, and backfill protection after
+    /// every event, panicking with a replayable `(failure seed, event
+    /// index)` tag on violation. Default: on in debug builds, off in
+    /// release.
+    pub fn oracle(mut self, enabled: bool) -> Self {
+        self.oracle = Some(enabled);
+        self
+    }
+
     /// How killed jobs are retried (see [`RetryPolicy`]). The default
     /// retries forever with no backoff — the historical behavior.
     pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
@@ -370,9 +408,12 @@ impl<P: Platform> SimulationBuilder<P> {
         scheduler.protection = self.protection;
 
         let total_nodes_for_fail = total_nodes;
-        let failure_process = self
-            .failures
-            .map(|spec| FailureProcess::new(spec, total_nodes_for_fail));
+        let failure_seed = self.failures.map(|spec| spec.seed);
+        let failure_process = self.failures.map(|spec| match self.correlation {
+            Some(corr) => FailureProcess::with_correlation(spec, corr, total_nodes_for_fail),
+            None => FailureProcess::new(spec, total_nodes_for_fail),
+        });
+        let oracle_enabled = self.oracle.unwrap_or(cfg!(debug_assertions));
         let mut world = Runner {
             scheduler,
             adaptive: self.adaptive,
@@ -391,6 +432,10 @@ impl<P: Platform> SimulationBuilder<P> {
             bf_series: TimeSeries::new("balance_factor"),
             window_series: TimeSeries::new("window_size"),
             availability: TimeSeries::new("availability"),
+            down_nodes: amjs_metrics::domains::down_nodes_series(),
+            domain_downtime: DomainDowntime::new(),
+            promised: Vec::new(),
+            last_pass_time: None,
             down_track: UtilizationTracker::new(total_nodes, SimTime::ZERO),
             per_job: Vec::with_capacity(jobs.len()),
             sample_interval: self.sample_interval,
@@ -430,7 +475,12 @@ impl<P: Platform> SimulationBuilder<P> {
             }
         }
 
-        let stats = Engine::new().run(&mut world, &mut queue);
+        let stats = if oracle_enabled {
+            let mut oracle = InvariantOracle { failure_seed };
+            Engine::new().run_with_oracle(&mut world, &mut queue, &mut oracle)
+        } else {
+            Engine::new().run(&mut world, &mut queue)
+        };
         // Abandoned jobs (retry budget exhausted) legitimately never
         // complete; everything else must have drained.
         assert!(
@@ -492,6 +542,8 @@ impl<P: Platform> SimulationBuilder<P> {
             bf_series: world.bf_series,
             window_series: world.window_series,
             availability: world.availability,
+            down_nodes: world.down_nodes,
+            domain_downtime: world.domain_downtime,
             per_job: world.per_job,
             skipped_oversized,
             scheduler_passes: world.scheduler_passes,
@@ -501,6 +553,17 @@ impl<P: Platform> SimulationBuilder<P> {
             energy,
         }
     }
+}
+
+/// A reservation the scheduler handed to an EASY-protected queue head:
+/// the job must still be startable at `start` once the pass's backfill
+/// admissions are on the machine.
+#[derive(Clone, Copy, Debug)]
+struct Promise {
+    id: JobId,
+    nodes: u32,
+    walltime: SimDuration,
+    start: SimTime,
 }
 
 /// The event-loop state.
@@ -525,6 +588,17 @@ struct Runner<P: Platform> {
     bf_series: TimeSeries,
     window_series: TimeSeries,
     availability: TimeSeries,
+    /// Out-of-service node count at each check point.
+    down_nodes: TimeSeries,
+    /// Per-domain fault and downtime accounting.
+    domain_downtime: DomainDowntime,
+    /// EASY reservations promised by the most recent scheduling pass,
+    /// for the oracle's backfill-protection check.
+    promised: Vec<Promise>,
+    /// When the most recent scheduling pass ran. The protection check
+    /// only applies at that instant — later events legitimately reshape
+    /// the plan (walltime overruns, new failures) before the next pass.
+    last_pass_time: Option<SimTime>,
     /// Integral of the out-of-service node level ("busy" = down), the
     /// downtime denominator correction for utilization and LoC.
     down_track: UtilizationTracker,
@@ -676,6 +750,8 @@ impl<P: Platform> Runner<P> {
     /// Run one scheduling pass and start the decided jobs.
     fn run_scheduler(&mut self, now: SimTime, events: &mut EventQueue<Ev>) {
         self.scheduler_passes += 1;
+        self.last_pass_time = Some(now);
+        self.promised.clear();
         if self.queue.is_empty() {
             return;
         }
@@ -729,6 +805,23 @@ impl<P: Platform> Runner<P> {
                 self.backfilled_starts += 1;
             }
         }
+        // Remember what the pass promised its protected queue heads, so
+        // the oracle can verify backfill admissions did not steal the
+        // reserved capacity.
+        for &(id, start) in &decision.reservations {
+            if !decision.protected.contains(&id) {
+                continue;
+            }
+            let still_queued = self.queue.iter().any(|&i| self.jobs[i].id == id);
+            if let (true, Some(q)) = (still_queued, queued.iter().find(|q| q.id == id)) {
+                self.promised.push(Promise {
+                    id,
+                    nodes: q.nodes,
+                    walltime: q.walltime,
+                    start,
+                });
+            }
+        }
         self.note_capacity(now);
     }
 
@@ -764,6 +857,10 @@ impl<P: Platform> Runner<P> {
             now,
             self.platform.available_nodes() as f64 / self.platform.total_nodes() as f64,
         );
+        self.down_nodes.push(
+            now,
+            (self.platform.total_nodes() - self.platform.available_nodes()) as f64,
+        );
     }
 
     /// Algorithm 1's check-point body. Returns true if the policy
@@ -790,6 +887,130 @@ impl<P: Platform> Runner<P> {
             }
         }
         changed
+    }
+
+    /// The oracle's invariant battery, run between events. Returns the
+    /// first violated invariant as a diagnostic message.
+    fn check_invariants(&self, now: SimTime) -> Result<(), String> {
+        // (1) The allocator's own books: pairwise-disjoint live blocks
+        // (no double allocation), busy/down/draining mask agreement.
+        self.platform.check_consistency()?;
+
+        // (2) No running job intersects a down failure quantum — kills
+        // happen inside the same event as the fault, so between events
+        // every live allocation runs on in-service capacity only.
+        for (id, r) in &self.running {
+            if self.platform.allocation_intersects_down(r.alloc) {
+                return Err(format!(
+                    "running job {id:?} holds an out-of-service quantum"
+                ));
+            }
+        }
+
+        // Runner and platform agree about what is live.
+        let mut held: Vec<AllocationId> = self.running.values().map(|r| r.alloc).collect();
+        held.sort();
+        let live = self.platform.active_allocations();
+        if live != held {
+            return Err(format!(
+                "allocation sets diverge: platform has {} live, runner tracks {}",
+                live.len(),
+                held.len()
+            ));
+        }
+
+        // (3) Queued / running / finished (plus not-yet-submitted,
+        // backoff-pending, and abandoned) partition the job set.
+        let mut seen = std::collections::HashSet::new();
+        for &i in &self.queue {
+            let id = self.jobs[i].id;
+            if !seen.insert(id) {
+                return Err(format!("job {id:?} queued twice"));
+            }
+            if self.running.contains_key(&id) {
+                return Err(format!("job {id:?} is both queued and running"));
+            }
+        }
+        let accounted = self.remaining_submits
+            + self.queue.len()
+            + self.running.len()
+            + self.pending_resubmits
+            + self.per_job.len()
+            + self.abandoned_jobs;
+        if accounted != self.jobs.len() {
+            return Err(format!(
+                "job-set partition broken: {accounted} accounted of {} \
+                 ({} unsubmitted, {} queued, {} running, {} in backoff, \
+                 {} finished, {} abandoned)",
+                self.jobs.len(),
+                self.remaining_submits,
+                self.queue.len(),
+                self.running.len(),
+                self.pending_resubmits,
+                self.per_job.len(),
+                self.abandoned_jobs,
+            ));
+        }
+
+        // (4) Node conservation: the machine's busy level is exactly the
+        // sum of the running jobs' (rounded) allocations.
+        let busy = self.platform.available_nodes() - self.platform.idle_nodes();
+        let sum: u64 = self
+            .running
+            .values()
+            .map(|r| self.platform.allocation_size(r.alloc).unwrap_or(0) as u64)
+            .sum();
+        if busy as u64 != sum {
+            return Err(format!(
+                "node-seconds conservation broken: {busy} busy vs {sum} allocated"
+            ));
+        }
+
+        // (5) Backfill never delays the EASY-protected head: right after
+        // a scheduling pass, each protected reservation must still be
+        // placeable at its promised start. (Checked only at the pass
+        // instant — later events legitimately reshape the plan.)
+        if self.last_pass_time == Some(now) && !self.promised.is_empty() {
+            let plan = self.base_plan(now);
+            for p in &self.promised {
+                if !self.queue.iter().any(|&i| self.jobs[i].id == p.id) {
+                    continue; // started or killed since the pass
+                }
+                let earliest = plan.earliest_start(p.nodes, p.walltime, now);
+                if earliest > p.start {
+                    return Err(format!(
+                        "backfill delayed EASY-protected job {:?} past its reservation \
+                         ({} nodes promised at t={}s, now earliest t={}s)",
+                        p.id,
+                        p.nodes,
+                        p.start.as_secs(),
+                        earliest.as_secs()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The runtime invariant oracle over a simulation run (ISSUE 2): checks
+/// [`Runner::check_invariants`] after every event and panics with a
+/// replayable `(failure seed, event index)` tag on the first violation.
+/// On by default in debug builds, opt-in via
+/// [`SimulationBuilder::oracle`] (CLI `--oracle`) in release.
+struct InvariantOracle {
+    failure_seed: Option<u64>,
+}
+
+impl<P: Platform> Oracle<Runner<P>> for InvariantOracle {
+    fn after_event(&mut self, world: &Runner<P>, now: SimTime, event_index: u64) {
+        if let Err(msg) = world.check_invariants(now) {
+            panic!(
+                "invariant violation (replay: failure-seed={}, event_index={event_index}): {msg}",
+                self.failure_seed
+                    .map_or_else(|| "none".to_string(), |s| s.to_string()),
+            );
+        }
     }
 }
 
@@ -863,28 +1084,46 @@ impl<P: Platform> World for Runner<P> {
                     .failure_process
                     .take()
                     .expect("Fail event without a failure process");
-                // The platform maps the failing node onto its failure
-                // quantum (the node itself, or the whole midplane on a
-                // partitioned machine) and tells us what it hit.
-                let victim_node = process.victim_node();
-                match self.platform.mark_down(victim_node) {
-                    DrainOutcome::AlreadyDown => {
-                        // The quantum is already out of service and a
-                        // repair is already pending; the failure is
-                        // absorbed without drawing a repair time.
+                // Draw the fault: a uniform victim, escalated across the
+                // domain hierarchy when cascades are configured. A
+                // midplane-level fault affects exactly the victim's
+                // failure quantum (the platform expands the node to the
+                // quantum), reproducing the uncorrelated process draw
+                // for draw; higher levels sweep the whole domain span,
+                // one quantum at a time.
+                let fault = process.draw_fault();
+                let quantum = self.platform.min_allocation().max(1);
+                let targets: Vec<(u32, u32)> = if fault.level == FaultDomain::Midplane {
+                    vec![(fault.origin, quantum)]
+                } else {
+                    let (start, end) = process.fault_span(fault);
+                    // Top-down so whole-span outages collapse cleanly on
+                    // index-fiction platforms (freed capacity compacts
+                    // toward low indices as jobs die).
+                    let mut t: Vec<(u32, u32)> = (start..end)
+                        .step_by(quantum as usize)
+                        .map(|n| (n, (end - n).min(quantum)))
+                        .collect();
+                    t.reverse();
+                    t
+                };
+                // One repair crew visit per fault: every quantum the
+                // fault newly takes down returns to service after the
+                // same drawn delay (drawn once, on the first hit, which
+                // keeps the uncorrelated RNG stream byte-identical).
+                let mut repair: Option<SimDuration> = None;
+                let mut any_change = false;
+                for &(node, nodes_hit) in &targets {
+                    let outcome = self.platform.mark_down(node);
+                    if outcome == DrainOutcome::AlreadyDown {
+                        // Already out of service with a repair pending;
+                        // this part of the fault is absorbed.
+                        continue;
                     }
-                    DrainOutcome::Down => {
-                        self.note_capacity(now);
-                        let d = process.repair_duration();
-                        events.schedule_with(now + d, Priority::Release, Ev::Repair(victim_node));
-                        self.run_scheduler(now, events);
-                        self.record_loc(now);
-                    }
-                    DrainOutcome::Draining(alloc) => {
-                        // The failure landed inside a running job's
+                    if let DrainOutcome::Draining(alloc) = outcome {
+                        // The quantum sits inside a running job's
                         // partition: kill the job (its capacity leaves
-                        // service at the release inside kill_job) and
-                        // repair the quantum after the drawn delay.
+                        // service at the release inside kill_job).
                         let id = self
                             .running
                             .iter()
@@ -892,11 +1131,18 @@ impl<P: Platform> World for Runner<P> {
                             .map(|(&id, _)| id)
                             .expect("draining allocation belongs to a running job");
                         self.kill_job(id, now, events);
-                        let d = process.repair_duration();
-                        events.schedule_with(now + d, Priority::Release, Ev::Repair(victim_node));
-                        self.run_scheduler(now, events);
-                        self.record_loc(now);
                     }
+                    let d = *repair.get_or_insert_with(|| process.repair_duration());
+                    events.schedule_with(now + d, Priority::Release, Ev::Repair(node));
+                    self.domain_downtime
+                        .record_outage(fault.level, nodes_hit, d);
+                    any_change = true;
+                }
+                self.domain_downtime.record_fault(fault.level);
+                if any_change {
+                    self.note_capacity(now);
+                    self.run_scheduler(now, events);
+                    self.record_loc(now);
                 }
                 // Keep the process alive while there is anything left to
                 // interrupt.
@@ -1079,6 +1325,7 @@ mod tests {
             &out.bf_series,
             &out.window_series,
             &out.availability,
+            &out.down_nodes,
         ] {
             assert_eq!(s.len(), n);
         }
@@ -1357,6 +1604,212 @@ mod tests {
         assert_eq!(total_jobs, out.summary.jobs_completed);
         let gini = amjs_metrics::users::wait_gini(&rows);
         assert!((0.0..=1.0).contains(&gini));
+    }
+
+    #[test]
+    fn inert_correlation_reproduces_the_uncorrelated_run_exactly() {
+        use crate::failures::{CorrelationSpec, FailureSpec, RepairSpec};
+        let spec = FailureSpec {
+            node_mtbf: SimDuration::from_hours(240),
+            repair: RepairSpec::Deterministic(SimDuration::from_mins(30)),
+            seed: 77,
+        };
+        let plain = SimulationBuilder::new(FlatCluster::new(640), small_jobs(25))
+            .failures(Some(spec))
+            .run();
+        let layered = SimulationBuilder::new(FlatCluster::new(640), small_jobs(25))
+            .failures(Some(spec))
+            .correlated_failures(Some(CorrelationSpec::default()))
+            .run();
+        assert_eq!(plain.per_job, layered.per_job);
+        assert_eq!(plain.summary, layered.summary);
+        assert_eq!(plain.availability, layered.availability);
+        // The uncorrelated process reports every fault at midplane level.
+        assert_eq!(
+            layered.domain_downtime.total_faults(),
+            layered
+                .domain_downtime
+                .level(amjs_metrics::FaultDomain::Midplane)
+                .faults
+        );
+    }
+
+    #[test]
+    fn cascades_take_whole_domains_down_and_everything_still_completes() {
+        use crate::failures::{BurstModel, CorrelationSpec, DomainSpec, FailureSpec, RepairSpec};
+        let mut jobs = small_jobs(26);
+        for j in &mut jobs {
+            j.nodes = (j.nodes * 8).min(2048);
+        }
+        let n = jobs.len();
+        let corr = CorrelationSpec {
+            cascade_prob: 0.4,
+            domains: DomainSpec::intrepid(),
+            burst: BurstModel::Weibull { shape: 0.7 },
+        };
+        let out = SimulationBuilder::new(BgpCluster::new(8, 512), jobs)
+            .failures(Some(FailureSpec {
+                node_mtbf: SimDuration::from_hours(2000),
+                repair: RepairSpec::Deterministic(SimDuration::from_mins(30)),
+                seed: 11,
+            }))
+            .correlated_failures(Some(corr))
+            .oracle(true)
+            .run();
+        assert_eq!(out.summary.jobs_completed, n, "reruns must finish");
+        let dd = &out.domain_downtime;
+        assert!(dd.total_faults() > 0);
+        assert!(
+            dd.total_faults() > dd.level(amjs_metrics::FaultDomain::Midplane).faults,
+            "at cascade 0.4 some fault must escalate past midplane"
+        );
+        assert!(dd.total_node_hours() > 0.0);
+        assert!(!dd.render_table().is_empty());
+        // The capacity-collapse series must catch a multi-midplane dip.
+        let worst = out.down_nodes.max_value().unwrap_or(0.0);
+        assert!(worst >= 1024.0, "worst collapse {worst} < one rack");
+    }
+
+    #[test]
+    fn cascaded_runs_are_byte_identical() {
+        use crate::failures::{BurstModel, CorrelationSpec, DomainSpec, FailureSpec, RepairSpec};
+        let run = || {
+            let mut jobs = small_jobs(27);
+            for j in &mut jobs {
+                j.nodes = (j.nodes * 8).min(2048);
+            }
+            SimulationBuilder::new(BgpCluster::new(8, 512), jobs)
+                .failures(Some(FailureSpec {
+                    node_mtbf: SimDuration::from_hours(1500),
+                    repair: RepairSpec::LogNormal {
+                        mean: SimDuration::from_hours(1),
+                        sigma: 0.6,
+                    },
+                    seed: 301,
+                }))
+                .correlated_failures(Some(CorrelationSpec {
+                    cascade_prob: 0.3,
+                    domains: DomainSpec::intrepid(),
+                    burst: BurstModel::Markov {
+                        rate_boost: 10.0,
+                        mean_calm: SimDuration::from_hours(48),
+                        mean_burst: SimDuration::from_hours(4),
+                    },
+                }))
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.summary.csv_row(), b.summary.csv_row());
+        assert_eq!(a.per_job, b.per_job);
+        assert_eq!(a.availability, b.availability);
+        assert_eq!(a.down_nodes, b.down_nodes);
+        assert_eq!(
+            a.domain_downtime.render_table(),
+            b.domain_downtime.render_table()
+        );
+    }
+
+    /// A delegating platform that forges a duplicate live block after
+    /// the N-th allocation — the seeded bug the oracle must catch.
+    struct EvilPlatform {
+        inner: BgpCluster,
+        allocs: u32,
+        corrupt_at: u32,
+    }
+
+    impl Platform for EvilPlatform {
+        type Plan = <BgpCluster as Platform>::Plan;
+        fn name(&self) -> &'static str {
+            "evil-bgp"
+        }
+        fn total_nodes(&self) -> u32 {
+            self.inner.total_nodes()
+        }
+        fn idle_nodes(&self) -> u32 {
+            self.inner.idle_nodes()
+        }
+        fn min_allocation(&self) -> u32 {
+            self.inner.min_allocation()
+        }
+        fn rounded_size(&self, nodes: u32) -> u32 {
+            self.inner.rounded_size(nodes)
+        }
+        fn can_allocate(&self, nodes: u32) -> bool {
+            self.inner.can_allocate(nodes)
+        }
+        fn allocate(&mut self, nodes: u32) -> Option<AllocationId> {
+            let got = self.inner.allocate(nodes);
+            self.sabotage(got)
+        }
+        fn allocate_hinted(
+            &mut self,
+            nodes: u32,
+            hint: amjs_platform::PlacementHint,
+        ) -> Option<AllocationId> {
+            let got = self.inner.allocate_hinted(nodes, hint);
+            self.sabotage(got)
+        }
+        fn release(&mut self, id: AllocationId) -> u32 {
+            self.inner.release(id)
+        }
+        fn allocation_size(&self, id: AllocationId) -> Option<u32> {
+            self.inner.allocation_size(id)
+        }
+        fn active_allocations(&self) -> Vec<AllocationId> {
+            self.inner.active_allocations()
+        }
+        fn plan(&self, now: SimTime, rel: &dyn Fn(AllocationId) -> SimTime) -> Self::Plan {
+            self.inner.plan(now, rel)
+        }
+        fn available_nodes(&self) -> u32 {
+            self.inner.available_nodes()
+        }
+        fn mark_down(&mut self, node: u32) -> DrainOutcome {
+            self.inner.mark_down(node)
+        }
+        fn mark_up(&mut self, node: u32) {
+            self.inner.mark_up(node)
+        }
+        fn allocation_containing(&self, node: u32) -> Option<AllocationId> {
+            self.inner.allocation_containing(node)
+        }
+        fn could_ever_allocate(&self, nodes: u32) -> bool {
+            self.inner.could_ever_allocate(nodes)
+        }
+        fn check_consistency(&self) -> Result<(), String> {
+            self.inner.check_consistency()
+        }
+        fn allocation_intersects_down(&self, id: AllocationId) -> bool {
+            self.inner.allocation_intersects_down(id)
+        }
+    }
+
+    impl EvilPlatform {
+        fn sabotage(&mut self, got: Option<AllocationId>) -> Option<AllocationId> {
+            if got.is_some() {
+                self.allocs += 1;
+                if self.allocs == self.corrupt_at {
+                    self.inner.debug_corrupt_double_allocation();
+                }
+            }
+            got
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation")]
+    fn oracle_catches_a_seeded_double_allocation() {
+        let mut jobs = small_jobs(28);
+        for j in &mut jobs {
+            j.nodes = (j.nodes * 8).min(2048);
+        }
+        let evil = EvilPlatform {
+            inner: BgpCluster::new(8, 512),
+            allocs: 0,
+            corrupt_at: 3,
+        };
+        let _ = SimulationBuilder::new(evil, jobs).oracle(true).run();
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Failure-domain accounting: which level of the machine's physical
+//! hierarchy each injected fault hit, and how much capacity each level
+//! took out of service.
+//!
+//! Production Blue Gene/P outages are not i.i.d. single-midplane
+//! events: a failed bulk power module takes a whole rack (2 midplanes),
+//! a facility-side event takes a power domain (several racks), and in
+//! the worst case the entire machine goes dark. The fault injector in
+//! `amjs-core::failures` escalates faults along this hierarchy; this
+//! module is the reporting side — per-level fault counts, quanta
+//! downed, and injected-outage node-hours, surfaced next to the
+//! capacity-collapse series so an experiment can say *which* outage
+//! scale the scheduler was reacting to.
+
+use crate::series::TimeSeries;
+use amjs_sim::SimDuration;
+
+/// A level of the machine's failure-domain hierarchy, ordered from the
+/// base failure quantum to the whole machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultDomain {
+    /// One midplane (the base failure quantum on Blue Gene/P; one node
+    /// on a flat machine).
+    Midplane,
+    /// One rack: two midplanes sharing bulk power and cooling.
+    Rack,
+    /// One power domain: a row of racks behind one facility feed.
+    PowerDomain,
+    /// The full machine.
+    Machine,
+}
+
+impl FaultDomain {
+    /// All levels, smallest to largest.
+    pub const ALL: [FaultDomain; 4] = [
+        FaultDomain::Midplane,
+        FaultDomain::Rack,
+        FaultDomain::PowerDomain,
+        FaultDomain::Machine,
+    ];
+
+    /// The enclosing domain one level up, or `None` at machine scale.
+    pub fn escalated(self) -> Option<FaultDomain> {
+        match self {
+            FaultDomain::Midplane => Some(FaultDomain::Rack),
+            FaultDomain::Rack => Some(FaultDomain::PowerDomain),
+            FaultDomain::PowerDomain => Some(FaultDomain::Machine),
+            FaultDomain::Machine => None,
+        }
+    }
+
+    /// Short human label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultDomain::Midplane => "midplane",
+            FaultDomain::Rack => "rack",
+            FaultDomain::PowerDomain => "power",
+            FaultDomain::Machine => "machine",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultDomain::Midplane => 0,
+            FaultDomain::Rack => 1,
+            FaultDomain::PowerDomain => 2,
+            FaultDomain::Machine => 3,
+        }
+    }
+}
+
+/// Per-level outage statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DomainOutage {
+    /// Faults injected at this level (including fully absorbed ones).
+    pub faults: u64,
+    /// Failure quanta newly taken out of service by those faults
+    /// (quanta already down when the fault landed are not re-counted).
+    pub quanta_downed: u64,
+    /// Node-hours of outage injected: newly-downed nodes × scheduled
+    /// repair duration. An *injected* quantity — overlapping faults on
+    /// the same capacity are counted per fault, so this can exceed the
+    /// integrated downtime of the capacity-collapse series.
+    pub node_hours: f64,
+}
+
+/// Accumulator of per-domain downtime, filled by the simulation runner
+/// as faults land.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DomainDowntime {
+    levels: [DomainOutage; 4],
+}
+
+impl DomainDowntime {
+    /// A fresh, all-zero accumulator.
+    pub fn new() -> Self {
+        DomainDowntime::default()
+    }
+
+    /// Count one injected fault at `level`.
+    pub fn record_fault(&mut self, level: FaultDomain) {
+        self.levels[level.index()].faults += 1;
+    }
+
+    /// Account `nodes` newly taken out of service by a `level` fault
+    /// for `repair` long.
+    pub fn record_outage(&mut self, level: FaultDomain, nodes: u32, repair: SimDuration) {
+        let s = &mut self.levels[level.index()];
+        s.quanta_downed += 1;
+        s.node_hours += nodes as f64 * repair.as_secs() as f64 / 3600.0;
+    }
+
+    /// Statistics for one level.
+    pub fn level(&self, level: FaultDomain) -> &DomainOutage {
+        &self.levels[level.index()]
+    }
+
+    /// Total faults injected across all levels.
+    pub fn total_faults(&self) -> u64 {
+        self.levels.iter().map(|s| s.faults).sum()
+    }
+
+    /// Total injected outage node-hours across all levels.
+    pub fn total_node_hours(&self) -> f64 {
+        self.levels.iter().map(|s| s.node_hours).sum()
+    }
+
+    /// True when no fault was recorded at any level.
+    pub fn is_empty(&self) -> bool {
+        self.total_faults() == 0
+    }
+
+    /// Render the per-level table (levels with zero faults omitted);
+    /// empty string when nothing was recorded.
+    pub fn render_table(&self) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("domain      faults   quanta   node-hours\n");
+        for level in FaultDomain::ALL {
+            let s = self.level(level);
+            if s.faults == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<10} {:>7} {:>8} {:>12.0}\n",
+                level.label(),
+                s.faults,
+                s.quanta_downed,
+                s.node_hours
+            ));
+        }
+        out
+    }
+}
+
+/// Build the capacity-collapse series: out-of-service node count over
+/// time, sampled on the shared check-point grid. The complement of the
+/// `availability` fraction in absolute nodes — the view in which a
+/// cascading rack or power-domain outage is a visible cliff.
+pub fn down_nodes_series() -> TimeSeries {
+    TimeSeries::new("down_nodes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_sim::SimTime;
+
+    #[test]
+    fn escalation_walks_the_hierarchy() {
+        assert_eq!(FaultDomain::Midplane.escalated(), Some(FaultDomain::Rack));
+        assert_eq!(
+            FaultDomain::Rack.escalated(),
+            Some(FaultDomain::PowerDomain)
+        );
+        assert_eq!(
+            FaultDomain::PowerDomain.escalated(),
+            Some(FaultDomain::Machine)
+        );
+        assert_eq!(FaultDomain::Machine.escalated(), None);
+    }
+
+    #[test]
+    fn levels_are_ordered_small_to_large() {
+        for pair in FaultDomain::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn downtime_accumulates_per_level() {
+        let mut d = DomainDowntime::new();
+        assert!(d.is_empty());
+        assert_eq!(d.render_table(), "");
+        d.record_fault(FaultDomain::Rack);
+        d.record_outage(FaultDomain::Rack, 512, SimDuration::from_hours(2));
+        d.record_outage(FaultDomain::Rack, 512, SimDuration::from_hours(2));
+        d.record_fault(FaultDomain::Midplane);
+        assert_eq!(d.level(FaultDomain::Rack).faults, 1);
+        assert_eq!(d.level(FaultDomain::Rack).quanta_downed, 2);
+        assert!((d.level(FaultDomain::Rack).node_hours - 2048.0).abs() < 1e-9);
+        assert_eq!(d.level(FaultDomain::Midplane).quanta_downed, 0);
+        assert_eq!(d.total_faults(), 2);
+        assert!((d.total_node_hours() - 2048.0).abs() < 1e-9);
+        let table = d.render_table();
+        assert!(table.contains("rack"));
+        assert!(table.contains("midplane"));
+        assert!(!table.contains("power"));
+    }
+
+    #[test]
+    fn down_series_has_the_conventional_name() {
+        let mut s = down_nodes_series();
+        s.push(SimTime::ZERO, 512.0);
+        assert_eq!(s.name(), "down_nodes");
+    }
+}

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod domains;
 pub mod energy;
 pub mod fairness;
 pub mod loc;
@@ -34,6 +35,7 @@ pub mod users;
 pub mod utilization;
 pub mod wait;
 
+pub use domains::{DomainDowntime, DomainOutage, FaultDomain};
 pub use energy::{energy_report, EnergyModel, EnergyReport};
 pub use fairness::FairnessTracker;
 pub use loc::LossOfCapacity;

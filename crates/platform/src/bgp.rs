@@ -154,6 +154,27 @@ impl BgpCluster {
     pub fn nodes_per_unit(&self) -> Nodes {
         self.nodes_per_unit
     }
+
+    /// Units currently out of service (failed and not yet repaired).
+    /// Draining units are not included — their capacity is still in
+    /// service until the owning block releases.
+    pub fn down_units(&self) -> UnitMask {
+        self.down
+    }
+
+    /// Test-only fault seeding for the invariant oracle: forge a second
+    /// live allocation over the first live block's units *without*
+    /// touching the busy mask — exactly the double-allocation corruption
+    /// [`Platform::check_consistency`] exists to catch. Returns the
+    /// forged id, or `None` on a machine with no live allocation.
+    #[doc(hidden)]
+    pub fn debug_corrupt_double_allocation(&mut self) -> Option<AllocationId> {
+        let block = *self.live.values().next()?;
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id, block);
+        Some(id)
+    }
 }
 
 impl Platform for BgpCluster {
@@ -309,6 +330,56 @@ impl Platform for BgpCluster {
             Some(k) => self.find_block_in(k, &self.down).is_some(),
             None => false,
         }
+    }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        let mut owned = UnitMask::empty();
+        for (&id, b) in &self.live {
+            if b.unit_len == 0 || b.unit_start + b.unit_len > self.units {
+                return Err(format!(
+                    "allocation {id:?} out of bounds: units {}..{} on a {}-unit machine",
+                    b.unit_start,
+                    b.unit_start + b.unit_len,
+                    self.units
+                ));
+            }
+            let block = UnitMask::block(b.unit_start, b.unit_len);
+            if owned.intersects(&block) {
+                return Err(format!(
+                    "double allocation: {id:?} overlaps another live block at units {}..{}",
+                    b.unit_start,
+                    b.unit_start + b.unit_len
+                ));
+            }
+            owned.or_with(&block);
+        }
+        if owned != self.busy {
+            return Err(format!(
+                "busy mask disagrees with live blocks: {} busy units vs {} owned",
+                self.busy.count_ones(),
+                owned.count_ones()
+            ));
+        }
+        for u in 0..self.units {
+            if self.draining.range_is_set(u, 1) && !self.busy.range_is_set(u, 1) {
+                return Err(format!("unit {u} draining but not busy"));
+            }
+        }
+        if self.down.intersects(&self.busy) {
+            return Err("down mask intersects busy units".to_string());
+        }
+        if self.down.intersects(&self.draining) {
+            return Err("down mask intersects draining units".to_string());
+        }
+        Ok(())
+    }
+
+    fn allocation_intersects_down(&self, id: AllocationId) -> bool {
+        let Some(b) = self.live.get(&id) else {
+            return false;
+        };
+        let block = UnitMask::block(b.unit_start, b.unit_len);
+        self.down.intersects(&block) || self.draining.intersects(&block)
     }
 }
 
@@ -541,6 +612,43 @@ mod tests {
             plan.earliest_start(4096, SimDuration::from_secs(10), SimTime::ZERO),
             SimTime::MAX
         );
+    }
+
+    #[test]
+    fn consistency_check_accepts_lifecycle_states() {
+        let mut c = BgpCluster::new(8, 512);
+        c.check_consistency().unwrap();
+        let a = c.allocate(1024).unwrap();
+        let _b = c.allocate(512).unwrap();
+        c.check_consistency().unwrap();
+        c.mark_down(7 * 512); // free unit → down
+        c.mark_down(600); // unit 1 inside `a` → draining
+        c.check_consistency().unwrap();
+        assert!(c.allocation_intersects_down(a));
+        assert!(!c.allocation_intersects_down(_b));
+        c.release(a); // draining unit leaves service
+        c.check_consistency().unwrap();
+        assert_eq!(c.down_units().count_ones(), 2);
+    }
+
+    #[test]
+    fn consistency_check_catches_seeded_double_allocation() {
+        let mut c = BgpCluster::new(8, 512);
+        let _a = c.allocate(1024).unwrap();
+        c.check_consistency().unwrap();
+        let forged = c.debug_corrupt_double_allocation().unwrap();
+        let err = c.check_consistency().unwrap_err();
+        assert!(err.contains("double allocation"), "err={err}");
+        assert!(err.contains(&format!("{forged:?}")), "err={err}");
+    }
+
+    #[test]
+    fn consistency_check_catches_busy_mask_drift() {
+        let mut c = BgpCluster::new(8, 512);
+        let a = c.allocate(512).unwrap();
+        c.busy.clear_range(c.block_of(a).unwrap().unit_start, 1);
+        let err = c.check_consistency().unwrap_err();
+        assert!(err.contains("busy mask"), "err={err}");
     }
 
     #[test]

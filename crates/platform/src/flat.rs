@@ -176,6 +176,32 @@ impl Platform for FlatCluster {
     fn could_ever_allocate(&self, nodes: Nodes) -> bool {
         self.rounded_size(nodes) <= self.total - self.down
     }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        let allocated: Nodes = self.live.values().sum();
+        if allocated + self.idle + self.down != self.total {
+            return Err(format!(
+                "node conservation broken: {} allocated + {} idle + {} down != {} total",
+                allocated, self.idle, self.down, self.total
+            ));
+        }
+        for (&id, &count) in &self.draining {
+            match self.live.get(&id) {
+                None => return Err(format!("draining entry for dead allocation {id:?}")),
+                Some(&size) if count > size => {
+                    return Err(format!("allocation {id:?} drains {count} of {size} nodes"));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn allocation_intersects_down(&self, id: AllocationId) -> bool {
+        // No geometry: an allocation touches down capacity exactly when
+        // it has a pending drain.
+        self.draining.contains_key(&id)
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +332,24 @@ mod tests {
         // The top index region is out of service now.
         assert_eq!(c.mark_down(9), DrainOutcome::AlreadyDown);
         assert_eq!(c.available_nodes(), 9);
+    }
+
+    #[test]
+    fn consistency_check_tracks_the_lifecycle() {
+        let mut c = FlatCluster::new(100);
+        c.check_consistency().unwrap();
+        let a = c.allocate(40).unwrap();
+        c.mark_down(90); // idle node
+        c.mark_down(10); // inside `a` → draining
+        c.check_consistency().unwrap();
+        assert!(c.allocation_intersects_down(a));
+        c.release(a);
+        c.check_consistency().unwrap();
+        assert_eq!(c.available_nodes(), 98);
+        // Hand-corrupt the books: conservation must trip.
+        c.idle -= 1;
+        let err = c.check_consistency().unwrap_err();
+        assert!(err.contains("conservation"), "err={err}");
     }
 
     #[test]

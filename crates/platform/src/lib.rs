@@ -154,6 +154,28 @@ pub trait Platform {
     /// repair restores enough capacity (instead of planning them onto
     /// capacity that is down).
     fn could_ever_allocate(&self, nodes: Nodes) -> bool;
+
+    // ----- invariant oracle hooks -----
+
+    /// Deep self-consistency check for the runtime invariant oracle:
+    /// live allocations pairwise disjoint (no double allocation), busy
+    /// bookkeeping in agreement with the live set, down/draining sets
+    /// well-formed. Returns a diagnostic message on the first violation
+    /// found. The default is a no-op so simple or test platforms need
+    /// not implement it.
+    fn check_consistency(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Whether any capacity of the live allocation `id` is out of
+    /// service or pending drain. The simulation runner kills a job the
+    /// moment a failure lands in its partition, so between events this
+    /// must be `false` for every live allocation — the oracle's "no
+    /// running job intersects a down midplane" invariant. The default
+    /// (`false`) suits platforms without a node lifecycle.
+    fn allocation_intersects_down(&self, _id: AllocationId) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

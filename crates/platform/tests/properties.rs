@@ -313,6 +313,83 @@ fn bgp_never_places_on_a_down_midplane() {
     }
 }
 
+/// Cascade-shaped outages: failures arrive as whole domain spans (one
+/// midplane, a rack of 2, a power row of 16, or the full machine),
+/// interleaved with allocations, releases, and span repairs. After every
+/// operation the allocator's deep self-check must hold, and no freshly
+/// placed block may intersect the out-of-service set — the "down
+/// midplanes never intersect the buddy free list" property the invariant
+/// oracle relies on.
+#[test]
+fn bgp_cascaded_outages_keep_the_allocator_consistent() {
+    use amjs_platform::mask::UnitMask;
+    let mut rng = Xoshiro256::seed_from_u64(0xCA5C);
+    for _ in 0..96 {
+        let units: u32 = 16;
+        let npu: u32 = 512;
+        let mut c = BgpCluster::new(units as u16, npu);
+        let total = c.total_nodes();
+        let mut live: Vec<AllocationId> = Vec::new();
+
+        let steps = 20 + rng.next_below(60) as usize;
+        for _ in 0..steps {
+            match rng.next_below(4) {
+                0 => {
+                    let n = 1 + rng.next_below((total - 1) as u64) as u32;
+                    if let Some(id) = c.allocate(n) {
+                        let b = c.block_of(id).unwrap();
+                        let block = UnitMask::block(b.unit_start, b.unit_len);
+                        assert!(
+                            !c.down_units().intersects(&block),
+                            "fresh allocation landed on down units"
+                        );
+                        live.push(id);
+                    }
+                }
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.remove(rng.next_below(live.len() as u64) as usize);
+                    c.release(id);
+                }
+                op => {
+                    // A correlated event: a whole domain span fails (or
+                    // is repaired) at once, like the cascade injector.
+                    let width = match rng.next_below(4) {
+                        0 => 1u32,
+                        1 => 2,
+                        2 => 16,
+                        _ => units,
+                    };
+                    let origin = rng.next_below(units as u64) as u32;
+                    let start = origin / width * width;
+                    for u in start..(start + width).min(units) {
+                        if op == 2 {
+                            c.mark_down(u * npu);
+                        } else {
+                            c.mark_up(u * npu);
+                        }
+                    }
+                }
+            }
+            c.check_consistency()
+                .unwrap_or_else(|e| panic!("allocator inconsistent: {e}"));
+        }
+        // Drain the script: releases complete pending drains, and the
+        // allocator must stay consistent through each one.
+        for id in live {
+            c.release(id);
+            c.check_consistency().unwrap();
+        }
+        assert_eq!(
+            c.idle_nodes() + c.down_units().count_ones() * npu,
+            total,
+            "idle + down must cover the whole machine once nothing runs"
+        );
+    }
+}
+
 /// A sequence of speculative commits rolled back LIFO leaves the plan
 /// exactly as found (observationally: same earliest_start answers).
 #[test]

@@ -5,6 +5,7 @@
 //! scheduler) implements [`World::handle`] and may schedule further events.
 
 use crate::event::{EventEntry, EventQueue};
+use crate::oracle::{NoOracle, Oracle};
 use crate::time::SimTime;
 
 /// A simulated world that reacts to events.
@@ -66,6 +67,20 @@ impl Engine {
     /// handled — that means the world scheduled into the past, which is a
     /// logic error worth failing loudly on.
     pub fn run<W: World>(&self, world: &mut W, queue: &mut EventQueue<W::Event>) -> RunStats {
+        self.run_with_oracle(world, queue, &mut NoOracle)
+    }
+
+    /// Like [`Engine::run`], but invoke `oracle` after every handled
+    /// event with the world's post-event state and the event's global
+    /// index (see [`crate::oracle::Oracle`]). The oracle is expected to
+    /// panic on an invariant violation; the engine adds no handling of
+    /// its own.
+    pub fn run_with_oracle<W: World, O: Oracle<W>>(
+        &self,
+        world: &mut W,
+        queue: &mut EventQueue<W::Event>,
+        oracle: &mut O,
+    ) -> RunStats {
         let mut stats = RunStats::default();
         let mut last_time: Option<SimTime> = None;
 
@@ -78,6 +93,7 @@ impl Engine {
             }
             last_time = Some(time);
             world.handle(time, payload, queue);
+            oracle.after_event(world, time, stats.events_processed);
             stats.events_processed += 1;
             stats.end_time = time;
             if let Some(max) = self.max_events {

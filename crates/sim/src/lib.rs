@@ -49,9 +49,11 @@
 
 pub mod engine;
 pub mod event;
+pub mod oracle;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Engine, RunStats, World};
 pub use event::{EventEntry, EventQueue, Priority};
+pub use oracle::{NoOracle, Oracle};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,102 @@
+//! Runtime invariant oracles: machine-checked consistency after every
+//! event.
+//!
+//! A scheduling simulator is only trustworthy under injected disruption
+//! if its state is *verifiably* consistent — end-of-run assertions catch
+//! a corrupted final state but not the transient double-allocation that
+//! silently skewed every metric along the way. An [`Oracle`] is invoked
+//! by [`crate::Engine::run_with_oracle`] after each handled event with a
+//! read-only view of the world and the event's global index; an
+//! implementation checks whatever invariants the world exposes and
+//! panics with a replayable tag on violation (the `(seed, event_index)`
+//! pair pins the exact event to re-run under a debugger).
+//!
+//! The engine itself stays policy-free: it neither knows nor cares what
+//! is checked. `amjs-core` provides the concrete oracle over the
+//! simulation runner's state (allocator consistency, job-set
+//! partitioning, node conservation, backfill protection).
+
+use crate::engine::World;
+use crate::time::SimTime;
+
+/// A post-event invariant checker over a world `W`.
+///
+/// `after_event` runs after the world handled the event — the world is
+/// in its publicly observable between-events state. Implementations
+/// should panic on violation; returning normally means "consistent".
+pub trait Oracle<W: World> {
+    /// Check the world after the `event_index`-th event (0-based),
+    /// handled at simulated time `now`.
+    fn after_event(&mut self, world: &W, now: SimTime, event_index: u64);
+}
+
+/// The no-op oracle: what [`crate::Engine::run`] uses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoOracle;
+
+impl<W: World> Oracle<W> for NoOracle {
+    #[inline]
+    fn after_event(&mut self, _world: &W, _now: SimTime, _event_index: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::event::EventQueue;
+    use crate::time::SimDuration;
+
+    struct Countdown(u32);
+    impl World for Countdown {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _ev: (), q: &mut EventQueue<()>) {
+            if self.0 > 0 {
+                self.0 -= 1;
+                q.schedule(now + SimDuration::from_secs(1), ());
+            }
+        }
+    }
+
+    /// Records every observation; panics once the countdown passes a
+    /// threshold, proving oracles see post-event state.
+    struct Watcher {
+        seen: Vec<(i64, u64)>,
+        panic_below: u32,
+    }
+    impl Oracle<Countdown> for Watcher {
+        fn after_event(&mut self, world: &Countdown, now: SimTime, idx: u64) {
+            self.seen.push((now.as_secs(), idx));
+            assert!(
+                world.0 >= self.panic_below,
+                "invariant violation (replay: event_index={idx})"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_sees_every_event_with_indices() {
+        let mut w = Countdown(3);
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let mut oracle = Watcher {
+            seen: Vec::new(),
+            panic_below: 0,
+        };
+        let stats = Engine::new().run_with_oracle(&mut w, &mut q, &mut oracle);
+        assert_eq!(stats.events_processed, 4);
+        assert_eq!(oracle.seen, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation (replay: event_index=2)")]
+    fn violations_carry_the_event_index() {
+        let mut w = Countdown(5);
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let mut oracle = Watcher {
+            seen: Vec::new(),
+            panic_below: 3,
+        };
+        Engine::new().run_with_oracle(&mut w, &mut q, &mut oracle);
+    }
+}

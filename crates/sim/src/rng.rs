@@ -135,6 +135,18 @@ impl Xoshiro256 {
         (mu + sigma * self.next_standard_normal()).exp()
     }
 
+    /// Weibull variate with the given shape `k` and *mean* (the scale is
+    /// solved from the mean via `scale = mean / Γ(1 + 1/k)`), by inverse
+    /// CDF. Shape < 1 gives the bursty, heavy-tailed inter-arrival gaps
+    /// of correlated failure processes; shape 1 reduces to the
+    /// exponential.
+    #[inline]
+    pub fn next_weibull(&mut self, shape: f64, mean: f64) -> f64 {
+        debug_assert!(shape > 0.0 && mean > 0.0);
+        let scale = mean / gamma(1.0 + 1.0 / shape);
+        scale * (-self.next_f64_open_low().ln()).powf(1.0 / shape)
+    }
+
     /// Pick an index according to non-negative `weights` (at least one must
     /// be positive).
     pub fn next_weighted(&mut self, weights: &[f64]) -> usize {
@@ -149,6 +161,39 @@ impl Xoshiro256 {
         }
         weights.len() - 1
     }
+}
+
+/// Gamma function via the Lanczos approximation (g = 7, n = 9), accurate
+/// to ~15 significant digits for positive arguments — used to solve a
+/// Weibull scale from its mean. Self-contained so the workspace stays
+/// dependency-free.
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    // The canonical published coefficients, kept digit-for-digit even
+    // where they exceed f64 precision.
+    #[allow(clippy::excessive_precision)]
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula for the left half-plane.
+        return std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x));
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * acc
 }
 
 impl Xoshiro256 {
@@ -281,6 +326,40 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.next_bool(0.25)).count();
         let p = hits as f64 / 100_000.0;
         assert!((p - 0.25).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn gamma_matches_known_values() {
+        // Γ(n) = (n-1)! on integers; Γ(1/2) = √π.
+        assert!((gamma(1.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-12);
+        assert!((gamma(3.5) - 3.323_350_970_447_842).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_mean_is_close_for_bursty_and_smooth_shapes() {
+        for &shape in &[0.5, 1.0, 2.0] {
+            let mut r = Xoshiro256::seed_from_u64(37);
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| r.next_weibull(shape, 40.0)).sum();
+            let mean = sum / n as f64;
+            assert!(
+                (mean - 40.0).abs() < 1.0,
+                "shape {shape}: mean {mean} != 40"
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let mut a = Xoshiro256::seed_from_u64(41);
+        let mut b = Xoshiro256::seed_from_u64(41);
+        for _ in 0..100 {
+            let w = a.next_weibull(1.0, 25.0);
+            let e = b.next_exponential(25.0);
+            assert!((w - e).abs() < 1e-9, "{w} vs {e}");
+        }
     }
 
     #[test]

@@ -224,6 +224,78 @@ fn lifecycle_determinism_is_byte_identical() {
     }
 }
 
+fn random_correlation(rng: &mut Xoshiro256) -> amjs::core::failures::CorrelationSpec {
+    use amjs::core::failures::{BurstModel, CorrelationSpec, DomainSpec};
+    let burst = match rng.next_below(3) {
+        0 => BurstModel::None,
+        1 => BurstModel::Weibull {
+            shape: 0.5 + rng.next_f64(),
+        },
+        _ => BurstModel::Markov {
+            rate_boost: 2.0 + rng.next_f64() * 18.0,
+            mean_calm: SimDuration::from_hours(4 + rng.next_below(200) as i64),
+            mean_burst: SimDuration::from_hours(1 + rng.next_below(12) as i64),
+        },
+    };
+    CorrelationSpec {
+        cascade_prob: rng.next_f64() * 0.6,
+        // Small domains relative to the 384-node test machine so
+        // escalation actually spans multiple quanta.
+        domains: DomainSpec {
+            midplane_nodes: 32,
+            midplanes_per_rack: 2,
+            racks_per_power_domain: 3,
+        },
+        burst,
+    }
+}
+
+/// Correlated cascades and bursty arrivals stay a pure function of the
+/// failure seed: two identical runs are byte-identical, every job is
+/// accounted for, and the whole run passes the invariant oracle.
+#[test]
+fn cascaded_lifecycle_is_byte_identical_and_complete() {
+    use amjs::core::failures::RetryPolicy;
+    let mut rng = Xoshiro256::seed_from_u64(0xCA5C);
+    let mut cases = 0;
+    while cases < 6 {
+        let (spec, seed) = random_spec(&mut rng);
+        let failures = random_failures(&mut rng);
+        let corr = random_correlation(&mut rng);
+        let policy = random_policy(&mut rng);
+        let retry = RetryPolicy {
+            max_attempts: Some(1 + rng.next_below(5) as u32),
+            backoff_base: SimDuration::from_mins(rng.next_below(20) as i64),
+        };
+        let jobs = spec.generate(seed);
+        if jobs.is_empty() {
+            continue;
+        }
+        cases += 1;
+        let run = || {
+            SimulationBuilder::new(FlatCluster::new(384), jobs.clone())
+                .policy(policy)
+                .failures(Some(failures))
+                .correlated_failures(Some(corr))
+                .retry_policy(retry)
+                .oracle(true)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.summary.csv_row(), b.summary.csv_row());
+        assert_eq!(a.per_job, b.per_job);
+        assert_eq!(a.availability, b.availability);
+        assert_eq!(a.down_nodes, b.down_nodes);
+        assert_eq!(
+            a.domain_downtime.render_table(),
+            b.domain_downtime.render_table()
+        );
+        // Every job is either completed or abandoned — none lost.
+        assert_eq!(a.summary.jobs_completed, a.per_job.len());
+    }
+}
+
 /// FCFS + no backfill yields non-decreasing start times in
 /// submission order (strict seniority) — the defining property of
 /// the ablation baseline.
