@@ -53,6 +53,14 @@ impl ParsedArgs {
         self.bools.get(name).copied().unwrap_or(false)
     }
 
+    /// Whether the user supplied this flag at all (value or boolean).
+    /// Used to reject flags that contradict each other — e.g. workload
+    /// flags alongside `--resume-from`, whose snapshot already carries
+    /// the full configuration.
+    pub fn is_given(&self, name: &str) -> bool {
+        self.values.contains_key(name) || self.bools.get(name).copied().unwrap_or(false)
+    }
+
     /// Typed value with a default.
     pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {

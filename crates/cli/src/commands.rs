@@ -7,7 +7,10 @@ use amjs_workload::stats::WorkloadStats;
 use amjs_workload::{swf, WorkloadSpec};
 
 use crate::args::{parse, render_flags, ArgError, FlagSpec, ParsedArgs};
-use crate::config::{load_workload, run_simulation, MachineConfig, PolicyFlags};
+use crate::config::{
+    load_workload, run_simulation, run_simulation_persistent, MachineConfig, PolicyFlags,
+    SnapshotFlags,
+};
 
 /// Top-level usage text.
 pub fn top_level_help() -> String {
@@ -17,7 +20,7 @@ pub fn top_level_help() -> String {
        simulate             run one policy over a workload\n\
        sweep                grid-sweep balance factor x window in parallel\n\
        workload             generate a synthetic trace (writes SWF)\n\
-       replay <trace.swf>   simulate a real SWF trace\n\n\
+       replay <file>        simulate an SWF trace, or verify an event journal\n\n\
      run `amjs <command> --help` for each command's flags"
         .to_string()
 }
@@ -184,6 +187,30 @@ fn simulate_flags() -> Vec<FlagSpec> {
             help: "planning walltimes: raw|adaptive",
             default: Some("raw"),
         },
+        FlagSpec {
+            name: "snapshot-every",
+            is_bool: false,
+            help: "checkpoint cadence: events (50000) or simulated time (12h, 2d)",
+            default: None,
+        },
+        FlagSpec {
+            name: "snapshot-dir",
+            is_bool: false,
+            help: "existing directory for snapshots and the event journal",
+            default: None,
+        },
+        FlagSpec {
+            name: "snapshot-keep",
+            is_bool: false,
+            help: "recent snapshots to retain (genesis is always kept)",
+            default: Some("2"),
+        },
+        FlagSpec {
+            name: "resume-from",
+            is_bool: false,
+            help: "snapshot file or directory to resume; excludes workload/policy flags",
+            default: None,
+        },
     ]);
     flags
 }
@@ -202,13 +229,21 @@ pub fn simulate(argv: &[String]) -> Result<(), ArgError> {
     run_simulate(&parsed)
 }
 
-/// `amjs replay <trace.swf>` — simulate with the workload positional.
+/// `amjs replay <trace.swf | journal>` — two modes, told apart by the
+/// file's magic bytes:
+///
+/// * an event journal (written by `--snapshot-every`) is *verified*:
+///   the run is re-executed from the nearest snapshot and every
+///   recorded state hash compared, reporting the first divergent event;
+/// * anything else is treated as an SWF trace and simulated
+///   (shorthand for `simulate --workload <file>`).
 pub fn replay(argv: &[String]) -> Result<(), ArgError> {
     let flags = simulate_flags();
     let parsed = parse(argv, &flags)?;
     if parsed.get_bool("help") {
         println!(
-            "amjs replay <trace.swf> — simulate a real SWF trace\n\n{}",
+            "amjs replay <trace.swf | journal> — simulate an SWF trace, or verify an \
+             event journal against deterministic re-execution\n\n{}",
             render_flags(&flags)
         );
         return Ok(());
@@ -216,8 +251,13 @@ pub fn replay(argv: &[String]) -> Result<(), ArgError> {
     let path = parsed
         .positionals
         .first()
-        .ok_or_else(|| ArgError("replay needs a trace path".to_string()))?
+        .ok_or_else(|| ArgError("replay needs a trace or journal path".to_string()))?
         .clone();
+    let is_journal = amjs_sim::journal::is_journal_file(std::path::Path::new(&path))
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    if is_journal {
+        return replay_journal_cmd(&parsed, &path);
+    }
     // Rebuild argv with the positional as --workload and delegate.
     let mut argv2: Vec<String> = argv.iter().filter(|a| **a != path).cloned().collect();
     argv2.push("--workload".to_string());
@@ -226,7 +266,46 @@ pub fn replay(argv: &[String]) -> Result<(), ArgError> {
     run_simulate(&parsed)
 }
 
+/// Verify a journal segment: re-execute from the nearest snapshot and
+/// compare every recorded world-state hash.
+fn replay_journal_cmd(parsed: &ParsedArgs, path: &str) -> Result<(), ArgError> {
+    let snapshot_dir = parsed.get("snapshot-dir").map(std::path::PathBuf::from);
+    let report =
+        amjs_core::replay_journal(std::path::Path::new(path), snapshot_dir.as_deref(), |d| {
+            eprintln!("amjs: {d}")
+        })
+        .map_err(|e| ArgError(format!("replay: {e}")))?;
+    println!(
+        "replayed {} from snapshot {}: {}/{} records verified{}",
+        report.journal.display(),
+        report.snapshot_index,
+        report.checked,
+        report.records,
+        if report.truncated_tail {
+            " (trailing partial record from a crash ignored)"
+        } else {
+            ""
+        }
+    );
+    if let Some(idx) = report.first_divergence {
+        return Err(ArgError(format!(
+            "first divergence at event {idx}: re-execution no longer matches the \
+             journal (nondeterminism, corruption, or a semantics-changing code edit)"
+        )));
+    }
+    println!("journal verified: deterministic replay matches every record");
+    Ok(())
+}
+
 fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
+    let snapshot_flags = SnapshotFlags::from_args(parsed)?;
+    if let Some(path) = &snapshot_flags.resume_from {
+        let outcome = amjs_core::resume_simulation(path, snapshot_flags.spec.as_ref(), |d| {
+            eprintln!("amjs: {d}")
+        })
+        .map_err(|e| ArgError(format!("--resume-from: {e}")))?;
+        return print_outcome(parsed, &outcome);
+    }
     let machine = MachineConfig::from_args(parsed)?;
     let (jobs, workload_label) = load_workload(parsed)?;
     let policy_flags = PolicyFlags::from_args(parsed)?;
@@ -269,8 +348,25 @@ fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
         machine.kind,
         machine.nodes
     );
-    let outcome = run_simulation(machine, jobs, policy, &policy_flags, scheme, policy.label());
+    let outcome = match &snapshot_flags.spec {
+        None => run_simulation(machine, jobs, policy, &policy_flags, scheme, policy.label()),
+        Some(spec) => run_simulation_persistent(
+            machine,
+            jobs,
+            policy,
+            &policy_flags,
+            scheme,
+            policy.label(),
+            spec,
+        )?,
+    };
+    print_outcome(parsed, &outcome)
+}
 
+fn print_outcome(
+    parsed: &ParsedArgs,
+    outcome: &amjs_core::SimulationOutcome,
+) -> Result<(), ArgError> {
     println!("{}", report::table_header());
     println!("{}", outcome.summary.table_row());
     if outcome.skipped_oversized > 0 {

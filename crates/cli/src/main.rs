@@ -5,7 +5,8 @@
 //! amjs simulate  [flags]            run one policy over a workload
 //! amjs sweep     [flags]            grid-sweep BF × W in parallel
 //! amjs workload  [flags]            generate a synthetic trace (SWF out)
-//! amjs replay <trace.swf> [flags]   shorthand for simulate --workload <file>
+//! amjs replay <file> [flags]        simulate an SWF trace, or verify an
+//!                                   event journal against re-execution
 //! ```
 //!
 //! Run `amjs <command> --help` for the flag table of each command.

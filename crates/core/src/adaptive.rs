@@ -294,6 +294,134 @@ impl AdaptiveScheme {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codecs — a resumed run must re-create the exact tuning scheme
+// (it lives inside the runner, not the CLI flags).
+// ---------------------------------------------------------------------------
+
+use amjs_sim::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for Tunable {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            Tunable::BalanceFactor => 0,
+            Tunable::Window => 1,
+        });
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Tunable::BalanceFactor),
+            1 => Ok(Tunable::Window),
+            tag => Err(SnapError::BadTag {
+                context: "Tunable",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl Snapshot for MonitoredMetric {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            MonitoredMetric::QueueDepthMins => w.put_u8(0),
+            MonitoredMetric::UtilizationTrend { short, long } => {
+                w.put_u8(1);
+                short.encode(w);
+                long.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(MonitoredMetric::QueueDepthMins),
+            1 => Ok(MonitoredMetric::UtilizationTrend {
+                short: Snapshot::decode(r)?,
+                long: Snapshot::decode(r)?,
+            }),
+            tag => Err(SnapError::BadTag {
+                context: "MonitoredMetric",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl Snapshot for StepDir {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            StepDir::Plus => 0,
+            StepDir::Minus => 1,
+            StepDir::Hold => 2,
+        });
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(StepDir::Plus),
+            1 => Ok(StepDir::Minus),
+            2 => Ok(StepDir::Hold),
+            tag => Err(SnapError::BadTag {
+                context: "StepDir",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl Snapshot for TunerConfig {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.tunable.encode(w);
+        w.put_f64(self.initial);
+        w.put_f64(self.delta);
+        self.metric.encode(w);
+        w.put_f64(self.threshold);
+        self.when_above.encode(w);
+        self.when_at_or_below.encode(w);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+        self.check_interval.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TunerConfig {
+            tunable: Snapshot::decode(r)?,
+            initial: r.get_f64()?,
+            delta: r.get_f64()?,
+            metric: Snapshot::decode(r)?,
+            threshold: r.get_f64()?,
+            when_above: Snapshot::decode(r)?,
+            when_at_or_below: Snapshot::decode(r)?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+            check_interval: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for PolicySwitchRule {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_usize(self.min_queue_len);
+        self.ordering.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PolicySwitchRule {
+            min_queue_len: r.get_usize()?,
+            ordering: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for AdaptiveScheme {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.tuners.encode(w);
+        self.switch_rules.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(AdaptiveScheme {
+            tuners: Snapshot::decode(r)?,
+            switch_rules: Snapshot::decode(r)?,
+        })
+    }
+}
+
 /// Shorthand for the BF-on-queue-depth tuner in examples and benches.
 pub type BfTuner = TunerConfig;
 /// Shorthand for the W-on-utilization-trend tuner.

@@ -110,6 +110,51 @@ impl EstimateAdjuster {
     }
 }
 
+impl amjs_sim::Snapshot for EstimatePolicy {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        match *self {
+            EstimatePolicy::Requested => w.put_u8(0),
+            EstimatePolicy::UserAdaptive { alpha, min_factor } => {
+                w.put_u8(1);
+                w.put_f64(alpha);
+                w.put_f64(min_factor);
+            }
+        }
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(EstimatePolicy::Requested),
+            1 => Ok(EstimatePolicy::UserAdaptive {
+                alpha: r.get_f64()?,
+                min_factor: r.get_f64()?,
+            }),
+            tag => Err(amjs_sim::SnapError::BadTag {
+                context: "EstimatePolicy",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl amjs_sim::Snapshot for EstimateAdjuster {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.policy.encode(w);
+        // Canonical order: HashMap iteration is nondeterministic.
+        let mut entries: Vec<(u32, f64)> = self.per_user.iter().map(|(&u, &e)| (u, e)).collect();
+        entries.sort_by_key(|&(u, _)| u);
+        entries.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        let policy = Snapshot::decode(r)?;
+        let entries: Vec<(u32, f64)> = Snapshot::decode(r)?;
+        Ok(EstimateAdjuster {
+            policy,
+            per_user: entries.into_iter().collect(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

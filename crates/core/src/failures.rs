@@ -459,6 +459,158 @@ impl FailureProcess {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codecs — the failure process is live run state (its RNG
+// cursor and Markov phase must survive a resume bit-exactly), the specs
+// ride along inside it.
+// ---------------------------------------------------------------------------
+
+use amjs_sim::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for RepairSpec {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            RepairSpec::Deterministic(d) => {
+                w.put_u8(0);
+                d.encode(w);
+            }
+            RepairSpec::LogNormal { mean, sigma } => {
+                w.put_u8(1);
+                mean.encode(w);
+                w.put_f64(sigma);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(RepairSpec::Deterministic(Snapshot::decode(r)?)),
+            1 => Ok(RepairSpec::LogNormal {
+                mean: Snapshot::decode(r)?,
+                sigma: r.get_f64()?,
+            }),
+            tag => Err(SnapError::BadTag {
+                context: "RepairSpec",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl Snapshot for DomainSpec {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u32(self.midplane_nodes);
+        w.put_u32(self.midplanes_per_rack);
+        w.put_u32(self.racks_per_power_domain);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DomainSpec {
+            midplane_nodes: r.get_u32()?,
+            midplanes_per_rack: r.get_u32()?,
+            racks_per_power_domain: r.get_u32()?,
+        })
+    }
+}
+
+impl Snapshot for BurstModel {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            BurstModel::None => w.put_u8(0),
+            BurstModel::Weibull { shape } => {
+                w.put_u8(1);
+                w.put_f64(shape);
+            }
+            BurstModel::Markov {
+                rate_boost,
+                mean_calm,
+                mean_burst,
+            } => {
+                w.put_u8(2);
+                w.put_f64(rate_boost);
+                mean_calm.encode(w);
+                mean_burst.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(BurstModel::None),
+            1 => Ok(BurstModel::Weibull {
+                shape: r.get_f64()?,
+            }),
+            2 => Ok(BurstModel::Markov {
+                rate_boost: r.get_f64()?,
+                mean_calm: Snapshot::decode(r)?,
+                mean_burst: Snapshot::decode(r)?,
+            }),
+            tag => Err(SnapError::BadTag {
+                context: "BurstModel",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl Snapshot for CorrelationSpec {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_f64(self.cascade_prob);
+        self.domains.encode(w);
+        self.burst.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CorrelationSpec {
+            cascade_prob: r.get_f64()?,
+            domains: Snapshot::decode(r)?,
+            burst: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for RetryPolicy {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.max_attempts.map(u64::from).encode(w);
+        self.backoff_base.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let max_attempts: Option<u64> = Snapshot::decode(r)?;
+        Ok(RetryPolicy {
+            max_attempts: max_attempts.map(|v| v as u32),
+            backoff_base: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for FailureProcess {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.rng.encode(w);
+        w.put_f64(self.machine_mtbf_secs);
+        self.repair.encode(w);
+        w.put_u32(self.total_nodes);
+        self.correlation.encode(w);
+        w.put_bool(self.in_burst);
+        w.put_f64(self.state_until);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let proc = FailureProcess {
+            rng: Snapshot::decode(r)?,
+            machine_mtbf_secs: r.get_f64()?,
+            repair: Snapshot::decode(r)?,
+            total_nodes: r.get_u32()?,
+            correlation: Snapshot::decode(r)?,
+            in_burst: r.get_bool()?,
+            state_until: r.get_f64()?,
+        };
+        // NaN must fail the check too, hence not `mtbf <= 0.0` alone.
+        let mtbf_valid = proc.machine_mtbf_secs > 0.0;
+        if proc.total_nodes == 0 || !mtbf_valid {
+            return Err(SnapError::Malformed(format!(
+                "failure process with {} nodes and machine MTBF {}s",
+                proc.total_nodes, proc.machine_mtbf_secs
+            )));
+        }
+        Ok(proc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

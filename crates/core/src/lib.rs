@@ -32,6 +32,7 @@ pub mod adaptive;
 pub mod estimates;
 pub mod failures;
 pub mod fairshare;
+pub mod persist;
 pub mod policy;
 pub mod runner;
 pub mod scheduler;
@@ -39,6 +40,7 @@ pub mod score;
 pub mod window;
 
 pub use adaptive::{AdaptiveScheme, TunerConfig};
+pub use persist::{replay_journal, resume_simulation, PersistError, PersistSpec, ReplayReport};
 pub use policy::{PolicyParams, QueuePolicy};
 pub use runner::{SimulationBuilder, SimulationOutcome};
 pub use scheduler::{BackfillMode, QueuedJob, ScheduleDecision, Scheduler};

@@ -129,6 +129,45 @@ impl QueuePolicy {
     }
 }
 
+impl amjs_sim::Snapshot for PolicyParams {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_f64(self.balance_factor);
+        w.put_usize(self.window);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        Ok(PolicyParams {
+            balance_factor: r.get_f64()?,
+            window: r.get_usize()?,
+        })
+    }
+}
+
+impl amjs_sim::Snapshot for QueuePolicy {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        match *self {
+            QueuePolicy::Balanced { balance_factor } => {
+                w.put_u8(0);
+                w.put_f64(balance_factor);
+            }
+            QueuePolicy::LargestFirst => w.put_u8(1),
+            QueuePolicy::ExpansionFactor => w.put_u8(2),
+        }
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(QueuePolicy::Balanced {
+                balance_factor: r.get_f64()?,
+            }),
+            1 => Ok(QueuePolicy::LargestFirst),
+            2 => Ok(QueuePolicy::ExpansionFactor),
+            tag => Err(amjs_sim::SnapError::BadTag {
+                context: "QueuePolicy",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,9 +44,10 @@ use crate::scheduler::{BackfillMode, ProtectionStyle, QueuedJob, Scheduler};
 use crate::PolicyParams;
 
 /// Simulation events (the paper's scheduling events plus the check
-/// point).
+/// point). Crate-visible so the persistence layer can snapshot the
+/// pending event queue alongside the world.
 #[derive(Clone, Copy, Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// Trace job at this index is submitted.
     Submit(usize),
     /// A running job terminates. The generation guards against stale
@@ -65,7 +66,7 @@ enum Ev {
 
 /// A live job's bookkeeping.
 #[derive(Clone, Copy, Debug)]
-struct Running {
+pub(crate) struct Running {
     alloc: AllocationId,
     trace_idx: usize,
     /// When this attempt started.
@@ -382,6 +383,28 @@ impl<P: Platform> SimulationBuilder<P> {
 
     /// Run the simulation to completion.
     pub fn run(self) -> SimulationOutcome {
+        let PreparedRun {
+            mut world,
+            mut queue,
+            meta,
+        } = self.prepare();
+        let stats = if meta.oracle_enabled {
+            let mut oracle = InvariantOracle {
+                failure_seed: meta.failure_seed,
+            };
+            Engine::new().run_with_oracle(&mut world, &mut queue, &mut oracle)
+        } else {
+            Engine::new().run(&mut world, &mut queue)
+        };
+        finish_run(world, stats.end_time, meta)
+    }
+
+    /// Assemble the event-loop state without running it: the world, the
+    /// seeded event queue, and the run-level facts the outcome tail
+    /// needs. [`SimulationBuilder::run`] is exactly
+    /// `prepare` → engine → [`finish_run`]; the persistence layer uses
+    /// the same pieces with a recorder wrapped around the engine.
+    pub(crate) fn prepare(self) -> PreparedRun<P> {
         let label = self.label.clone().unwrap_or_else(|| {
             if self.adaptive.is_active() {
                 format!("{}+adapt", self.policy.label())
@@ -475,83 +498,141 @@ impl<P: Platform> SimulationBuilder<P> {
             }
         }
 
-        let stats = if oracle_enabled {
-            let mut oracle = InvariantOracle { failure_seed };
-            Engine::new().run_with_oracle(&mut world, &mut queue, &mut oracle)
-        } else {
-            Engine::new().run(&mut world, &mut queue)
-        };
-        // Abandoned jobs (retry budget exhausted) legitimately never
-        // complete; everything else must have drained.
-        assert!(
-            world.queue.is_empty() && world.running.is_empty() && world.pending_resubmits == 0,
-            "simulation ended with live jobs — event wiring bug \
-             ({} abandoned jobs are accounted separately)",
-            world.abandoned_jobs,
-        );
+        PreparedRun {
+            world,
+            queue,
+            meta: RunMeta {
+                label,
+                skipped_oversized,
+                oracle_enabled,
+                failure_seed,
+                energy_model: self.energy_model,
+            },
+        }
+    }
+}
 
-        let end = world.last_end.max(stats.end_time);
-        // Utilization and LoC are normalized against *available*
-        // node-seconds: installed capacity minus the integral of the
-        // out-of-service level, so outages don't read as scheduler
-        // inefficiency. With failures off the down integral is exactly
-        // zero and both reduce to the classic definitions.
-        let busy_int = world.util.busy_node_secs(end);
-        let down_int = world.down_track.busy_node_secs(end);
-        let available_node_secs = total_nodes as f64 * world.util.elapsed_secs(end) - down_int;
-        let loc_percent = match world.loc.event_span() {
-            Some((first, last)) if last > first => {
-                let span_down =
-                    world.down_track.busy_node_secs(last) - world.down_track.busy_node_secs(first);
-                let denom = total_nodes as f64 * (last - first).as_secs() as f64 - span_down;
-                if denom > 0.0 {
-                    world.loc.lost_node_secs() / denom * 100.0
-                } else {
-                    0.0
-                }
-            }
-            _ => 0.0,
-        };
-        let summary = MetricsSummary {
-            label,
-            jobs_completed: world.per_job.len(),
-            avg_wait_mins: world.wait.mean_mins(),
-            max_wait_mins: world.wait.max_mins(),
-            unfair_jobs: world.fairness.unfair_count(),
-            loc_percent,
-            avg_utilization: if available_node_secs > 0.0 {
-                busy_int / available_node_secs
+/// The assembled event-loop state [`SimulationBuilder::prepare`] hands
+/// to the engine: the world, the seeded queue, and the run-level facts.
+pub(crate) struct PreparedRun<P: Platform> {
+    pub(crate) world: Runner<P>,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) meta: RunMeta,
+}
+
+/// Run-level facts that live outside the event loop but are needed to
+/// finish — or resume — a run identically: the summary label, the
+/// oversized-job count (decided at load), whether the invariant oracle
+/// runs, the failure seed (for replay tags), and the energy model (the
+/// report is computed at the end from the utilization integral).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct RunMeta {
+    pub(crate) label: String,
+    pub(crate) skipped_oversized: usize,
+    pub(crate) oracle_enabled: bool,
+    pub(crate) failure_seed: Option<u64>,
+    pub(crate) energy_model: Option<EnergyModel>,
+}
+
+impl amjs_sim::Snapshot for RunMeta {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_str(&self.label);
+        w.put_usize(self.skipped_oversized);
+        w.put_bool(self.oracle_enabled);
+        self.failure_seed.encode(w);
+        self.energy_model.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(RunMeta {
+            label: r.get_str()?,
+            skipped_oversized: r.get_usize()?,
+            oracle_enabled: r.get_bool()?,
+            failure_seed: Snapshot::decode(r)?,
+            energy_model: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// Turn a drained world into the [`SimulationOutcome`] —
+/// the back half of [`SimulationBuilder::run`], shared verbatim by the
+/// resume path so an interrupted run reports byte-identical numbers.
+pub(crate) fn finish_run<P: Platform>(
+    world: Runner<P>,
+    engine_end: SimTime,
+    meta: RunMeta,
+) -> SimulationOutcome {
+    // Abandoned jobs (retry budget exhausted) legitimately never
+    // complete; everything else must have drained.
+    assert!(
+        world.queue.is_empty() && world.running.is_empty() && world.pending_resubmits == 0,
+        "simulation ended with live jobs — event wiring bug \
+         ({} abandoned jobs are accounted separately)",
+        world.abandoned_jobs,
+    );
+
+    let total_nodes = world.platform.total_nodes();
+    let end = world.last_end.max(engine_end);
+    // Utilization and LoC are normalized against *available*
+    // node-seconds: installed capacity minus the integral of the
+    // out-of-service level, so outages don't read as scheduler
+    // inefficiency. With failures off the down integral is exactly
+    // zero and both reduce to the classic definitions.
+    let busy_int = world.util.busy_node_secs(end);
+    let down_int = world.down_track.busy_node_secs(end);
+    let available_node_secs = total_nodes as f64 * world.util.elapsed_secs(end) - down_int;
+    let loc_percent = match world.loc.event_span() {
+        Some((first, last)) if last > first => {
+            let span_down =
+                world.down_track.busy_node_secs(last) - world.down_track.busy_node_secs(first);
+            let denom = total_nodes as f64 * (last - first).as_secs() as f64 - span_down;
+            if denom > 0.0 {
+                world.loc.lost_node_secs() / denom * 100.0
             } else {
                 0.0
-            },
-            mean_bounded_slowdown: world.wait.mean_bounded_slowdown(),
-            makespan: end - SimTime::ZERO,
-            node_downtime_hours: down_int / 3600.0,
-            abandoned_jobs: world.abandoned_jobs,
-        };
-        let energy = self
-            .energy_model
-            .map(|model| energy_report(&world.util, model, end));
-        SimulationOutcome {
-            summary,
-            queue_depth: world.queue_depth,
-            util_instant: world.util_instant,
-            util_1h: world.util_1h,
-            util_10h: world.util_10h,
-            util_24h: world.util_24h,
-            bf_series: world.bf_series,
-            window_series: world.window_series,
-            availability: world.availability,
-            down_nodes: world.down_nodes,
-            domain_downtime: world.domain_downtime,
-            per_job: world.per_job,
-            skipped_oversized,
-            scheduler_passes: world.scheduler_passes,
-            backfilled_starts: world.backfilled_starts,
-            interrupted_jobs: world.interrupted_jobs,
-            lost_node_hours: world.lost_node_secs / 3600.0,
-            energy,
+            }
         }
+        _ => 0.0,
+    };
+    let summary = MetricsSummary {
+        label: meta.label,
+        jobs_completed: world.per_job.len(),
+        avg_wait_mins: world.wait.mean_mins(),
+        max_wait_mins: world.wait.max_mins(),
+        unfair_jobs: world.fairness.unfair_count(),
+        loc_percent,
+        avg_utilization: if available_node_secs > 0.0 {
+            busy_int / available_node_secs
+        } else {
+            0.0
+        },
+        mean_bounded_slowdown: world.wait.mean_bounded_slowdown(),
+        makespan: end - SimTime::ZERO,
+        node_downtime_hours: down_int / 3600.0,
+        abandoned_jobs: world.abandoned_jobs,
+    };
+    let energy = meta
+        .energy_model
+        .map(|model| energy_report(&world.util, model, end));
+    SimulationOutcome {
+        summary,
+        queue_depth: world.queue_depth,
+        util_instant: world.util_instant,
+        util_1h: world.util_1h,
+        util_10h: world.util_10h,
+        util_24h: world.util_24h,
+        bf_series: world.bf_series,
+        window_series: world.window_series,
+        availability: world.availability,
+        down_nodes: world.down_nodes,
+        domain_downtime: world.domain_downtime,
+        per_job: world.per_job,
+        skipped_oversized: meta.skipped_oversized,
+        scheduler_passes: world.scheduler_passes,
+        backfilled_starts: world.backfilled_starts,
+        interrupted_jobs: world.interrupted_jobs,
+        lost_node_hours: world.lost_node_secs / 3600.0,
+        energy,
     }
 }
 
@@ -559,15 +640,17 @@ impl<P: Platform> SimulationBuilder<P> {
 /// the job must still be startable at `start` once the pass's backfill
 /// admissions are on the machine.
 #[derive(Clone, Copy, Debug)]
-struct Promise {
+pub(crate) struct Promise {
     id: JobId,
     nodes: u32,
     walltime: SimDuration,
     start: SimTime,
 }
 
-/// The event-loop state.
-struct Runner<P: Platform> {
+/// The event-loop state. Crate-visible (not `pub`) so the persistence
+/// layer can snapshot, hash, and resume it without exposing the loop's
+/// internals in the public API.
+pub(crate) struct Runner<P: Platform> {
     platform: P,
     jobs: Vec<Job>,
     scheduler: Scheduler,
@@ -633,6 +716,12 @@ struct Runner<P: Platform> {
 }
 
 impl<P: Platform> Runner<P> {
+    /// The machine's short name tag, stored in snapshot metadata so
+    /// resume can dispatch to the right concrete platform type.
+    pub(crate) fn platform_name(&self) -> &'static str {
+        self.platform.name()
+    }
+
     /// The queue as the scheduler sees it. Jobs too large for the
     /// capacity currently in service are held back entirely — planning
     /// them would promise capacity that is down (and the permutation
@@ -998,8 +1087,8 @@ impl<P: Platform> Runner<P> {
 /// replayable `(failure seed, event index)` tag on the first violation.
 /// On by default in debug builds, opt-in via
 /// [`SimulationBuilder::oracle`] (CLI `--oracle`) in release.
-struct InvariantOracle {
-    failure_seed: Option<u64>,
+pub(crate) struct InvariantOracle {
+    pub(crate) failure_seed: Option<u64>,
 }
 
 impl<P: Platform> Oracle<Runner<P>> for InvariantOracle {
@@ -1184,6 +1273,324 @@ impl<P: Platform> World for Runner<P> {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codecs for the event-loop state.
+//
+// The runner is the world the engine drives, so crash recovery must
+// capture *all* of it — every field below round-trips, HashMaps and
+// HashSets in canonical (sorted-key) order so identical states encode
+// to identical bytes. `Platform` deliberately has no `Snapshot`
+// supertrait (test doubles implement `Platform` alone); the bound
+// appears only here and on the persistence entry points.
+// ---------------------------------------------------------------------------
+
+impl amjs_sim::Snapshot for Ev {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        match *self {
+            Ev::Submit(idx) => {
+                w.put_u8(0);
+                w.put_usize(idx);
+            }
+            Ev::Finish(id, gen) => {
+                w.put_u8(1);
+                id.encode(w);
+                w.put_u32(gen);
+            }
+            Ev::Fail => w.put_u8(2),
+            Ev::Repair(node) => {
+                w.put_u8(3);
+                w.put_u32(node);
+            }
+            Ev::Resubmit(idx) => {
+                w.put_u8(4);
+                w.put_usize(idx);
+            }
+            Ev::Tick => w.put_u8(5),
+        }
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        match r.get_u8()? {
+            0 => Ok(Ev::Submit(r.get_usize()?)),
+            1 => Ok(Ev::Finish(Snapshot::decode(r)?, r.get_u32()?)),
+            2 => Ok(Ev::Fail),
+            3 => Ok(Ev::Repair(r.get_u32()?)),
+            4 => Ok(Ev::Resubmit(r.get_usize()?)),
+            5 => Ok(Ev::Tick),
+            tag => Err(amjs_sim::SnapError::BadTag {
+                context: "Ev",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl amjs_sim::Snapshot for Running {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.alloc.encode(w);
+        w.put_usize(self.trace_idx);
+        self.start.encode(w);
+        self.expected_end.encode(w);
+        w.put_bool(self.backfilled);
+        w.put_u32(self.gen);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(Running {
+            alloc: Snapshot::decode(r)?,
+            trace_idx: r.get_usize()?,
+            start: Snapshot::decode(r)?,
+            expected_end: Snapshot::decode(r)?,
+            backfilled: r.get_bool()?,
+            gen: r.get_u32()?,
+        })
+    }
+}
+
+impl amjs_sim::Snapshot for Promise {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.id.encode(w);
+        w.put_u32(self.nodes);
+        self.walltime.encode(w);
+        self.start.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(Promise {
+            id: Snapshot::decode(r)?,
+            nodes: r.get_u32()?,
+            walltime: Snapshot::decode(r)?,
+            start: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl amjs_sim::Snapshot for JobOutcome {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.id.encode(w);
+        self.submit.encode(w);
+        self.start.encode(w);
+        self.end.encode(w);
+        w.put_u32(self.nodes);
+        w.put_u32(self.user);
+        w.put_bool(self.backfilled);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(JobOutcome {
+            id: Snapshot::decode(r)?,
+            submit: Snapshot::decode(r)?,
+            start: Snapshot::decode(r)?,
+            end: Snapshot::decode(r)?,
+            nodes: r.get_u32()?,
+            user: r.get_u32()?,
+            backfilled: r.get_bool()?,
+        })
+    }
+}
+
+/// A map's entries in canonical (sorted-key) order, for deterministic
+/// encoding.
+fn sorted_entries<K: Ord + Copy, V: Clone>(map: &HashMap<K, V>) -> Vec<(K, V)> {
+    let mut entries: Vec<(K, V)> = map.iter().map(|(&k, v)| (k, v.clone())).collect();
+    entries.sort_by_key(|&(k, _)| k);
+    entries
+}
+
+impl<P: Platform + amjs_sim::Snapshot> amjs_sim::Snapshot for Runner<P> {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.platform.encode(w);
+        self.jobs.encode(w);
+        self.scheduler.encode(w);
+        self.adaptive.encode(w);
+        self.queue.encode(w);
+        sorted_entries(&self.running).encode(w);
+        self.wait.encode(w);
+        self.fairness.encode(w);
+        w.put_bool(self.compute_fairness);
+        self.loc.encode(w);
+        self.util.encode(w);
+        self.queue_depth.encode(w);
+        self.util_instant.encode(w);
+        self.util_1h.encode(w);
+        self.util_10h.encode(w);
+        self.util_24h.encode(w);
+        self.bf_series.encode(w);
+        self.window_series.encode(w);
+        self.availability.encode(w);
+        self.down_nodes.encode(w);
+        self.domain_downtime.encode(w);
+        self.promised.encode(w);
+        self.last_pass_time.encode(w);
+        self.down_track.encode(w);
+        self.per_job.encode(w);
+        self.sample_interval.encode(w);
+        w.put_usize(self.remaining_submits);
+        w.put_u64(self.scheduler_passes);
+        w.put_u64(self.backfilled_starts);
+        w.put_u64(self.interrupted_jobs);
+        w.put_usize(self.abandoned_jobs);
+        w.put_usize(self.pending_resubmits);
+        w.put_f64(self.lost_node_secs);
+        {
+            let mut started: Vec<JobId> = self.started_once.iter().copied().collect();
+            started.sort();
+            started.encode(w);
+        }
+        sorted_entries(&self.generations).encode(w);
+        sorted_entries(&self.failure_counts).encode(w);
+        self.retry.encode(w);
+        self.estimates.encode(w);
+        self.checkpoint_interval.encode(w);
+        sorted_entries(&self.saved_progress).encode(w);
+        self.failure_process.encode(w);
+        self.last_end.encode(w);
+    }
+
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        let platform: P = Snapshot::decode(r)?;
+        let jobs: Vec<Job> = Snapshot::decode(r)?;
+        let scheduler = Snapshot::decode(r)?;
+        let adaptive = Snapshot::decode(r)?;
+        let queue: Vec<usize> = Snapshot::decode(r)?;
+        let running_entries: Vec<(JobId, Running)> = Snapshot::decode(r)?;
+        let wait = Snapshot::decode(r)?;
+        let fairness = Snapshot::decode(r)?;
+        let compute_fairness = r.get_bool()?;
+        let loc = Snapshot::decode(r)?;
+        let util = Snapshot::decode(r)?;
+        let queue_depth = Snapshot::decode(r)?;
+        let util_instant = Snapshot::decode(r)?;
+        let util_1h = Snapshot::decode(r)?;
+        let util_10h = Snapshot::decode(r)?;
+        let util_24h = Snapshot::decode(r)?;
+        let bf_series = Snapshot::decode(r)?;
+        let window_series = Snapshot::decode(r)?;
+        let availability = Snapshot::decode(r)?;
+        let down_nodes = Snapshot::decode(r)?;
+        let domain_downtime = Snapshot::decode(r)?;
+        let promised = Snapshot::decode(r)?;
+        let last_pass_time = Snapshot::decode(r)?;
+        let down_track = Snapshot::decode(r)?;
+        let per_job = Snapshot::decode(r)?;
+        let sample_interval = Snapshot::decode(r)?;
+        let remaining_submits = r.get_usize()?;
+        let scheduler_passes = r.get_u64()?;
+        let backfilled_starts = r.get_u64()?;
+        let interrupted_jobs = r.get_u64()?;
+        let abandoned_jobs = r.get_usize()?;
+        let pending_resubmits = r.get_usize()?;
+        let lost_node_secs = r.get_f64()?;
+        let started: Vec<JobId> = Snapshot::decode(r)?;
+        let generations: Vec<(JobId, u32)> = Snapshot::decode(r)?;
+        let failure_counts: Vec<(JobId, u32)> = Snapshot::decode(r)?;
+        let retry = Snapshot::decode(r)?;
+        let estimates = Snapshot::decode(r)?;
+        let checkpoint_interval = Snapshot::decode(r)?;
+        let saved_progress: Vec<(JobId, SimDuration)> = Snapshot::decode(r)?;
+        let failure_process = Snapshot::decode(r)?;
+        let last_end = Snapshot::decode(r)?;
+
+        // Index sanity: a decoded queue or running set referring past
+        // the trace would panic deep inside the event loop; reject it
+        // here with a diagnosable error instead.
+        let n = jobs.len();
+        if let Some(&bad) = queue.iter().find(|&&i| i >= n) {
+            return Err(amjs_sim::SnapError::Malformed(format!(
+                "queued trace index {bad} out of bounds ({n} jobs)"
+            )));
+        }
+        if let Some((id, run)) = running_entries.iter().find(|(_, r)| r.trace_idx >= n) {
+            return Err(amjs_sim::SnapError::Malformed(format!(
+                "running job {id} trace index {} out of bounds ({n} jobs)",
+                run.trace_idx
+            )));
+        }
+
+        Ok(Runner {
+            platform,
+            jobs,
+            scheduler,
+            adaptive,
+            queue,
+            running: running_entries.into_iter().collect(),
+            wait,
+            fairness,
+            compute_fairness,
+            loc,
+            util,
+            queue_depth,
+            util_instant,
+            util_1h,
+            util_10h,
+            util_24h,
+            bf_series,
+            window_series,
+            availability,
+            down_nodes,
+            domain_downtime,
+            promised,
+            last_pass_time,
+            down_track,
+            per_job,
+            sample_interval,
+            remaining_submits,
+            scheduler_passes,
+            backfilled_starts,
+            interrupted_jobs,
+            abandoned_jobs,
+            pending_resubmits,
+            lost_node_secs,
+            started_once: started.into_iter().collect(),
+            generations: generations.into_iter().collect(),
+            failure_counts: failure_counts.into_iter().collect(),
+            retry,
+            estimates,
+            checkpoint_interval,
+            saved_progress: saved_progress.into_iter().collect(),
+            failure_process,
+            last_end,
+        })
+    }
+}
+
+impl<P: Platform + amjs_sim::Snapshot> amjs_sim::StateHash for Runner<P> {
+    /// Per-event digest over the *live* state: machine occupancy, queue,
+    /// running set, RNG cursors, and progress counters — the parts that
+    /// can diverge between a resumed run and the original. Derived
+    /// histories (metric series, per-job records) are covered indirectly
+    /// through their lengths; byte-exact equality of the full state is
+    /// proven by the snapshot round-trip tests, not per event.
+    fn state_hash(&self) -> u64 {
+        use amjs_sim::Snapshot;
+        let mut w = amjs_sim::SnapWriter::new();
+        self.platform.encode(&mut w);
+        self.queue.encode(&mut w);
+        sorted_entries(&self.running).encode(&mut w);
+        self.promised.encode(&mut w);
+        self.last_pass_time.encode(&mut w);
+        self.scheduler.encode(&mut w);
+        self.estimates.encode(&mut w);
+        self.failure_process.encode(&mut w);
+        w.put_usize(self.remaining_submits);
+        w.put_usize(self.pending_resubmits);
+        w.put_usize(self.abandoned_jobs);
+        w.put_u64(self.scheduler_passes);
+        w.put_u64(self.backfilled_starts);
+        w.put_u64(self.interrupted_jobs);
+        w.put_f64(self.lost_node_secs);
+        w.put_usize(self.per_job.len());
+        w.put_usize(self.wait.count());
+        w.put_usize(self.started_once.len());
+        sorted_entries(&self.generations).encode(&mut w);
+        sorted_entries(&self.failure_counts).encode(&mut w);
+        sorted_entries(&self.saved_progress).encode(&mut w);
+        self.last_end.encode(&mut w);
+        amjs_sim::snapshot::fnv1a(w.as_bytes())
     }
 }
 

@@ -390,6 +390,83 @@ impl Scheduler {
     }
 }
 
+impl amjs_sim::Snapshot for BackfillMode {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u8(match self {
+            BackfillMode::None => 0,
+            BackfillMode::Easy => 1,
+            BackfillMode::Conservative => 2,
+        });
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(BackfillMode::None),
+            1 => Ok(BackfillMode::Easy),
+            2 => Ok(BackfillMode::Conservative),
+            tag => Err(amjs_sim::SnapError::BadTag {
+                context: "BackfillMode",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl amjs_sim::Snapshot for ProtectionStyle {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u8(match self {
+            ProtectionStyle::PinnedBlocks => 0,
+            ProtectionStyle::TimeFlexible => 1,
+        });
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(ProtectionStyle::PinnedBlocks),
+            1 => Ok(ProtectionStyle::TimeFlexible),
+            tag => Err(amjs_sim::SnapError::BadTag {
+                context: "ProtectionStyle",
+                tag: tag.into(),
+            }),
+        }
+    }
+}
+
+impl amjs_sim::Snapshot for Scheduler {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.policy.encode(w);
+        self.backfill.encode(w);
+        self.ordering_override.encode(w);
+        w.put_usize(self.plan_depth);
+        w.put_usize(self.perm_windows);
+        w.put_usize(self.max_permutations);
+        self.easy_protected.map(|v| v as u64).encode(w);
+        self.protection.encode(w);
+        self.backfill_depth.map(|v| v as u64).encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        let policy = Snapshot::decode(r)?;
+        let backfill = Snapshot::decode(r)?;
+        let ordering_override = Snapshot::decode(r)?;
+        let plan_depth = r.get_usize()?;
+        let perm_windows = r.get_usize()?;
+        let max_permutations = r.get_usize()?;
+        let easy_protected: Option<u64> = Snapshot::decode(r)?;
+        let protection = Snapshot::decode(r)?;
+        let backfill_depth: Option<u64> = Snapshot::decode(r)?;
+        Ok(Scheduler {
+            policy,
+            backfill,
+            ordering_override,
+            plan_depth,
+            perm_windows,
+            max_permutations,
+            easy_protected: easy_protected.map(|v| v as usize),
+            protection,
+            backfill_depth: backfill_depth.map(|v| v as usize),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

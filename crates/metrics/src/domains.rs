@@ -154,6 +154,37 @@ impl DomainDowntime {
     }
 }
 
+impl amjs_sim::Snapshot for DomainOutage {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u64(self.faults);
+        w.put_u64(self.quanta_downed);
+        w.put_f64(self.node_hours);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        Ok(DomainOutage {
+            faults: r.get_u64()?,
+            quanta_downed: r.get_u64()?,
+            node_hours: r.get_f64()?,
+        })
+    }
+}
+
+impl amjs_sim::Snapshot for DomainDowntime {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        for level in &self.levels {
+            level.encode(w);
+        }
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        let mut levels = [DomainOutage::default(); 4];
+        for level in &mut levels {
+            *level = Snapshot::decode(r)?;
+        }
+        Ok(DomainDowntime { levels })
+    }
+}
+
 /// Build the capacity-collapse series: out-of-service node count over
 /// time, sampled on the shared check-point grid. The complement of the
 /// `availability` fraction in absolute nodes — the view in which a

@@ -44,6 +44,19 @@ impl EnergyModel {
     }
 }
 
+impl amjs_sim::Snapshot for EnergyModel {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_f64(self.busy_watts);
+        w.put_f64(self.idle_watts);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        Ok(EnergyModel {
+            busy_watts: r.get_f64()?,
+            idle_watts: r.get_f64()?,
+        })
+    }
+}
+
 /// Energy consumed and delivered over one run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyReport {

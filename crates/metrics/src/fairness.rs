@@ -125,6 +125,45 @@ impl FairnessTracker {
     }
 }
 
+impl amjs_sim::Snapshot for FairnessRecord {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.job.encode(w);
+        self.fair_start.encode(w);
+        self.actual_start.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(FairnessRecord {
+            job: Snapshot::decode(r)?,
+            fair_start: Snapshot::decode(r)?,
+            actual_start: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl amjs_sim::Snapshot for FairnessTracker {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.tolerance.encode(w);
+        // HashMap iteration order is nondeterministic; a canonical
+        // encoding requires sorted keys.
+        let mut starts: Vec<(JobId, SimTime)> =
+            self.fair_starts.iter().map(|(&j, &t)| (j, t)).collect();
+        starts.sort_by_key(|&(j, _)| j);
+        starts.encode(w);
+        self.records.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        let tolerance = Snapshot::decode(r)?;
+        let starts: Vec<(JobId, SimTime)> = Snapshot::decode(r)?;
+        Ok(FairnessTracker {
+            tolerance,
+            fair_starts: starts.into_iter().collect(),
+            records: Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,6 +94,26 @@ impl LossOfCapacity {
     }
 }
 
+impl amjs_sim::Snapshot for LossOfCapacity {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u32(self.total_nodes);
+        self.first_event.encode(w);
+        self.last_event.encode(w);
+        self.prev.encode(w);
+        w.put_f64(self.lost_node_secs);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(LossOfCapacity {
+            total_nodes: r.get_u32()?,
+            first_event: Snapshot::decode(r)?,
+            last_event: Snapshot::decode(r)?,
+            prev: Snapshot::decode(r)?,
+            lost_node_secs: r.get_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

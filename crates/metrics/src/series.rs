@@ -104,6 +104,20 @@ impl TimeSeries {
     }
 }
 
+impl amjs_sim::Snapshot for TimeSeries {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_str(&self.name);
+        self.points.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(TimeSeries {
+            name: r.get_str()?,
+            points: Snapshot::decode(r)?,
+        })
+    }
+}
+
 /// Render several series sharing a sampling grid as CSV. The first column
 /// is the sample time in hours; series are matched up by index, so they
 /// must have identical sampling instants (the runner samples all metrics

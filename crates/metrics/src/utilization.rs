@@ -146,6 +146,24 @@ impl UtilizationTracker {
     }
 }
 
+impl amjs_sim::Snapshot for UtilizationTracker {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u32(self.total_nodes);
+        self.steps.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        let total_nodes = r.get_u32()?;
+        let steps: Vec<(SimTime, u32, f64)> = Snapshot::decode(r)?;
+        if steps.is_empty() {
+            return Err(amjs_sim::SnapError::Malformed(
+                "utilization tracker with no initial step".into(),
+            ));
+        }
+        Ok(UtilizationTracker { total_nodes, steps })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -118,6 +118,20 @@ impl WaitStats {
     }
 }
 
+impl amjs_sim::Snapshot for WaitStats {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.waits.encode(w);
+        self.slowdowns.encode(w);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        use amjs_sim::Snapshot;
+        Ok(WaitStats {
+            waits: Snapshot::decode(r)?,
+            slowdowns: Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

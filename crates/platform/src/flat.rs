@@ -204,6 +204,53 @@ impl Platform for FlatCluster {
     }
 }
 
+impl amjs_sim::Snapshot for FlatCluster {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u32(self.total);
+        w.put_u32(self.idle);
+        w.put_u32(self.down);
+        w.put_u64(self.next_id);
+        // BTreeMaps iterate in key order, so the encoding is canonical.
+        w.put_usize(self.draining.len());
+        for (id, nodes) in &self.draining {
+            id.encode(w);
+            w.put_u32(*nodes);
+        }
+        w.put_usize(self.live.len());
+        for (id, nodes) in &self.live {
+            id.encode(w);
+            w.put_u32(*nodes);
+        }
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        let total = r.get_u32()?;
+        let idle = r.get_u32()?;
+        let down = r.get_u32()?;
+        let next_id = r.get_u64()?;
+        let mut draining = BTreeMap::new();
+        for _ in 0..r.get_usize()? {
+            let id = AllocationId::decode(r)?;
+            draining.insert(id, r.get_u32()?);
+        }
+        let mut live = BTreeMap::new();
+        for _ in 0..r.get_usize()? {
+            let id = AllocationId::decode(r)?;
+            live.insert(id, r.get_u32()?);
+        }
+        let c = FlatCluster {
+            total,
+            idle,
+            down,
+            draining,
+            next_id,
+            live,
+        };
+        c.check_consistency()
+            .map_err(amjs_sim::SnapError::Malformed)?;
+        Ok(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +397,29 @@ mod tests {
         c.idle -= 1;
         let err = c.check_consistency().unwrap_err();
         assert!(err.contains("conservation"), "err={err}");
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lifecycle_state() {
+        use amjs_sim::{SnapReader, SnapWriter, Snapshot};
+        let mut c = FlatCluster::new(100);
+        let a = c.allocate(40).unwrap();
+        let _b = c.allocate(20).unwrap();
+        c.mark_down(90); // idle node down
+        c.mark_down(10); // drains inside `a`
+        c.release(a);
+
+        let mut w = SnapWriter::new();
+        c.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = FlatCluster::decode(&mut SnapReader::new(&bytes)).unwrap();
+        restored.check_consistency().unwrap();
+        assert_eq!(restored.total_nodes(), c.total_nodes());
+        assert_eq!(restored.idle_nodes(), c.idle_nodes());
+        assert_eq!(restored.available_nodes(), c.available_nodes());
+        assert_eq!(restored.active_allocations(), c.active_allocations());
+        // Allocation ids continue where the original left off.
+        assert_eq!(restored.allocate(5), c.allocate(5));
     }
 
     #[test]

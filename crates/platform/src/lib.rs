@@ -45,6 +45,15 @@ pub type Nodes = u32;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AllocationId(pub u64);
 
+impl amjs_sim::Snapshot for AllocationId {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        Ok(AllocationId(r.get_u64()?))
+    }
+}
+
 /// Result of taking a node out of service ([`Platform::mark_down`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DrainOutcome {

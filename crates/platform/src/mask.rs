@@ -117,6 +117,21 @@ impl UnitMask {
     }
 }
 
+impl amjs_sim::Snapshot for UnitMask {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        for word in self.words {
+            w.put_u64(word);
+        }
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        let mut words = [0u64; WORDS];
+        for word in &mut words {
+            *word = r.get_u64()?;
+        }
+        Ok(UnitMask { words })
+    }
+}
+
 #[inline]
 fn range_bounds(start: u16, len: u16) -> (usize, usize) {
     let start = start as usize;

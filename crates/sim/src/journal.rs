@@ -1,0 +1,234 @@
+//! The write-ahead event journal: one fixed-size record per handled
+//! event.
+//!
+//! A journal is the fine-grained companion to the coarse snapshots in
+//! [`crate::snapshot`]: after every event the engine appends
+//! `(event index, sim time, 64-bit world-state hash)`. Replay
+//! re-executes the run from the nearest snapshot and compares each
+//! recomputed hash against the journal, pinpointing the *first* event
+//! at which a divergence (nondeterminism, corruption, a code change
+//! that altered semantics) appeared — far more actionable than "the
+//! final CSV differs".
+//!
+//! Records are fixed-size (24 bytes) and appended through a buffered
+//! writer; a crash can therefore truncate the tail mid-record. The
+//! reader tolerates that: a trailing partial record is reported, not
+//! fatal, because the snapshot — not the journal — is the recovery
+//! mechanism. Each resumed run writes a *new* journal segment named
+//! after its starting event index, so segments are append-only and
+//! never rewritten.
+
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::SnapError;
+use crate::time::SimTime;
+
+/// Magic bytes opening every journal file.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"AMJSJRN\0";
+/// Journal format version this build writes and the highest it reads.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Header: magic(8) + version(4) + fingerprint(8) + start_index(8).
+const HEADER_LEN: usize = 28;
+/// Record: event_index(8) + time_secs(8) + world_hash(8).
+const RECORD_LEN: usize = 24;
+
+/// One journal record: the state digest after one handled event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Global (resume-stable) index of the handled event.
+    pub event_index: u64,
+    /// Simulated time at which the event fired.
+    pub time: SimTime,
+    /// [`crate::snapshot::StateHash`] digest of the world *after* the
+    /// event.
+    pub world_hash: u64,
+}
+
+/// Appends journal records to a file.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<fs::File>,
+}
+
+impl JournalWriter {
+    /// Create (truncating) the journal at `path`, stamping the header
+    /// with the run's configuration `fingerprint` and the global event
+    /// index the segment starts at.
+    pub fn create(path: &Path, fingerprint: u64, start_index: u64) -> io::Result<Self> {
+        let file = fs::File::create(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&JOURNAL_MAGIC)?;
+        out.write_all(&JOURNAL_VERSION.to_le_bytes())?;
+        out.write_all(&fingerprint.to_le_bytes())?;
+        out.write_all(&start_index.to_le_bytes())?;
+        Ok(JournalWriter { out })
+    }
+
+    /// Append one record (buffered; see [`JournalWriter::flush`]).
+    pub fn append(&mut self, rec: JournalRecord) -> io::Result<()> {
+        self.out.write_all(&rec.event_index.to_le_bytes())?;
+        self.out.write_all(&rec.time.as_secs().to_le_bytes())?;
+        self.out.write_all(&rec.world_hash.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Flush buffered records to the OS (done automatically whenever a
+    /// snapshot is written, so the journal is never behind the newest
+    /// snapshot).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// A fully read journal segment.
+#[derive(Clone, Debug)]
+pub struct JournalFile {
+    /// Configuration fingerprint stamped at creation (must match the
+    /// snapshots it is replayed against).
+    pub fingerprint: u64,
+    /// Global event index of the first record in this segment.
+    pub start_index: u64,
+    /// The records, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes of a trailing partial record (nonzero after a crash killed
+    /// the writer mid-append; harmless).
+    pub truncated_tail: usize,
+}
+
+/// Read and validate a journal file.
+pub fn read_journal(path: &Path) -> Result<JournalFile, SnapError> {
+    let content = fs::read(path)?;
+    if content.len() < HEADER_LEN {
+        return Err(SnapError::Truncated {
+            wanted: HEADER_LEN,
+            available: content.len(),
+        });
+    }
+    if content[..8] != JOURNAL_MAGIC {
+        return Err(SnapError::BadMagic {
+            expected: "journal",
+        });
+    }
+    let version = u32::from_le_bytes(content[8..12].try_into().unwrap());
+    if version > JOURNAL_VERSION {
+        return Err(SnapError::UnsupportedVersion {
+            found: version,
+            supported: JOURNAL_VERSION,
+        });
+    }
+    let fingerprint = u64::from_le_bytes(content[12..20].try_into().unwrap());
+    let start_index = u64::from_le_bytes(content[20..28].try_into().unwrap());
+    let body = &content[HEADER_LEN..];
+    let whole = body.len() / RECORD_LEN;
+    let truncated_tail = body.len() % RECORD_LEN;
+    let mut records = Vec::with_capacity(whole);
+    for i in 0..whole {
+        let r = &body[i * RECORD_LEN..(i + 1) * RECORD_LEN];
+        records.push(JournalRecord {
+            event_index: u64::from_le_bytes(r[0..8].try_into().unwrap()),
+            time: SimTime::from_secs(i64::from_le_bytes(r[8..16].try_into().unwrap())),
+            world_hash: u64::from_le_bytes(r[16..24].try_into().unwrap()),
+        });
+    }
+    Ok(JournalFile {
+        fingerprint,
+        start_index,
+        records,
+        truncated_tail,
+    })
+}
+
+/// True iff `path` starts with the journal magic (used by the CLI to
+/// distinguish a journal from a legacy SWF trace without extensions).
+pub fn is_journal_file(path: &Path) -> io::Result<bool> {
+    use std::io::Read;
+    let mut head = [0u8; 8];
+    let mut f = fs::File::open(path)?;
+    match f.read_exact(&mut head) {
+        Ok(()) => Ok(head == JOURNAL_MAGIC),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Canonical journal segment path inside a snapshot directory:
+/// `journal-<start index>.jrnl`.
+pub fn journal_path(dir: &Path, start_index: u64) -> PathBuf {
+    dir.join(format!("journal-{start_index:012}.jrnl"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("amjs-journal-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        let path = tmp("basic.jrnl");
+        let mut w = JournalWriter::create(&path, 0xFEED, 5).unwrap();
+        for i in 0..10u64 {
+            w.append(JournalRecord {
+                event_index: 5 + i,
+                time: SimTime::from_secs(i as i64 * 60),
+                world_hash: i.wrapping_mul(0x9E37_79B9),
+            })
+            .unwrap();
+        }
+        w.flush().unwrap();
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.fingerprint, 0xFEED);
+        assert_eq!(j.start_index, 5);
+        assert_eq!(j.records.len(), 10);
+        assert_eq!(j.truncated_tail, 0);
+        assert_eq!(j.records[3].event_index, 8);
+        assert_eq!(j.records[3].time, SimTime::from_secs(180));
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let path = tmp("truncated.jrnl");
+        let mut w = JournalWriter::create(&path, 1, 0).unwrap();
+        for i in 0..4u64 {
+            w.append(JournalRecord {
+                event_index: i,
+                time: SimTime::from_secs(i as i64),
+                world_hash: i,
+            })
+            .unwrap();
+        }
+        w.flush().unwrap();
+        drop(w);
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 10]).unwrap(); // kill mid-record
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.records.len(), 3);
+        assert_eq!(j.truncated_tail, RECORD_LEN - 10);
+    }
+
+    #[test]
+    fn magic_detection_distinguishes_file_kinds() {
+        let path = tmp("magic.jrnl");
+        JournalWriter::create(&path, 0, 0).unwrap().flush().unwrap();
+        assert!(is_journal_file(&path).unwrap());
+        let other = tmp("not-a-journal.txt");
+        fs::write(&other, b"hi").unwrap();
+        assert!(!is_journal_file(&other).unwrap());
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let path = tmp("foreign.jrnl");
+        fs::write(&path, b"this is definitely not a journal file").unwrap();
+        assert!(matches!(
+            read_journal(&path),
+            Err(SnapError::BadMagic { .. })
+        ));
+    }
+}

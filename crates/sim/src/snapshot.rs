@@ -1,0 +1,914 @@
+//! Durable run state: a hand-rolled versioned binary snapshot codec.
+//!
+//! A month-long simulation (or, later, a live scheduling service) must
+//! survive its process being killed. This module provides the substrate:
+//! a [`Snapshot`] trait with a tiny length-prefixed binary codec
+//! ([`SnapWriter`] / [`SnapReader`]), an FNV-1a content checksum over
+//! every snapshot file, and a [`SnapshotStore`] that writes snapshots
+//! atomically (temp file + rename) and rotates old ones.
+//!
+//! Design rules, matching the rest of the workspace:
+//!
+//! * **No external dependencies.** The codec is hand-rolled (the PR-1
+//!   no-serde rule): fixed-width little-endian integers, `f64` stored as
+//!   raw IEEE-754 bits so restore is *bit-exact*, length-prefixed
+//!   sections so readers can skip data they do not understand.
+//! * **Versioned.** Every snapshot file carries a format version; a
+//!   reader confronted with a newer version refuses loudly rather than
+//!   guessing. Within a payload, [`SnapWriter::section`] /
+//!   [`SnapReader::section`] delimit tagged, length-prefixed regions:
+//!   a future format revision may append fields at the end of a section
+//!   and older readers will skip them.
+//! * **Checksummed.** The last 8 bytes of a snapshot file are the
+//!   FNV-1a 64-bit hash of everything before them. Truncation or bit
+//!   rot is detected *before* any state is reconstructed, so a corrupt
+//!   snapshot can never be silently replayed — callers fall back to an
+//!   earlier snapshot instead.
+//!
+//! The trait is defined here (the dependency root of the workspace) so
+//! that every crate — platform masks, metric series, the core runner —
+//! can implement it for its own private-field types.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::time::{SimDuration, SimTime};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher (the workspace-standard content hash:
+/// tiny, dependency-free, and stable forever).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb `bytes` into the running hash.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorb one little-endian `u64`.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Everything that can go wrong decoding a snapshot.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The byte stream ended before the requested field.
+    Truncated {
+        /// Bytes the decoder needed.
+        wanted: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// What kind of file was expected (e.g. "snapshot", "journal").
+        expected: &'static str,
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// The trailing FNV-1a checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the content.
+        computed: u64,
+    },
+    /// An enum discriminant or section tag had an unknown value.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// A value was syntactically valid but semantically impossible.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapError::Truncated { wanted, available } => write!(
+                f,
+                "snapshot truncated: needed {wanted} bytes, only {available} available"
+            ),
+            SnapError::BadMagic { expected } => {
+                write!(f, "not a {expected} file (magic bytes do not match)")
+            }
+            SnapError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than this build supports (max {supported})"
+            ),
+            SnapError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch (stored {stored:#018x}, computed {computed:#018x}): \
+                 file is corrupted or truncated"
+            ),
+            SnapError::BadTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag} in snapshot")
+            }
+            SnapError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<io::Error> for SnapError {
+    fn from(e: io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// A type that can serialize itself into the snapshot codec and
+/// reconstruct itself bit-exactly from the same bytes.
+///
+/// The contract is round-trip fidelity: `decode(encode(x)) == x` in the
+/// strongest sense the type supports — for floating-point fields the
+/// raw IEEE-754 bits are preserved, and for hash-map fields the encoder
+/// must emit entries in a sorted, deterministic order so that two
+/// encodes of equal state produce identical bytes.
+pub trait Snapshot: Sized {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut SnapWriter);
+    /// Reconstruct a value from `r`, consuming exactly the bytes
+    /// `encode` produced.
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError>;
+}
+
+/// A world that can produce a cheap 64-bit digest of its live state.
+///
+/// This is the per-event hash written to the write-ahead journal: it
+/// must be (a) deterministic across processes and (b) cheap enough to
+/// compute after *every* event, so implementations hash the mutating
+/// live state (queues, running sets, allocator masks, RNG cursors)
+/// rather than re-encoding the whole world.
+pub trait StateHash {
+    /// Digest of the current state.
+    fn state_hash(&self) -> u64;
+}
+
+/// Append-only encoder for the snapshot codec.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write an `f64` as its raw IEEE-754 bits (bit-exact restore; NaN
+    /// payloads and signed zeros survive).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Write a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Write a tagged, length-prefixed section: `tag`, byte length, then
+    /// whatever `f` emits. Readers match the tag and can skip bytes the
+    /// build does not understand, which is the codec's forward-compat
+    /// mechanism.
+    pub fn section(&mut self, tag: u32, f: impl FnOnce(&mut SnapWriter)) {
+        self.put_u32(tag);
+        let len_at = self.buf.len();
+        self.put_u64(0); // placeholder, patched below
+        let start = self.buf.len();
+        f(self);
+        let len = (self.buf.len() - start) as u64;
+        self.buf[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        SnapReader { data, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True iff every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                wanted: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, SnapError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `usize` stored as `u64`, rejecting values that do not fit
+    /// the host word size.
+    pub fn get_usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| SnapError::Malformed(format!("usize value {v} exceeds host word size")))
+    }
+
+    /// Read an `f64` from its raw IEEE-754 bits.
+    pub fn get_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a bool (strict: anything but 0 or 1 is an error).
+    pub fn get_bool(&mut self) -> Result<bool, SnapError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::BadTag {
+                context: "bool",
+                tag: b as u64,
+            }),
+        }
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.get_usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes)
+            .map_err(|e| SnapError::Malformed(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    /// Read a tagged section written by [`SnapWriter::section`]: checks
+    /// the tag, hands `f` a sub-reader bounded to the section payload,
+    /// and skips any trailing bytes `f` left unread (fields appended by
+    /// a newer writer).
+    pub fn section<T>(
+        &mut self,
+        tag: u32,
+        f: impl FnOnce(&mut SnapReader<'_>) -> Result<T, SnapError>,
+    ) -> Result<T, SnapError> {
+        let found = self.get_u32()?;
+        if found != tag {
+            return Err(SnapError::BadTag {
+                context: "section",
+                tag: found as u64,
+            });
+        }
+        let len = self.get_usize()?;
+        let body = self.take(len)?;
+        let mut sub = SnapReader::new(body);
+        f(&mut sub)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot impls for primitives and std containers
+// ---------------------------------------------------------------------------
+
+macro_rules! snapshot_primitive {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Snapshot for $ty {
+            fn encode(&self, w: &mut SnapWriter) {
+                w.$put(*self);
+            }
+            fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+snapshot_primitive!(u8, put_u8, get_u8);
+snapshot_primitive!(u16, put_u16, get_u16);
+snapshot_primitive!(u32, put_u32, get_u32);
+snapshot_primitive!(u64, put_u64, get_u64);
+snapshot_primitive!(i64, put_i64, get_i64);
+snapshot_primitive!(usize, put_usize, get_usize);
+snapshot_primitive!(f64, put_f64, get_f64);
+snapshot_primitive!(bool, put_bool, get_bool);
+
+impl Snapshot for String {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.get_str()
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(SnapError::BadTag {
+                context: "Option",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_usize(self.len());
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_usize()?;
+        // Guard against absurd lengths from corrupt data: an element is
+        // at least one byte, so `n` can never exceed the bytes left.
+        if n > r.remaining() {
+            return Err(SnapError::Malformed(format!(
+                "vector length {n} exceeds remaining {} bytes",
+                r.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Snapshot, B: Snapshot, C: Snapshot> Snapshot for (A, B, C) {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl Snapshot for SimTime {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_i64(self.as_secs());
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SimTime::from_secs(r.get_i64()?))
+    }
+}
+
+impl Snapshot for SimDuration {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_i64(self.as_secs());
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SimDuration::from_secs(r.get_i64()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot files: magic + version + payload + trailing FNV-1a checksum
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"AMJSNAP\0";
+/// Snapshot *file* format version this build writes and the highest it
+/// reads. Bump only on layout changes a section length-prefix cannot
+/// absorb.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Write `payload` as a checksummed snapshot file, atomically.
+///
+/// The bytes go to `<path>.tmp` first and are renamed into place only
+/// after a successful flush, so a crash mid-write can never leave a
+/// half-written file under the final name — at worst a stale `.tmp`
+/// that the checksum would reject anyway.
+pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let mut content = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 12 + payload.len() + 8);
+    content.extend_from_slice(&SNAPSHOT_MAGIC);
+    content.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    content.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    content.extend_from_slice(payload);
+    let checksum = fnv1a(&content);
+    content.extend_from_slice(&checksum.to_le_bytes());
+
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&content)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Read and verify a snapshot file, returning the payload bytes.
+///
+/// Verifies, in order: the magic, the format version, the trailing
+/// FNV-1a checksum over everything before it, and the payload length
+/// field. Corruption anywhere — truncation, bit flips, a foreign file —
+/// is reported without reconstructing any state.
+pub fn read_snapshot_file(path: &Path) -> Result<Vec<u8>, SnapError> {
+    let content = fs::read(path)?;
+    // magic(8) + version(4) + len(8) + checksum(8)
+    if content.len() < 28 {
+        return Err(SnapError::Truncated {
+            wanted: 28,
+            available: content.len(),
+        });
+    }
+    if content[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapError::BadMagic {
+            expected: "snapshot",
+        });
+    }
+    let (body, tail) = content.split_at(content.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(SnapError::ChecksumMismatch { stored, computed });
+    }
+    let version = u32::from_le_bytes(body[8..12].try_into().unwrap());
+    if version > SNAPSHOT_VERSION {
+        return Err(SnapError::UnsupportedVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let len = u64::from_le_bytes(body[12..20].try_into().unwrap()) as usize;
+    let payload = &body[20..];
+    if payload.len() != len {
+        return Err(SnapError::Malformed(format!(
+            "payload length field says {len} bytes but file carries {}",
+            payload.len()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot store: naming, rotation, and corruption fallback
+// ---------------------------------------------------------------------------
+
+/// File-name prefix for snapshots in a snapshot directory.
+const SNAP_PREFIX: &str = "snapshot-";
+/// File-name suffix for snapshots in a snapshot directory.
+const SNAP_SUFFIX: &str = ".snap";
+
+/// A directory of rotating snapshots named `snapshot-<event index>.snap`.
+///
+/// Rotation keeps the genesis snapshot (the lowest index, which anchors
+/// full-journal replay) plus the most recent `keep` snapshots; everything
+/// in between is pruned after each successful write.
+#[derive(Clone, Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl SnapshotStore {
+    /// A store over `dir`, retaining the latest `keep` snapshots
+    /// (minimum 1) plus the genesis snapshot.
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> Self {
+        SnapshotStore {
+            dir: dir.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical file path for the snapshot taken after `event_index`
+    /// events.
+    pub fn path_for(&self, event_index: u64) -> PathBuf {
+        self.dir
+            .join(format!("{SNAP_PREFIX}{event_index:012}{SNAP_SUFFIX}"))
+    }
+
+    /// Parse an event index out of a snapshot file name, if it is one.
+    pub fn parse_index(name: &str) -> Option<u64> {
+        name.strip_prefix(SNAP_PREFIX)?
+            .strip_suffix(SNAP_SUFFIX)?
+            .parse()
+            .ok()
+    }
+
+    /// All snapshots in the directory, sorted by ascending event index.
+    pub fn list(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(idx) = entry.file_name().to_str().and_then(Self::parse_index) {
+                out.push((idx, entry.path()));
+            }
+        }
+        out.sort_by_key(|(idx, _)| *idx);
+        Ok(out)
+    }
+
+    /// Atomically write the snapshot for `event_index`, then prune old
+    /// snapshots per the rotation policy. Returns the final path.
+    pub fn write(&self, event_index: u64, payload: &[u8]) -> io::Result<PathBuf> {
+        let path = self.path_for(event_index);
+        write_snapshot_file(&path, payload)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let all = self.list()?;
+        if all.len() <= self.keep + 1 {
+            return Ok(());
+        }
+        // Keep all[0] (genesis) and the trailing `keep`; drop the middle.
+        let drop_until = all.len() - self.keep;
+        for (_, path) in &all[1..drop_until] {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// Load the newest snapshot whose event index is at most `max_index`
+    /// (pass `u64::MAX` for "the latest"), falling back to earlier
+    /// snapshots when a file fails its checksum. Corrupt files are
+    /// reported through `diag` (one line per rejected file) so the
+    /// fallback is never silent.
+    ///
+    /// Returns `(event_index, payload, path)` of the first valid
+    /// candidate, or an error naming every rejected file if none decode.
+    pub fn load_latest(
+        &self,
+        max_index: u64,
+        mut diag: impl FnMut(&str),
+    ) -> Result<(u64, Vec<u8>, PathBuf), SnapError> {
+        let candidates: Vec<(u64, PathBuf)> = self
+            .list()?
+            .into_iter()
+            .filter(|(idx, _)| *idx <= max_index)
+            .collect();
+        if candidates.is_empty() {
+            return Err(SnapError::Malformed(format!(
+                "no snapshot at or before event index {max_index} in {}",
+                self.dir.display()
+            )));
+        }
+        let mut rejected = Vec::new();
+        for (idx, path) in candidates.iter().rev() {
+            match read_snapshot_file(path) {
+                Ok(payload) => {
+                    if !rejected.is_empty() {
+                        diag(&format!(
+                            "falling back to earlier snapshot {}",
+                            path.display()
+                        ));
+                    }
+                    return Ok((*idx, payload, path.clone()));
+                }
+                Err(e) => {
+                    diag(&format!("rejecting snapshot {}: {e}", path.display()));
+                    rejected.push(format!("{}: {e}", path.display()));
+                }
+            }
+        }
+        Err(SnapError::Malformed(format!(
+            "every candidate snapshot failed verification: {}",
+            rejected.join("; ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-12345);
+        w.put_usize(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -12345);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut w = SnapWriter::new();
+        vec![1u64, 2, 3].encode(&mut w);
+        Some(9.5f64).encode(&mut w);
+        Option::<u32>::None.encode(&mut w);
+        (SimTime::from_secs(10), 2u32).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(Vec::<u64>::decode(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(Option::<f64>::decode(&mut r).unwrap(), Some(9.5));
+        assert_eq!(Option::<u32>::decode(&mut r).unwrap(), None);
+        assert_eq!(
+            <(SimTime, u32)>::decode(&mut r).unwrap(),
+            (SimTime::from_secs(10), 2)
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..5]);
+        assert!(matches!(
+            r.get_u64(),
+            Err(SnapError::Truncated {
+                wanted: 8,
+                available: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn sections_skip_unknown_trailing_fields() {
+        let mut w = SnapWriter::new();
+        w.section(0xA1, |w| {
+            w.put_u32(5);
+            w.put_str("future field the reader does not know about");
+        });
+        w.put_u64(99);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let v = r.section(0xA1, |s| s.get_u32()).unwrap();
+        assert_eq!(v, 5);
+        // The unread tail of the section was skipped, not leaked.
+        assert_eq!(r.get_u64().unwrap(), 99);
+    }
+
+    #[test]
+    fn section_tag_mismatch_errors() {
+        let mut w = SnapWriter::new();
+        w.section(1, |w| w.put_u8(0));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            r.section(2, |s| s.get_u8()),
+            Err(SnapError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn snapshot_file_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("amjs-snap-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.snap");
+        let payload = b"the quick brown fox".to_vec();
+        write_snapshot_file(&path, &payload).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), payload);
+
+        // Bit flip in the payload region → checksum mismatch.
+        let mut raw = fs::read(&path).unwrap();
+        raw[22] ^= 0x40;
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&path),
+            Err(SnapError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation → checksum mismatch or truncation, never Ok.
+        write_snapshot_file(&path, &payload).unwrap();
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+        assert!(read_snapshot_file(&path).is_err());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_rotates_but_keeps_genesis() {
+        let dir = std::env::temp_dir().join(format!("amjs-store-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let store = SnapshotStore::new(&dir, 2);
+        for idx in [0u64, 10, 20, 30, 40] {
+            store.write(idx, &idx.to_le_bytes()).unwrap();
+        }
+        let listed: Vec<u64> = store.list().unwrap().into_iter().map(|(i, _)| i).collect();
+        assert_eq!(listed, vec![0, 30, 40], "genesis + last 2 retained");
+
+        // Corrupt the newest; load_latest falls back with a diagnostic.
+        let newest = store.path_for(40);
+        let mut raw = fs::read(&newest).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        fs::write(&newest, &raw).unwrap();
+        let mut diags = Vec::new();
+        let (idx, payload, _) = store
+            .load_latest(u64::MAX, |d| diags.push(d.to_string()))
+            .unwrap();
+        assert_eq!(idx, 30);
+        assert_eq!(payload, 30u64.to_le_bytes());
+        assert!(diags.iter().any(|d| d.contains("rejecting snapshot")));
+        assert!(diags.iter().any(|d| d.contains("falling back")));
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

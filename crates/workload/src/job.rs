@@ -7,7 +7,7 @@
 //! never exceeds the walltime because the resource manager kills jobs at
 //! the estimate — [`Job::new`] enforces the same invariant.
 
-use amjs_sim::{SimDuration, SimTime};
+use amjs_sim::{SimDuration, SimTime, Snapshot};
 
 /// Identifies a job within one workload; dense, in submit order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -16,6 +16,36 @@ pub struct JobId(pub u64);
 impl std::fmt::Display for JobId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "job#{}", self.0)
+    }
+}
+
+impl Snapshot for JobId {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        Ok(JobId(r.get_u64()?))
+    }
+}
+
+impl Snapshot for Job {
+    fn encode(&self, w: &mut amjs_sim::SnapWriter) {
+        self.id.encode(w);
+        self.submit.encode(w);
+        w.put_u32(self.nodes);
+        self.walltime.encode(w);
+        self.runtime.encode(w);
+        w.put_u32(self.user);
+    }
+    fn decode(r: &mut amjs_sim::SnapReader<'_>) -> Result<Self, amjs_sim::SnapError> {
+        Ok(Job {
+            id: Snapshot::decode(r)?,
+            submit: Snapshot::decode(r)?,
+            nodes: r.get_u32()?,
+            walltime: Snapshot::decode(r)?,
+            runtime: Snapshot::decode(r)?,
+            user: r.get_u32()?,
+        })
     }
 }
 

@@ -1,0 +1,360 @@
+//! End-to-end persistence properties: crash-recoverable deterministic
+//! replay across the whole stack.
+//!
+//! The contract under test is the strongest one the engine makes:
+//! snapshot → restore → run produces a **byte-identical**
+//! `SimulationOutcome` (summary CSV row, per-job records, sampled
+//! series) to the uninterrupted run, across seeds × adaptive schemes ×
+//! failure specs, with the runtime invariant oracle enabled. On top of
+//! that: journal replay pinpoints the exact index of an injected
+//! divergence, corrupt snapshots are rejected by checksum and fall back
+//! to the previous one with a diagnostic, and journals from a different
+//! run are refused by fingerprint.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use amjs::prelude::*;
+use amjs_core::failures::{CorrelationSpec, DomainSpec, FailureSpec, RepairSpec, RetryPolicy};
+use amjs_sim::snapshot::SnapshotStore;
+
+/// A fresh scratch directory under the system temp dir.
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amjs-persist-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Everything the user can observe from an outcome, as one string.
+/// Equal strings ⇒ byte-identical summary, per-job records, and series
+/// (Rust's `{:?}` for f64 prints the shortest round-trip repr, so equal
+/// text means bit-equal floats).
+fn outcome_digest(out: &SimulationOutcome) -> String {
+    let series = [
+        &out.queue_depth,
+        &out.util_instant,
+        &out.util_1h,
+        &out.bf_series,
+        &out.window_series,
+        &out.availability,
+        &out.down_nodes,
+    ];
+    format!(
+        "{}\n{:?}\n{}\npasses={} backfilled={} interrupted={}",
+        out.summary.csv_row(),
+        out.per_job,
+        amjs::metrics::series::to_csv(&series),
+        out.scheduler_passes,
+        out.backfilled_starts,
+        out.interrupted_jobs,
+    )
+}
+
+/// One configuration point of the test grid.
+#[derive(Clone, Copy)]
+struct Case {
+    seed: u64,
+    adaptive: bool,
+    failures: bool,
+}
+
+impl Case {
+    fn label(&self) -> String {
+        format!(
+            "seed{}-{}-{}",
+            self.seed,
+            if self.adaptive { "2d" } else { "static" },
+            if self.failures { "faulty" } else { "clean" }
+        )
+    }
+
+    fn builder(&self) -> SimulationBuilder<FlatCluster> {
+        let mut spec = WorkloadSpec::small_test();
+        spec.span = SimDuration::from_hours(6);
+        let jobs = spec.generate(self.seed);
+        assert!(!jobs.is_empty());
+        let mut b = SimulationBuilder::new(FlatCluster::new(512), jobs)
+            .policy(PolicyParams::new(0.5, 2))
+            .backfill(BackfillMode::Easy)
+            .oracle(true)
+            .label(self.label());
+        if self.adaptive {
+            b = b.adaptive(AdaptiveScheme::two_d(400.0));
+        }
+        if self.failures {
+            b = b
+                .failures(Some(FailureSpec {
+                    node_mtbf: SimDuration::from_hours(400),
+                    repair: RepairSpec::LogNormal {
+                        mean: SimDuration::from_hours(1),
+                        sigma: 0.8,
+                    },
+                    seed: self.seed ^ 0xFA11,
+                }))
+                .retry_policy(RetryPolicy {
+                    max_attempts: Some(4),
+                    backoff_base: SimDuration::from_mins(5),
+                })
+                .correlated_failures(Some(CorrelationSpec {
+                    cascade_prob: 0.4,
+                    domains: DomainSpec {
+                        midplane_nodes: 64,
+                        midplanes_per_rack: 2,
+                        racks_per_power_domain: 2,
+                    },
+                    burst: amjs_core::failures::BurstModel::Weibull { shape: 0.7 },
+                }));
+        }
+        b
+    }
+
+    fn grid() -> Vec<Case> {
+        let mut cases = Vec::new();
+        for seed in [11, 29] {
+            for adaptive in [false, true] {
+                for failures in [false, true] {
+                    cases.push(Case {
+                        seed,
+                        adaptive,
+                        failures,
+                    });
+                }
+            }
+        }
+        cases
+    }
+}
+
+/// The tentpole property: a run that checkpoints, is "killed" at any
+/// snapshot boundary, and resumes from the snapshot produces the exact
+/// outcome of the uninterrupted run — across seeds × schemes × failure
+/// specs, with the invariant oracle checking every event on both sides.
+#[test]
+fn resume_is_byte_identical_to_uninterrupted_run() {
+    for case in Case::grid() {
+        let dir = tempdir(&format!("resume-{}", case.label()));
+        let baseline = outcome_digest(&case.builder().run());
+
+        // The persistent run itself must be observationally identical:
+        // persistence only watches, never steers.
+        let spec = PersistSpec::new(&dir).snapshot_every_events(150).keep(3);
+        let persistent = case.builder().run_persistent(&spec).unwrap();
+        assert_eq!(
+            outcome_digest(&persistent),
+            baseline,
+            "{}: persistence changed the outcome",
+            case.label()
+        );
+
+        // Resume from a mid-run snapshot (what a SIGKILL leaves behind:
+        // snapshots are written atomically, so the newest one is always
+        // whole). Byte-identical outcome required.
+        let store = SnapshotStore::new(&dir, 3);
+        let snaps = store.list().unwrap();
+        assert!(
+            snaps.len() >= 2,
+            "{}: expected several snapshots, got {snaps:?}",
+            case.label()
+        );
+        let (mid_index, mid_path) = &snaps[snaps.len() / 2];
+        let resumed = resume_simulation(mid_path, None, |d| panic!("unexpected diag: {d}"))
+            .unwrap_or_else(|e| panic!("{}: resume failed: {e}", case.label()));
+        assert_eq!(
+            outcome_digest(&resumed),
+            baseline,
+            "{}: resume from snapshot {mid_index} diverged",
+            case.label()
+        );
+
+        // Pointing at the directory resumes from the newest snapshot.
+        let resumed_dir = resume_simulation(&dir, None, |_| {}).unwrap();
+        assert_eq!(outcome_digest(&resumed_dir), baseline);
+
+        // And the journal the persistent run left behind verifies clean.
+        let report = replay_journal(&amjs::sim::journal::journal_path(&dir, 0), None, |d| {
+            panic!("unexpected diag: {d}")
+        })
+        .unwrap();
+        assert!(
+            report.is_clean(),
+            "{}: journal replay diverged at {:?}",
+            case.label(),
+            report.first_divergence
+        );
+        assert!(report.records > 0 && report.checked == report.records);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A resumed run that keeps checkpointing writes a second journal
+/// segment whose records verify against the same snapshots.
+#[test]
+fn resumed_run_continues_the_journal() {
+    let case = Case {
+        seed: 7,
+        adaptive: false,
+        failures: true,
+    };
+    let dir = tempdir("continue");
+    let spec = PersistSpec::new(&dir).snapshot_every_events(200).keep(2);
+    let baseline = outcome_digest(&case.builder().run_persistent(&spec).unwrap());
+
+    let store = SnapshotStore::new(&dir, 2);
+    let snaps = store.list().unwrap();
+    let (mid_index, mid_path) = snaps[snaps.len() / 2].clone();
+    assert!(mid_index > 0, "need a mid-run snapshot");
+
+    let resumed = resume_simulation(&mid_path, Some(&spec), |_| {}).unwrap();
+    assert_eq!(outcome_digest(&resumed), baseline);
+
+    // The resumed segment starts at the snapshot's event index and
+    // replays clean from the snapshots in the directory.
+    let segment = amjs::sim::journal::journal_path(&dir, mid_index);
+    assert!(segment.exists(), "resume should write its own segment");
+    let report = replay_journal(&segment, None, |_| {}).unwrap();
+    assert!(
+        report.is_clean(),
+        "diverged at {:?}",
+        report.first_divergence
+    );
+    assert!(report.snapshot_index <= mid_index);
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Flip one bit in one journal record's hash: replay must point at
+/// exactly that record's event index, not merely "the CSV differs".
+#[test]
+fn replay_pinpoints_an_injected_divergence() {
+    let case = Case {
+        seed: 13,
+        adaptive: true,
+        failures: false,
+    };
+    let dir = tempdir("divergence");
+    let spec = PersistSpec::new(&dir).snapshot_every_events(500).keep(2);
+    case.builder().run_persistent(&spec).unwrap();
+
+    let journal = amjs::sim::journal::journal_path(&dir, 0);
+    let clean = replay_journal(&journal, None, |_| {}).unwrap();
+    assert!(clean.is_clean());
+    assert!(clean.records > 10);
+
+    // Record k's world_hash lives at header(28) + k*24 + 16.
+    let k = (clean.records / 2) as usize;
+    let mut raw = fs::read(&journal).unwrap();
+    raw[28 + k * 24 + 16] ^= 0x01;
+    fs::write(&journal, &raw).unwrap();
+
+    let report = replay_journal(&journal, None, |_| {}).unwrap();
+    assert_eq!(
+        report.first_divergence,
+        Some(k as u64),
+        "divergence must name the exact tampered record"
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Corrupt and truncated snapshots are detected by checksum and resume
+/// falls back to the previous snapshot with a diagnostic; when nothing
+/// valid remains the error names every rejected file.
+#[test]
+fn corrupt_snapshots_fall_back_with_diagnostics() {
+    let case = Case {
+        seed: 3,
+        adaptive: false,
+        failures: false,
+    };
+    let dir = tempdir("corrupt");
+    let baseline = outcome_digest(&case.builder().run());
+    let spec = PersistSpec::new(&dir).snapshot_every_events(150).keep(3);
+    case.builder().run_persistent(&spec).unwrap();
+
+    let store = SnapshotStore::new(&dir, 3);
+    let snaps = store.list().unwrap();
+    assert!(snaps.len() >= 3);
+    let (_, newest) = snaps.last().unwrap().clone();
+
+    // Bit-flip the newest snapshot: resuming from the directory must
+    // reject it (checksum) and fall back, still reproducing the run.
+    let mut raw = fs::read(&newest).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x10;
+    fs::write(&newest, &raw).unwrap();
+    let mut diags = Vec::new();
+    let resumed = resume_simulation(&dir, None, |d| diags.push(d.to_string())).unwrap();
+    assert_eq!(outcome_digest(&resumed), baseline);
+    assert!(
+        diags.iter().any(|d| d.contains("rejecting snapshot")),
+        "fallback must be loud, got {diags:?}"
+    );
+
+    // Naming the corrupt file directly also falls back (with the path
+    // in the diagnostic), because its name identifies where to look.
+    let mut diags = Vec::new();
+    let resumed = resume_simulation(&newest, None, |d| diags.push(d.to_string())).unwrap();
+    assert_eq!(outcome_digest(&resumed), baseline);
+    assert!(diags.iter().any(|d| d.contains("falling back")));
+
+    // Truncation is equally fatal for a single file...
+    let (_, second) = snaps[snaps.len() - 2].clone();
+    let raw = fs::read(&second).unwrap();
+    fs::write(&second, &raw[..raw.len() / 3]).unwrap();
+
+    // ...and once every snapshot is damaged, resume refuses with an
+    // error that names the rejected files.
+    for (_, path) in &snaps {
+        let raw = fs::read(path).unwrap();
+        if raw.len() > 40 {
+            fs::write(path, &raw[..40]).unwrap();
+        }
+    }
+    let err = resume_simulation(&dir, None, |_| {}).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("snapshot-") && msg.contains(".snap"),
+        "error should name the rejected files: {msg}"
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A journal can only be verified against snapshots of its own run:
+/// fingerprints must match.
+#[test]
+fn replay_refuses_a_foreign_journal() {
+    let dir_a = tempdir("fingerprint-a");
+    let dir_b = tempdir("fingerprint-b");
+    let spec_a = PersistSpec::new(&dir_a).snapshot_every_events(300);
+    let spec_b = PersistSpec::new(&dir_b).snapshot_every_events(300);
+    Case {
+        seed: 5,
+        adaptive: false,
+        failures: false,
+    }
+    .builder()
+    .run_persistent(&spec_a)
+    .unwrap();
+    Case {
+        seed: 6,
+        adaptive: false,
+        failures: false,
+    }
+    .builder()
+    .run_persistent(&spec_b)
+    .unwrap();
+
+    // Journal from run B against snapshots from run A.
+    let journal_b = amjs::sim::journal::journal_path(&dir_b, 0);
+    let err = replay_journal(&journal_b, Some(Path::new(&dir_a)), |_| {}).unwrap_err();
+    assert!(
+        err.to_string().contains("does not belong"),
+        "expected a fingerprint refusal, got: {err}"
+    );
+
+    fs::remove_dir_all(&dir_a).unwrap();
+    fs::remove_dir_all(&dir_b).unwrap();
+}
