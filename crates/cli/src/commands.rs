@@ -8,9 +8,10 @@ use amjs_workload::{swf, WorkloadSpec};
 
 use crate::args::{parse, render_flags, ArgError, FlagSpec, ParsedArgs};
 use crate::config::{
-    load_workload, run_simulation, run_simulation_persistent, MachineConfig, PolicyFlags,
-    SnapshotFlags,
+    load_workload, run_simulation, run_simulation_observed, run_simulation_persistent,
+    run_simulation_persistent_observed, MachineConfig, PolicyFlags, SnapshotFlags,
 };
+use crate::obs::{obs_flag_specs, ObsFlags};
 
 /// Top-level usage text.
 pub fn top_level_help() -> String {
@@ -20,7 +21,8 @@ pub fn top_level_help() -> String {
        simulate             run one policy over a workload\n\
        sweep                grid-sweep balance factor x window in parallel\n\
        workload             generate a synthetic trace (writes SWF)\n\
-       replay <file>        simulate an SWF trace, or verify an event journal\n\n\
+       replay <file>        simulate an SWF trace, or verify an event journal\n\
+       trace explain        reconstruct a job's decision chain from a trace\n\n\
      run `amjs <command> --help` for each command's flags"
         .to_string()
 }
@@ -212,6 +214,7 @@ fn simulate_flags() -> Vec<FlagSpec> {
             default: None,
         },
     ]);
+    flags.extend(obs_flag_specs());
     flags
 }
 
@@ -299,7 +302,9 @@ fn replay_journal_cmd(parsed: &ParsedArgs, path: &str) -> Result<(), ArgError> {
 
 fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
     let snapshot_flags = SnapshotFlags::from_args(parsed)?;
+    let obs_flags = ObsFlags::from_args(parsed)?;
     if let Some(path) = &snapshot_flags.resume_from {
+        obs_flags.reject_with_resume(parsed)?;
         let outcome = amjs_core::resume_simulation(path, snapshot_flags.spec.as_ref(), |d| {
             eprintln!("amjs: {d}")
         })
@@ -348,17 +353,47 @@ fn run_simulate(parsed: &ParsedArgs) -> Result<(), ArgError> {
         machine.kind,
         machine.nodes
     );
-    let outcome = match &snapshot_flags.spec {
-        None => run_simulation(machine, jobs, policy, &policy_flags, scheme, policy.label()),
-        Some(spec) => run_simulation_persistent(
-            machine,
-            jobs,
-            policy,
-            &policy_flags,
-            scheme,
-            policy.label(),
-            spec,
-        )?,
+    let outcome = if obs_flags.is_enabled() {
+        let (observer, session) = obs_flags.build()?;
+        let (outcome, _observer) = match &snapshot_flags.spec {
+            None => run_simulation_observed(
+                machine,
+                jobs,
+                policy,
+                &policy_flags,
+                scheme,
+                policy.label(),
+                observer,
+            ),
+            Some(spec) => {
+                let (result, observer) = run_simulation_persistent_observed(
+                    machine,
+                    jobs,
+                    policy,
+                    &policy_flags,
+                    scheme,
+                    policy.label(),
+                    spec,
+                    observer,
+                );
+                (result?, observer)
+            }
+        };
+        session.finalize()?;
+        outcome
+    } else {
+        match &snapshot_flags.spec {
+            None => run_simulation(machine, jobs, policy, &policy_flags, scheme, policy.label()),
+            Some(spec) => run_simulation_persistent(
+                machine,
+                jobs,
+                policy,
+                &policy_flags,
+                scheme,
+                policy.label(),
+                spec,
+            )?,
+        }
     };
     print_outcome(parsed, &outcome)
 }
@@ -367,6 +402,12 @@ fn print_outcome(
     parsed: &ParsedArgs,
     outcome: &amjs_core::SimulationOutcome,
 ) -> Result<(), ArgError> {
+    if parsed.get_bool("quiet") {
+        // Machine-readable mode: stdout carries nothing but the CSV.
+        println!("{}", report::csv_header());
+        println!("{}", outcome.summary.csv_row());
+        return write_outcome_files(parsed, outcome);
+    }
     println!("{}", report::table_header());
     println!("{}", outcome.summary.table_row());
     if outcome.skipped_oversized > 0 {
@@ -405,6 +446,15 @@ per-user service (top 10 by jobs; wait gini {gini:.3}):"
         }
     }
 
+    write_outcome_files(parsed, outcome)
+}
+
+/// The `--series` / `--jobs-csv` file outputs, shared by the normal and
+/// `--quiet` paths.
+fn write_outcome_files(
+    parsed: &ParsedArgs,
+    outcome: &amjs_core::SimulationOutcome,
+) -> Result<(), ArgError> {
     if let Some(path) = parsed.get("series") {
         let series = [
             &outcome.queue_depth,
@@ -638,6 +688,59 @@ pub fn workload(argv: &[String]) -> Result<(), ArgError> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------------
+
+fn trace_usage() -> String {
+    "amjs trace — inspect decision traces written by simulate --trace\n\n\
+     usage:\n  \
+     amjs trace explain <trace.jsonl> <job-id>    reconstruct one job's decision chain"
+        .to_string()
+}
+
+/// `amjs trace explain <trace.jsonl> <job-id>` — reconstruct a job's
+/// full decision chain (queued → scored → windowed → placed/backfilled
+/// → killed/retried → finished) from a JSONL trace file.
+pub fn trace(argv: &[String]) -> Result<(), ArgError> {
+    let flags = vec![FlagSpec {
+        name: "help",
+        is_bool: true,
+        help: "show this help",
+        default: None,
+    }];
+    let parsed = parse(argv, &flags)?;
+    if parsed.get_bool("help") {
+        println!("{}", trace_usage());
+        return Ok(());
+    }
+    match parsed.positionals.first().map(String::as_str) {
+        Some("explain") => {
+            let [_, file, job] = &parsed.positionals[..] else {
+                return Err(ArgError(format!(
+                    "trace explain needs <trace.jsonl> <job-id>\n\n{}",
+                    trace_usage()
+                )));
+            };
+            let job: u64 = job
+                .parse()
+                .map_err(|_| ArgError(format!("job id must be an integer, got {job:?}")))?;
+            let records = amjs_obs::read_trace(std::path::Path::new(file)).map_err(ArgError)?;
+            let timeline = amjs_obs::explain_job(&records, job).map_err(ArgError)?;
+            print!("{timeline}");
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!(
+            "unknown trace subcommand {other:?}\n\n{}",
+            trace_usage()
+        ))),
+        None => Err(ArgError(format!(
+            "trace needs a subcommand\n\n{}",
+            trace_usage()
+        ))),
+    }
 }
 
 #[cfg(test)]

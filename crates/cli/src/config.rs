@@ -11,6 +11,7 @@ use amjs_core::persist::PersistSpec;
 use amjs_core::runner::{SimulationBuilder, SimulationOutcome};
 use amjs_core::scheduler::BackfillMode;
 use amjs_core::PolicyParams;
+use amjs_obs::Observer;
 use amjs_platform::{BgpCluster, FlatCluster, Platform};
 use amjs_sim::SimDuration;
 use amjs_workload::{swf, Job, WorkloadSpec};
@@ -474,6 +475,31 @@ pub fn run_simulation(
     scheme: AdaptiveScheme,
     label: String,
 ) -> SimulationOutcome {
+    run_simulation_observed(
+        machine,
+        jobs,
+        policy,
+        flags,
+        scheme,
+        label,
+        Observer::disabled(),
+    )
+    .0
+}
+
+/// Like [`run_simulation`], but with an [`Observer`] attached for the
+/// duration of the run; the (flushed) observer is handed back for
+/// inspection. With a disabled observer this is exactly
+/// [`run_simulation`].
+pub fn run_simulation_observed(
+    machine: MachineConfig,
+    jobs: Vec<Job>,
+    policy: PolicyParams,
+    flags: &PolicyFlags,
+    scheme: AdaptiveScheme,
+    label: String,
+    obs: Observer,
+) -> (SimulationOutcome, Observer) {
     match machine.kind {
         MachineKind::Bgp => configure(
             SimulationBuilder::new(BgpCluster::new((machine.nodes / 512) as u16, 512), jobs),
@@ -482,7 +508,7 @@ pub fn run_simulation(
             scheme,
             label,
         )
-        .run(),
+        .run_observed(obs),
         MachineKind::Flat => configure(
             SimulationBuilder::new(FlatCluster::new(machine.nodes), jobs),
             policy,
@@ -490,7 +516,7 @@ pub fn run_simulation(
             scheme,
             label,
         )
-        .run(),
+        .run_observed(obs),
     }
 }
 
@@ -505,7 +531,34 @@ pub fn run_simulation_persistent(
     label: String,
     spec: &PersistSpec,
 ) -> Result<SimulationOutcome, ArgError> {
-    let result = match machine.kind {
+    run_simulation_persistent_observed(
+        machine,
+        jobs,
+        policy,
+        flags,
+        scheme,
+        label,
+        spec,
+        Observer::disabled(),
+    )
+    .0
+}
+
+/// Like [`run_simulation_persistent`], but observed; the observer is
+/// returned even when the run fails so the caller can still flush its
+/// artifacts.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_persistent_observed(
+    machine: MachineConfig,
+    jobs: Vec<Job>,
+    policy: PolicyParams,
+    flags: &PolicyFlags,
+    scheme: AdaptiveScheme,
+    label: String,
+    spec: &PersistSpec,
+    obs: Observer,
+) -> (Result<SimulationOutcome, ArgError>, Observer) {
+    let (result, obs) = match machine.kind {
         MachineKind::Bgp => configure(
             SimulationBuilder::new(BgpCluster::new((machine.nodes / 512) as u16, 512), jobs),
             policy,
@@ -513,7 +566,7 @@ pub fn run_simulation_persistent(
             scheme,
             label,
         )
-        .run_persistent(spec),
+        .run_persistent_observed(spec, obs),
         MachineKind::Flat => configure(
             SimulationBuilder::new(FlatCluster::new(machine.nodes), jobs),
             policy,
@@ -521,9 +574,12 @@ pub fn run_simulation_persistent(
             scheme,
             label,
         )
-        .run_persistent(spec),
+        .run_persistent_observed(spec, obs),
     };
-    result.map_err(|e| ArgError(format!("snapshotting failed: {e}")))
+    (
+        result.map_err(|e| ArgError(format!("snapshotting failed: {e}"))),
+        obs,
+    )
 }
 
 fn configure<P: Platform>(

@@ -7,6 +7,7 @@
 //! amjs workload  [flags]            generate a synthetic trace (SWF out)
 //! amjs replay <file> [flags]        simulate an SWF trace, or verify an
 //!                                   event journal against re-execution
+//! amjs trace explain <file> <job>   reconstruct a job's decision chain
 //! ```
 //!
 //! Run `amjs <command> --help` for the flag table of each command.
@@ -14,6 +15,7 @@
 mod args;
 mod commands;
 mod config;
+mod obs;
 
 use std::process::ExitCode;
 
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         "sweep" => commands::sweep(&rest),
         "workload" => commands::workload(&rest),
         "replay" => commands::replay(&rest),
+        "trace" => commands::trace(&rest),
         "--help" | "-h" | "help" => {
             println!("{}", commands::top_level_help());
             return ExitCode::SUCCESS;

@@ -1,0 +1,285 @@
+//! CLI wiring for the observability layer: flag parsing, observer
+//! construction, and end-of-run reporting.
+//!
+//! The simulation itself only ever sees an [`Observer`]; this module
+//! owns the concrete sinks (JSONL file, in-memory ring), the shared
+//! profiler, and the live metrics server, and turns them into
+//! user-facing artifacts once the run completes. Everything diagnostic
+//! goes to stderr — stdout stays reserved for results.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::time::Duration;
+
+use amjs_obs::{
+    shared_stats, Heartbeat, JsonlSink, MetricsServer, Observer, Profiler, RingSink, SharedProfiler,
+};
+
+use crate::args::{ArgError, FlagSpec, ParsedArgs};
+
+/// Observability flag names, for the `--resume-from` conflict check:
+/// a resumed run re-enters mid-stream, so its trace would be missing
+/// every decision before the snapshot — better to refuse than to write
+/// a silently incomplete artifact.
+pub const OBS_FLAGS: &[&str] = &[
+    "trace",
+    "trace-tail",
+    "profile",
+    "profile-json",
+    "metrics-addr",
+    "metrics-linger",
+    "heartbeat",
+];
+
+/// The observability flags shared by `simulate` and `replay`.
+pub fn obs_flag_specs() -> Vec<FlagSpec> {
+    vec![
+        FlagSpec {
+            name: "trace",
+            is_bool: false,
+            help: "write the full decision trace as JSONL to this path",
+            default: None,
+        },
+        FlagSpec {
+            name: "trace-tail",
+            is_bool: false,
+            help: "keep the last N trace records in a ring buffer; dump to stderr at exit",
+            default: None,
+        },
+        FlagSpec {
+            name: "profile",
+            is_bool: true,
+            help: "profile the scheduler hot paths; print the span table to stderr",
+            default: None,
+        },
+        FlagSpec {
+            name: "profile-json",
+            is_bool: false,
+            help: "write the profiling spans as JSON to this path (implies --profile)",
+            default: None,
+        },
+        FlagSpec {
+            name: "metrics-addr",
+            is_bool: false,
+            help: "serve live Prometheus metrics on this address (e.g. 127.0.0.1:9184)",
+            default: None,
+        },
+        FlagSpec {
+            name: "metrics-linger",
+            is_bool: false,
+            help: "keep serving /metrics this many seconds after the run finishes",
+            default: Some("0"),
+        },
+        FlagSpec {
+            name: "heartbeat",
+            is_bool: false,
+            help: "stderr progress line every N seconds (0 = off; default 10 with --metrics-addr)",
+            default: None,
+        },
+        FlagSpec {
+            name: "quiet",
+            is_bool: true,
+            help: "print only the summary CSV on stdout",
+            default: None,
+        },
+    ]
+}
+
+/// Parsed observability flags.
+pub struct ObsFlags {
+    pub trace: Option<PathBuf>,
+    pub trace_tail: Option<usize>,
+    pub profile: bool,
+    pub profile_json: Option<PathBuf>,
+    pub metrics_addr: Option<String>,
+    pub metrics_linger: f64,
+    pub heartbeat_secs: Option<f64>,
+}
+
+impl ObsFlags {
+    /// Parse and cross-validate the observability flags.
+    pub fn from_args(args: &ParsedArgs) -> Result<Self, ArgError> {
+        let trace = args.get("trace").map(PathBuf::from);
+        let trace_tail = args.get_opt::<usize>("trace-tail")?;
+        if trace.is_some() && trace_tail.is_some() {
+            return Err(ArgError(
+                "--trace and --trace-tail are mutually exclusive: pick the full \
+                 JSONL file or the bounded in-memory tail"
+                    .to_string(),
+            ));
+        }
+        if trace_tail == Some(0) {
+            return Err(ArgError(
+                "--trace-tail: the ring must hold at least 1 record".to_string(),
+            ));
+        }
+        let profile_json = args.get("profile-json").map(PathBuf::from);
+        let profile = args.get_bool("profile") || profile_json.is_some();
+        let metrics_linger: f64 = args.get_parsed("metrics-linger", 0.0)?;
+        if metrics_linger < 0.0 {
+            return Err(ArgError(format!(
+                "--metrics-linger: must be >= 0 seconds, got {metrics_linger}"
+            )));
+        }
+        let heartbeat_secs = args.get_opt::<f64>("heartbeat")?;
+        if heartbeat_secs.is_some_and(|s| s < 0.0) {
+            return Err(ArgError("--heartbeat: must be >= 0 seconds".to_string()));
+        }
+        Ok(ObsFlags {
+            trace,
+            trace_tail,
+            profile,
+            profile_json,
+            metrics_addr: args.get("metrics-addr").map(String::from),
+            metrics_linger,
+            heartbeat_secs,
+        })
+    }
+
+    /// True when any capability is requested (the run must go through
+    /// the observed path).
+    pub fn is_enabled(&self) -> bool {
+        self.trace.is_some()
+            || self.trace_tail.is_some()
+            || self.profile
+            || self.metrics_addr.is_some()
+            || self.heartbeat_secs.is_some_and(|s| s > 0.0)
+    }
+
+    /// Reject the combination with `--resume-from` (a resumed trace
+    /// would silently miss everything before the snapshot).
+    pub fn reject_with_resume(&self, args: &ParsedArgs) -> Result<(), ArgError> {
+        let offending: Vec<String> = OBS_FLAGS
+            .iter()
+            .filter(|f| args.is_given(f))
+            .map(|f| format!("--{f}"))
+            .collect();
+        if offending.is_empty() {
+            return Ok(());
+        }
+        Err(ArgError(format!(
+            "--resume-from cannot be combined with {}: a resumed run re-enters \
+             mid-stream, so its trace/profile would be missing every decision \
+             before the snapshot; observe a fresh run instead",
+            offending.join(", ")
+        )))
+    }
+
+    /// Build the observer and the session handles for end-of-run
+    /// reporting. Binds the metrics listener immediately so a bad
+    /// address fails before the simulation starts.
+    pub fn build(&self) -> Result<(Observer, ObsSession), ArgError> {
+        let mut obs = Observer::disabled();
+        let mut session = ObsSession {
+            jsonl: None,
+            ring: None,
+            profiler: None,
+            profile_table: self.profile,
+            profile_json: self.profile_json.clone(),
+            server: None,
+            linger: Duration::from_secs_f64(self.metrics_linger),
+        };
+        if let Some(path) = &self.trace {
+            let file = File::create(path)
+                .map_err(|e| ArgError(format!("--trace: cannot create {}: {e}", path.display())))?;
+            let sink = Rc::new(RefCell::new(JsonlSink::new(BufWriter::new(file))));
+            obs = obs.with_sink(sink.clone());
+            session.jsonl = Some((path.clone(), sink));
+        }
+        if let Some(n) = self.trace_tail {
+            let ring = Rc::new(RefCell::new(RingSink::new(n)));
+            obs = obs.with_sink(ring.clone());
+            session.ring = Some(ring);
+        }
+        if self.profile {
+            let prof: SharedProfiler = Rc::new(RefCell::new(Profiler::new()));
+            obs = obs.with_profiler(prof.clone());
+            session.profiler = Some(prof);
+        }
+        if let Some(addr) = &self.metrics_addr {
+            let stats = shared_stats();
+            let server = MetricsServer::bind(addr.as_str(), stats.clone())
+                .map_err(|e| ArgError(format!("--metrics-addr: cannot bind {addr}: {e}")))?;
+            eprintln!(
+                "amjs: serving Prometheus metrics on http://{}/metrics",
+                server.local_addr()
+            );
+            obs = obs.with_live(stats);
+            session.server = Some(server);
+        }
+        let heartbeat = match self.heartbeat_secs {
+            Some(s) if s > 0.0 => Some(s),
+            Some(_) => None, // explicit 0 disables
+            None if self.metrics_addr.is_some() => Some(10.0),
+            None => None,
+        };
+        if let Some(s) = heartbeat {
+            obs = obs.with_heartbeat(Heartbeat::new(Duration::from_secs_f64(s)));
+        }
+        Ok((obs, session))
+    }
+}
+
+/// A shared JSONL sink writing through a buffered trace file.
+type SharedJsonl = Rc<RefCell<JsonlSink<BufWriter<File>>>>;
+
+/// Handles retained by the CLI across the run, reported at the end.
+pub struct ObsSession {
+    jsonl: Option<(PathBuf, SharedJsonl)>,
+    ring: Option<Rc<RefCell<RingSink>>>,
+    profiler: Option<SharedProfiler>,
+    profile_table: bool,
+    profile_json: Option<PathBuf>,
+    server: Option<MetricsServer>,
+    linger: Duration,
+}
+
+impl ObsSession {
+    /// Report everything the observer collected. The observer itself is
+    /// already flushed by the run; this only formats and writes the
+    /// user-facing artifacts (all diagnostics on stderr).
+    pub fn finalize(mut self) -> Result<(), ArgError> {
+        if let Some((path, sink)) = &self.jsonl {
+            eprintln!(
+                "amjs: wrote {} trace records to {}",
+                sink.borrow().written(),
+                path.display()
+            );
+        }
+        if let Some(ring) = &self.ring {
+            let ring = ring.borrow();
+            eprintln!(
+                "amjs: trace tail — retained {} of {} records ({} overwritten):",
+                ring.tail().len(),
+                ring.total_recorded(),
+                ring.dropped()
+            );
+            eprint!("{}", ring.tail_jsonl());
+        }
+        if let Some(prof) = &self.profiler {
+            let prof = prof.borrow();
+            if self.profile_table {
+                eprint!("{}", prof.table());
+            }
+            if let Some(path) = &self.profile_json {
+                std::fs::write(path, prof.to_json())
+                    .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+                eprintln!("amjs: wrote profile JSON to {}", path.display());
+            }
+        }
+        if let Some(server) = self.server.take() {
+            if !self.linger.is_zero() {
+                eprintln!(
+                    "amjs: run finished; /metrics stays up for {:.0}s (--metrics-linger)",
+                    self.linger.as_secs_f64()
+                );
+                std::thread::sleep(self.linger);
+            }
+            server.shutdown();
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,114 @@
+//! Live metrics exposition, end to end with a std-only HTTP client:
+//! start a run with `--metrics-addr`, scrape `/metrics`, and validate
+//! the Prometheus exposition text.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Spawn a simulation serving metrics on an ephemeral port and return
+/// (child, addr) once the listener line appears on stderr.
+fn spawn_with_metrics() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_amjs"))
+        .args([
+            "simulate",
+            "--workload",
+            "small",
+            "--machine",
+            "flat",
+            "--nodes",
+            "1024",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--metrics-linger",
+            "60",
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn amjs");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("amjs exited before announcing the listener")
+            .expect("read stderr");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.trim_end_matches("/metrics").to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// Minimal std-only scrape: GET `path` and return (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: amjs\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Validate Prometheus text format 0.0.4: HELP/TYPE comments plus
+/// `name value` samples with finite values.
+fn assert_valid_prometheus(body: &str) {
+    let mut samples = 0;
+    for line in body.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form: {line}");
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("metric name");
+        assert!(
+            name.starts_with("amjs_")
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name: {name}"
+        );
+        let value: f64 = parts
+            .next()
+            .expect("metric value")
+            .parse()
+            .expect("numeric value");
+        assert!(value.is_finite(), "non-finite value on: {line}");
+        assert_eq!(parts.next(), None, "trailing tokens on: {line}");
+        samples += 1;
+    }
+    assert!(samples >= 5, "suspiciously few samples:\n{body}");
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus() {
+    let (mut child, addr) = spawn_with_metrics();
+
+    let (status, body) = http_get(&addr, "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "status: {status}");
+    assert_valid_prometheus(&body);
+    assert!(
+        body.contains("amjs_utilization_24h"),
+        "missing amjs_utilization_24h:\n{body}"
+    );
+    assert!(body.contains("# TYPE amjs_utilization_24h gauge"));
+    assert!(body.contains("amjs_queue_depth_minutes"));
+    assert!(body.contains("amjs_jobs_running"));
+
+    // Unknown paths 404, non-GET methods 405.
+    let (status, _) = http_get(&addr, "/nope");
+    assert!(status.starts_with("HTTP/1.1 404"), "status: {status}");
+
+    child.kill().ok();
+    child.wait().ok();
+}

@@ -1,0 +1,125 @@
+//! `--quiet` contract: stdout carries nothing but the summary CSV, no
+//! matter which diagnostics are enabled, and the CSV is deterministic.
+//! Also exercises the `trace explain` subcommand end to end on a real
+//! trace file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn amjs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_amjs"))
+        .args(args)
+        .output()
+        .expect("spawn amjs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("amjs_quiet_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const BASE: &[&str] = &[
+    "simulate",
+    "--workload",
+    "small",
+    "--machine",
+    "flat",
+    "--nodes",
+    "1024",
+    "--bf",
+    "0.5",
+    "--window",
+    "2",
+    "--quiet",
+];
+
+/// Assert `out`'s stdout is exactly a CSV header plus one data row.
+fn assert_pure_csv(out: &Output) -> String {
+    assert!(out.status.success(), "amjs failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout.clone()).expect("stdout is utf-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines.len(),
+        2,
+        "--quiet stdout must be header + one row, got:\n{stdout}"
+    );
+    assert!(
+        lines[0].starts_with("config,"),
+        "first line is not the CSV header: {}",
+        lines[0]
+    );
+    let columns = lines[0].split(',').count();
+    assert_eq!(lines[1].split(',').count(), columns, "ragged CSV row");
+    // No stray formatting: every line is pure comma-separated fields.
+    for line in &lines {
+        assert!(!line.contains('\t') && !line.trim().is_empty());
+    }
+    stdout
+}
+
+#[test]
+fn quiet_run_prints_pure_csv() {
+    let csv = assert_pure_csv(&amjs(BASE));
+    // Determinism: a second identical run prints the identical bytes.
+    assert_eq!(csv, assert_pure_csv(&amjs(BASE)));
+}
+
+#[test]
+fn quiet_stays_pure_with_observability_enabled() {
+    let trace_a = tmp("trace_a.jsonl");
+    let trace_b = tmp("trace_b.jsonl");
+    let run = |trace: &PathBuf| {
+        let mut argv: Vec<String> = BASE.iter().map(|s| s.to_string()).collect();
+        argv.extend([
+            "--trace".into(),
+            trace.to_str().unwrap().to_string(),
+            "--profile".into(),
+        ]);
+        Command::new(env!("CARGO_BIN_EXE_amjs"))
+            .args(&argv)
+            .output()
+            .expect("spawn amjs")
+    };
+    let out_a = run(&trace_a);
+    let out_b = run(&trace_b);
+
+    // stdout: still nothing but the CSV, identical across runs.
+    let csv_a = assert_pure_csv(&out_a);
+    assert_eq!(csv_a, assert_pure_csv(&out_b));
+
+    // All observability output went to stderr.
+    let stderr = String::from_utf8(out_a.stderr.clone()).unwrap();
+    assert!(
+        stderr.contains("trace records"),
+        "missing trace note: {stderr}"
+    );
+    assert!(
+        stderr.contains("schedule_pass"),
+        "missing profile table: {stderr}"
+    );
+
+    // Same-seed trace files are byte-identical (seed-deterministic).
+    let bytes_a = std::fs::read(&trace_a).unwrap();
+    let bytes_b = std::fs::read(&trace_b).unwrap();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "same-seed traces differ");
+
+    // And the trace explains a job.
+    let explain = amjs(&["trace", "explain", trace_a.to_str().unwrap(), "0"]);
+    assert!(
+        explain.status.success(),
+        "trace explain failed: {explain:?}"
+    );
+    let text = String::from_utf8(explain.stdout).unwrap();
+    assert!(text.contains("decision chain for job#0"), "{text}");
+    assert!(text.contains("queued:"), "{text}");
+    assert!(text.contains("summary: job#0"), "{text}");
+
+    // Unknown jobs fail with a clear error.
+    let missing = amjs(&["trace", "explain", trace_a.to_str().unwrap(), "999999"]);
+    assert!(!missing.status.success());
+
+    std::fs::remove_file(trace_a).ok();
+    std::fs::remove_file(trace_b).ok();
+}

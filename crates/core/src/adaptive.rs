@@ -39,6 +39,16 @@ pub enum Tunable {
     Window,
 }
 
+impl Tunable {
+    /// Stable wire tag for trace records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Tunable::BalanceFactor => "balance_factor",
+            Tunable::Window => "window",
+        }
+    }
+}
+
 /// What a tuner watches (the paper's `M`).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum MonitoredMetric {
@@ -55,6 +65,16 @@ pub enum MonitoredMetric {
     },
 }
 
+impl MonitoredMetric {
+    /// Stable wire tag for trace records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MonitoredMetric::QueueDepthMins => "queue_depth_mins",
+            MonitoredMetric::UtilizationTrend { .. } => "utilization_trend",
+        }
+    }
+}
+
 /// Direction to step the tunable when a trigger fires (`Ep`/`Em`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepDir {
@@ -64,6 +84,46 @@ pub enum StepDir {
     Minus,
     /// Leave `T` unchanged.
     Hold,
+}
+
+impl StepDir {
+    /// Stable wire tag for trace records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StepDir::Plus => "plus",
+            StepDir::Minus => "minus",
+            StepDir::Hold => "hold",
+        }
+    }
+}
+
+/// One tuner evaluation at a check point, captured for tracing: the
+/// Table-I tuple inputs that drove the decision and the policy before
+/// and after.
+#[derive(Clone, Debug)]
+pub struct TunerStep {
+    /// `T`: which parameter the tuner adjusts.
+    pub tunable: Tunable,
+    /// `M`: the monitored metric.
+    pub metric: MonitoredMetric,
+    /// The metric's value at this check point.
+    pub value: f64,
+    /// `Th`: the trigger threshold.
+    pub threshold: f64,
+    /// `Δ`: the step magnitude.
+    pub delta: f64,
+    /// Clamp floor.
+    pub min: f64,
+    /// Clamp ceiling.
+    pub max: f64,
+    /// The direction the trigger selected (`Ep`/`Em` resolution).
+    pub dir: StepDir,
+    /// Policy entering the check.
+    pub before: PolicyParams,
+    /// Policy after the step (clamping may make it equal to `before`).
+    pub after: PolicyParams,
+    /// True if the step actually moved the tunable.
+    pub changed: bool,
 }
 
 /// One adaptive tuning scheme — the full Table I tuple.
@@ -132,15 +192,20 @@ impl TunerConfig {
         }
     }
 
-    /// Apply one check: step the tunable according to the metric
-    /// `value`. Returns `true` if the policy changed.
-    pub fn evaluate(&self, value: f64, params: &mut PolicyParams) -> bool {
-        let dir = if value > self.threshold {
+    /// The step direction the trigger selects for a metric `value`
+    /// (`Ep`/`Em` resolution).
+    pub fn dir_for(&self, value: f64) -> StepDir {
+        if value > self.threshold {
             self.when_above
         } else {
             self.when_at_or_below
-        };
-        let signed = match dir {
+        }
+    }
+
+    /// Apply one check: step the tunable according to the metric
+    /// `value`. Returns `true` if the policy changed.
+    pub fn evaluate(&self, value: f64, params: &mut PolicyParams) -> bool {
+        let signed = match self.dir_for(value) {
             StepDir::Plus => self.delta,
             StepDir::Minus => -self.delta,
             StepDir::Hold => return false,
@@ -283,12 +348,42 @@ impl AdaptiveScheme {
     pub fn check(
         &self,
         params: &mut PolicyParams,
+        metric_value: impl FnMut(&MonitoredMetric) -> f64,
+    ) -> bool {
+        self.check_traced(params, metric_value, None)
+    }
+
+    /// [`AdaptiveScheme::check`] with an observability hook: when
+    /// `steps` is given, every tuner evaluation is appended to it with
+    /// its full input tuple and before/after policy. `None` is exactly
+    /// the plain check.
+    pub fn check_traced(
+        &self,
+        params: &mut PolicyParams,
         mut metric_value: impl FnMut(&MonitoredMetric) -> f64,
+        mut steps: Option<&mut Vec<TunerStep>>,
     ) -> bool {
         let mut changed = false;
         for t in &self.tuners {
             let value = metric_value(&t.metric);
-            changed |= t.evaluate(value, params);
+            let before = *params;
+            let step_changed = t.evaluate(value, params);
+            changed |= step_changed;
+            if let Some(out) = steps.as_deref_mut() {
+                out.push(TunerStep {
+                    tunable: t.tunable,
+                    metric: t.metric,
+                    value,
+                    threshold: t.threshold,
+                    delta: t.delta,
+                    min: t.min,
+                    max: t.max,
+                    dir: t.dir_for(value),
+                    before,
+                    after: *params,
+                    changed: step_changed,
+                });
+            }
         }
         changed
     }

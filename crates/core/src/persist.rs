@@ -40,6 +40,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use amjs_obs::Observer;
 use amjs_platform::{BgpCluster, FlatCluster, Platform};
 use amjs_sim::journal::{journal_path, read_journal, JournalFile};
 use amjs_sim::snapshot::{fnv1a, read_snapshot_file};
@@ -275,11 +276,14 @@ impl<'m, P: Platform + Snapshot> Recorder<Runner<P>> for PersistentRecorder<'m> 
         now: SimTime,
         event_index: u64,
     ) {
+        let span = world.obs.prof_enter("state_hash");
+        let world_hash = world.state_hash();
+        world.obs.prof_exit(span);
         self.journal
             .append(JournalRecord {
                 event_index,
                 time: now,
-                world_hash: world.state_hash(),
+                world_hash,
             })
             .unwrap_or_else(|e| panic!("journal append failed at event {event_index}: {e}"));
 
@@ -293,7 +297,9 @@ impl<'m, P: Platform + Snapshot> Recorder<Runner<P>> for PersistentRecorder<'m> 
         if !(due_events || due_sim) {
             return;
         }
+        let span = world.obs.prof_enter("snapshot_encode");
         let payload = encode_state(world, queue, self.fingerprint, snap_index, now, self.meta);
+        world.obs.prof_exit(span);
         self.store
             .write(snap_index, &payload)
             .unwrap_or_else(|e| panic!("snapshot write failed at event {event_index}: {e}"));
@@ -353,46 +359,75 @@ impl<P: Platform + Snapshot> SimulationBuilder<P> {
     /// [`PersistentRecorder`] — a checkpointing run that cannot
     /// checkpoint must not silently continue).
     pub fn run_persistent(self, spec: &PersistSpec) -> Result<SimulationOutcome, PersistError> {
+        self.run_persistent_observed(spec, Observer::disabled()).0
+    }
+
+    /// [`SimulationBuilder::run_persistent`] with an [`Observer`]
+    /// attached for the duration of the run. The observer is returned
+    /// (flushed) alongside the result so the caller can inspect its
+    /// sinks and profiler; it never influences the persisted state.
+    pub fn run_persistent_observed(
+        self,
+        spec: &PersistSpec,
+        obs: Observer,
+    ) -> (Result<SimulationOutcome, PersistError>, Observer) {
         if spec.every_events.is_none() && spec.every_sim.is_none() {
-            return Err(PersistError::Config(
-                "persistence needs a snapshot cadence: set every_events and/or every_sim \
-                 (CLI: --snapshot-every)"
-                    .into(),
-            ));
+            return (
+                Err(PersistError::Config(
+                    "persistence needs a snapshot cadence: set every_events and/or every_sim \
+                     (CLI: --snapshot-every)"
+                        .into(),
+                )),
+                obs,
+            );
         }
-        fs::create_dir_all(&spec.dir)?;
+        if let Err(e) = fs::create_dir_all(&spec.dir) {
+            return (Err(e.into()), obs);
+        }
         let PreparedRun {
             mut world,
             mut queue,
             meta,
         } = self.prepare();
-
-        let fingerprint = run_fingerprint(&world, &queue, &meta);
-        let store = SnapshotStore::new(&spec.dir, spec.keep);
-        let genesis = encode_state(&world, &queue, fingerprint, 0, SimTime::ZERO, &meta);
-        store.write(0, &genesis)?;
-        let journal = JournalWriter::create(&journal_path(&spec.dir, 0), fingerprint, 0)?;
-
-        let mut recorder = PersistentRecorder {
-            store,
-            journal,
-            fingerprint,
-            meta: &meta,
-            every_events: spec.every_events,
-            every_sim: spec.every_sim,
-            last_snap_event: 0,
-            last_snap_time: SimTime::ZERO,
-        };
-        let stats = drive(
-            &Engine::new(),
-            &mut world,
-            &mut queue,
-            &meta,
-            Some(&mut recorder),
-        );
-        recorder.journal.flush()?;
-        Ok(finish_run(world, stats.end_time, meta))
+        world.obs = obs;
+        let result = persistent_drive(&mut world, &mut queue, &meta, spec);
+        let mut obs = std::mem::take(&mut world.obs);
+        obs.finish();
+        (
+            result.map(|stats| finish_run(world, stats.end_time, meta)),
+            obs,
+        )
     }
+}
+
+/// The fallible middle of a persistent run: genesis snapshot, journal,
+/// recorder, drive. Split out so [`SimulationBuilder::run_persistent_observed`]
+/// can recover its observer on any early error.
+fn persistent_drive<P: Platform + Snapshot>(
+    world: &mut Runner<P>,
+    queue: &mut EventQueue<Ev>,
+    meta: &RunMeta,
+    spec: &PersistSpec,
+) -> Result<RunStats, PersistError> {
+    let fingerprint = run_fingerprint(world, queue, meta);
+    let store = SnapshotStore::new(&spec.dir, spec.keep);
+    let genesis = encode_state(world, queue, fingerprint, 0, SimTime::ZERO, meta);
+    store.write(0, &genesis)?;
+    let journal = JournalWriter::create(&journal_path(&spec.dir, 0), fingerprint, 0)?;
+
+    let mut recorder = PersistentRecorder {
+        store,
+        journal,
+        fingerprint,
+        meta,
+        every_events: spec.every_events,
+        every_sim: spec.every_sim,
+        last_snap_event: 0,
+        last_snap_time: SimTime::ZERO,
+    };
+    let stats = drive(&Engine::new(), world, queue, meta, Some(&mut recorder));
+    recorder.journal.flush()?;
+    Ok(stats)
 }
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,10 @@ use amjs_metrics::{
     DomainDowntime, FairnessTracker, FaultDomain, LossOfCapacity, TimeSeries, UtilizationTracker,
     WaitStats,
 };
+use amjs_obs::{
+    LiveStats, LosingPerm, MetricsSampleEv, Observer, RetryOutcome, TraceEvent, TunerTransitionEv,
+    WindowChoiceEv,
+};
 use amjs_platform::plan::Plan;
 use amjs_platform::{AllocationId, DrainOutcome, Platform};
 use amjs_sim::event::Priority;
@@ -36,11 +40,11 @@ use amjs_workload::{Job, JobId};
 
 use amjs_metrics::energy::{energy_report, EnergyModel, EnergyReport};
 
-use crate::adaptive::{AdaptiveScheme, MonitoredMetric};
+use crate::adaptive::{AdaptiveScheme, MonitoredMetric, TunerStep};
 use crate::estimates::{EstimateAdjuster, EstimatePolicy};
 use crate::failures::{CorrelationSpec, FailureProcess, FailureSpec, RetryPolicy};
 use crate::fairshare::fair_start_time;
-use crate::scheduler::{BackfillMode, ProtectionStyle, QueuedJob, Scheduler};
+use crate::scheduler::{BackfillMode, PassTrace, ProtectionStyle, QueuedJob, Scheduler};
 use crate::PolicyParams;
 
 /// Simulation events (the paper's scheduling events plus the check
@@ -383,11 +387,24 @@ impl<P: Platform> SimulationBuilder<P> {
 
     /// Run the simulation to completion.
     pub fn run(self) -> SimulationOutcome {
+        self.run_observed(Observer::disabled()).0
+    }
+
+    /// Run the simulation with an attached [`Observer`] — decision
+    /// tracing, span profiling, and/or live metrics exposition per its
+    /// configuration. A disabled observer makes this exactly
+    /// [`SimulationBuilder::run`]: every hook is `Option`-gated, so the
+    /// outcome is byte-identical and the hot path allocation-free.
+    ///
+    /// The observer is returned (flushed) so the caller can read back
+    /// its ring buffer or profiler after the run.
+    pub fn run_observed(self, obs: Observer) -> (SimulationOutcome, Observer) {
         let PreparedRun {
             mut world,
             mut queue,
             meta,
         } = self.prepare();
+        world.obs = obs;
         let stats = if meta.oracle_enabled {
             let mut oracle = InvariantOracle {
                 failure_seed: meta.failure_seed,
@@ -396,7 +413,9 @@ impl<P: Platform> SimulationBuilder<P> {
         } else {
             Engine::new().run(&mut world, &mut queue)
         };
-        finish_run(world, stats.end_time, meta)
+        let mut obs = std::mem::take(&mut world.obs);
+        obs.finish();
+        (finish_run(world, stats.end_time, meta), obs)
     }
 
     /// Assemble the event-loop state without running it: the world, the
@@ -478,6 +497,7 @@ impl<P: Platform> SimulationBuilder<P> {
             saved_progress: HashMap::new(),
             failure_process,
             last_end: SimTime::ZERO,
+            obs: Observer::disabled(),
             platform: self.platform,
             jobs,
         };
@@ -713,6 +733,11 @@ pub(crate) struct Runner<P: Platform> {
     saved_progress: HashMap<JobId, SimDuration>,
     failure_process: Option<FailureProcess>,
     last_end: SimTime,
+    /// Observability hooks (tracing, profiling, live stats). Transient:
+    /// deliberately excluded from the snapshot codecs and the state
+    /// hash — attaching a sink must never perturb replay/resume
+    /// byte-identity. A decoded runner always comes back disabled.
+    pub(crate) obs: Observer,
 }
 
 impl<P: Platform> Runner<P> {
@@ -801,6 +826,7 @@ impl<P: Platform> Runner<P> {
             *entry = (*entry + banked).min(job.runtime - SimDuration::from_secs(1));
         }
         let lost = elapsed - banked;
+        let lost_node_s = freed as i64 * lost.max_zero().as_secs();
         self.lost_node_secs += freed as f64 * lost.max_zero().as_secs() as f64;
         self.interrupted_jobs += 1;
         self.generations.insert(id, running.gen + 1);
@@ -809,14 +835,30 @@ impl<P: Platform> Runner<P> {
             *count += 1;
             *count
         };
+        let emit_kill = |obs: &mut Observer, outcome: RetryOutcome, delay_s: i64| {
+            if obs.tracing() {
+                obs.emit(
+                    now,
+                    TraceEvent::JobKilled {
+                        job: id.0,
+                        attempt: failures,
+                        lost_node_s,
+                        outcome,
+                        delay_s,
+                    },
+                );
+            }
+        };
         if self.retry.abandons_after(failures) {
             self.abandoned_jobs += 1;
             self.saved_progress.remove(&id);
+            emit_kill(&mut self.obs, RetryOutcome::Abandoned, 0);
             return;
         }
         let delay = self.retry.resubmit_delay(failures);
         if delay.is_zero() {
             self.queue.push(running.trace_idx);
+            emit_kill(&mut self.obs, RetryOutcome::Requeued, 0);
         } else {
             self.pending_resubmits += 1;
             events.schedule_with(
@@ -824,6 +866,7 @@ impl<P: Platform> Runner<P> {
                 Priority::Arrival,
                 Ev::Resubmit(running.trace_idx),
             );
+            emit_kill(&mut self.obs, RetryOutcome::Backoff, delay.as_secs());
         }
     }
 
@@ -844,9 +887,25 @@ impl<P: Platform> Runner<P> {
         if self.queue.is_empty() {
             return;
         }
+        let span = self.obs.prof_enter("schedule_pass");
         let queued = self.queued_jobs();
         let base_plan = self.base_plan(now);
-        let decision = self.scheduler.schedule_pass(now, &queued, &base_plan);
+        let mut trace = if self.obs.tracing() {
+            Some(PassTrace::default())
+        } else {
+            None
+        };
+        let decision = self.scheduler.schedule_pass_traced(
+            now,
+            &queued,
+            &base_plan,
+            trace.as_mut(),
+            self.obs.profiler(),
+        );
+        self.obs.prof_exit(span);
+        if let Some(tr) = trace {
+            self.emit_pass_trace(now, &tr);
+        }
 
         for start in &decision.starts {
             let idx_in_queue = self
@@ -893,6 +952,17 @@ impl<P: Platform> Runner<P> {
             if start.backfilled {
                 self.backfilled_starts += 1;
             }
+            if self.obs.tracing() {
+                self.obs.emit(
+                    now,
+                    TraceEvent::JobStarted {
+                        job: job.id.0,
+                        nodes: job.nodes,
+                        backfilled: start.backfilled,
+                        wait_s: (now - job.submit).max_zero().as_secs(),
+                    },
+                );
+            }
         }
         // Remember what the pass promised its protected queue heads, so
         // the oracle can verify backfill admissions did not steal the
@@ -909,9 +979,71 @@ impl<P: Platform> Runner<P> {
                     walltime: q.walltime,
                     start,
                 });
+                if self.obs.tracing() {
+                    self.obs.emit(
+                        now,
+                        TraceEvent::JobReserved {
+                            job: id.0,
+                            start_s: start.as_secs(),
+                        },
+                    );
+                }
             }
         }
         self.note_capacity(now);
+    }
+
+    /// Turn a captured [`PassTrace`] into trace events, in decision
+    /// order: scores, window searches, backfill admissions.
+    fn emit_pass_trace(&mut self, now: SimTime, tr: &PassTrace) {
+        for sc in &tr.scores {
+            self.obs.emit(
+                now,
+                TraceEvent::JobScored {
+                    job: sc.job.0,
+                    s_w: sc.s_w,
+                    s_r: sc.s_r,
+                    bf: sc.bf,
+                    priority: sc.priority,
+                },
+            );
+        }
+        for wt in &tr.windows {
+            let ids =
+                |order: &[usize]| -> Vec<u64> { order.iter().map(|&i| wt.jobs[i].0).collect() };
+            self.obs.emit(
+                now,
+                TraceEvent::WindowChoice(Box::new(WindowChoiceEv {
+                    window: wt.index as u64,
+                    jobs: wt.jobs.iter().map(|j| j.0).collect(),
+                    order: ids(&wt.search.chosen),
+                    starts_now: wt.search.starts_now as u64,
+                    makespan_s: wt.search.makespan.as_secs(),
+                    searched: wt.search.searched as u64,
+                    fast_path: wt.search.fast_path,
+                    losers: wt
+                        .search
+                        .losers
+                        .iter()
+                        .map(|l| LosingPerm {
+                            order: ids(&l.order),
+                            starts_now: l.starts_now as u64,
+                            makespan_s: l.makespan.map(|m| m.as_secs()),
+                        })
+                        .collect(),
+                })),
+            );
+        }
+        for &(id, accepted, reason) in &tr.backfill {
+            self.obs.emit(
+                now,
+                TraceEvent::BackfillDecision {
+                    job: id.0,
+                    accepted,
+                    reason,
+                },
+            );
+        }
     }
 
     /// Record a Loss-of-Capacity scheduling event (after the pass).
@@ -926,18 +1058,16 @@ impl<P: Platform> Runner<P> {
 
     fn sample_metrics(&mut self, now: SimTime) {
         let qd = self.queue_depth_mins(now);
+        let util_instant = self.util.instant(now);
+        let util_1h = self.util.trailing_avg(now, SimDuration::from_hours(1));
+        let util_10h = self.util.trailing_avg(now, SimDuration::from_hours(10));
+        let util_24h = self.util.trailing_avg(now, SimDuration::from_hours(24));
+        let down = self.platform.total_nodes() - self.platform.available_nodes();
         self.queue_depth.push(now, qd);
-        self.util_instant.push(now, self.util.instant(now));
-        self.util_1h
-            .push(now, self.util.trailing_avg(now, SimDuration::from_hours(1)));
-        self.util_10h.push(
-            now,
-            self.util.trailing_avg(now, SimDuration::from_hours(10)),
-        );
-        self.util_24h.push(
-            now,
-            self.util.trailing_avg(now, SimDuration::from_hours(24)),
-        );
+        self.util_instant.push(now, util_instant);
+        self.util_1h.push(now, util_1h);
+        self.util_10h.push(now, util_10h);
+        self.util_24h.push(now, util_24h);
         self.bf_series
             .push(now, self.scheduler.policy.balance_factor);
         self.window_series
@@ -946,10 +1076,38 @@ impl<P: Platform> Runner<P> {
             now,
             self.platform.available_nodes() as f64 / self.platform.total_nodes() as f64,
         );
-        self.down_nodes.push(
-            now,
-            (self.platform.total_nodes() - self.platform.available_nodes()) as f64,
-        );
+        self.down_nodes.push(now, down as f64);
+
+        if self.obs.tracing() {
+            self.obs.emit(
+                now,
+                TraceEvent::MetricsSample(Box::new(MetricsSampleEv {
+                    queue_depth_mins: qd,
+                    util_instant,
+                    util_1h,
+                    util_10h,
+                    util_24h,
+                    down_nodes: down as u64,
+                    running: self.running.len() as u64,
+                    waiting: self.queue.len() as u64,
+                })),
+            );
+        }
+        if self.obs.live_enabled() {
+            self.obs.publish(LiveStats {
+                sim_time_s: now.as_secs(),
+                events: 0, // filled in by the observer
+                queue_depth_mins: qd,
+                util_instant,
+                util_1h,
+                util_10h,
+                util_24h,
+                down_nodes: down as u64,
+                running: self.running.len() as u64,
+                waiting: self.queue.len() as u64,
+                done: false,
+            });
+        }
     }
 
     /// Algorithm 1's check-point body. Returns true if the policy
@@ -960,17 +1118,56 @@ impl<P: Platform> Runner<P> {
         }
         let qd = self.queue_depth_mins(now);
         let util = &self.util;
-        let mut changed = self
-            .adaptive
-            .check(&mut self.scheduler.policy, |metric| match *metric {
+        let mut steps: Option<Vec<TunerStep>> = if self.obs.tracing() {
+            Some(Vec::new())
+        } else {
+            None
+        };
+        let mut changed = self.adaptive.check_traced(
+            &mut self.scheduler.policy,
+            |metric| match *metric {
                 MonitoredMetric::QueueDepthMins => qd,
                 MonitoredMetric::UtilizationTrend { short, long } => {
                     util.trailing_avg(now, short) - util.trailing_avg(now, long)
                 }
-            });
+            },
+            steps.as_mut(),
+        );
+        if let Some(steps) = steps {
+            // Only actual transitions are worth a record; steady-state
+            // checks re-fire every interval.
+            for s in steps.iter().filter(|s| s.changed) {
+                self.obs.emit(
+                    now,
+                    TraceEvent::TunerTransition(Box::new(TunerTransitionEv {
+                        tunable: s.tunable.tag().to_string(),
+                        metric: s.metric.tag().to_string(),
+                        value: s.value,
+                        threshold: s.threshold,
+                        step: s.delta,
+                        lo: s.min,
+                        hi: s.max,
+                        dir: s.dir.tag().to_string(),
+                        bf_before: s.before.balance_factor,
+                        bf_after: s.after.balance_factor,
+                        window_before: s.before.window as u64,
+                        window_after: s.after.window as u64,
+                    })),
+                );
+            }
+        }
         // dynP-style whole-policy switching, when configured.
         if let Some(ordering) = self.adaptive.switched_ordering(self.queue.len()) {
             if self.scheduler.ordering_override != Some(ordering) {
+                if self.obs.tracing() {
+                    self.obs.emit(
+                        now,
+                        TraceEvent::OrderingSwitch {
+                            queue_len: self.queue.len() as u64,
+                            ordering: format!("{ordering:?}"),
+                        },
+                    );
+                }
                 self.scheduler.ordering_override = Some(ordering);
                 changed = true;
             }
@@ -1093,7 +1290,10 @@ pub(crate) struct InvariantOracle {
 
 impl<P: Platform> Oracle<Runner<P>> for InvariantOracle {
     fn after_event(&mut self, world: &Runner<P>, now: SimTime, event_index: u64) {
-        if let Err(msg) = world.check_invariants(now) {
+        let span = world.obs.prof_enter("oracle_check");
+        let verdict = world.check_invariants(now);
+        world.obs.prof_exit(span);
+        if let Err(msg) = verdict {
             panic!(
                 "invariant violation (replay: failure-seed={}, event_index={event_index}): {msg}",
                 self.failure_seed
@@ -1107,10 +1307,24 @@ impl<P: Platform> World for Runner<P> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, events: &mut EventQueue<Ev>) {
+        // Event-index bookkeeping: the observer's counter advances once
+        // per handled event, so every record emitted below carries the
+        // same index the engine reports to oracles and the journal.
+        self.obs.begin_event();
         match event {
             Ev::Submit(trace_idx) => {
                 self.remaining_submits -= 1;
                 self.queue.push(trace_idx);
+                if self.obs.tracing() {
+                    let job = &self.jobs[trace_idx];
+                    let ev = TraceEvent::JobQueued {
+                        job: job.id.0,
+                        nodes: job.nodes,
+                        walltime_s: job.walltime.as_secs(),
+                        resubmit: false,
+                    };
+                    self.obs.emit(now, ev);
+                }
                 if self.compute_fairness {
                     let job = &self.jobs[trace_idx];
                     let job_id = job.id;
@@ -1152,6 +1366,14 @@ impl<P: Platform> World for Runner<P> {
                 self.note_capacity(now);
                 let job = &self.jobs[running.trace_idx];
                 self.estimates.observe(job.user, job.walltime, job.runtime);
+                if self.obs.tracing() {
+                    let ev = TraceEvent::JobFinished {
+                        job: id.0,
+                        nodes: job.nodes,
+                        ran_s: (now - running.start).as_secs(),
+                    };
+                    self.obs.emit(now, ev);
+                }
                 self.per_job.push(JobOutcome {
                     id,
                     submit: job.submit,
@@ -1209,6 +1431,10 @@ impl<P: Platform> World for Runner<P> {
                         // this part of the fault is absorbed.
                         continue;
                     }
+                    if self.obs.tracing() {
+                        self.obs
+                            .emit(now, TraceEvent::NodeFailed { node: node.into() });
+                    }
                     if let DrainOutcome::Draining(alloc) = outcome {
                         // The quantum sits inside a running job's
                         // partition: kill the job (its capacity leaves
@@ -1247,6 +1473,10 @@ impl<P: Platform> World for Runner<P> {
             }
             Ev::Repair(node) => {
                 self.platform.mark_up(node);
+                if self.obs.tracing() {
+                    self.obs
+                        .emit(now, TraceEvent::NodeRepaired { node: node.into() });
+                }
                 self.note_capacity(now);
                 // Restored capacity may unblock held-back jobs.
                 self.run_scheduler(now, events);
@@ -1255,6 +1485,16 @@ impl<P: Platform> World for Runner<P> {
             Ev::Resubmit(trace_idx) => {
                 self.pending_resubmits -= 1;
                 self.queue.push(trace_idx);
+                if self.obs.tracing() {
+                    let job = &self.jobs[trace_idx];
+                    let ev = TraceEvent::JobQueued {
+                        job: job.id.0,
+                        nodes: job.nodes,
+                        walltime_s: job.walltime.as_secs(),
+                        resubmit: true,
+                    };
+                    self.obs.emit(now, ev);
+                }
                 self.run_scheduler(now, events);
                 self.record_loc(now);
             }
@@ -1554,6 +1794,7 @@ impl<P: Platform + amjs_sim::Snapshot> amjs_sim::Snapshot for Runner<P> {
             saved_progress: saved_progress.into_iter().collect(),
             failure_process,
             last_end,
+            obs: Observer::disabled(),
         })
     }
 }

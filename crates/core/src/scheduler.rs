@@ -37,12 +37,14 @@
 
 use std::collections::HashSet;
 
+use amjs_obs::{BackfillReason, SharedProfiler, SpanToken};
 use amjs_platform::plan::{PlacementHint, Plan, PlanToken};
 use amjs_sim::{SimDuration, SimTime};
 use amjs_workload::JobId;
 
 use crate::policy::{PolicyParams, QueuePolicy};
-use crate::window::{place_best_permutation, place_in_order, WindowPlacement};
+use crate::score::{waiting_score, walltime_score, QueueExtremes};
+use crate::window::{place_best_permutation_traced, place_in_order, SearchTrace, WindowPlacement};
 
 /// The scheduler's view of one waiting job.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,6 +102,59 @@ pub struct ScheduleDecision {
 impl ScheduleDecision {
     fn empty() -> Self {
         Self::default()
+    }
+}
+
+/// One job's score breakdown (eqs. 1–3), captured for tracing.
+#[derive(Clone, Copy, Debug)]
+pub struct ScoreTrace {
+    /// The scored job.
+    pub job: JobId,
+    /// Waiting-time score `S_w` (eq. 1, erratum-fixed).
+    pub s_w: f64,
+    /// Walltime score `S_r` (eq. 2).
+    pub s_r: f64,
+    /// The balance factor `BF` in effect.
+    pub bf: f64,
+    /// Balanced priority `S_p = BF*S_w + (1-BF)*S_r` (eq. 3).
+    pub priority: f64,
+}
+
+/// One window's permutation search, captured for tracing.
+#[derive(Clone, Debug)]
+pub struct WindowTrace {
+    /// Window index within the pass (0 = highest-priority window).
+    pub index: usize,
+    /// Job ids in the window, in priority order (the search permutes
+    /// positions within this list).
+    pub jobs: Vec<JobId>,
+    /// What the search tried and chose.
+    pub search: SearchTrace,
+}
+
+/// Everything one scheduling pass decided *and why* — filled only when a
+/// trace sink is attached, so the untraced hot path pays nothing.
+#[derive(Clone, Debug, Default)]
+pub struct PassTrace {
+    /// Score breakdown per queued job, in sorted (priority) order.
+    /// Empty when the ordering override bypasses balanced scoring.
+    pub scores: Vec<ScoreTrace>,
+    /// Permutation-search traces for the leading `perm_windows` windows.
+    pub windows: Vec<WindowTrace>,
+    /// Backfill admission decisions in evaluation order:
+    /// `(job, accepted, reason)`.
+    pub backfill: Vec<(JobId, bool, BackfillReason)>,
+}
+
+#[inline]
+fn span_enter(prof: Option<&SharedProfiler>, name: &'static str) -> Option<SpanToken> {
+    prof.map(|p| p.borrow_mut().enter(name))
+}
+
+#[inline]
+fn span_exit(prof: Option<&SharedProfiler>, token: Option<SpanToken>) {
+    if let (Some(p), Some(t)) = (prof, token) {
+        p.borrow_mut().exit(t);
     }
 }
 
@@ -213,12 +268,53 @@ impl Scheduler {
         queue: &[QueuedJob],
         base_plan: &P,
     ) -> ScheduleDecision {
+        self.schedule_pass_traced(now, queue, base_plan, None, None)
+    }
+
+    /// [`Scheduler::schedule_pass`] with observability hooks: when
+    /// `trace` is given, records score breakdowns, window-search
+    /// alternatives and backfill admission reasons into it; when `prof`
+    /// is given, wraps the pass phases in profiling spans. Passing
+    /// `None` for both is byte-for-byte the plain pass — the decision
+    /// logic never branches on the hooks.
+    pub fn schedule_pass_traced<P: Plan>(
+        &self,
+        now: SimTime,
+        queue: &[QueuedJob],
+        base_plan: &P,
+        mut trace: Option<&mut PassTrace>,
+        prof: Option<&SharedProfiler>,
+    ) -> ScheduleDecision {
         if queue.is_empty() {
             return ScheduleDecision::empty();
         }
         // Steps 1–4: sort by balanced priority.
+        let span = span_enter(prof, "score_sort");
         let mut sorted = queue.to_vec();
         self.ordering().sort(&mut sorted, now);
+        span_exit(prof, span);
+
+        // Tracing: recompute the score components per job. The sort
+        // above computes them internally but keeping the untraced path
+        // allocation-free matters more than recomputing here.
+        if let Some(tr) = trace.as_deref_mut() {
+            if let QueuePolicy::Balanced { balance_factor } = self.ordering() {
+                if let Some(ex) = QueueExtremes::of(&sorted, now) {
+                    tr.scores.reserve(sorted.len());
+                    for job in &sorted {
+                        let s_w = waiting_score((now - job.submit).max_zero(), &ex);
+                        let s_r = walltime_score(job.walltime, &ex);
+                        tr.scores.push(ScoreTrace {
+                            job: job.id,
+                            s_w,
+                            s_r,
+                            bf: balance_factor,
+                            priority: balance_factor * s_w + (1.0 - balance_factor) * s_r,
+                        });
+                    }
+                }
+            }
+        }
 
         // Step 5: window allocation. The plan accumulates every
         // placement; advisory ones are voided afterwards.
@@ -229,6 +325,7 @@ impl Scheduler {
         // commitment token), in commit order.
         let mut planned: Vec<(usize, usize, SimTime, PlanToken)> = Vec::with_capacity(depth);
 
+        let span = span_enter(prof, "window_search");
         for (w_idx, chunk_start) in (0..depth).step_by(window_size).enumerate() {
             let chunk_end = (chunk_start + window_size).min(depth);
             let chunk = &sorted[chunk_start..chunk_end];
@@ -244,9 +341,31 @@ impl Scheduler {
                         .unwrap_or(now),
                     true,
                 ),
-                _ if w_idx < self.perm_windows => {
-                    place_best_permutation(&mut plan, chunk, now, self.max_permutations)
-                }
+                _ if w_idx < self.perm_windows => match trace.as_deref_mut() {
+                    Some(tr) => {
+                        let mut search = SearchTrace::default();
+                        let placements = place_best_permutation_traced(
+                            &mut plan,
+                            chunk,
+                            now,
+                            self.max_permutations,
+                            Some(&mut search),
+                        );
+                        tr.windows.push(WindowTrace {
+                            index: w_idx,
+                            jobs: chunk.iter().map(|j| j.id).collect(),
+                            search,
+                        });
+                        placements
+                    }
+                    None => place_best_permutation_traced(
+                        &mut plan,
+                        chunk,
+                        now,
+                        self.max_permutations,
+                        None,
+                    ),
+                },
                 _ => place_in_order(&mut plan, chunk, now, false),
             };
             planned.extend(
@@ -255,6 +374,7 @@ impl Scheduler {
                     .map(|p| (w_idx, chunk_start + p.slot, p.start, p.token)),
             );
         }
+        span_exit(prof, span);
 
         // Sort out the plan: starts keep their commitments (their hints
         // drive the real allocation); protected reservations stay (as
@@ -334,6 +454,7 @@ impl Scheduler {
         // candidate is admitted iff it fits now and no protected
         // reservation is delayed (per the configured protection style).
         if self.backfill != BackfillMode::None {
+            let span = span_enter(prof, "backfill_pass");
             let candidates = self
                 .backfill_depth
                 .unwrap_or(sorted.len())
@@ -343,6 +464,10 @@ impl Scheduler {
                     continue;
                 }
                 let Some(cand_token) = plan.commit_at(job.nodes, now, job.walltime) else {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.backfill
+                            .push((job.id, false, BackfillReason::NoStartNow));
+                    }
                     continue;
                 };
                 let admissible = match self.protection {
@@ -368,6 +493,9 @@ impl Scheduler {
                     }
                 };
                 if admissible {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.backfill.push((job.id, true, BackfillReason::FitsNow));
+                    }
                     decision.starts.push(JobStart {
                         id: job.id,
                         nodes: job.nodes,
@@ -376,9 +504,14 @@ impl Scheduler {
                     });
                     started.insert(job.id);
                 } else {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.backfill
+                            .push((job.id, false, BackfillReason::WouldDelayProtected));
+                    }
                     plan.rollback(cand_token);
                 }
             }
+            span_exit(prof, span);
         }
 
         // Drop reservations for jobs that ended up starting via backfill
@@ -665,6 +798,68 @@ mod tests {
         let d = fcfs_easy().schedule_pass(t(0), &queue, &plan);
         assert_eq!(start_ids(&d), vec![0]);
         assert_eq!(d.reservations, vec![(JobId(1), t(50))]);
+    }
+
+    #[test]
+    fn traced_pass_matches_untraced_and_records_decisions() {
+        // The conservative-vs-easy scenario: under EASY job 2 starts
+        // via the backfill pass (window placement puts it after r1).
+        let plan = FlatPlan::new(t(0), 100, &[(60, t(100))]);
+        let queue = vec![qj(0, 0, 60, 100), qj(1, 10, 70, 60), qj(2, 20, 40, 250)];
+
+        let s = fcfs_easy();
+        let mut trace = PassTrace::default();
+        let traced = s.schedule_pass_traced(t(0), &queue, &plan, Some(&mut trace), None);
+        let plain = s.schedule_pass(t(0), &queue, &plan);
+        assert_eq!(traced.starts, plain.starts);
+        assert_eq!(traced.reservations, plain.reservations);
+        assert_eq!(traced.protected, plain.protected);
+        assert_eq!(start_ids(&traced), vec![2]);
+        assert!(traced.starts[0].backfilled);
+
+        // Scores recorded for every job, components summing to S_p.
+        assert_eq!(trace.scores.len(), 3);
+        for sc in &trace.scores {
+            let expect = sc.bf * sc.s_w + (1.0 - sc.bf) * sc.s_r;
+            assert!((sc.priority - expect).abs() < 1e-12);
+            assert!((0.0..=100.0).contains(&sc.s_w));
+            assert!((0.0..=100.0).contains(&sc.s_r));
+        }
+        // The leading perm_windows (2) windows were search-traced.
+        assert_eq!(trace.windows.len(), 2);
+        assert_eq!(trace.windows[0].jobs, vec![JobId(0)]);
+        // Backfill: job 1 cannot start now; job 2 is admitted.
+        assert_eq!(
+            trace.backfill,
+            vec![
+                (JobId(1), false, BackfillReason::NoStartNow),
+                (JobId(2), true, BackfillReason::FitsNow),
+            ]
+        );
+    }
+
+    #[test]
+    fn traced_pass_records_protected_delay_rejection() {
+        // TimeFlexible: the candidate fits *now* (commit succeeds once
+        // reservation blocks are released) but re-placing the protected
+        // head at its promised instant then fails → rejection reason is
+        // "would delay protected".
+        let plan = FlatPlan::new(t(0), 100, &[(40, t(100))]);
+        let queue = vec![
+            qj(0, 0, 70, 1000),  // head, reserved at t=100, protected
+            qj(1, 10, 60, 5000), // fits the 60 idle now, runs past 100
+        ];
+        let mut s = fcfs_easy();
+        s.protection = ProtectionStyle::TimeFlexible;
+        let mut trace = PassTrace::default();
+        let d = s.schedule_pass_traced(t(50), &queue, &plan, Some(&mut trace), None);
+        let plain = s.schedule_pass(t(50), &queue, &plan);
+        assert_eq!(d.starts, plain.starts);
+        assert!(d.starts.is_empty());
+        assert_eq!(
+            trace.backfill,
+            vec![(JobId(1), false, BackfillReason::WouldDelayProtected)]
+        );
     }
 
     #[test]

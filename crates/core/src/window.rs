@@ -74,6 +74,37 @@ pub fn place_in_order<P: Plan>(
     placements
 }
 
+/// A permutation the search considered and did not choose.
+#[derive(Clone, Debug)]
+pub struct LoserTrace {
+    /// Window-slot order of the losing permutation.
+    pub order: Vec<usize>,
+    /// Immediate starts it achieved (0 when pruned before completion).
+    pub starts_now: usize,
+    /// Its window makespan; `None` when the search pruned it early
+    /// (its partial makespan already could not beat the best).
+    pub makespan: Option<SimTime>,
+}
+
+/// What one permutation search saw — captured only when the
+/// observability layer asks for it.
+#[derive(Clone, Debug, Default)]
+pub struct SearchTrace {
+    /// Window-slot order of the winning permutation.
+    pub chosen: Vec<usize>,
+    /// Immediate starts of the winner.
+    pub starts_now: usize,
+    /// Window makespan of the winner.
+    pub makespan: SimTime,
+    /// Permutations evaluated (identity included, pruned included).
+    pub searched: usize,
+    /// True when the identity started every job now and the search was
+    /// skipped (or the window had ≤ 1 job).
+    pub fast_path: bool,
+    /// Every losing permutation, in enumeration order.
+    pub losers: Vec<LoserTrace>,
+}
+
 /// Place a window choosing the best permutation (paper step 5, guided by
 /// its Fig. 2): the winning schedule **starts the most jobs now** and,
 /// among those, has the **least makespan** ("highest utilization rate").
@@ -94,9 +125,33 @@ pub fn place_best_permutation<P: Plan>(
     now: SimTime,
     max_permutations: usize,
 ) -> Vec<WindowPlacement> {
+    place_best_permutation_traced(plan, window, now, max_permutations, None)
+}
+
+/// [`place_best_permutation`] with an optional search capture. With
+/// `capture: None` this is the exact same computation (the capture arms
+/// are never entered), preserving the zero-cost guarantee.
+pub fn place_best_permutation_traced<P: Plan>(
+    plan: &mut P,
+    window: &[QueuedJob],
+    now: SimTime,
+    max_permutations: usize,
+    mut capture: Option<&mut SearchTrace>,
+) -> Vec<WindowPlacement> {
     debug_assert!(max_permutations >= 1);
     if window.len() <= 1 {
-        return place_in_order(plan, window, now, false);
+        let placements = place_in_order(plan, window, now, false);
+        if let Some(cap) = capture {
+            cap.chosen = index_vec(window.len());
+            cap.starts_now = placements.iter().filter(|p| p.start == now).count();
+            cap.makespan = placements
+                .iter()
+                .map(|p| p.start + window[p.slot].walltime)
+                .max()
+                .unwrap_or(now);
+            cap.fast_path = true;
+        }
+        return placements;
     }
 
     // Identity first: it doubles as the fast path (everything starts now
@@ -104,21 +159,61 @@ pub fn place_best_permutation<P: Plan>(
     let identity = try_permutation(plan, window, &index_vec(window.len()), now, None)
         .expect("identity permutation is always feasible");
     if identity.starts_now == window.len() {
+        if let Some(cap) = capture {
+            cap.chosen = index_vec(window.len());
+            cap.starts_now = identity.starts_now;
+            cap.makespan = identity.makespan;
+            cap.searched = 1;
+            cap.fast_path = true;
+        }
         return commit_placements(plan, window, &identity.placements);
     }
 
     let mut best = identity;
+    let mut best_perm = index_vec(window.len());
     let mut perm = index_vec(window.len());
     let mut tried = 1usize;
     while tried < max_permutations && next_permutation(&mut perm) {
         tried += 1;
-        if let Some(cand) = try_permutation(plan, window, &perm, now, Some(&best)) {
-            if cand.beats(&best) {
-                best = cand;
+        match try_permutation(plan, window, &perm, now, Some(&best)) {
+            Some(cand) => {
+                if cand.beats(&best) {
+                    if let Some(cap) = capture.as_deref_mut() {
+                        cap.losers.push(LoserTrace {
+                            order: best_perm.clone(),
+                            starts_now: best.starts_now,
+                            makespan: Some(best.makespan),
+                        });
+                        best_perm = perm.clone();
+                    }
+                    best = cand;
+                } else if let Some(cap) = capture.as_deref_mut() {
+                    cap.losers.push(LoserTrace {
+                        order: perm.clone(),
+                        starts_now: cand.starts_now,
+                        makespan: Some(cand.makespan),
+                    });
+                }
+            }
+            None => {
+                if let Some(cap) = capture.as_deref_mut() {
+                    cap.losers.push(LoserTrace {
+                        order: perm.clone(),
+                        starts_now: 0,
+                        makespan: None,
+                    });
+                }
             }
         }
     }
 
+    if let Some(cap) = capture {
+        cap.chosen = best_perm;
+        cap.starts_now = best.starts_now;
+        cap.makespan = best.makespan;
+        cap.searched = tried;
+        cap.fast_path = false;
+    }
     commit_placements(plan, window, &best.placements)
 }
 
@@ -410,6 +505,51 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(makespan, t(90));
+    }
+
+    #[test]
+    fn traced_search_captures_winner_and_losers() {
+        // Same setup as `permutation_search_beats_priority_order`:
+        // B-first wins; identity (A-first) becomes a recorded loser.
+        let mut plan = FlatPlan::new(t(0), 10, &[(5, t(20))]);
+        let window = [qj(0, 10, 30), qj(1, 5, 25)];
+        let mut trace = SearchTrace::default();
+        let placed = place_best_permutation_traced(&mut plan, &window, t(0), 120, Some(&mut trace));
+        assert_eq!(trace.chosen, vec![1, 0]);
+        assert_eq!(trace.starts_now, 1);
+        assert_eq!(trace.makespan, t(55));
+        assert_eq!(trace.searched, 2);
+        assert!(!trace.fast_path);
+        assert_eq!(trace.losers.len(), 1);
+        assert_eq!(trace.losers[0].order, vec![0, 1]);
+        assert_eq!(trace.losers[0].makespan, Some(t(75)));
+        // The traced call commits the same schedule as the untraced one.
+        let mut plan2 = FlatPlan::new(t(0), 10, &[(5, t(20))]);
+        let untraced = place_best_permutation(&mut plan2, &window, t(0), 120);
+        let a: Vec<(usize, SimTime)> = placed.iter().map(|p| (p.slot, p.start)).collect();
+        let b: Vec<(usize, SimTime)> = untraced.iter().map(|p| (p.slot, p.start)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_fast_path_and_single_job_windows() {
+        let mut plan = FlatPlan::new(t(0), 100, &[]);
+        let window = [qj(0, 30, 100), qj(1, 30, 50)];
+        let mut trace = SearchTrace::default();
+        place_best_permutation_traced(&mut plan, &window, t(0), 120, Some(&mut trace));
+        assert!(trace.fast_path);
+        assert_eq!(trace.chosen, vec![0, 1]);
+        assert_eq!(trace.starts_now, 2);
+        assert!(trace.losers.is_empty());
+
+        let mut plan = FlatPlan::new(t(0), 100, &[(80, t(40))]);
+        let single = [qj(2, 50, 60)];
+        let mut trace = SearchTrace::default();
+        place_best_permutation_traced(&mut plan, &single, t(0), 120, Some(&mut trace));
+        assert!(trace.fast_path);
+        assert_eq!(trace.chosen, vec![0]);
+        assert_eq!(trace.starts_now, 0); // waits for the release
+        assert_eq!(trace.makespan, t(100));
     }
 
     #[test]

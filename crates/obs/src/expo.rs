@@ -1,0 +1,365 @@
+//! Live metrics exposition: a tiny `std::net` HTTP listener serving
+//! Prometheus text format, plus a throttled stderr heartbeat.
+//!
+//! The simulation thread publishes the paper's monitored signals
+//! (queue depth, instant/1H/10H/24H utilization, down nodes, jobs
+//! running/waiting) into a mutex-guarded [`LiveStats`]; a background
+//! thread answers `GET /metrics` with exposition-format text
+//! (version 0.0.4). The server only *reads* shared state — it can
+//! never perturb the simulation, so determinism guarantees hold with
+//! the endpoint enabled.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The monitored signals, as last published by the simulation thread.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LiveStats {
+    /// Simulated time, seconds since the epoch.
+    pub sim_time_s: i64,
+    /// Engine events handled so far.
+    pub events: u64,
+    /// Aggregate queue demand, node-minutes.
+    pub queue_depth_mins: f64,
+    /// Instant utilization.
+    pub util_instant: f64,
+    /// Trailing 1-hour utilization.
+    pub util_1h: f64,
+    /// Trailing 10-hour utilization.
+    pub util_10h: f64,
+    /// Trailing 24-hour utilization.
+    pub util_24h: f64,
+    /// Nodes currently down.
+    pub down_nodes: u64,
+    /// Jobs running.
+    pub running: u64,
+    /// Jobs waiting in the queue.
+    pub waiting: u64,
+    /// True once the run has finished.
+    pub done: bool,
+}
+
+/// Shared handle the simulation publishes into and the server reads.
+pub type SharedStats = Arc<Mutex<LiveStats>>;
+
+/// A fresh all-zero [`SharedStats`].
+pub fn shared_stats() -> SharedStats {
+    Arc::new(Mutex::new(LiveStats::default()))
+}
+
+/// Render `stats` in Prometheus exposition text format (version 0.0.4).
+pub fn prometheus_text(stats: &LiveStats) -> String {
+    let mut out = String::new();
+    let mut gauge = |name: &str, help: &str, value: f64| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            out.push_str(&format!("{name} {}\n", value as i64));
+        } else {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+    };
+    gauge(
+        "amjs_sim_time_seconds",
+        "Simulated time since the epoch.",
+        stats.sim_time_s as f64,
+    );
+    gauge(
+        "amjs_events_total",
+        "Engine events handled so far.",
+        stats.events as f64,
+    );
+    gauge(
+        "amjs_queue_depth_minutes",
+        "Aggregate queue demand in node-minutes (paper Fig. 5 signal).",
+        stats.queue_depth_mins,
+    );
+    gauge(
+        "amjs_utilization_instant",
+        "Instant system utilization.",
+        stats.util_instant,
+    );
+    gauge(
+        "amjs_utilization_1h",
+        "Trailing 1-hour utilization.",
+        stats.util_1h,
+    );
+    gauge(
+        "amjs_utilization_10h",
+        "Trailing 10-hour utilization.",
+        stats.util_10h,
+    );
+    gauge(
+        "amjs_utilization_24h",
+        "Trailing 24-hour utilization.",
+        stats.util_24h,
+    );
+    gauge(
+        "amjs_down_nodes",
+        "Nodes currently failed or awaiting repair.",
+        stats.down_nodes as f64,
+    );
+    gauge(
+        "amjs_jobs_running",
+        "Jobs currently running.",
+        stats.running as f64,
+    );
+    gauge(
+        "amjs_jobs_waiting",
+        "Jobs currently waiting in the queue.",
+        stats.waiting as f64,
+    );
+    gauge(
+        "amjs_run_done",
+        "1 once the simulation has finished.",
+        if stats.done { 1.0 } else { 0.0 },
+    );
+    out
+}
+
+/// The background HTTP listener behind `--metrics-addr`.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// start answering `GET /metrics` with the current `stats`.
+    pub fn bind(addr: impl ToSocketAddrs, stats: SharedStats) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("amjs-metrics".into())
+            .spawn(move || serve(listener, stats, stop2))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve(listener: TcpListener, stats: SharedStats, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        handle_conn(&mut stream, &stats);
+    }
+}
+
+fn handle_conn(stream: &mut TcpStream, stats: &SharedStats) {
+    // Read until the end of the request head (or give up); only the
+    // request line matters.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, body, content_type) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            String::from("method not allowed\n"),
+            "text/plain; charset=utf-8",
+        )
+    } else if path == "/metrics" || path == "/" {
+        let snapshot = stats.lock().map(|s| s.clone()).unwrap_or_default();
+        (
+            "200 OK",
+            prometheus_text(&snapshot),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+    } else {
+        (
+            "404 Not Found",
+            String::from("try /metrics\n"),
+            "text/plain; charset=utf-8",
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat
+// ---------------------------------------------------------------------------
+
+/// Throttled stderr progress line. Wall-clock throttling keeps output
+/// bounded regardless of simulation speed; the line never touches
+/// stdout or any deterministic artifact.
+pub struct Heartbeat {
+    every: Duration,
+    last: Option<Instant>,
+}
+
+impl Heartbeat {
+    /// A heartbeat printing at most once per `every`.
+    pub fn new(every: Duration) -> Self {
+        Heartbeat { every, last: None }
+    }
+
+    /// Print a progress line if the throttle window has passed.
+    pub fn maybe_beat(&mut self, stats: &LiveStats) {
+        let now = Instant::now();
+        if let Some(last) = self.last {
+            if now.duration_since(last) < self.every {
+                return;
+            }
+        }
+        self.last = Some(now);
+        eprintln!(
+            "amjs: t={:.1}h events={} queue={:.0} node-min running={} waiting={} util24h={:.3} down={}",
+            stats.sim_time_s as f64 / 3600.0,
+            stats.events,
+            stats.queue_depth_mins,
+            stats.running,
+            stats.waiting,
+            stats.util_24h,
+            stats.down_nodes,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LiveStats {
+        LiveStats {
+            sim_time_s: 7200,
+            events: 42,
+            queue_depth_mins: 1234.5,
+            util_instant: 0.5,
+            util_1h: 0.6,
+            util_10h: 0.7,
+            util_24h: 0.8,
+            down_nodes: 2,
+            running: 10,
+            waiting: 3,
+            done: false,
+        }
+    }
+
+    #[test]
+    fn exposition_has_help_type_and_required_gauge() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# HELP amjs_utilization_24h "));
+        assert!(text.contains("# TYPE amjs_utilization_24h gauge"));
+        assert!(text.contains("amjs_utilization_24h 0.8"));
+        assert!(text.contains("amjs_jobs_running 10"));
+        // Every non-comment line is `name value` with a finite value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            assert!(name.starts_with("amjs_"), "bad metric name: {name}");
+            let value: f64 = parts.next().unwrap().parse().unwrap();
+            assert!(value.is_finite());
+            assert_eq!(parts.next(), None);
+        }
+    }
+
+    #[test]
+    fn server_serves_metrics_and_shuts_down() {
+        let stats = shared_stats();
+        *stats.lock().unwrap() = sample();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&stats)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("version=0.0.4"));
+        assert!(response.contains("amjs_utilization_24h 0.8"));
+
+        // Unknown path → 404; wrong method → 405.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+
+        server.shutdown();
+        // After shutdown the port stops answering (bind may be reused,
+        // so just assert the call returns).
+    }
+
+    #[test]
+    fn heartbeat_throttles() {
+        let mut hb = Heartbeat::new(Duration::from_secs(3600));
+        let s = sample();
+        hb.maybe_beat(&s); // first beat prints
+        let first = hb.last;
+        hb.maybe_beat(&s); // throttled: timestamp unchanged
+        assert_eq!(hb.last, first);
+    }
+}

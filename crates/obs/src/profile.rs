@@ -1,0 +1,259 @@
+//! Span-based self-profiling for the simulator's hot paths.
+//!
+//! Explicit hierarchical wall-clock spans: call [`Profiler::enter`] at
+//! the top of a hot path and [`Profiler::exit`] with the returned token
+//! at the bottom. Nested enters build a path (`schedule_pass/backfill`)
+//! so costs aggregate per call-site *in context*. Aggregation keeps
+//! count/total/min/max per path; rendering follows the formatting idiom
+//! of the `amjs-bench` timing harness (engineering-notation seconds).
+//!
+//! Wall-clock (`std::time::Instant`) is read **only** inside an enabled
+//! profiler — a disabled run never constructs one, so determinism and
+//! the zero-cost guarantee are untouched.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::json::ObjWriter;
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Debug)]
+pub struct SpanStats {
+    /// Completed executions.
+    pub count: u64,
+    /// Summed wall time.
+    pub total: Duration,
+    /// Fastest execution.
+    pub min: Duration,
+    /// Slowest execution.
+    pub max: Duration,
+}
+
+impl SpanStats {
+    fn observe(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+    }
+
+    /// Mean wall time per execution.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Proof of a matching [`Profiler::enter`]; hand it back to
+/// [`Profiler::exit`]. Deliberately not `Copy`/`Clone`: each enter is
+/// exited exactly once.
+#[derive(Debug)]
+pub struct SpanToken {
+    depth: usize,
+}
+
+/// Collects hierarchical wall-clock spans.
+pub struct Profiler {
+    /// Names of currently-open spans, outermost first.
+    path: Vec<&'static str>,
+    /// Start instants matching `path`.
+    starts: Vec<Instant>,
+    /// Aggregates keyed by `"outer/inner"` path.
+    spans: BTreeMap<String, SpanStats>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler {
+            path: Vec::new(),
+            starts: Vec::new(),
+            spans: BTreeMap::new(),
+        }
+    }
+
+    /// Open a span. Must be closed with [`Profiler::exit`], innermost
+    /// first.
+    pub fn enter(&mut self, name: &'static str) -> SpanToken {
+        self.path.push(name);
+        self.starts.push(Instant::now());
+        SpanToken {
+            depth: self.path.len(),
+        }
+    }
+
+    /// Close the span `token` came from.
+    ///
+    /// # Panics
+    /// Panics if spans would close out of order — that is a bug at the
+    /// instrumentation site, not a recoverable condition.
+    pub fn exit(&mut self, token: SpanToken) {
+        assert_eq!(
+            token.depth,
+            self.path.len(),
+            "span exit out of order (token depth {} vs open depth {})",
+            token.depth,
+            self.path.len()
+        );
+        let start = self.starts.pop().expect("token depth checked above");
+        let elapsed = start.elapsed();
+        let key = self.path.join("/");
+        self.path.pop();
+        self.spans
+            .entry(key)
+            .or_insert(SpanStats {
+                count: 0,
+                total: Duration::ZERO,
+                min: Duration::MAX,
+                max: Duration::ZERO,
+            })
+            .observe(elapsed);
+    }
+
+    /// Aggregates keyed by span path (lexicographic order groups
+    /// children under their parents).
+    pub fn spans(&self) -> &BTreeMap<String, SpanStats> {
+        &self.spans
+    }
+
+    /// Render the aligned text table for `--profile`.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>9} {:>10} {:>10} {:>10} {:>10}",
+            "span", "count", "total", "mean", "min", "max"
+        );
+        for (path, s) in &self.spans {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{}", "  ".repeat(depth), leaf);
+            let _ = writeln!(
+                out,
+                "{:<40} {:>9} {:>10} {:>10} {:>10} {:>10}",
+                label,
+                s.count,
+                fmt_secs(s.total.as_secs_f64()),
+                fmt_secs(s.mean().as_secs_f64()),
+                fmt_secs(s.min.as_secs_f64()),
+                fmt_secs(s.max.as_secs_f64()),
+            );
+        }
+        out
+    }
+
+    /// Render as a JSON document for `--profile-json`.
+    pub fn to_json(&self) -> String {
+        let mut arr = String::from("[");
+        for (i, (path, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut w = ObjWriter::new();
+            w.str("path", path)
+                .u64("count", s.count)
+                .f64("total_s", s.total.as_secs_f64())
+                .f64("mean_s", s.mean().as_secs_f64())
+                .f64("min_s", s.min.as_secs_f64())
+                .f64("max_s", s.max.as_secs_f64());
+            arr.push_str(&w.finish());
+        }
+        arr.push(']');
+        let mut root = ObjWriter::new();
+        root.raw("spans", &arr);
+        root.finish()
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Format seconds for the profile table — same idiom as the bench
+/// harness: three significant-ish digits with an s/ms/µs/ns unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2}µs", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let mut p = Profiler::new();
+        let outer = p.enter("pass");
+        let inner = p.enter("sort");
+        p.exit(inner);
+        let inner = p.enter("backfill");
+        p.exit(inner);
+        p.exit(outer);
+        let keys: Vec<&str> = p.spans().keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["pass", "pass/backfill", "pass/sort"]);
+        assert_eq!(p.spans()["pass"].count, 1);
+        assert_eq!(p.spans()["pass/sort"].count, 1);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let mut p = Profiler::new();
+        for _ in 0..3 {
+            let t = p.enter("tick");
+            p.exit(t);
+        }
+        let s = &p.spans()["tick"];
+        assert_eq!(s.count, 3);
+        assert!(s.total >= s.max);
+        assert!(s.min <= s.max);
+        assert!(s.mean() <= s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "span exit out of order")]
+    fn out_of_order_exit_panics() {
+        let mut p = Profiler::new();
+        let outer = p.enter("a");
+        let _inner = p.enter("b");
+        p.exit(outer); // inner still open
+    }
+
+    #[test]
+    fn renders_table_and_json() {
+        let mut p = Profiler::new();
+        let t = p.enter("pass");
+        let u = p.enter("sort");
+        p.exit(u);
+        p.exit(t);
+        let table = p.table();
+        assert!(table.contains("span"));
+        assert!(table.contains("pass"));
+        assert!(table.contains("  sort")); // indented child
+        let json = crate::json::parse(&p.to_json()).unwrap();
+        let spans = json.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("path").unwrap().as_str(), Some("pass"));
+        assert!(spans[0].get("total_s").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.50µs");
+        assert_eq!(fmt_secs(2.4e-9), "2ns");
+    }
+}

@@ -12,6 +12,8 @@
 //!   generator (`amjs-workload`);
 //! * [`metrics`] — wait / queue depth / fairness / utilization / loss of
 //!   capacity (`amjs-metrics`);
+//! * [`obs`] — observability: decision tracing, span profiling, live
+//!   Prometheus exposition (`amjs-obs`);
 //! * [`core`] — the paper's contribution: metric-aware scheduling and
 //!   adaptive policy tuning (`amjs-core`).
 //!
@@ -37,6 +39,7 @@
 
 pub use amjs_core as core;
 pub use amjs_metrics as metrics;
+pub use amjs_obs as obs;
 pub use amjs_platform as platform;
 pub use amjs_sim as sim;
 pub use amjs_workload as workload;
@@ -53,6 +56,7 @@ pub mod prelude {
     pub use amjs_core::runner::{SimulationBuilder, SimulationOutcome};
     pub use amjs_core::scheduler::{BackfillMode, Scheduler};
     pub use amjs_metrics::report::MetricsSummary;
+    pub use amjs_obs::{Observer, Profiler, RingSink, TraceEvent, TraceRecord, VecSink};
     pub use amjs_platform::bgp::BgpCluster;
     pub use amjs_platform::flat::FlatCluster;
     pub use amjs_platform::Platform;
