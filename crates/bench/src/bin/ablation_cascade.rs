@@ -13,27 +13,49 @@
 //!
 //! Every run executes under the runtime invariant oracle, so a month of
 //! cascading faults doubles as a soak test of the allocator and
-//! scheduler invariants.
+//! scheduler invariants. The grid runs on the fault-tolerant fleet
+//! engine (`amjs-fleet`); `--jobs 1` keeps the old sequential order.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin ablation_cascade [--seed N] [--fast]`
+//! Usage: `cargo run -p amjs-bench --release --bin ablation_cascade
+//!         [--seed N] [--fast] [--jobs N]`
 
-use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::harness;
 use amjs_bench::{results, table};
 use amjs_core::failures::{BurstModel, CorrelationSpec, DomainSpec, FailureSpec, RetryPolicy};
-use amjs_core::runner::SimulationBuilder;
-use amjs_metrics::FaultDomain;
+use amjs_core::{AdaptiveKind, MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 use amjs_sim::SimDuration;
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
-    let jobs = harness::experiment_jobs(seed, fast);
-    eprintln!("ablation_cascade: {} jobs", jobs.len());
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = harness::DEFAULT_SEED;
+    let mut fast = false;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--jobs" => {
+                jobs = args[i + 1].parse().expect("--jobs N");
+                i += 2;
+            }
+            "--fast" => {
+                fast = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (supported: --seed N, --fast, --jobs N)"),
+        }
+    }
 
     // Degraded machine (10-year node MTBF → one base fault per ~2.1 h at
     // Intrepid scale) so a month exercises the cascade machinery; the
     // 50-year production rate produces too few faults to compare
     // escalation levels.
-    let spec = FailureSpec {
+    let failures = FailureSpec {
         node_mtbf: SimDuration::from_hours(10 * 365 * 24),
         repair: amjs_core::failures::RepairSpec::LogNormal {
             mean: SimDuration::from_hours(2),
@@ -46,46 +68,61 @@ fn main() {
         backoff_base: SimDuration::from_mins(5),
     };
     let cascade_probs = [0.0, 0.1, 0.3, 0.5];
-    let configs = [RunConfig::fixed(0.5, 4), RunConfig::two_d_adaptive(1000.0)];
+    let configs: [(&str, &str, PolicyParams, AdaptiveKind); 2] = [
+        (
+            "bf0.5-w4",
+            "BF=0.5/W=4",
+            PolicyParams::new(0.5, 4),
+            AdaptiveKind::None,
+        ),
+        (
+            "2d",
+            "2D Adapt.",
+            PolicyParams::fcfs(),
+            AdaptiveKind::TwoD { threshold: 1000.0 },
+        ),
+    ];
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
 
-    let variants: Vec<(f64, RunConfig, String)> = cascade_probs
+    let specs: Vec<RunSpec> = cascade_probs
         .iter()
         .flat_map(|&p| {
-            configs
-                .iter()
-                .map(move |c| (p, c.clone(), format!("p={p}/{}", c.label)))
-        })
-        .collect();
-
-    let outcomes: Vec<_> = std::thread::scope(|s| {
-        let handles: Vec<_> = variants
-            .iter()
-            .map(|(p, config, label)| {
-                let jobs = jobs.clone();
-                let label = label.clone();
-                let corr = CorrelationSpec {
-                    cascade_prob: *p,
+            configs.iter().map(move |(stem, label, policy, adaptive)| {
+                let mut s = RunSpec::new(
+                    format!("p{p}-{stem}"),
+                    MachineSpec::intrepid(),
+                    WorkloadSource::Preset {
+                        name: preset,
+                        seed,
+                        load_factor: 1.0,
+                    },
+                    *policy,
+                )
+                .labeled(format!("p={p}/{label}"));
+                s.adaptive = *adaptive;
+                s.failures = Some(failures);
+                s.retry = retry;
+                s.correlation = Some(CorrelationSpec {
+                    cascade_prob: p,
                     domains: DomainSpec::intrepid(),
                     burst: BurstModel::Weibull { shape: 0.7 },
-                };
-                s.spawn(move || {
-                    SimulationBuilder::new(harness::intrepid(), jobs)
-                        .policy(config.policy)
-                        .backfill(config.backfill)
-                        .adaptive(config.adaptive.clone())
-                        .easy_protected(Some(harness::EASY_PROTECTED))
-                        .backfill_depth(Some(harness::BACKFILL_DEPTH))
-                        .failures(Some(spec))
-                        .correlated_failures(Some(corr))
-                        .retry_policy(retry)
-                        .oracle(true)
-                        .label(label)
-                        .run()
-                })
+                });
+                s.oracle = true;
+                s
             })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+        })
+        .collect();
+    let n_jobs = specs[0].jobs().len();
+    eprintln!(
+        "ablation_cascade: {} runs of {n_jobs} jobs, {jobs} workers",
+        specs.len()
+    );
+    let (digests, report) = harness::run_fleet_sweep(&specs, jobs);
+    harness::write_sweep_bench(&report);
 
     let header = [
         "config",
@@ -97,30 +134,18 @@ fn main() {
         "min avail",
         "util",
     ];
-    let rows: Vec<Vec<String>> = outcomes
+    let rows: Vec<Vec<String>> = digests
         .iter()
-        .map(|o| {
-            let min_avail = o
-                .availability
-                .points()
-                .iter()
-                .map(|&(_, v)| v)
-                .fold(1.0f64, f64::min);
-            let worst = FaultDomain::ALL
-                .iter()
-                .rev()
-                .find(|&&l| o.domain_downtime.level(l).faults > 0)
-                .map(|l| l.label().to_string())
-                .unwrap_or_else(|| "-".to_string());
+        .map(|d| {
             vec![
-                o.summary.label.clone(),
-                table::num(o.summary.avg_wait_mins, 1),
-                o.interrupted_jobs.to_string(),
-                o.summary.abandoned_jobs.to_string(),
-                worst,
-                table::num(o.summary.node_downtime_hours, 0),
-                table::num(min_avail, 4),
-                table::num(o.summary.avg_utilization, 3),
+                d.summary.label.clone(),
+                table::num(d.summary.avg_wait_mins, 1),
+                d.interrupted_jobs.to_string(),
+                d.summary.abandoned_jobs.to_string(),
+                d.worst_domain.clone(),
+                table::num(d.summary.node_downtime_hours, 0),
+                table::num(d.min_availability, 4),
+                table::num(d.summary.avg_utilization, 3),
             ]
         })
         .collect();
@@ -128,10 +153,9 @@ fn main() {
     let mut out = String::new();
     out.push_str(&format!(
         "Extension — cascade probability \u{00d7} adaptive scheme (correlated failures)\n\
-         ({} jobs, seed {seed}, 10y node MTBF, log-normal 2h repairs \u{03c3}=0.6,\n\
+         ({n_jobs} jobs, seed {seed}, 10y node MTBF, log-normal 2h repairs \u{03c3}=0.6,\n\
           Weibull-0.7 bursts, Intrepid domains 512,2,8, oracle on,\n\
           retry: \u{2264}10 attempts, 5-min exponential backoff)\n\n",
-        jobs.len(),
     ));
     out.push_str(&table::render(&header, &rows));
     out.push_str(

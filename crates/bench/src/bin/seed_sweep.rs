@@ -6,10 +6,18 @@
 //! configurations over N seeds and reports mean ± stddev per cell, plus
 //! how often each qualitative ordering held.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin seed_sweep [--seeds N] [--fast]`
+//! The grid runs on the fault-tolerant fleet engine (`amjs-fleet`):
+//! two phases, because the adaptive thresholds are calibrated from each
+//! seed's base run. `--jobs 1` reproduces the old sequential sweep;
+//! higher worker counts change only the wall clock, never the numbers.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin seed_sweep
+//!         [--seeds N] [--fast] [--jobs N]`
 
-use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::harness;
 use amjs_bench::{results, table};
+use amjs_core::{AdaptiveKind, MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
+use amjs_fleet::RunDigest;
 
 fn mean_std(xs: &[f64]) -> (f64, f64) {
     let n = xs.len().max(1) as f64;
@@ -18,11 +26,42 @@ fn mean_std(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
+fn spec(
+    key: String,
+    label: &str,
+    seed: u64,
+    fast: bool,
+    policy: PolicyParams,
+    adaptive: AdaptiveKind,
+) -> RunSpec {
+    let name = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
+    let mut s = RunSpec::new(
+        key,
+        MachineSpec::intrepid(),
+        WorkloadSource::Preset {
+            name,
+            seed,
+            load_factor: 1.0,
+        },
+        policy,
+    )
+    .labeled(label);
+    s.adaptive = adaptive;
+    s
+}
+
 fn main() {
-    // Local argument handling: --seeds N (count), --fast.
+    // Local argument handling: --seeds N (count), --fast, --jobs N.
     let args: Vec<String> = std::env::args().collect();
     let mut n_seeds = 8usize;
     let mut fast = false;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,14 +69,40 @@ fn main() {
                 n_seeds = args[i + 1].parse().expect("--seeds N");
                 i += 2;
             }
+            "--jobs" => {
+                jobs = args[i + 1].parse().expect("--jobs N");
+                i += 2;
+            }
             "--fast" => {
                 fast = true;
                 i += 1;
             }
-            other => panic!("unknown argument {other:?} (supported: --seeds N, --fast)"),
+            other => {
+                panic!("unknown argument {other:?} (supported: --seeds N, --fast, --jobs N)")
+            }
         }
     }
 
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| 1000 + i as u64 * 77).collect();
+
+    // Phase 1: the base configuration per seed, whose mean queue depth
+    // calibrates that seed's adaptive thresholds.
+    let base_specs: Vec<RunSpec> = seeds
+        .iter()
+        .map(|&seed| {
+            spec(
+                format!("base-s{seed}"),
+                "BF=1/W=1",
+                seed,
+                fast,
+                PolicyParams::new(1.0, 1),
+                AdaptiveKind::None,
+            )
+        })
+        .collect();
+    let (base_digests, _) = harness::run_fleet_sweep(&base_specs, jobs);
+
+    // Phase 2: the remaining five Table II rows per seed.
     let labels = [
         "BF=1/W=1",
         "BF=1/W=4",
@@ -46,42 +111,82 @@ fn main() {
         "BF Adapt.",
         "2D Adapt.",
     ];
-    // per-config metric samples across seeds.
+    let mut rest_specs = Vec::new();
+    for (&seed, base) in seeds.iter().zip(&base_digests) {
+        let threshold = if base.queue_depth_mean > 0.0 {
+            base.queue_depth_mean
+        } else {
+            1000.0
+        };
+        eprintln!(
+            "seed {seed}: base wait {:.0} min, threshold {threshold:.0} min",
+            base.summary.avg_wait_mins
+        );
+        let rows: [(&str, &str, PolicyParams, AdaptiveKind); 5] = [
+            (
+                "bf1-w4",
+                labels[1],
+                PolicyParams::new(1.0, 4),
+                AdaptiveKind::None,
+            ),
+            (
+                "bf0.5-w1",
+                labels[2],
+                PolicyParams::new(0.5, 1),
+                AdaptiveKind::None,
+            ),
+            (
+                "bf0.5-w4",
+                labels[3],
+                PolicyParams::new(0.5, 4),
+                AdaptiveKind::None,
+            ),
+            (
+                "bf-adapt",
+                labels[4],
+                PolicyParams::fcfs(),
+                AdaptiveKind::Bf { threshold },
+            ),
+            (
+                "2d-adapt",
+                labels[5],
+                PolicyParams::fcfs(),
+                AdaptiveKind::TwoD { threshold },
+            ),
+        ];
+        for (stem, label, policy, adaptive) in rows {
+            rest_specs.push(spec(
+                format!("{stem}-s{seed}"),
+                label,
+                seed,
+                fast,
+                policy,
+                adaptive,
+            ));
+        }
+    }
+    let (rest_digests, report) = harness::run_fleet_sweep(&rest_specs, jobs);
+    harness::write_sweep_bench(&report);
+
+    // Regroup: per-seed rows [base, bf1-w4, bf0.5-w1, bf0.5-w4, bf, 2d].
     let mut waits: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
     let mut unfairs: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
     let mut locs: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
     let mut orderings_held = [0usize; 3];
-
-    for seed_idx in 0..n_seeds {
-        let seed = 1000 + seed_idx as u64 * 77;
-        let jobs = harness::experiment_jobs(seed, fast);
-        let base = harness::run_one(harness::intrepid(), jobs.clone(), &RunConfig::fixed(1.0, 1));
-        let threshold = base.queue_depth.mean_value().unwrap_or(1000.0);
-        let configs = vec![
-            RunConfig::fixed(1.0, 4),
-            RunConfig::fixed(0.5, 1),
-            RunConfig::fixed(0.5, 4),
-            RunConfig::bf_adaptive(threshold),
-            RunConfig::two_d_adaptive(threshold),
-        ];
-        let mut outs = vec![base];
-        outs.extend(harness::run_sweep(harness::intrepid, &jobs, &configs));
-        eprintln!(
-            "seed {seed}: base wait {:.0} min over {} jobs",
-            outs[0].summary.avg_wait_mins,
-            jobs.len()
-        );
-
-        for (k, o) in outs.iter().enumerate() {
-            waits[k].push(o.summary.avg_wait_mins);
-            unfairs[k].push(o.summary.unfair_jobs as f64);
-            locs[k].push(o.summary.loc_percent);
+    for (idx, base) in base_digests.iter().enumerate() {
+        let per_seed: Vec<&RunDigest> = std::iter::once(base)
+            .chain(rest_digests[idx * 5..idx * 5 + 5].iter())
+            .collect();
+        for (k, d) in per_seed.iter().enumerate() {
+            waits[k].push(d.summary.avg_wait_mins);
+            unfairs[k].push(d.summary.unfair_jobs as f64);
+            locs[k].push(d.summary.loc_percent);
         }
         // Orderings the reproduction pins (see tests/paper_shapes.rs):
         // (1) BF=0.5/W=1 beats the base on wait;
         // (2) unfairness grows from base to BF=0.5/W=4;
         // (3) 2D stays fairer than BF=0.5/W=4.
-        let s = |k: usize| &outs[k].summary;
+        let s = |k: usize| &per_seed[k].summary;
         if s(2).avg_wait_mins < s(0).avg_wait_mins {
             orderings_held[0] += 1;
         }

@@ -148,6 +148,55 @@ where
     slots.into_iter().map(Option::unwrap).collect()
 }
 
+/// Run fully-specified grid points on the fault-tolerant fleet engine
+/// (`amjs-fleet`): supervised workers, panics retried with backoff,
+/// results journaling-ready. `workers == 1` reproduces the old
+/// sequential behaviour exactly — the digests come back in spec order
+/// either way, so the output is byte-identical across worker counts.
+///
+/// # Panics
+/// Panics when a run stays degraded after its retry budget — an
+/// experiment binary has no use for a partial grid.
+pub fn run_fleet_sweep(
+    specs: &[amjs_core::RunSpec],
+    workers: usize,
+) -> (Vec<amjs_fleet::RunDigest>, amjs_fleet::FleetReport) {
+    let cfg = amjs_fleet::FleetConfig {
+        workers: workers.max(1),
+        heartbeat: Some(std::time::Duration::from_secs(10)),
+        ..amjs_fleet::FleetConfig::default()
+    };
+    let report = amjs_fleet::run_fleet(specs, &cfg, amjs_fleet::default_exec(), None)
+        .expect("fleet sweep failed");
+    let digests = report
+        .records
+        .iter()
+        .map(|slot| {
+            let rec = slot.as_ref().expect("fleet left a run undispatched");
+            rec.digest.clone().unwrap_or_else(|| {
+                panic!(
+                    "run {} ended {} after {} attempts: {}",
+                    rec.key,
+                    rec.status.as_str(),
+                    rec.attempts,
+                    rec.error.as_deref().unwrap_or("no error recorded")
+                )
+            })
+        })
+        .collect();
+    (digests, report)
+}
+
+/// Write the fleet throughput benchmark (runs/s, aggregate passes/s,
+/// per-run wall-clock quartiles) to `results/BENCH_sweep.json`.
+pub fn write_sweep_bench(report: &amjs_fleet::FleetReport) {
+    let path = crate::results::write_result(
+        "BENCH_sweep.json",
+        &amjs_fleet::bench_json(report, &report.records),
+    );
+    eprintln!("wrote {}", path.display());
+}
+
 /// Parse `--seed N` and `--fast` from command-line arguments.
 /// `--fast` swaps the month trace for the one-week preset so every
 /// binary can be smoke-tested quickly; returns `(seed, fast)`.

@@ -34,7 +34,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Parsed arguments: flag values plus positionals.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ParsedArgs {
     values: HashMap<&'static str, String>,
     bools: HashMap<&'static str, bool>,
@@ -59,6 +59,17 @@ impl ParsedArgs {
     /// the full configuration.
     pub fn is_given(&self, name: &str) -> bool {
         self.values.contains_key(name) || self.bools.get(name).copied().unwrap_or(false)
+    }
+
+    /// A copy of these arguments with one flag dropped. Used when a
+    /// command reinterprets a shared flag itself (e.g. `sweep` reads
+    /// `--adaptive` as a scheme list) before delegating the rest to a
+    /// common parser that expects a single value.
+    pub fn without(&self, name: &str) -> ParsedArgs {
+        let mut copy = self.clone();
+        copy.values.remove(name);
+        copy.bools.remove(name);
+        copy
     }
 
     /// Typed value with a default.

@@ -19,7 +19,7 @@ pub fn top_level_help() -> String {
      usage: amjs <command> [flags]\n\n\
      commands:\n\
        simulate             run one policy over a workload\n\
-       sweep                grid-sweep balance factor x window in parallel\n\
+       sweep                fault-tolerant parallel grid sweep (resumable)\n\
        workload             generate a synthetic trace (writes SWF)\n\
        replay <file>        simulate an SWF trace, or verify an event journal\n\
        trace explain        reconstruct a job's decision chain from a trace\n\n\
@@ -27,7 +27,7 @@ pub fn top_level_help() -> String {
         .to_string()
 }
 
-fn common_flags() -> Vec<FlagSpec> {
+pub(crate) fn common_flags() -> Vec<FlagSpec> {
     vec![
         FlagSpec {
             name: "help",
@@ -492,106 +492,6 @@ fn write_outcome_files(
 }
 
 // ---------------------------------------------------------------------------
-// sweep
-// ---------------------------------------------------------------------------
-
-fn sweep_flags() -> Vec<FlagSpec> {
-    let mut flags = common_flags();
-    flags.extend([
-        FlagSpec {
-            name: "bf",
-            is_bool: false,
-            help: "comma-separated balance factors",
-            default: Some("1,0.75,0.5,0.25,0"),
-        },
-        FlagSpec {
-            name: "window",
-            is_bool: false,
-            help: "comma-separated window sizes",
-            default: Some("1,2,4"),
-        },
-        FlagSpec {
-            name: "csv",
-            is_bool: false,
-            help: "write the sweep grid CSV to this path",
-            default: None,
-        },
-    ]);
-    flags
-}
-
-/// `amjs sweep`.
-pub fn sweep(argv: &[String]) -> Result<(), ArgError> {
-    let flags = sweep_flags();
-    let parsed = parse(argv, &flags)?;
-    if parsed.get_bool("help") {
-        println!(
-            "amjs sweep — grid-sweep BF x W in parallel\n\n{}",
-            render_flags(&flags)
-        );
-        return Ok(());
-    }
-    let machine = MachineConfig::from_args(&parsed)?;
-    let (jobs, workload_label) = load_workload(&parsed)?;
-    let policy_flags = PolicyFlags::from_args(&parsed)?;
-    let bfs: Vec<f64> = parsed.get_list("bf", &[1.0, 0.75, 0.5, 0.25, 0.0])?;
-    let windows: Vec<usize> = parsed.get_list("window", &[1, 2, 4])?;
-    for &bf in &bfs {
-        if !(0.0..=1.0).contains(&bf) {
-            return Err(ArgError(format!("--bf values must be in [0,1], got {bf}")));
-        }
-    }
-    if windows.contains(&0) {
-        return Err(ArgError("--window values must be at least 1".to_string()));
-    }
-
-    eprintln!(
-        "amjs: sweeping {}x{} policies over {} jobs from {workload_label}",
-        bfs.len(),
-        windows.len(),
-        jobs.len()
-    );
-    let summaries: Vec<amjs_metrics::MetricsSummary> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &bf in &bfs {
-            for &w in &windows {
-                let jobs = jobs.clone();
-                let flags_ref = &policy_flags;
-                handles.push(scope.spawn(move || {
-                    let policy = PolicyParams::new(bf, w);
-                    run_simulation(
-                        machine,
-                        jobs,
-                        policy,
-                        flags_ref,
-                        AdaptiveScheme::none(),
-                        policy.label(),
-                    )
-                    .summary
-                }));
-            }
-        }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-
-    println!("{}", report::table_header());
-    for s in &summaries {
-        println!("{}", s.table_row());
-    }
-    if let Some(path) = parsed.get("csv") {
-        let mut csv = String::from(report::csv_header());
-        csv.push('\n');
-        for s in &summaries {
-            csv.push_str(&s.csv_row());
-            csv.push('\n');
-        }
-        std::fs::write(path, csv).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
-        eprintln!("amjs: wrote sweep grid to {path}");
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
 // workload
 // ---------------------------------------------------------------------------
 
@@ -754,7 +654,6 @@ mod tests {
     #[test]
     fn helps_do_not_error() {
         assert!(simulate(&argv(&["--help"])).is_ok());
-        assert!(sweep(&argv(&["--help"])).is_ok());
         assert!(workload(&argv(&["--help"])).is_ok());
         assert!(replay(&argv(&["--help"])).is_ok());
         assert!(top_level_help().contains("simulate"));
@@ -845,23 +744,6 @@ mod tests {
             "--burst-model",
             "weibull:0.7",
             "--oracle",
-        ]))
-        .unwrap();
-    }
-
-    #[test]
-    fn sweep_runs_a_tiny_grid() {
-        sweep(&argv(&[
-            "--workload",
-            "small",
-            "--machine",
-            "flat",
-            "--nodes",
-            "1024",
-            "--bf",
-            "1,0",
-            "--window",
-            "1",
         ]))
         .unwrap();
     }

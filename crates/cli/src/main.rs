@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! amjs simulate  [flags]            run one policy over a workload
-//! amjs sweep     [flags]            grid-sweep BF × W in parallel
+//! amjs sweep     [flags]            fault-tolerant parallel grid sweep
 //! amjs workload  [flags]            generate a synthetic trace (SWF out)
 //! amjs replay <file> [flags]        simulate an SWF trace, or verify an
 //!                                   event journal against re-execution
@@ -16,6 +16,7 @@ mod args;
 mod commands;
 mod config;
 mod obs;
+mod sweep;
 
 use std::process::ExitCode;
 
@@ -31,7 +32,7 @@ fn main() -> ExitCode {
 
     let result = match command {
         "simulate" => commands::simulate(&rest),
-        "sweep" => commands::sweep(&rest),
+        "sweep" => sweep::sweep(&rest),
         "workload" => commands::workload(&rest),
         "replay" => commands::replay(&rest),
         "trace" => commands::trace(&rest),

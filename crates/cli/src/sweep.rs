@@ -1,0 +1,742 @@
+//! `amjs sweep` — fault-tolerant parallel grid sweeps on the
+//! `amjs-fleet` engine.
+//!
+//! The command expands scheme × BF × W × seed (under one shared
+//! machine/workload/failure configuration) into a grid of
+//! [`RunSpec`]s, fans it across supervised workers, and aggregates the
+//! per-run digests into one CSV with per-config mean ± 95% CI and a
+//! status column. With `--sweep-dir` the grid manifest and a
+//! checksummed result journal make the sweep crash-recoverable:
+//! `amjs sweep --resume <dir>` skips completed runs exactly and
+//! re-aggregates byte-identically.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use amjs_core::{
+    grid_fingerprint, AdaptiveKind, MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource,
+};
+use amjs_fleet::{
+    aggregate_csv, bench_json, render_table, run_fleet, validate_grid, Exec, FleetConfig,
+    RunDigest, SweepStore,
+};
+
+use crate::args::{parse, render_flags, ArgError, FlagSpec, ParsedArgs};
+use crate::config::{MachineConfig, MachineKind, PolicyFlags};
+
+fn sweep_flags() -> Vec<FlagSpec> {
+    let mut flags = crate::commands::common_flags();
+    flags.extend([
+        FlagSpec {
+            name: "bf",
+            is_bool: false,
+            help: "comma-separated balance factors",
+            default: Some("1,0.75,0.5,0.25,0"),
+        },
+        FlagSpec {
+            name: "window",
+            is_bool: false,
+            help: "comma-separated window sizes",
+            default: Some("1,2,4"),
+        },
+        FlagSpec {
+            name: "seeds",
+            is_bool: false,
+            help: "comma-separated workload seeds (repetitions per config)",
+            default: Some("the --seed value"),
+        },
+        FlagSpec {
+            name: "adaptive",
+            is_bool: false,
+            help: "comma-separated tuning schemes: none|bf|w|2d",
+            default: Some("none"),
+        },
+        FlagSpec {
+            name: "threshold",
+            is_bool: false,
+            help: "queue-depth threshold (min) for bf/2d tuning",
+            default: Some("1000"),
+        },
+        FlagSpec {
+            name: "estimates",
+            is_bool: false,
+            help: "planning walltimes: raw|adaptive",
+            default: Some("raw"),
+        },
+        FlagSpec {
+            name: "jobs",
+            is_bool: false,
+            help: "worker threads (1 = sequential)",
+            default: Some("all cores"),
+        },
+        FlagSpec {
+            name: "run-timeout",
+            is_bool: false,
+            help: "per-run wall-clock deadline in seconds; overrunning runs are abandoned",
+            default: Some("unbounded"),
+        },
+        FlagSpec {
+            name: "run-retries",
+            is_bool: false,
+            help: "attempt budget per run (1 = no retries)",
+            default: Some("3"),
+        },
+        FlagSpec {
+            name: "run-backoff",
+            is_bool: false,
+            help: "retry backoff base in seconds (doubles per failure)",
+            default: Some("0.5"),
+        },
+        FlagSpec {
+            name: "keep-going",
+            is_bool: true,
+            help: "exit 0 even when runs end degraded (status column still records them)",
+            default: None,
+        },
+        FlagSpec {
+            name: "sweep-dir",
+            is_bool: false,
+            help: "directory for the sweep manifest + result journal (enables --resume)",
+            default: None,
+        },
+        FlagSpec {
+            name: "resume",
+            is_bool: false,
+            help: "resume the sweep in this directory, skipping completed runs",
+            default: None,
+        },
+        FlagSpec {
+            name: "csv",
+            is_bool: false,
+            help: "write the aggregated sweep CSV to this path",
+            default: None,
+        },
+        FlagSpec {
+            name: "bench-json",
+            is_bool: false,
+            help: "write sweep throughput stats (runs/s, quartiles) as JSON to this path",
+            default: None,
+        },
+        FlagSpec {
+            name: "heartbeat",
+            is_bool: false,
+            help: "stderr progress line (done/inflight/failed) every N seconds",
+            default: None,
+        },
+        FlagSpec {
+            name: "profile-dir",
+            is_bool: false,
+            help: "write a per-run scheduler span profile JSON into this directory",
+            default: None,
+        },
+        FlagSpec {
+            name: "stop-after",
+            is_bool: false,
+            help: "stop dispatching after N runs this invocation (testing aid for --resume)",
+            default: None,
+        },
+        FlagSpec {
+            name: "inject-panic",
+            is_bool: false,
+            help: "testing aid: panic every attempt of runs whose key contains this substring",
+            default: None,
+        },
+        FlagSpec {
+            name: "inject-flaky",
+            is_bool: false,
+            help: "testing aid: panic the first attempt of runs whose key contains this substring",
+            default: None,
+        },
+        FlagSpec {
+            name: "inject-hang",
+            is_bool: false,
+            help: "testing aid: hang runs whose key contains this substring (pair with --run-timeout)",
+            default: None,
+        },
+        FlagSpec {
+            name: "quiet",
+            is_bool: true,
+            help: "print only the aggregated CSV on stdout",
+            default: None,
+        },
+    ]);
+    flags
+}
+
+/// Flags that define the grid. Alongside `--resume` they are only
+/// accepted when they reproduce the manifest's grid exactly (checked by
+/// fingerprint) — anything else would silently sweep a different
+/// experiment than the journal records.
+const GRID_FLAGS: &[&str] = &[
+    "machine",
+    "nodes",
+    "workload",
+    "seed",
+    "seeds",
+    "bf",
+    "window",
+    "adaptive",
+    "threshold",
+    "estimates",
+    "backfill",
+    "backfill-depth",
+    "node-mtbf",
+    "repair-time",
+    "repair-sigma",
+    "failure-seed",
+    "max-attempts",
+    "retry-backoff",
+    "cascade-prob",
+    "failure-domains",
+    "burst-model",
+    "oracle",
+];
+
+/// `amjs sweep`.
+pub fn sweep(argv: &[String]) -> Result<(), ArgError> {
+    let flags = sweep_flags();
+    let parsed = parse(argv, &flags)?;
+    if parsed.get_bool("help") {
+        println!(
+            "amjs sweep — fault-tolerant parallel grid sweep \
+             (scheme x BF x W x seed)\n\n{}",
+            render_flags(&flags)
+        );
+        return Ok(());
+    }
+
+    let cfg = fleet_config(&parsed)?;
+    cfg.validate().map_err(|e| ArgError(e.to_string()))?;
+
+    // Resolve the grid and the durable store.
+    let resume_dir = parsed.get("resume").map(PathBuf::from);
+    let sweep_dir = parsed.get("sweep-dir").map(PathBuf::from);
+    if resume_dir.is_some() && sweep_dir.is_some() {
+        return Err(ArgError(
+            "--resume and --sweep-dir are mutually exclusive: --resume already \
+             names the sweep directory"
+                .to_string(),
+        ));
+    }
+    let (specs, store) = match &resume_dir {
+        Some(dir) => {
+            let (specs, store) =
+                SweepStore::resume(dir).map_err(|e| ArgError(format!("--resume: {e}")))?;
+            // Grid flags may accompany --resume only if they rebuild the
+            // exact same grid (guard against resuming the wrong sweep).
+            let given: Vec<String> = GRID_FLAGS
+                .iter()
+                .filter(|f| parsed.is_given(f))
+                .map(|f| format!("--{f}"))
+                .collect();
+            if !given.is_empty() {
+                let (flag_specs, _) = build_grid(&parsed)?;
+                if grid_fingerprint(&flag_specs) != store.fingerprint() {
+                    return Err(ArgError(format!(
+                        "--resume: the grid described by {} does not match the sweep \
+                         manifest in {} (grid fingerprint mismatch); drop the grid \
+                         flags — the manifest already carries the full grid — or \
+                         start a fresh sweep with --sweep-dir",
+                        given.join(", "),
+                        dir.display()
+                    )));
+                }
+            }
+            eprintln!(
+                "amjs: resuming sweep in {} ({} of {} runs already journaled)",
+                dir.display(),
+                store.completed().len(),
+                specs.len()
+            );
+            (specs, Some(store))
+        }
+        None => {
+            let (specs, warnings) = build_grid(&parsed)?;
+            for w in &warnings {
+                eprintln!("amjs: warning: {w}");
+            }
+            let store = match &sweep_dir {
+                Some(dir) => Some(
+                    SweepStore::create(dir, &specs)
+                        .map_err(|e| ArgError(format!("--sweep-dir: {e}")))?,
+                ),
+                None => None,
+            };
+            (specs, store)
+        }
+    };
+
+    eprintln!(
+        "amjs: sweeping {} runs on {} workers{}",
+        specs.len(),
+        cfg.workers,
+        store
+            .as_ref()
+            .map(|s| format!(" (journal in {})", s.dir().display()))
+            .unwrap_or_default()
+    );
+    let exec = build_exec(&parsed)?;
+    let report = run_fleet(&specs, &cfg, exec, store.as_ref())
+        .map_err(|e| ArgError(format!("sweep failed: {e}")))?;
+
+    // Artifacts and stdout, all in grid order.
+    let csv = aggregate_csv(&specs, &report.records);
+    if parsed.get_bool("quiet") {
+        print!("{csv}");
+    } else {
+        print!("{}", render_table(&specs, &report.records));
+    }
+    if let Some(path) = parsed.get("csv") {
+        std::fs::write(path, &csv).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!("amjs: wrote aggregated sweep CSV to {path}");
+    }
+    if let Some(path) = parsed.get("bench-json") {
+        std::fs::write(path, bench_json(&report, &report.records))
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!("amjs: wrote sweep benchmark to {path}");
+    }
+
+    let failed = report.failed_runs();
+    eprintln!(
+        "amjs: sweep {}: {} runs ({} resumed, {} executed), {} retried, {} degraded, \
+         {:.1}s wall",
+        if report.complete() {
+            "complete"
+        } else {
+            "stopped"
+        },
+        report.records.iter().flatten().count(),
+        report.resumed,
+        report.executed,
+        report.retried_runs(),
+        failed,
+        report.wall.as_secs_f64(),
+    );
+    if !report.complete() {
+        if let Some(store) = &store {
+            eprintln!(
+                "amjs: {} runs still pending; continue with: amjs sweep --resume {}",
+                report.records.iter().filter(|r| r.is_none()).count(),
+                store.dir().display()
+            );
+        }
+    }
+    if failed > 0 && !cfg.keep_going {
+        let keys: Vec<&str> = report
+            .records
+            .iter()
+            .flatten()
+            .filter(|r| !r.status.succeeded())
+            .map(|r| r.key.as_str())
+            .collect();
+        return Err(ArgError(format!(
+            "{failed} runs ended degraded ({}); their rows carry status \
+             timeout/failed — pass --keep-going to exit 0 anyway",
+            keys.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// Parse the fleet execution flags.
+fn fleet_config(parsed: &ParsedArgs) -> Result<FleetConfig, ArgError> {
+    let workers = match parsed.get("jobs") {
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        Some(_) => parsed.get_parsed("jobs", 1usize)?,
+    };
+    let run_timeout = parsed
+        .get_opt::<f64>("run-timeout")?
+        .map(|s| {
+            if s <= 0.0 {
+                return Err(ArgError(format!(
+                    "--run-timeout: must be positive seconds, got {s}"
+                )));
+            }
+            Ok(Duration::from_secs_f64(s))
+        })
+        .transpose()?;
+    let backoff: f64 = parsed.get_parsed("run-backoff", 0.5)?;
+    if backoff < 0.0 {
+        return Err(ArgError(format!(
+            "--run-backoff: must be >= 0 seconds, got {backoff}"
+        )));
+    }
+    Ok(FleetConfig {
+        workers,
+        run_timeout,
+        max_attempts: parsed.get_parsed("run-retries", 3u32)?,
+        backoff_base: Duration::from_secs_f64(backoff),
+        keep_going: parsed.get_bool("keep-going"),
+        heartbeat: parsed
+            .get_opt::<f64>("heartbeat")?
+            .filter(|s| *s > 0.0)
+            .map(Duration::from_secs_f64),
+        stop_after: parsed.get_opt::<usize>("stop-after")?,
+    })
+}
+
+/// Expand the grid flags into a validated, deduplicated spec list.
+fn build_grid(parsed: &ParsedArgs) -> Result<(Vec<RunSpec>, Vec<String>), ArgError> {
+    let machine_cfg = MachineConfig::from_args(parsed)?;
+    let machine = match machine_cfg.kind {
+        MachineKind::Bgp => MachineSpec::Bgp {
+            nodes: machine_cfg.nodes,
+        },
+        MachineKind::Flat => MachineSpec::Flat {
+            nodes: machine_cfg.nodes,
+        },
+    };
+    // `sweep` reads `--adaptive` as a scheme *list* and applies it per
+    // grid point; hide it from the single-value policy parser.
+    let policy_flags = PolicyFlags::from_args(&parsed.without("adaptive"))?;
+
+    let bfs: Vec<f64> = parsed.get_list("bf", &[1.0, 0.75, 0.5, 0.25, 0.0])?;
+    let windows: Vec<usize> = parsed.get_list("window", &[1, 2, 4])?;
+    for &bf in &bfs {
+        if !(0.0..=1.0).contains(&bf) {
+            return Err(ArgError(format!("--bf values must be in [0,1], got {bf}")));
+        }
+    }
+    if windows.contains(&0) {
+        return Err(ArgError("--window values must be at least 1".to_string()));
+    }
+    let default_seed = parsed.get_parsed("seed", 42u64)?;
+    let seeds: Vec<u64> = parsed.get_list("seeds", &[default_seed])?;
+    let schemes: Vec<String> = parsed.get_list("adaptive", &["none".to_string()])?;
+    let threshold: f64 = parsed.get_parsed("threshold", 1000.0)?;
+    for scheme in &schemes {
+        if !matches!(scheme.as_str(), "none" | "bf" | "w" | "2d") {
+            return Err(ArgError(format!(
+                "--adaptive: expected none|bf|w|2d, got {scheme:?}"
+            )));
+        }
+    }
+
+    let workload_raw = parsed.get("workload").unwrap_or("month");
+    let preset = match workload_raw {
+        "month" => Some(PresetName::Month),
+        "week" => Some(PresetName::Week),
+        "small" => Some(PresetName::Small),
+        _ => None,
+    };
+    if preset.is_none() && seeds.len() > 1 {
+        return Err(ArgError(
+            "--seeds: multiple seeds only apply to synthetic presets; an SWF \
+             trace is fixed data"
+                .to_string(),
+        ));
+    }
+
+    let mut specs = Vec::new();
+    for scheme in &schemes {
+        for &bf in &bfs {
+            for &w in &windows {
+                for &seed in &seeds {
+                    let workload = match preset {
+                        Some(name) => WorkloadSource::Preset {
+                            name,
+                            seed,
+                            load_factor: 1.0,
+                        },
+                        None => WorkloadSource::Swf {
+                            path: workload_raw.to_string(),
+                        },
+                    };
+                    let policy = PolicyParams::new(bf, w);
+                    let key = format!("{scheme}-bf{bf}-w{w}-s{seed}");
+                    let label = match scheme.as_str() {
+                        "none" => policy.label(),
+                        other => format!("{}+{other}adapt", policy.label()),
+                    };
+                    let mut spec = RunSpec::new(key, machine, workload, policy).labeled(label);
+                    spec.backfill = policy_flags.backfill;
+                    spec.backfill_depth = policy_flags.backfill_depth;
+                    spec.adaptive = match scheme.as_str() {
+                        "none" => AdaptiveKind::None,
+                        "bf" => AdaptiveKind::Bf { threshold },
+                        "w" => AdaptiveKind::Window,
+                        _ => AdaptiveKind::TwoD { threshold },
+                    };
+                    spec.estimates = policy_flags.estimates;
+                    spec.failures = policy_flags.failures;
+                    spec.retry = policy_flags.retry;
+                    spec.correlation = policy_flags.correlation;
+                    spec.oracle = policy_flags.oracle;
+                    specs.push(spec);
+                }
+            }
+        }
+    }
+    validate_grid(specs).map_err(|e| ArgError(e.to_string()))
+}
+
+/// Build the per-run executor: the real simulation, wrapped with the
+/// failure-injection testing aids and optional per-run span profiling.
+fn build_exec(parsed: &ParsedArgs) -> Result<Exec, ArgError> {
+    let inject_panic = parsed.get("inject-panic").map(String::from);
+    let inject_flaky = parsed.get("inject-flaky").map(String::from);
+    let inject_hang = parsed.get("inject-hang").map(String::from);
+    let profile_dir = parsed.get("profile-dir").map(PathBuf::from);
+    if let Some(dir) = &profile_dir {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            ArgError(format!(
+                "--profile-dir: cannot create {}: {e}",
+                dir.display()
+            ))
+        })?;
+    }
+    // Keys whose injected first-attempt failure has already fired.
+    let flaky_tripped: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+    Ok(Arc::new(move |spec: &RunSpec| {
+        if let Some(pat) = &inject_hang {
+            if spec.key.contains(pat.as_str()) {
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
+        if let Some(pat) = &inject_panic {
+            if spec.key.contains(pat.as_str()) {
+                panic!("injected panic for run {}", spec.key);
+            }
+        }
+        if let Some(pat) = &inject_flaky {
+            if spec.key.contains(pat.as_str())
+                && flaky_tripped.lock().unwrap().insert(spec.key.clone())
+            {
+                panic!(
+                    "injected flaky failure for run {} (first attempt)",
+                    spec.key
+                );
+            }
+        }
+        match &profile_dir {
+            None => RunDigest::from_outcome(&spec.execute()),
+            Some(dir) => run_profiled(spec, dir),
+        }
+    }))
+}
+
+/// Execute one run with a span profiler attached, writing the profile
+/// JSON next to the sweep artifacts. The profiler is `Rc`-shared and
+/// must be built here, on the run's own thread.
+fn run_profiled(spec: &RunSpec, dir: &Path) -> RunDigest {
+    let prof: amjs_obs::SharedProfiler =
+        std::rc::Rc::new(std::cell::RefCell::new(amjs_obs::Profiler::new()));
+    let obs = amjs_obs::Observer::disabled().with_profiler(prof.clone());
+    let (outcome, _obs) = spec.execute_observed(obs);
+    let path = dir.join(format!("{}.profile.json", spec.key));
+    if let Err(e) = std::fs::write(&path, prof.borrow().to_json()) {
+        eprintln!("amjs: warning: cannot write {}: {e}", path.display());
+    }
+    RunDigest::from_outcome(&outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    const SMALL: &[&str] = &[
+        "--workload",
+        "small",
+        "--machine",
+        "flat",
+        "--nodes",
+        "1024",
+    ];
+
+    fn small_argv(extra: &[&str]) -> Vec<String> {
+        let mut v = argv(SMALL);
+        v.extend(argv(extra));
+        v
+    }
+
+    #[test]
+    fn help_does_not_error() {
+        assert!(sweep(&argv(&["--help"])).is_ok());
+    }
+
+    #[test]
+    fn tiny_grid_runs_in_parallel() {
+        sweep(&small_argv(&[
+            "--bf", "1,0", "--window", "1", "--jobs", "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn grid_expands_scheme_bf_window_seed() {
+        let parsed = parse(
+            &small_argv(&[
+                "--bf",
+                "1,0.5",
+                "--window",
+                "1,2",
+                "--seeds",
+                "1,2,3",
+                "--adaptive",
+                "none,bf",
+            ]),
+            &sweep_flags(),
+        )
+        .unwrap();
+        let (specs, warnings) = build_grid(&parsed).unwrap();
+        assert_eq!(specs.len(), 2 * 2 * 2 * 3);
+        assert!(warnings.is_empty());
+        // Keys are unique and encode the full coordinate.
+        assert!(specs.iter().any(|s| s.key == "bf-bf0.5-w2-s3"));
+        // Seeds share a label within one config (aggregation grouping).
+        let labels: Vec<&str> = specs
+            .iter()
+            .filter(|s| s.key.starts_with("none-bf1-w1"))
+            .map(|s| s.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["BF=1/W=1"; 3]);
+    }
+
+    #[test]
+    fn duplicate_seeds_dedup_with_warning() {
+        let parsed = parse(
+            &small_argv(&["--bf", "1", "--window", "1", "--seeds", "7,7"]),
+            &sweep_flags(),
+        )
+        .unwrap();
+        let (specs, warnings) = build_grid(&parsed).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("duplicate grid point"));
+    }
+
+    #[test]
+    fn validation_guards_reject_bad_flags() {
+        // --jobs 0
+        let err = sweep(&small_argv(&["--bf", "1", "--window", "1", "--jobs", "0"])).unwrap_err();
+        assert!(err.0.contains("--jobs"), "{err}");
+        // run timeout shorter than the retry backoff
+        let err = sweep(&small_argv(&[
+            "--bf",
+            "1",
+            "--window",
+            "1",
+            "--run-timeout",
+            "0.5",
+            "--run-backoff",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("backoff"), "{err}");
+        // bad grid values
+        assert!(sweep(&small_argv(&["--bf", "1.5", "--window", "1"])).is_err());
+        assert!(sweep(&small_argv(&["--bf", "1", "--window", "0"])).is_err());
+        assert!(sweep(&small_argv(&["--adaptive", "zzz"])).is_err());
+        // multiple seeds over a fixed SWF trace
+        let err = sweep(&argv(&[
+            "--workload",
+            "/tmp/x.swf",
+            "--machine",
+            "flat",
+            "--nodes",
+            "64",
+            "--seeds",
+            "1,2",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("--seeds"), "{err}");
+        // --resume and --sweep-dir together
+        let err = sweep(&argv(&["--resume", "/tmp/a", "--sweep-dir", "/tmp/b"])).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn degraded_runs_fail_the_exit_unless_keep_going() {
+        let base = &[
+            "--bf",
+            "1,0",
+            "--window",
+            "1",
+            "--run-retries",
+            "2",
+            "--run-backoff",
+            "0.001",
+            "--inject-panic",
+            "bf0-",
+        ];
+        let err = sweep(&small_argv(base)).unwrap_err();
+        assert!(err.0.contains("degraded"), "{err}");
+        assert!(err.0.contains("--keep-going"), "{err}");
+
+        let mut with_keep = base.to_vec();
+        with_keep.push("--keep-going");
+        sweep(&small_argv(&with_keep)).unwrap();
+    }
+
+    #[test]
+    fn flaky_injection_is_retried_to_success() {
+        let dir = std::env::temp_dir().join(format!("amjs-sweep-flaky-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let csv_path = dir.join("out.csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        sweep(&small_argv(&[
+            "--bf",
+            "1",
+            "--window",
+            "1,2",
+            "--run-backoff",
+            "0.001",
+            "--inject-flaky",
+            "w2",
+            "--csv",
+            csv_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.contains("none-bf1-w2-s42,retried,2,"), "{csv}");
+        assert!(csv.contains("none-bf1-w1-s42,ok,1,"), "{csv}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_with_mismatched_grid_flags_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("amjs-sweep-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        sweep(&small_argv(&[
+            "--bf",
+            "1",
+            "--window",
+            "1",
+            "--sweep-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Same grid flags: accepted.
+        sweep(&small_argv(&[
+            "--bf",
+            "1",
+            "--window",
+            "1",
+            "--resume",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Different grid: fingerprint mismatch.
+        let err = sweep(&small_argv(&[
+            "--bf",
+            "0.5",
+            "--window",
+            "1",
+            "--resume",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("fingerprint mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

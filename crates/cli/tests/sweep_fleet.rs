@@ -1,0 +1,175 @@
+//! `amjs sweep` fleet contract, driven through the real binary:
+//!
+//! - the aggregated CSV is byte-identical across `--jobs 1/2/8`;
+//! - an injected panic is retried, recorded as `failed`, and the rest
+//!   of the grid still completes (exit 0 under `--keep-going`);
+//! - an injected hang hits the per-run deadline and degrades to
+//!   `timeout` instead of wedging the sweep;
+//! - a sweep stopped mid-flight resumes from its journal and
+//!   re-aggregates byte-identically to an uninterrupted sweep.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn amjs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_amjs"))
+        .args(args)
+        .output()
+        .expect("spawn amjs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amjs_sweep_fleet_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A 12-run grid over the small preset: 3 BF × 2 W × 2 seeds.
+const GRID: &[&str] = &[
+    "sweep",
+    "--workload",
+    "small",
+    "--machine",
+    "flat",
+    "--nodes",
+    "1024",
+    "--bf",
+    "1,0.5,0",
+    "--window",
+    "1,2",
+    "--seeds",
+    "42,43",
+    "--quiet",
+];
+
+fn grid_with<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut v = GRID.to_vec();
+    v.extend(extra);
+    v
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = amjs(args);
+    assert!(
+        out.status.success(),
+        "amjs {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is utf-8")
+}
+
+#[test]
+fn aggregated_csv_is_byte_identical_across_worker_counts() {
+    let csv1 = run_ok(&grid_with(&["--jobs", "1"]));
+    let csv2 = run_ok(&grid_with(&["--jobs", "2"]));
+    let csv8 = run_ok(&grid_with(&["--jobs", "8"]));
+    assert_eq!(csv1, csv2, "--jobs 2 changed the aggregated CSV");
+    assert_eq!(csv1, csv8, "--jobs 8 changed the aggregated CSV");
+    // Sanity: per-run rows in grid order, then the aggregate section.
+    assert!(csv1.starts_with("key,status,attempts,config,"), "{csv1}");
+    assert!(csv1.contains("none-bf1-w1-s42,ok,1,"), "{csv1}");
+    assert!(csv1.contains("avg_wait_mins_mean"), "{csv1}");
+}
+
+#[test]
+fn injected_panic_degrades_to_failed_without_killing_the_sweep() {
+    let args = grid_with(&[
+        "--jobs",
+        "4",
+        "--run-retries",
+        "2",
+        "--run-backoff",
+        "0.001",
+        "--inject-panic",
+        "bf0.5-w2",
+        "--keep-going",
+    ]);
+    let out = amjs(&args);
+    assert!(
+        out.status.success(),
+        "--keep-going should exit 0:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = String::from_utf8(out.stdout).unwrap();
+    // Both seeds of the poisoned config retried then failed...
+    assert!(csv.contains("none-bf0.5-w2-s42,failed,2,"), "{csv}");
+    assert!(csv.contains("none-bf0.5-w2-s43,failed,2,"), "{csv}");
+    // ...and every other run still completed.
+    assert_eq!(csv.matches(",ok,1,").count(), 10, "{csv}");
+
+    // Without --keep-going the same sweep reports failure via the exit
+    // code (the CSV still carries the degraded rows).
+    let args: Vec<&str> = args
+        .iter()
+        .copied()
+        .filter(|a| *a != "--keep-going")
+        .collect();
+    let out = amjs(&args);
+    assert!(!out.status.success(), "degraded sweep must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degraded"), "{err}");
+}
+
+#[test]
+fn injected_hang_times_out_instead_of_wedging() {
+    let out = amjs(&grid_with(&[
+        "--bf",
+        "1",
+        "--seeds",
+        "42,43",
+        "--jobs",
+        "2",
+        "--run-timeout",
+        "2",
+        "--run-retries",
+        "1",
+        "--inject-hang",
+        "w2-s43",
+        "--keep-going",
+    ]));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = String::from_utf8(out.stdout).unwrap();
+    assert!(csv.contains("none-bf1-w2-s43,timeout,1,"), "{csv}");
+    assert_eq!(csv.matches(",ok,1,").count(), 3, "{csv}");
+}
+
+#[test]
+fn resumed_sweep_reaggregates_byte_identically() {
+    let full = run_ok(&grid_with(&["--jobs", "2"]));
+
+    let dir = tmp("resume_equals_uninterrupted");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    // First leg: stop after 5 of 12 runs (simulated crash — the journal
+    // also survives a real SIGKILL, which CI exercises).
+    let first = amjs(&grid_with(&[
+        "--jobs",
+        "2",
+        "--sweep-dir",
+        dir_s,
+        "--stop-after",
+        "5",
+    ]));
+    assert!(first.status.success());
+    let err = String::from_utf8_lossy(&first.stderr);
+    assert!(err.contains("still pending"), "{err}");
+
+    // Second leg: resume needs no grid flags — the manifest carries the
+    // grid — and the final CSV matches the uninterrupted sweep exactly.
+    let resumed = run_ok(&["sweep", "--quiet", "--jobs", "2", "--resume", dir_s]);
+    assert_eq!(full, resumed, "resumed aggregation diverged");
+
+    // Third leg: everything already journaled; nothing executes.
+    let again = amjs(&["sweep", "--quiet", "--resume", dir_s]);
+    assert!(again.status.success());
+    let err = String::from_utf8_lossy(&again.stderr);
+    assert!(err.contains("12 of 12 runs already journaled"), "{err}");
+    assert_eq!(String::from_utf8(again.stdout).unwrap(), full);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

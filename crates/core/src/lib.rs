@@ -37,6 +37,7 @@ pub mod policy;
 pub mod runner;
 pub mod scheduler;
 pub mod score;
+pub mod spec;
 pub mod window;
 
 pub use adaptive::{AdaptiveScheme, TunerConfig};
@@ -44,3 +45,4 @@ pub use persist::{replay_journal, resume_simulation, PersistError, PersistSpec, 
 pub use policy::{PolicyParams, QueuePolicy};
 pub use runner::{SimulationBuilder, SimulationOutcome};
 pub use scheduler::{BackfillMode, QueuedJob, ScheduleDecision, Scheduler};
+pub use spec::{grid_fingerprint, AdaptiveKind, MachineSpec, PresetName, RunSpec, WorkloadSource};

@@ -1,0 +1,693 @@
+//! Self-contained run specifications — one grid point of a sweep.
+//!
+//! A [`RunSpec`] captures *everything* one simulation needs (machine,
+//! workload source, policy, failure model, oracle switch) as plain
+//! data, so a sweep orchestrator can fan specs across worker threads,
+//! fingerprint a whole grid, and serialize it into a durable sweep
+//! manifest (see the `amjs-fleet` crate). [`RunSpec::execute`] is the
+//! per-grid-point runner entry point: it regenerates the workload,
+//! builds the platform, and runs the simulation to a
+//! [`SimulationOutcome`].
+//!
+//! Serialization reuses the workspace snapshot codec
+//! ([`amjs_sim::snapshot::SnapWriter`] / [`SnapReader`]): length-
+//! prefixed strings, explicit option tags, and a version byte so a
+//! manifest written by an older build is rejected loudly rather than
+//! misread.
+
+use amjs_platform::{BgpCluster, FlatCluster};
+use amjs_sim::snapshot::{Fnv1a, SnapError, SnapReader, SnapWriter};
+use amjs_sim::SimDuration;
+use amjs_workload::{swf, Job, WorkloadSpec};
+
+use crate::adaptive::AdaptiveScheme;
+use crate::estimates::EstimatePolicy;
+use crate::failures::{
+    BurstModel, CorrelationSpec, DomainSpec, FailureSpec, RepairSpec, RetryPolicy,
+};
+use crate::runner::{SimulationBuilder, SimulationOutcome};
+use crate::scheduler::BackfillMode;
+use crate::PolicyParams;
+
+/// Format version of the [`RunSpec`] encoding.
+pub const RUN_SPEC_VERSION: u8 = 1;
+
+/// The machine one run simulates on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineSpec {
+    /// Blue Gene/P-style partitioned machine (`nodes` must be a
+    /// positive multiple of 512).
+    Bgp {
+        /// Total node count.
+        nodes: u32,
+    },
+    /// Idealized flat cluster.
+    Flat {
+        /// Total node count.
+        nodes: u32,
+    },
+}
+
+impl MachineSpec {
+    /// Intrepid: 40,960 nodes as 80 midplanes of 512.
+    pub fn intrepid() -> Self {
+        MachineSpec::Bgp { nodes: 40_960 }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        match *self {
+            MachineSpec::Bgp { nodes } | MachineSpec::Flat { nodes } => nodes,
+        }
+    }
+}
+
+/// A synthetic workload preset name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PresetName {
+    /// One month of Intrepid-like load (`WorkloadSpec::intrepid_month`).
+    Month,
+    /// One week (`WorkloadSpec::intrepid_week`).
+    Week,
+    /// The tiny smoke-test trace (`WorkloadSpec::small_test`).
+    Small,
+}
+
+impl PresetName {
+    /// The CLI spelling (`month`/`week`/`small`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PresetName::Month => "month",
+            PresetName::Week => "week",
+            PresetName::Small => "small",
+        }
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        match self {
+            PresetName::Month => WorkloadSpec::intrepid_month(),
+            PresetName::Week => WorkloadSpec::intrepid_week(),
+            PresetName::Small => WorkloadSpec::small_test(),
+        }
+    }
+}
+
+/// Where one run's jobs come from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSource {
+    /// A synthetic preset, regenerated deterministically from the seed.
+    Preset {
+        /// Which preset.
+        name: PresetName,
+        /// Generation seed.
+        seed: u64,
+        /// Arrival-rate scale factor.
+        load_factor: f64,
+    },
+    /// An SWF trace file, read at execution time.
+    Swf {
+        /// Path to the trace.
+        path: String,
+    },
+}
+
+/// The adaptive tuning scheme of one run, as plain data (the live
+/// [`AdaptiveScheme`] is built at execution time).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdaptiveKind {
+    /// Static policy — no tuning.
+    None,
+    /// The paper's "BF Adapt." row.
+    Bf {
+        /// Queue-depth threshold in minutes.
+        threshold: f64,
+    },
+    /// The paper's "W Adapt." row.
+    Window,
+    /// The paper's "2D Adapt." row.
+    TwoD {
+        /// Queue-depth threshold in minutes.
+        threshold: f64,
+    },
+}
+
+impl AdaptiveKind {
+    fn scheme(&self) -> AdaptiveScheme {
+        match *self {
+            AdaptiveKind::None => AdaptiveScheme::none(),
+            AdaptiveKind::Bf { threshold } => AdaptiveScheme::bf_adaptive(threshold),
+            AdaptiveKind::Window => AdaptiveScheme::window_adaptive(),
+            AdaptiveKind::TwoD { threshold } => AdaptiveScheme::two_d(threshold),
+        }
+    }
+}
+
+/// One grid point: a complete, self-contained run description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSpec {
+    /// Unique identifier within a sweep (journal key, CSV column).
+    pub key: String,
+    /// Human-facing row label (e.g. `"BF=0.5/W=4"`).
+    pub label: String,
+    /// The machine.
+    pub machine: MachineSpec,
+    /// The workload.
+    pub workload: WorkloadSource,
+    /// Initial `(BF, W)` policy.
+    pub policy: PolicyParams,
+    /// Backfilling mode.
+    pub backfill: BackfillMode,
+    /// Backfill candidate depth (`None` = unlimited).
+    pub backfill_depth: Option<usize>,
+    /// EASY protection depth (`None` = protect every reservation).
+    pub easy_protected: Option<usize>,
+    /// Adaptive tuning scheme.
+    pub adaptive: AdaptiveKind,
+    /// Planning walltime policy.
+    pub estimates: EstimatePolicy,
+    /// Failure injection (`None` = reliable machine).
+    pub failures: Option<FailureSpec>,
+    /// Retry behavior for failure-killed jobs.
+    pub retry: RetryPolicy,
+    /// Correlated failure layer.
+    pub correlation: Option<CorrelationSpec>,
+    /// Force the runtime invariant oracle on in release builds.
+    pub oracle: bool,
+}
+
+impl RunSpec {
+    /// A minimal spec: the given machine/workload with everything else
+    /// at the bench-harness defaults (EASY backfill, depth 16,
+    /// protected 1 — see `amjs-bench::harness`).
+    pub fn new(
+        key: impl Into<String>,
+        machine: MachineSpec,
+        workload: WorkloadSource,
+        policy: PolicyParams,
+    ) -> Self {
+        RunSpec {
+            key: key.into(),
+            label: policy.label(),
+            machine,
+            workload,
+            policy,
+            backfill: BackfillMode::Easy,
+            backfill_depth: Some(16),
+            easy_protected: Some(1),
+            adaptive: AdaptiveKind::None,
+            estimates: EstimatePolicy::Requested,
+            failures: None,
+            retry: RetryPolicy::default(),
+            correlation: None,
+            oracle: false,
+        }
+    }
+
+    /// Rename the row label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The jobs this spec runs over.
+    ///
+    /// # Panics
+    /// Panics when an SWF workload cannot be read or parsed; sweep
+    /// supervisors convert the panic into a structured run failure.
+    pub fn jobs(&self) -> Vec<Job> {
+        match &self.workload {
+            WorkloadSource::Preset {
+                name,
+                seed,
+                load_factor,
+            } => name.spec().with_load_factor(*load_factor).generate(*seed),
+            WorkloadSource::Swf { path } => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read workload {path:?}: {e}"));
+                let parsed =
+                    swf::parse(&text).unwrap_or_else(|e| panic!("SWF parse error in {path}: {e}"));
+                assert!(!parsed.jobs.is_empty(), "{path}: no usable jobs");
+                parsed.jobs
+            }
+        }
+    }
+
+    /// Run this grid point to completion (deterministic: the same spec
+    /// always produces the same outcome).
+    pub fn execute(&self) -> SimulationOutcome {
+        self.execute_observed(amjs_obs::Observer::disabled()).0
+    }
+
+    /// Like [`RunSpec::execute`], with an observer attached (e.g. a
+    /// per-run span profiler). The observer must be built on the
+    /// calling thread — it is not `Send`.
+    pub fn execute_observed(
+        &self,
+        obs: amjs_obs::Observer,
+    ) -> (SimulationOutcome, amjs_obs::Observer) {
+        let jobs = self.jobs();
+        match self.machine {
+            MachineSpec::Bgp { nodes } => self
+                .configure(SimulationBuilder::new(
+                    BgpCluster::new((nodes / 512) as u16, 512),
+                    jobs,
+                ))
+                .run_observed(obs),
+            MachineSpec::Flat { nodes } => self
+                .configure(SimulationBuilder::new(FlatCluster::new(nodes), jobs))
+                .run_observed(obs),
+        }
+    }
+
+    fn configure<P: amjs_platform::Platform>(
+        &self,
+        builder: SimulationBuilder<P>,
+    ) -> SimulationBuilder<P> {
+        let mut builder = builder
+            .policy(self.policy)
+            .backfill(self.backfill)
+            .backfill_depth(self.backfill_depth)
+            .easy_protected(self.easy_protected)
+            .estimate_policy(self.estimates)
+            .failures(self.failures)
+            .retry_policy(self.retry)
+            .correlated_failures(self.correlation)
+            .adaptive(self.adaptive.scheme())
+            .label(self.label.clone());
+        if self.oracle {
+            builder = builder.oracle(true);
+        }
+        builder
+    }
+
+    /// Append this spec's canonical encoding to a snapshot writer.
+    pub fn encode(&self, w: &mut SnapWriter) {
+        w.put_u8(RUN_SPEC_VERSION);
+        w.put_str(&self.key);
+        w.put_str(&self.label);
+        match self.machine {
+            MachineSpec::Bgp { nodes } => {
+                w.put_u8(0);
+                w.put_u32(nodes);
+            }
+            MachineSpec::Flat { nodes } => {
+                w.put_u8(1);
+                w.put_u32(nodes);
+            }
+        }
+        match &self.workload {
+            WorkloadSource::Preset {
+                name,
+                seed,
+                load_factor,
+            } => {
+                w.put_u8(0);
+                w.put_str(name.as_str());
+                w.put_u64(*seed);
+                w.put_f64(*load_factor);
+            }
+            WorkloadSource::Swf { path } => {
+                w.put_u8(1);
+                w.put_str(path);
+            }
+        }
+        w.put_f64(self.policy.balance_factor);
+        w.put_usize(self.policy.window);
+        w.put_u8(match self.backfill {
+            BackfillMode::None => 0,
+            BackfillMode::Easy => 1,
+            BackfillMode::Conservative => 2,
+        });
+        put_opt_usize(w, self.backfill_depth);
+        put_opt_usize(w, self.easy_protected);
+        match self.adaptive {
+            AdaptiveKind::None => w.put_u8(0),
+            AdaptiveKind::Bf { threshold } => {
+                w.put_u8(1);
+                w.put_f64(threshold);
+            }
+            AdaptiveKind::Window => w.put_u8(2),
+            AdaptiveKind::TwoD { threshold } => {
+                w.put_u8(3);
+                w.put_f64(threshold);
+            }
+        }
+        match self.estimates {
+            EstimatePolicy::Requested => w.put_u8(0),
+            EstimatePolicy::UserAdaptive { alpha, min_factor } => {
+                w.put_u8(1);
+                w.put_f64(alpha);
+                w.put_f64(min_factor);
+            }
+        }
+        match &self.failures {
+            None => w.put_u8(0),
+            Some(spec) => {
+                w.put_u8(1);
+                w.put_i64(spec.node_mtbf.as_secs());
+                match spec.repair {
+                    RepairSpec::Deterministic(d) => {
+                        w.put_u8(0);
+                        w.put_i64(d.as_secs());
+                    }
+                    RepairSpec::LogNormal { mean, sigma } => {
+                        w.put_u8(1);
+                        w.put_i64(mean.as_secs());
+                        w.put_f64(sigma);
+                    }
+                }
+                w.put_u64(spec.seed);
+            }
+        }
+        match self.retry.max_attempts {
+            None => w.put_u8(0),
+            Some(n) => {
+                w.put_u8(1);
+                w.put_u32(n);
+            }
+        }
+        w.put_i64(self.retry.backoff_base.as_secs());
+        match &self.correlation {
+            None => w.put_u8(0),
+            Some(corr) => {
+                w.put_u8(1);
+                w.put_f64(corr.cascade_prob);
+                w.put_u32(corr.domains.midplane_nodes);
+                w.put_u32(corr.domains.midplanes_per_rack);
+                w.put_u32(corr.domains.racks_per_power_domain);
+                match corr.burst {
+                    BurstModel::None => w.put_u8(0),
+                    BurstModel::Weibull { shape } => {
+                        w.put_u8(1);
+                        w.put_f64(shape);
+                    }
+                    BurstModel::Markov {
+                        rate_boost,
+                        mean_calm,
+                        mean_burst,
+                    } => {
+                        w.put_u8(2);
+                        w.put_f64(rate_boost);
+                        w.put_i64(mean_calm.as_secs());
+                        w.put_i64(mean_burst.as_secs());
+                    }
+                }
+            }
+        }
+        w.put_bool(self.oracle);
+    }
+
+    /// Decode one spec from a snapshot reader (inverse of
+    /// [`RunSpec::encode`]).
+    pub fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let version = r.get_u8()?;
+        if version != RUN_SPEC_VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                found: version as u32,
+                supported: RUN_SPEC_VERSION as u32,
+            });
+        }
+        let key = r.get_str()?;
+        let label = r.get_str()?;
+        let machine = match r.get_u8()? {
+            0 => MachineSpec::Bgp {
+                nodes: r.get_u32()?,
+            },
+            1 => MachineSpec::Flat {
+                nodes: r.get_u32()?,
+            },
+            tag => return Err(bad_tag("machine", tag)),
+        };
+        let workload = match r.get_u8()? {
+            0 => {
+                let name = match r.get_str()?.as_str() {
+                    "month" => PresetName::Month,
+                    "week" => PresetName::Week,
+                    "small" => PresetName::Small,
+                    _ => return Err(bad_tag("preset", 255)),
+                };
+                WorkloadSource::Preset {
+                    name,
+                    seed: r.get_u64()?,
+                    load_factor: r.get_f64()?,
+                }
+            }
+            1 => WorkloadSource::Swf { path: r.get_str()? },
+            tag => return Err(bad_tag("workload", tag)),
+        };
+        let policy = PolicyParams::new(r.get_f64()?, r.get_usize()?);
+        let backfill = match r.get_u8()? {
+            0 => BackfillMode::None,
+            1 => BackfillMode::Easy,
+            2 => BackfillMode::Conservative,
+            tag => return Err(bad_tag("backfill", tag)),
+        };
+        let backfill_depth = get_opt_usize(r)?;
+        let easy_protected = get_opt_usize(r)?;
+        let adaptive = match r.get_u8()? {
+            0 => AdaptiveKind::None,
+            1 => AdaptiveKind::Bf {
+                threshold: r.get_f64()?,
+            },
+            2 => AdaptiveKind::Window,
+            3 => AdaptiveKind::TwoD {
+                threshold: r.get_f64()?,
+            },
+            tag => return Err(bad_tag("adaptive", tag)),
+        };
+        let estimates = match r.get_u8()? {
+            0 => EstimatePolicy::Requested,
+            1 => EstimatePolicy::UserAdaptive {
+                alpha: r.get_f64()?,
+                min_factor: r.get_f64()?,
+            },
+            tag => return Err(bad_tag("estimates", tag)),
+        };
+        let failures = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let node_mtbf = SimDuration::from_secs(r.get_i64()?);
+                let repair = match r.get_u8()? {
+                    0 => RepairSpec::Deterministic(SimDuration::from_secs(r.get_i64()?)),
+                    1 => RepairSpec::LogNormal {
+                        mean: SimDuration::from_secs(r.get_i64()?),
+                        sigma: r.get_f64()?,
+                    },
+                    tag => return Err(bad_tag("repair", tag)),
+                };
+                Some(FailureSpec {
+                    node_mtbf,
+                    repair,
+                    seed: r.get_u64()?,
+                })
+            }
+            tag => return Err(bad_tag("failures", tag)),
+        };
+        let max_attempts = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32()?),
+            tag => return Err(bad_tag("max-attempts", tag)),
+        };
+        let retry = RetryPolicy {
+            max_attempts,
+            backoff_base: SimDuration::from_secs(r.get_i64()?),
+        };
+        let correlation = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let cascade_prob = r.get_f64()?;
+                let domains = DomainSpec {
+                    midplane_nodes: r.get_u32()?,
+                    midplanes_per_rack: r.get_u32()?,
+                    racks_per_power_domain: r.get_u32()?,
+                };
+                let burst = match r.get_u8()? {
+                    0 => BurstModel::None,
+                    1 => BurstModel::Weibull {
+                        shape: r.get_f64()?,
+                    },
+                    2 => BurstModel::Markov {
+                        rate_boost: r.get_f64()?,
+                        mean_calm: SimDuration::from_secs(r.get_i64()?),
+                        mean_burst: SimDuration::from_secs(r.get_i64()?),
+                    },
+                    tag => return Err(bad_tag("burst", tag)),
+                };
+                Some(CorrelationSpec {
+                    cascade_prob,
+                    domains,
+                    burst,
+                })
+            }
+            tag => return Err(bad_tag("correlation", tag)),
+        };
+        let oracle = r.get_bool()?;
+        Ok(RunSpec {
+            key,
+            label,
+            machine,
+            workload,
+            policy,
+            backfill,
+            backfill_depth,
+            easy_protected,
+            adaptive,
+            estimates,
+            failures,
+            retry,
+            correlation,
+            oracle,
+        })
+    }
+
+    /// Mix this spec's canonical encoding into a fingerprint hasher.
+    pub fn fingerprint_into(&self, h: &mut Fnv1a) {
+        let mut w = SnapWriter::new();
+        self.encode(&mut w);
+        h.write(w.as_bytes());
+    }
+}
+
+fn put_opt_usize(w: &mut SnapWriter, v: Option<usize>) {
+    match v {
+        None => w.put_u8(0),
+        Some(n) => {
+            w.put_u8(1);
+            w.put_usize(n);
+        }
+    }
+}
+
+fn get_opt_usize(r: &mut SnapReader) -> Result<Option<usize>, SnapError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_usize()?)),
+        tag => Err(bad_tag("option", tag)),
+    }
+}
+
+fn bad_tag(_what: &'static str, tag: u8) -> SnapError {
+    SnapError::UnsupportedVersion {
+        found: tag as u32,
+        supported: RUN_SPEC_VERSION as u32,
+    }
+}
+
+/// Fingerprint of a whole grid: the FNV-1a digest of every spec's
+/// canonical encoding, in grid order. Two invocations agree on the
+/// fingerprint iff they describe the same sweep.
+pub fn grid_fingerprint(specs: &[RunSpec]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(specs.len() as u64);
+    for spec in specs {
+        spec.fingerprint_into(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_specs() -> Vec<RunSpec> {
+        let plain = RunSpec::new(
+            "s1-bf0.5-w2",
+            MachineSpec::Flat { nodes: 1024 },
+            WorkloadSource::Preset {
+                name: PresetName::Small,
+                seed: 1,
+                load_factor: 1.0,
+            },
+            PolicyParams::new(0.5, 2),
+        );
+        let mut fancy = RunSpec::new(
+            "s2-2d",
+            MachineSpec::intrepid(),
+            WorkloadSource::Swf {
+                path: "trace.swf".to_string(),
+            },
+            PolicyParams::fcfs(),
+        )
+        .labeled("2D Adapt.");
+        fancy.adaptive = AdaptiveKind::TwoD { threshold: 1500.0 };
+        fancy.estimates = EstimatePolicy::user_adaptive();
+        fancy.backfill = BackfillMode::Conservative;
+        fancy.failures = Some(FailureSpec {
+            node_mtbf: SimDuration::from_hours(87_600),
+            repair: RepairSpec::LogNormal {
+                mean: SimDuration::from_hours(2),
+                sigma: 0.6,
+            },
+            seed: 7,
+        });
+        fancy.retry = RetryPolicy {
+            max_attempts: Some(5),
+            backoff_base: SimDuration::from_mins(5),
+        };
+        fancy.correlation = Some(CorrelationSpec {
+            cascade_prob: 0.3,
+            domains: DomainSpec::intrepid(),
+            burst: BurstModel::Weibull { shape: 0.7 },
+        });
+        fancy.oracle = true;
+        vec![plain, fancy]
+    }
+
+    #[test]
+    fn specs_round_trip_through_the_codec() {
+        for spec in sample_specs() {
+            let mut w = SnapWriter::new();
+            spec.encode(&mut w);
+            let bytes = w.into_bytes();
+            let decoded = RunSpec::decode(&mut SnapReader::new(&bytes)).unwrap();
+            assert_eq!(decoded, spec);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let specs = sample_specs();
+        let fp = grid_fingerprint(&specs);
+        assert_eq!(fp, grid_fingerprint(&specs), "fingerprint is deterministic");
+
+        let reversed: Vec<RunSpec> = specs.iter().rev().cloned().collect();
+        assert_ne!(fp, grid_fingerprint(&reversed), "order matters");
+
+        let mut tweaked = specs.clone();
+        tweaked[0].policy = PolicyParams::new(0.25, 2);
+        assert_ne!(fp, grid_fingerprint(&tweaked), "content matters");
+    }
+
+    #[test]
+    fn execute_runs_a_small_grid_point() {
+        let spec = RunSpec::new(
+            "tiny",
+            MachineSpec::Flat { nodes: 1024 },
+            WorkloadSource::Preset {
+                name: PresetName::Small,
+                seed: 3,
+                load_factor: 1.0,
+            },
+            PolicyParams::new(0.5, 2),
+        );
+        let out = spec.execute();
+        assert!(out.summary.jobs_completed > 0);
+        assert_eq!(out.summary.label, "BF=0.5/W=2");
+        // Determinism: the same spec reproduces the same summary.
+        assert_eq!(spec.execute().summary, out.summary);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot read workload")]
+    fn missing_swf_panics_with_a_clear_message() {
+        RunSpec::new(
+            "gone",
+            MachineSpec::Flat { nodes: 64 },
+            WorkloadSource::Swf {
+                path: "/no/such/trace.swf".to_string(),
+            },
+            PolicyParams::fcfs(),
+        )
+        .jobs();
+    }
+}
