@@ -13,18 +13,44 @@
 //! shifts to standing capacity loss — availability sags and waiting
 //! times inflate even though no extra work is destroyed.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin ablation_repair [--seed N] [--fast]`
+//! The grid runs on the fault-tolerant fleet engine (`amjs-fleet`):
+//! supervised workers, panics retried, digests in spec order. `--jobs 1`
+//! reproduces the old sequential output byte-for-byte.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin ablation_repair
+//!         [--seed N] [--fast] [--jobs N]`
 
-use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::harness;
 use amjs_bench::{results, table};
 use amjs_core::failures::{FailureSpec, RepairSpec, RetryPolicy};
-use amjs_core::runner::SimulationBuilder;
+use amjs_core::{MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 use amjs_sim::SimDuration;
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
-    let jobs = harness::experiment_jobs(seed, fast);
-    eprintln!("ablation_repair: {} jobs", jobs.len());
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = harness::DEFAULT_SEED;
+    let mut fast = false;
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--jobs" => {
+                workers = args[i + 1].parse().expect("--jobs N");
+                i += 2;
+            }
+            "--fast" => {
+                fast = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (supported: --seed N, --fast, --jobs N)"),
+        }
+    }
 
     // Node MTBFs: the production-flavored 50 years, and a degraded
     // machine at 10 years (~1 machine failure / 2.1 h at Intrepid
@@ -36,47 +62,47 @@ fn main() {
         max_attempts: Some(10),
         backoff_base: SimDuration::from_mins(5),
     };
-    let config = RunConfig::fixed(0.5, 4);
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
 
-    let variants: Vec<(FailureSpec, String)> = mtbf_years
+    let specs: Vec<RunSpec> = mtbf_years
         .iter()
         .flat_map(|&years| {
             repair_hours.iter().map(move |&hours| {
-                let spec = FailureSpec {
+                let mut s = RunSpec::new(
+                    format!("mtbf{years}y-fix{hours}h"),
+                    MachineSpec::intrepid(),
+                    WorkloadSource::Preset {
+                        name: preset,
+                        seed,
+                        load_factor: 1.0,
+                    },
+                    PolicyParams::new(0.5, 4),
+                )
+                .labeled(format!("mtbf{years}y/fix{hours}h"));
+                s.failures = Some(FailureSpec {
                     node_mtbf: SimDuration::from_hours(years * 365 * 24),
                     repair: RepairSpec::LogNormal {
                         mean: SimDuration::from_hours(hours),
                         sigma: 0.6,
                     },
                     seed: seed ^ 0x4E9A,
-                };
-                (spec, format!("mtbf{years}y/fix{hours}h"))
+                });
+                s.retry = retry;
+                s
             })
         })
         .collect();
-
-    let outcomes: Vec<_> = std::thread::scope(|s| {
-        let handles: Vec<_> = variants
-            .iter()
-            .map(|(spec, label)| {
-                let jobs = jobs.clone();
-                let label = label.clone();
-                let spec = *spec;
-                s.spawn(move || {
-                    SimulationBuilder::new(harness::intrepid(), jobs)
-                        .policy(config.policy)
-                        .backfill(config.backfill)
-                        .easy_protected(Some(harness::EASY_PROTECTED))
-                        .backfill_depth(Some(harness::BACKFILL_DEPTH))
-                        .failures(Some(spec))
-                        .retry_policy(retry)
-                        .label(label)
-                        .run()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let n_jobs = specs[0].jobs().len();
+    eprintln!(
+        "ablation_repair: {} runs of {n_jobs} jobs, {workers} workers",
+        specs.len()
+    );
+    let (digests, report) = harness::run_fleet_sweep(&specs, workers);
+    harness::write_sweep_bench(&report);
 
     let header = [
         "config",
@@ -87,23 +113,17 @@ fn main() {
         "min avail",
         "util",
     ];
-    let rows: Vec<Vec<String>> = outcomes
+    let rows: Vec<Vec<String>> = digests
         .iter()
-        .map(|o| {
-            let min_avail = o
-                .availability
-                .points()
-                .iter()
-                .map(|&(_, v)| v)
-                .fold(1.0f64, f64::min);
+        .map(|d| {
             vec![
-                o.summary.label.clone(),
-                table::num(o.summary.avg_wait_mins, 1),
-                o.interrupted_jobs.to_string(),
-                o.summary.abandoned_jobs.to_string(),
-                table::num(o.summary.node_downtime_hours, 0),
-                table::num(min_avail, 4),
-                table::num(o.summary.avg_utilization, 3),
+                d.summary.label.clone(),
+                table::num(d.summary.avg_wait_mins, 1),
+                d.interrupted_jobs.to_string(),
+                d.summary.abandoned_jobs.to_string(),
+                table::num(d.summary.node_downtime_hours, 0),
+                table::num(d.min_availability, 4),
+                table::num(d.summary.avg_utilization, 3),
             ]
         })
         .collect();
@@ -111,9 +131,8 @@ fn main() {
     let mut out = String::new();
     out.push_str(&format!(
         "Extension — repair time \u{00d7} failure rate (node lifecycle)\n\
-         ({} jobs, seed {seed}, BF=0.5/W=4, log-normal repairs \u{03c3}=0.6,\n\
+         ({n_jobs} jobs, seed {seed}, BF=0.5/W=4, log-normal repairs \u{03c3}=0.6,\n\
           retry: \u{2264}10 attempts, 5-min exponential backoff)\n\n",
-        jobs.len(),
     ));
     out.push_str(&table::render(&header, &rows));
     out.push_str(

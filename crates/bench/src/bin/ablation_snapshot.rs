@@ -16,49 +16,75 @@
 //! size. At relaxed cadences persistence is within measurement noise
 //! of free.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin ablation_snapshot [--seed N] [--fast]`
+//! The grid runs on the fault-tolerant fleet engine (`amjs-fleet`) with
+//! a custom executor that times each cell; raw measurements come back
+//! through a side channel keyed by spec, so the table is assembled in
+//! spec order regardless of completion order. `--jobs` defaults to 1
+//! because this is a *timing* experiment — parallel cells contend for
+//! cores and contaminate each other's wall-clock numbers; raise it only
+//! when you want a structural smoke run, not publishable timings.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin ablation_snapshot
+//!         [--seed N] [--fast] [--jobs N]`
 
+use std::collections::BTreeMap;
 use std::fs;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::harness;
 use amjs_bench::{results, table};
 use amjs_core::persist::PersistSpec;
 use amjs_core::runner::SimulationBuilder;
+use amjs_core::{MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
+use amjs_fleet::RunDigest;
 use amjs_sim::journal::{journal_path, read_journal};
 use amjs_sim::snapshot::SnapshotStore;
 
-fn builder(
-    jobs: Vec<amjs_workload::Job>,
-    config: &RunConfig,
-) -> SimulationBuilder<impl amjs_platform::Platform + amjs_sim::Snapshot> {
-    SimulationBuilder::new(harness::intrepid(), jobs)
-        .policy(config.policy)
-        .backfill(config.backfill)
-        .easy_protected(Some(harness::EASY_PROTECTED))
-        .backfill_depth(Some(harness::BACKFILL_DEPTH))
-        .label(config.label.clone())
+/// Raw measurements one grid cell sends back around the digest.
+#[derive(Clone, Default)]
+struct Measured {
+    secs: f64,
+    /// Events processed (0 for the baseline: it has no journal to count
+    /// from; backfilled from a persistent cell, which is identical).
+    events: u64,
+    journal_bytes: u64,
+    snap_count: usize,
+    snap_bytes: u64,
+    csv_row: String,
+}
+
+fn builder(spec: &RunSpec) -> SimulationBuilder<impl amjs_platform::Platform + amjs_sim::Snapshot> {
+    SimulationBuilder::new(harness::intrepid(), spec.jobs())
+        .policy(spec.policy)
+        .backfill(spec.backfill)
+        .easy_protected(spec.easy_protected)
+        .backfill_depth(spec.backfill_depth)
+        .label(spec.label.clone())
 }
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
-    let jobs = harness::experiment_jobs(seed, fast);
-    let config = RunConfig::fixed(0.5, 2);
-    eprintln!(
-        "ablation_snapshot: {} jobs, config {}",
-        jobs.len(),
-        config.label
-    );
-
-    // Baseline: no persistence at all. Best-of-5 — a run is well under a
-    // second, so one page-cache hiccup would otherwise dominate the row.
-    const REPS: usize = 5;
-    let mut base_secs = f64::INFINITY;
-    let mut baseline = builder(jobs.clone(), &config).run();
-    for _ in 0..REPS {
-        let t0 = Instant::now();
-        baseline = builder(jobs.clone(), &config).run();
-        base_secs = base_secs.min(t0.elapsed().as_secs_f64());
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = harness::DEFAULT_SEED;
+    let mut fast = false;
+    let mut workers = 1usize; // timing experiment: sequential by default
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--jobs" => {
+                workers = args[i + 1].parse().expect("--jobs N");
+                i += 2;
+            }
+            "--fast" => {
+                fast = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (supported: --seed N, --fast, --jobs N)"),
+        }
     }
 
     // Cadences under test (events between snapshots). A month-long trace
@@ -69,66 +95,159 @@ fn main() {
     } else {
         &[500, 2_000, 10_000]
     };
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
+
+    // One spec per cell: the baseline plus each cadence. The cadence
+    // itself is not part of `RunSpec` (it configures persistence, not
+    // the simulation), so it rides in the key and is parsed back out by
+    // the executor.
+    let mk_spec = |key: String| {
+        RunSpec::new(
+            key,
+            MachineSpec::intrepid(),
+            WorkloadSource::Preset {
+                name: preset,
+                seed,
+                load_factor: 1.0,
+            },
+            PolicyParams::new(0.5, 2),
+        )
+    };
+    let mut specs = vec![mk_spec("off".to_string())];
+    specs.extend(
+        cadences
+            .iter()
+            .map(|&every| mk_spec(format!("every{every}"))),
+    );
+
+    eprintln!(
+        "ablation_snapshot: {} cells of {} jobs, config {}, {workers} worker{}",
+        specs.len(),
+        specs[0].jobs().len(),
+        specs[0].label,
+        if workers == 1 { "" } else { "s" }
+    );
+
+    // Best-of-5 — a run is well under a second, so one page-cache
+    // hiccup would otherwise dominate the row.
+    const REPS: usize = 5;
+
+    let side: Arc<Mutex<BTreeMap<String, Measured>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let exec: amjs_fleet::Exec = {
+        let side = side.clone();
+        Arc::new(move |spec| {
+            let every: Option<u64> = spec
+                .key
+                .strip_prefix("every")
+                .map(|n| n.parse().expect("cadence key"));
+            let mut m = Measured {
+                secs: f64::INFINITY,
+                ..Measured::default()
+            };
+            let outcome = match every {
+                None => {
+                    let mut out = builder(spec).run();
+                    for _ in 0..REPS {
+                        let t0 = Instant::now();
+                        out = builder(spec).run();
+                        m.secs = m.secs.min(t0.elapsed().as_secs_f64());
+                    }
+                    out
+                }
+                Some(every) => {
+                    let dir = std::env::temp_dir().join(format!(
+                        "amjs-ablation-snapshot-{}-{every}",
+                        std::process::id()
+                    ));
+                    let _ = fs::remove_dir_all(&dir);
+                    fs::create_dir_all(&dir).unwrap();
+                    let pspec = PersistSpec::new(&dir).snapshot_every_events(every).keep(2);
+                    let mut out = None;
+                    for _ in 0..REPS {
+                        let t0 = Instant::now();
+                        out = Some(builder(spec).run_persistent(&pspec).unwrap());
+                        m.secs = m.secs.min(t0.elapsed().as_secs_f64());
+                    }
+                    let journal = read_journal(&journal_path(&dir, 0)).unwrap();
+                    m.events = journal.records.len() as u64;
+                    m.journal_bytes = fs::metadata(journal_path(&dir, 0)).unwrap().len();
+                    let snaps = SnapshotStore::new(&dir, 2).list().unwrap();
+                    m.snap_count = snaps.len();
+                    m.snap_bytes = snaps
+                        .iter()
+                        .map(|(_, p)| fs::metadata(p).unwrap().len())
+                        .sum();
+                    let _ = fs::remove_dir_all(&dir);
+                    out.unwrap()
+                }
+            };
+            m.csv_row = outcome.summary.csv_row();
+            side.lock().unwrap().insert(spec.key.clone(), m);
+            RunDigest::from_outcome(&outcome)
+        })
+    };
+
+    let cfg = amjs_fleet::FleetConfig {
+        workers: workers.max(1),
+        heartbeat: Some(std::time::Duration::from_secs(10)),
+        ..amjs_fleet::FleetConfig::default()
+    };
+    let report = amjs_fleet::run_fleet(&specs, &cfg, exec, None).expect("fleet sweep failed");
+    for slot in &report.records {
+        let rec = slot.as_ref().expect("fleet left a cell undispatched");
+        assert!(
+            rec.digest.is_some(),
+            "cell {} ended {}: {}",
+            rec.key,
+            rec.status.as_str(),
+            rec.error.as_deref().unwrap_or("no error recorded")
+        );
+    }
+
+    let side = side.lock().unwrap();
+    let base = &side["off"];
+    // Persistence must not change the outcome: every cell's summary row
+    // must equal the baseline's.
+    for (key, m) in side.iter() {
+        assert_eq!(
+            m.csv_row, base.csv_row,
+            "persistence must not change the outcome (cell {key})"
+        );
+    }
+    // Baseline events/sec uses the (identical) event count of the runs.
+    let events_total = cadences
+        .first()
+        .map(|every| side[&format!("every{every}")].events)
+        .unwrap_or(0);
 
     let mut rows = vec![vec![
         "off (baseline)".to_string(),
-        table::num(base_secs, 2),
-        "-".to_string(),
+        table::num(base.secs, 2),
+        table::num(events_total as f64 / base.secs / 1_000.0, 1),
         "-".to_string(),
         "-".to_string(),
         "-".to_string(),
         "-".to_string(),
     ]];
-    let mut events_total = 0u64;
     for &every in cadences {
-        let dir = std::env::temp_dir().join(format!(
-            "amjs-ablation-snapshot-{}-{every}",
-            std::process::id()
-        ));
-        let _ = fs::remove_dir_all(&dir);
-        fs::create_dir_all(&dir).unwrap();
-        let spec = PersistSpec::new(&dir).snapshot_every_events(every).keep(2);
-
-        let mut secs = f64::INFINITY;
-        for _ in 0..REPS {
-            let t0 = Instant::now();
-            let out = builder(jobs.clone(), &config)
-                .run_persistent(&spec)
-                .unwrap();
-            secs = secs.min(t0.elapsed().as_secs_f64());
-            assert_eq!(
-                out.summary.csv_row(),
-                baseline.summary.csv_row(),
-                "persistence must not change the outcome"
-            );
-        }
-
-        let journal = read_journal(&journal_path(&dir, 0)).unwrap();
-        let events = journal.records.len() as u64;
-        events_total = events;
-        let journal_bytes = fs::metadata(journal_path(&dir, 0)).unwrap().len();
-        let snaps = SnapshotStore::new(&dir, 2).list().unwrap();
-        let snap_bytes: u64 = snaps
-            .iter()
-            .map(|(_, p)| fs::metadata(p).unwrap().len())
-            .sum();
-        let per_snap = snap_bytes as f64 / snaps.len() as f64;
+        let m = &side[&format!("every{every}")];
+        let per_snap = m.snap_bytes as f64 / m.snap_count as f64;
         // Snapshots written over the run (rotation deletes most of them).
-        let written = events / every + 1;
-
+        let written = m.events / every + 1;
         rows.push(vec![
             format!("every {every} events"),
-            table::num(secs, 2),
-            table::num(events as f64 / secs / 1_000.0, 1),
-            table::num((secs / base_secs - 1.0) * 100.0, 1),
+            table::num(m.secs, 2),
+            table::num(m.events as f64 / m.secs / 1_000.0, 1),
+            table::num((m.secs / base.secs - 1.0) * 100.0, 1),
             written.to_string(),
             table::num(per_snap / 1024.0, 1),
-            table::num(journal_bytes as f64 / (1024.0 * 1024.0), 2),
+            table::num(m.journal_bytes as f64 / (1024.0 * 1024.0), 2),
         ]);
-        let _ = fs::remove_dir_all(&dir);
     }
-    // Baseline events/sec uses the (identical) event count of the runs.
-    rows[0][2] = table::num(events_total as f64 / base_secs / 1_000.0, 1);
 
     let header = [
         "persistence",

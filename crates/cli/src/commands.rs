@@ -19,6 +19,7 @@ pub fn top_level_help() -> String {
      usage: amjs <command> [flags]\n\n\
      commands:\n\
        simulate             run one policy over a workload\n\
+       serve                crash-safe live scheduler daemon (TCP)\n\
        sweep                fault-tolerant parallel grid sweep (resumable)\n\
        workload             generate a synthetic trace (writes SWF)\n\
        replay <file>        simulate an SWF trace, or verify an event journal\n\

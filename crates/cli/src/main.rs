@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! amjs simulate  [flags]            run one policy over a workload
+//! amjs serve     [flags]            crash-safe live scheduler daemon (TCP)
 //! amjs sweep     [flags]            fault-tolerant parallel grid sweep
 //! amjs workload  [flags]            generate a synthetic trace (SWF out)
 //! amjs replay <file> [flags]        simulate an SWF trace, or verify an
@@ -16,6 +17,7 @@ mod args;
 mod commands;
 mod config;
 mod obs;
+mod serve_cmd;
 mod sweep;
 
 use std::process::ExitCode;
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
 
     let result = match command {
         "simulate" => commands::simulate(&rest),
+        "serve" => serve_cmd::serve(&rest),
         "sweep" => sweep::sweep(&rest),
         "workload" => commands::workload(&rest),
         "replay" => commands::replay(&rest),

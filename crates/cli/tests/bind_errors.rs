@@ -1,0 +1,143 @@
+//! Regression tests for the address-binding contract: pointing
+//! `--metrics-addr` or `--serve-addr` at a port that is already in use
+//! (or at a nonsense address) must exit nonzero with a clean
+//! `error: --<flag>: cannot bind ...` diagnostic on stderr — never a
+//! panic, never a half-started process.
+
+use std::net::TcpListener;
+use std::process::Command;
+
+/// Run `amjs` with `args` and return (exit-success, stderr).
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_amjs"))
+        .args(args)
+        .output()
+        .expect("spawn amjs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn occupied_port() -> (TcpListener, String) {
+    let guard = TcpListener::bind("127.0.0.1:0").expect("bind guard port");
+    let addr = guard.local_addr().unwrap().to_string();
+    (guard, addr)
+}
+
+#[test]
+fn metrics_addr_in_use_is_a_clean_error() {
+    let (_guard, addr) = occupied_port();
+    let (ok, stderr) = run(&[
+        "simulate",
+        "--workload",
+        "small",
+        "--machine",
+        "flat",
+        "--nodes",
+        "1024",
+        "--metrics-addr",
+        &addr,
+    ]);
+    assert!(!ok, "in-use metrics address must exit nonzero");
+    assert!(
+        stderr.contains(&format!("error: --metrics-addr: cannot bind {addr}")),
+        "expected a clean bind diagnostic, got:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "bind failure must not panic:\n{stderr}"
+    );
+}
+
+#[test]
+fn serve_addr_in_use_is_a_clean_error() {
+    let (_guard, addr) = occupied_port();
+    let dir = std::env::temp_dir().join(format!("amjs-bind-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, stderr) = run(&[
+        "serve",
+        "--serve-addr",
+        &addr,
+        "--serve-dir",
+        dir.to_str().unwrap(),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!ok, "in-use serve address must exit nonzero");
+    assert!(
+        stderr.contains(&format!("error: --serve-addr: cannot bind {addr}")),
+        "expected a clean bind diagnostic, got:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "bind failure must not panic:\n{stderr}"
+    );
+}
+
+#[test]
+fn unparseable_addresses_are_clean_errors_too() {
+    let dir = std::env::temp_dir().join(format!("amjs-bind-junk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (args, flag) in [
+        (
+            vec![
+                "simulate",
+                "--workload",
+                "small",
+                "--machine",
+                "flat",
+                "--nodes",
+                "1024",
+                "--metrics-addr",
+                "not-an-address",
+            ],
+            "--metrics-addr",
+        ),
+        (
+            vec![
+                "serve",
+                "--serve-addr",
+                "not-an-address",
+                "--serve-dir",
+                dir.to_str().unwrap(),
+            ],
+            "--serve-addr",
+        ),
+    ] {
+        let (ok, stderr) = run(&args);
+        assert!(!ok, "{flag}: junk address must exit nonzero");
+        assert!(
+            stderr.contains(&format!("error: {flag}: cannot bind not-an-address")),
+            "{flag}: expected a clean diagnostic, got:\n{stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "{flag} panicked:\n{stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_daemon_binds_before_touching_durable_state() {
+    // A failed bind must leave the state directory untouched: binding
+    // happens before the WAL or genesis snapshot are created, so a
+    // retry after freeing the port starts from a genuinely fresh dir.
+    let (_guard, addr) = occupied_port();
+    let dir = std::env::temp_dir().join(format!("amjs-bind-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, _) = run(&[
+        "serve",
+        "--serve-addr",
+        &addr,
+        "--serve-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(
+        leftovers.is_empty(),
+        "failed bind must not create durable state: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,303 @@
+//! Chaos and crash-recovery suite for `amjs serve`, driven over real
+//! TCP against the real binary. The daemon must stay live through
+//! protocol abuse, shed overload with `BUSY` rather than stalling, and
+//! — the headline property — restart after SIGKILL into byte-identical
+//! state via snapshot + WAL replay, losing no acknowledged submission.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use amjs_serve::{read_frame, write_frame, FrameError};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amjs-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `amjs serve` child plus the address it announced.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawn `amjs serve <args>` and wait for the listener announcement
+    /// on stderr. Callers pass all flags (fresh starts need the machine
+    /// shape; `--resume` must not repeat it).
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_amjs"))
+            .arg("serve")
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn amjs serve");
+        let stderr = child.stderr.take().unwrap();
+        let mut lines = BufReader::new(stderr).lines();
+        let mut addr = None;
+        for line in &mut lines {
+            let line = line.expect("daemon stderr");
+            if let Some(rest) = line.strip_prefix("amjs serve: listening on ") {
+                addr = Some(rest.trim().to_string());
+                break;
+            }
+        }
+        // Keep draining stderr so the daemon never blocks on the pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon {
+            child,
+            addr: addr.expect("daemon announced its listener"),
+        }
+    }
+
+    fn fresh(dir: &Path, extra: &[&str]) -> Daemon {
+        let mut args = vec![
+            "--serve-addr",
+            "127.0.0.1:0",
+            "--serve-dir",
+            dir.to_str().unwrap(),
+            "--machine",
+            "flat",
+            "--nodes",
+            "64",
+            "--clock",
+            "virtual",
+        ];
+        args.extend_from_slice(extra);
+        Daemon::spawn(&args)
+    }
+
+    fn resume(dir: &Path, extra: &[&str]) -> Daemon {
+        let mut args = vec![
+            "--serve-addr",
+            "127.0.0.1:0",
+            "--serve-dir",
+            dir.to_str().unwrap(),
+            "--resume",
+            "--clock",
+            "virtual",
+        ];
+        args.extend_from_slice(extra);
+        Daemon::spawn(&args)
+    }
+
+    fn sigkill(&mut self) {
+        self.child.kill().expect("SIGKILL daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    fn wait_clean_exit(&mut self) {
+        let status = self.child.wait().expect("reap daemon");
+        assert!(status.success(), "daemon exited {status}");
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, cmd: &str) -> String {
+        write_frame(&mut self.writer, cmd.as_bytes()).expect("send frame");
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> String {
+        let payload = read_frame(&mut self.reader).expect("read reply frame");
+        String::from_utf8(payload).expect("utf-8 reply")
+    }
+}
+
+/// The scripted load both the crash-recovery test and its CI twin run:
+/// three 32-node jobs on the 64-node machine (two start, one queues),
+/// a clock step, a small backfill candidate, a cancel, another step.
+/// Every command is acknowledged before the next is sent.
+const SCRIPT: &[&str] = &[
+    "SUBMIT NODES=32 WALL=7200 RUN=3600 USER=1",
+    "SUBMIT NODES=32 WALL=7200 RUN=3600 USER=2",
+    "SUBMIT NODES=32 WALL=7200 USER=3",
+    "ADVANCE 1800",
+    "SUBMIT NODES=16 WALL=3600 RUN=1800 USER=4",
+    "CANCEL 2",
+    "ADVANCE 1800",
+];
+
+/// Replies that together fingerprint the daemon's externally visible
+/// state: the structural hash plus every job's status and the stats row.
+fn observe(c: &mut Client) -> Vec<String> {
+    let mut seen = vec![c.ask("HASH")];
+    for id in 0..5 {
+        seen.push(c.ask(&format!("STATUS {id}")));
+    }
+    seen.push(c.ask("STATS"));
+    seen
+}
+
+#[test]
+fn daemon_survives_protocol_chaos() {
+    let dir = tmp_dir("chaos");
+    let mut daemon = Daemon::fresh(&dir, &[]);
+    let addr = daemon.addr.clone();
+
+    // 1. Garbage bytes where a length header belongs: ERR, then the
+    //    connection is closed (the stream cannot be resynchronized).
+    let mut garbage = TcpStream::connect(&addr).unwrap();
+    garbage
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    garbage.write_all(b"zzzz\n").unwrap();
+    let mut r = BufReader::new(garbage.try_clone().unwrap());
+    let reply = String::from_utf8(read_frame(&mut r).unwrap()).unwrap();
+    assert!(reply.starts_with("ERR "), "unexpected: {reply}");
+    assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+
+    // 2. An oversized declared length is refused before the body is read.
+    let mut oversized = TcpStream::connect(&addr).unwrap();
+    oversized
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    oversized.write_all(b"999999:").unwrap();
+    let mut r = BufReader::new(oversized.try_clone().unwrap());
+    let reply = String::from_utf8(read_frame(&mut r).unwrap()).unwrap();
+    assert!(reply.contains("exceeds limit"), "unexpected: {reply}");
+
+    // 3. A frame truncated mid-payload (client dies mid-request).
+    let trunc = TcpStream::connect(&addr).unwrap();
+    (&trunc).write_all(b"10:PING").unwrap();
+    trunc.shutdown(Shutdown::Write).unwrap();
+    drop(trunc);
+
+    // 4. A half-open connection that never says anything.
+    drop(TcpStream::connect(&addr).unwrap());
+
+    // 5. An unknown verb is an ERR but keeps the connection usable.
+    let mut c = Client::connect(&addr);
+    let reply = c.ask("FROB");
+    assert!(reply.starts_with("ERR unknown verb"), "unexpected: {reply}");
+
+    // Through all of it the daemon keeps answering and scheduling.
+    assert_eq!(c.ask("PING"), "OK PONG");
+    assert_eq!(c.ask("SUBMIT NODES=16 WALL=3600"), "OK ID=0");
+    assert_eq!(c.ask("ADVANCE 60"), "OK T=60");
+    assert_eq!(c.ask("STATUS 0"), "OK RUNNING START=0 END=3600");
+    assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+    daemon.wait_clean_exit();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_is_shed_with_busy() {
+    // Connection cap: with --max-conns 1, the first client (proven
+    // registered by its PING round-trip) holds the only slot, so the
+    // second connection is deterministically shed.
+    let dir = tmp_dir("shed-conn");
+    let mut daemon = Daemon::fresh(&dir, &["--max-conns", "1"]);
+    let mut first = Client::connect(&daemon.addr);
+    assert_eq!(first.ask("PING"), "OK PONG");
+    let second = TcpStream::connect(&daemon.addr).unwrap();
+    second
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut r = BufReader::new(second);
+    let reply = String::from_utf8(read_frame(&mut r).unwrap()).unwrap();
+    assert_eq!(reply, "BUSY connection limit");
+    assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    assert_eq!(first.ask("PING"), "OK PONG");
+    assert_eq!(first.ask("SHUTDOWN"), "OK BYE");
+    daemon.wait_clean_exit();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn whatif_overload_is_shed_with_busy() {
+    // With --whatif-cap 0 every speculative query sheds; the scheduling
+    // path is unaffected.
+    let dir = tmp_dir("shed-whatif");
+    let mut daemon = Daemon::fresh(&dir, &["--whatif-cap", "0"]);
+    let mut c = Client::connect(&daemon.addr);
+    assert_eq!(c.ask("SUBMIT NODES=16 WALL=3600"), "OK ID=0");
+    assert_eq!(c.ask("WHATIF 0"), "BUSY what-if capacity");
+    assert_eq!(c.ask("PING"), "OK PONG");
+    assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+    daemon.wait_clean_exit();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_recovery_loses_no_acknowledged_command() {
+    // `--snapshot-every 1000` means only the genesis snapshot exists at
+    // kill time: recovery must rebuild the entire state by replaying
+    // the WAL through the identical apply path.
+    let dir = tmp_dir("sigkill");
+    let mut daemon = Daemon::fresh(&dir, &["--snapshot-every", "1000"]);
+    let mut c = Client::connect(&daemon.addr);
+    for cmd in SCRIPT {
+        let reply = c.ask(cmd);
+        assert!(reply.starts_with("OK "), "{cmd} -> {reply}");
+    }
+    let reference = observe(&mut c);
+
+    // No DRAIN, no SHUTDOWN, no final snapshot: the process dies with
+    // connections open and only the flushed WAL to show for its work.
+    daemon.sigkill();
+
+    let mut revived = Daemon::resume(&dir, &["--snapshot-every", "1000"]);
+    let mut c = Client::connect(&revived.addr);
+    let recovered = observe(&mut c);
+    assert_eq!(
+        recovered, reference,
+        "recovered state diverges from the acknowledged pre-kill state"
+    );
+
+    // The revived daemon is fully live: it accepts new work with the
+    // job-id counter intact (ids 0-3 were used before the kill).
+    assert_eq!(c.ask("SUBMIT NODES=16 WALL=3600"), "OK ID=4");
+    assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+    revived.wait_clean_exit();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_then_sigkill_recovery_holds_too() {
+    // DRAIN mid-life then SIGKILL: recovery replays to the drained
+    // state's schedule (DRAIN itself is connection-plane, not journaled
+    // state, so a resumed daemon admits work again — by design).
+    let dir = tmp_dir("drain-kill");
+    let mut daemon = Daemon::fresh(&dir, &["--snapshot-every", "2"]);
+    let mut c = Client::connect(&daemon.addr);
+    assert_eq!(c.ask("SUBMIT NODES=32 WALL=7200 RUN=3600"), "OK ID=0");
+    assert_eq!(c.ask("ADVANCE 600"), "OK T=600");
+    assert_eq!(c.ask("SUBMIT NODES=32 WALL=7200"), "OK ID=1");
+    assert_eq!(c.ask("DRAIN"), "OK DRAINING");
+    let reply = c.ask("SUBMIT NODES=16 WALL=600");
+    assert!(reply.starts_with("ERR draining"), "unexpected: {reply}");
+    let reference = observe(&mut c);
+    daemon.sigkill();
+
+    // This run crossed the --snapshot-every 2 cadence, so recovery here
+    // exercises the snapshot-plus-WAL-tail path rather than pure replay.
+    let mut revived = Daemon::resume(&dir, &[]);
+    let mut c = Client::connect(&revived.addr);
+    assert_eq!(observe(&mut c), reference);
+    assert_eq!(c.ask("SUBMIT NODES=16 WALL=600"), "OK ID=2");
+    assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+    revived.wait_clean_exit();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,7 +24,11 @@
 //!   with Table-II-style summary numbers and the sampled series behind
 //!   the paper's figures. [`fairshare`] computes per-job *fair start
 //!   times* (the no-later-arrivals drain simulation used by the fairness
-//!   metric).
+//!   metric);
+//! * **live mode** — [`live`] inverts the event-loop ownership: a
+//!   [`live::LiveScheduler`] is the same world stepped by *injected*
+//!   events (external submissions, an external clock), the core of the
+//!   `amjs serve` digital-twin daemon.
 
 #![warn(missing_docs)]
 
@@ -32,6 +36,7 @@ pub mod adaptive;
 pub mod estimates;
 pub mod failures;
 pub mod fairshare;
+pub mod live;
 pub mod persist;
 pub mod policy;
 pub mod runner;
@@ -41,6 +46,7 @@ pub mod spec;
 pub mod window;
 
 pub use adaptive::{AdaptiveScheme, TunerConfig};
+pub use live::{JobStatus, LiveScheduler, LiveStateStats, SubmitError, WhatIfAnswer};
 pub use persist::{replay_journal, resume_simulation, PersistError, PersistSpec, ReplayReport};
 pub use policy::{PolicyParams, QueuePolicy};
 pub use runner::{SimulationBuilder, SimulationOutcome};

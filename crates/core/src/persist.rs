@@ -168,21 +168,21 @@ impl PersistSpec {
 
 /// The META section: everything needed to interpret the WORLD/QUEUE
 /// sections and to finish the run identically.
-struct SnapshotHeader {
+pub(crate) struct SnapshotHeader {
     /// Run fingerprint (FNV-1a over the genesis state), shared with the
     /// journal headers of the same run.
-    fingerprint: u64,
+    pub(crate) fingerprint: u64,
     /// The state captured here is "after this many events".
-    event_index: u64,
+    pub(crate) event_index: u64,
     /// Simulated time of the last handled event (epoch at genesis).
-    time: SimTime,
+    pub(crate) time: SimTime,
     /// Platform name tag (`"flat"`, `"bgp"`), for typed dispatch.
-    platform: String,
+    pub(crate) platform: String,
     /// Run-level facts (label, oracle, energy model, ...).
-    meta: RunMeta,
+    pub(crate) meta: RunMeta,
 }
 
-fn encode_state<P: Platform + Snapshot>(
+pub(crate) fn encode_state<P: Platform + Snapshot>(
     world: &Runner<P>,
     queue: &EventQueue<Ev>,
     fingerprint: u64,
@@ -217,16 +217,24 @@ fn decode_header_section(r: &mut SnapReader<'_>) -> Result<SnapshotHeader, SnapE
 
 /// Read just the META section of a snapshot payload (cheap: the WORLD
 /// and QUEUE sections are not touched).
-fn peek_header(payload: &[u8]) -> Result<SnapshotHeader, SnapError> {
+pub(crate) fn peek_header(payload: &[u8]) -> Result<SnapshotHeader, SnapError> {
     decode_header_section(&mut SnapReader::new(payload))
 }
 
 /// Decode a full snapshot payload for a known platform type.
-fn decode_state<P: Platform + Snapshot>(
+pub(crate) fn decode_state<P: Platform + Snapshot>(
     payload: &[u8],
 ) -> Result<(SnapshotHeader, Runner<P>, EventQueue<Ev>), SnapError> {
-    let mut r = SnapReader::new(payload);
-    let header = decode_header_section(&mut r)?;
+    decode_state_from(&mut SnapReader::new(payload))
+}
+
+/// Like [`decode_state`], but read from an existing reader and leave it
+/// positioned after the QUEUE section — the live-mode codec appends its
+/// own trailing section (`crate::live`).
+pub(crate) fn decode_state_from<P: Platform + Snapshot>(
+    r: &mut SnapReader<'_>,
+) -> Result<(SnapshotHeader, Runner<P>, EventQueue<Ev>), SnapError> {
+    let header = decode_header_section(r)?;
     let world = r.section(SEC_WORLD, Runner::<P>::decode)?;
     let queue = r.section(SEC_QUEUE, EventQueue::<Ev>::decode)?;
     Ok((header, world, queue))
@@ -236,7 +244,7 @@ fn decode_state<P: Platform + Snapshot>(
 /// meta). Stamped into every snapshot META and journal header of the
 /// run, so replay can refuse to verify a journal against snapshots of a
 /// different run.
-fn run_fingerprint<P: Platform + Snapshot>(
+pub(crate) fn run_fingerprint<P: Platform + Snapshot>(
     world: &Runner<P>,
     queue: &EventQueue<Ev>,
     meta: &RunMeta,

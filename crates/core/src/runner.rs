@@ -1106,6 +1106,7 @@ impl<P: Platform> Runner<P> {
                 running: self.running.len() as u64,
                 waiting: self.queue.len() as u64,
                 done: false,
+                extra: Vec::new(),
             });
         }
     }
@@ -1177,7 +1178,7 @@ impl<P: Platform> Runner<P> {
 
     /// The oracle's invariant battery, run between events. Returns the
     /// first violated invariant as a diagnostic message.
-    fn check_invariants(&self, now: SimTime) -> Result<(), String> {
+    pub(crate) fn check_invariants(&self, now: SimTime) -> Result<(), String> {
         // (1) The allocator's own books: pairwise-disjoint live blocks
         // (no double allocation), busy/down/draining mask agreement.
         self.platform.check_consistency()?;
@@ -1276,6 +1277,135 @@ impl<P: Platform> Runner<P> {
             }
         }
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Live-mode surface (`crate::live`): the event loop is owned by an
+    // external driver, so the runner must accept *injected* work — jobs
+    // arriving from the outside, cancellations — and answer state
+    // queries without draining. Everything below preserves the job-set
+    // partition the oracle checks.
+    // -----------------------------------------------------------------
+
+    /// Admit an externally-submitted job at `now`: append it to the
+    /// trace, count it as a pending submission, and schedule its
+    /// `Submit` event. When the system was idle the self-rescheduling
+    /// tick (and failure) chains have died; revive whichever is not
+    /// already pending so monitoring and fault injection stay live.
+    pub(crate) fn admit_job(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        events: &mut EventQueue<Ev>,
+    ) -> usize {
+        job.submit = now;
+        let idx = self.jobs.len();
+        self.jobs.push(job);
+        self.remaining_submits += 1;
+        events.schedule_with(now, Priority::Arrival, Ev::Submit(idx));
+        if !events.iter().any(|e| matches!(e.payload, Ev::Tick)) {
+            events.schedule_with(now + self.sample_interval, Priority::Tick, Ev::Tick);
+        }
+        if let Some(process) = &mut self.failure_process {
+            if !events.iter().any(|e| matches!(e.payload, Ev::Fail)) {
+                let next = process.next_failure_after(now);
+                events.schedule_with(next, Priority::Release, Ev::Fail);
+            }
+        }
+        idx
+    }
+
+    /// Cancel a *queued* job: remove it from the wait queue and account
+    /// it as abandoned (the partition invariant's bucket for jobs that
+    /// leave the system without finishing). Returns false when the job
+    /// is not currently queued — running, finished, or unknown jobs are
+    /// not cancelable through this path.
+    pub(crate) fn cancel_queued(&mut self, id: JobId) -> bool {
+        match self.queue.iter().position(|&i| self.jobs[i].id == id) {
+            Some(pos) => {
+                self.queue.remove(pos);
+                self.abandoned_jobs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// 0-based wait-queue position of `id`, if queued.
+    pub(crate) fn queue_position(&self, id: JobId) -> Option<usize> {
+        self.queue.iter().position(|&i| self.jobs[i].id == id)
+    }
+
+    /// `(start, expected_end)` of `id`, if running.
+    pub(crate) fn running_span(&self, id: JobId) -> Option<(SimTime, SimTime)> {
+        self.running.get(&id).map(|r| (r.start, r.expected_end))
+    }
+
+    /// The finished-job record of `id`, if completed.
+    pub(crate) fn outcome_of(&self, id: JobId) -> Option<&JobOutcome> {
+        self.per_job.iter().find(|o| o.id == id)
+    }
+
+    /// Whether the machine could ever hold a job of this size (admission
+    /// guard: an oversized submission would otherwise sit queued
+    /// forever).
+    pub(crate) fn fits_machine(&self, nodes: u32) -> bool {
+        self.platform.rounded_size(nodes) <= self.platform.total_nodes()
+    }
+
+    /// Installed machine capacity in nodes.
+    pub(crate) fn machine_capacity(&self) -> u32 {
+        self.platform.total_nodes()
+    }
+
+    /// The full job trace (pre-seeded plus live-admitted).
+    pub(crate) fn trace_jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The live policy currently in force.
+    pub(crate) fn current_policy(&self) -> crate::PolicyParams {
+        self.scheduler.policy
+    }
+
+    /// Pin the policy for a speculative fork: apply the overrides and
+    /// switch adaptive tuning off, so a what-if question ("when would
+    /// this start under BF=0.8?") is answered under exactly that policy.
+    pub(crate) fn pin_policy(&mut self, bf: Option<f64>, window: Option<usize>) {
+        if let Some(bf) = bf {
+            self.scheduler.policy.balance_factor = bf;
+        }
+        if let Some(w) = window {
+            self.scheduler.policy.window = w;
+        }
+        self.adaptive = AdaptiveScheme::none();
+    }
+
+    /// Live occupancy counters:
+    /// `(queued, running, finished, abandoned, in_backoff, unsubmitted)`.
+    pub(crate) fn occupancy(&self) -> (usize, usize, usize, usize, usize, usize) {
+        (
+            self.queue.len(),
+            self.running.len(),
+            self.per_job.len(),
+            self.abandoned_jobs,
+            self.pending_resubmits,
+            self.remaining_submits,
+        )
+    }
+
+    /// The monitored signals for the live dashboard:
+    /// `(queue_depth_mins, util_instant, util_1h, util_10h, util_24h,
+    /// down_nodes)`.
+    pub(crate) fn live_signals(&self, now: SimTime) -> (f64, f64, f64, f64, f64, u64) {
+        (
+            self.queue_depth_mins(now),
+            self.util.instant(now),
+            self.util.trailing_avg(now, SimDuration::from_hours(1)),
+            self.util.trailing_avg(now, SimDuration::from_hours(10)),
+            self.util.trailing_avg(now, SimDuration::from_hours(24)),
+            (self.platform.total_nodes() - self.platform.available_nodes()) as u64,
+        )
     }
 }
 

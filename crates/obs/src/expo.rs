@@ -41,6 +41,11 @@ pub struct LiveStats {
     pub waiting: u64,
     /// True once the run has finished.
     pub done: bool,
+    /// Additional publisher-defined gauges, rendered verbatim as
+    /// `amjs_<name> <value>`. The serve daemon uses this for its
+    /// connection/shedding/what-if latency dashboard; batch runs leave
+    /// it empty.
+    pub extra: Vec<(String, f64)>,
 }
 
 /// Shared handle the simulation publishes into and the server reads.
@@ -117,6 +122,9 @@ pub fn prometheus_text(stats: &LiveStats) -> String {
         "1 once the simulation has finished.",
         if stats.done { 1.0 } else { 0.0 },
     );
+    for (name, value) in &stats.extra {
+        gauge(&format!("amjs_{name}"), "Publisher-defined gauge.", *value);
+    }
     out
 }
 
@@ -293,7 +301,17 @@ mod tests {
             running: 10,
             waiting: 3,
             done: false,
+            extra: Vec::new(),
         }
+    }
+
+    #[test]
+    fn extra_gauges_are_exposed_with_the_amjs_prefix() {
+        let mut s = sample();
+        s.extra.push(("serve_sheds_total".to_string(), 3.0));
+        let text = prometheus_text(&s);
+        assert!(text.contains("# TYPE amjs_serve_sheds_total gauge"));
+        assert!(text.contains("amjs_serve_sheds_total 3"));
     }
 
     #[test]

@@ -1,0 +1,1157 @@
+//! The daemon: a `std::net` TCP service over a
+//! [`LiveScheduler`], built so that client misbehavior, overload, and
+//! SIGKILL cannot lose an acknowledged job or corrupt scheduler state.
+//!
+//! ## Thread model
+//!
+//! ```text
+//!             accept            bounded sync_channel          reply mpsc
+//!  clients ──► listener thread ──► engine loop (caller's ──► connection
+//!             (non-blocking,        thread; sole owner of      threads
+//!              conn cap)            scheduler + WAL +          (read
+//!                                   snapshots)                 deadline)
+//!                                      │
+//!                                      └─► supervised what-if workers
+//!                                          (catch_unwind + deadline,
+//!                                           fork via snapshot codec)
+//! ```
+//!
+//! The engine loop is the *only* thread that touches scheduler state,
+//! so there are no locks on the hot path and determinism is inherited
+//! wholesale from the batch core. Everything else communicates through
+//! channels:
+//!
+//! - the admission channel is **bounded** — when it fills, connection
+//!   threads answer `BUSY` instead of queueing unboundedly;
+//! - connections above the cap get a `BUSY` frame and are closed;
+//! - every connection has a read deadline; a stuck or slow-loris client
+//!   is culled instead of pinning a thread forever;
+//! - `WHATIF` runs on forked state in a worker supervised by the PR-5
+//!   `catch_unwind` + deadline pattern: a pathological query times out
+//!   or panics without touching live state.
+//!
+//! ## Durability contract
+//!
+//! Accepted mutations are applied, then appended to the command WAL
+//! ([`crate::wal`]) and flushed, and only then acknowledged. Snapshots
+//! of the full live state rotate every `snapshot_every` accepted
+//! commands. Recovery = newest valid snapshot + WAL tail replayed
+//! through the identical apply path ⇒ byte-identical state as of the
+//! last acknowledged mutation. An un-acknowledged command may be lost —
+//! that is the contract the client sees.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use amjs_core::live::{peek_platform, JobStatus, LiveScheduler, WhatIfAnswer};
+use amjs_obs::expo::SharedStats;
+use amjs_platform::Platform;
+use amjs_sim::snapshot::SnapshotStore;
+use amjs_sim::{SimDuration, SimTime, SnapError, Snapshot};
+use amjs_workload::JobId;
+
+use crate::proto::{read_frame, write_frame, Command, FrameError};
+use crate::signal;
+use crate::wal::{read_wal, WalError, WalWriter};
+
+/// How the daemon's simulated clock advances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClockMode {
+    /// Track the host's wall clock: one elapsed second advances
+    /// simulated time by `scale` seconds.
+    Wall {
+        /// Simulated seconds per wall second.
+        scale: f64,
+    },
+    /// Time moves only through `ADVANCE` commands — fully
+    /// deterministic, the mode CI's recovery proof runs in.
+    Virtual,
+}
+
+/// Daemon tuning knobs. `Default` is sized for tests and small
+/// deployments; the CLI maps flags onto the fields it exposes.
+pub struct ServeConfig {
+    /// State directory: command WAL + snapshot rotation.
+    pub dir: PathBuf,
+    /// Clock mode (default: virtual — explicitly opt into wall time).
+    pub clock: ClockMode,
+    /// Snapshot after this many accepted mutations.
+    pub snapshot_every: u64,
+    /// Snapshots retained besides genesis.
+    pub keep_snapshots: usize,
+    /// Connection cap; excess connections get `BUSY` and are closed.
+    pub max_conns: usize,
+    /// Bounded admission queue depth; when full, clients get `BUSY`.
+    pub admission_cap: usize,
+    /// Per-connection read deadline; idle/stuck clients are culled.
+    pub read_timeout: Duration,
+    /// Concurrent what-if worker cap; excess queries get `BUSY`.
+    pub whatif_cap: usize,
+    /// Per-query what-if deadline.
+    pub whatif_deadline: Duration,
+    /// Default speculation horizon (seconds) when the query names none.
+    pub whatif_horizon_secs: i64,
+    /// Run the invariant suite every N accepted mutations (0 = off).
+    pub oracle_every: u64,
+    /// Publish dashboard gauges here (the PR-4 metrics endpoint).
+    pub stats: Option<SharedStats>,
+    /// Extra shutdown latch checked alongside the process signal flag —
+    /// lets embedders (and tests) stop one daemon without raising a
+    /// process-wide signal.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl ServeConfig {
+    /// A config over `dir` with test-sized defaults.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            dir: dir.into(),
+            clock: ClockMode::Virtual,
+            snapshot_every: 64,
+            keep_snapshots: 3,
+            max_conns: 64,
+            admission_cap: 128,
+            read_timeout: Duration::from_secs(30),
+            whatif_cap: 4,
+            whatif_deadline: Duration::from_secs(5),
+            whatif_horizon_secs: 7 * 24 * 3600,
+            oracle_every: 64,
+            stats: None,
+            stop: None,
+        }
+    }
+}
+
+/// Everything that can go wrong starting or recovering a daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport / filesystem failure.
+    Io(std::io::Error),
+    /// Snapshot decode failure.
+    Snap(SnapError),
+    /// WAL open/read failure.
+    Wal(WalError),
+    /// Recovered state is inconsistent (e.g. a logged command no longer
+    /// applies) — refuse to serve from it.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::Snap(e) => write!(f, "snapshot error: {e:?}"),
+            ServeError::Wal(e) => write!(f, "{e}"),
+            ServeError::Corrupt(m) => write!(f, "recovered state corrupt: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+impl From<SnapError> for ServeError {
+    fn from(e: SnapError) -> Self {
+        ServeError::Snap(e)
+    }
+}
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+/// What a finished daemon reports back.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeReport {
+    /// Accepted (logged) mutations over the daemon's lifetime segment.
+    pub commands_applied: u64,
+    /// WAL sequence the next command would get.
+    pub final_seq: u64,
+    /// Snapshots written this segment (including the final one).
+    pub snapshots_written: u64,
+    /// `BUSY` replies issued (admission + connection + what-if sheds).
+    pub sheds: u64,
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("commands.wal")
+}
+
+/// Read the platform name tag out of the newest valid snapshot in
+/// `dir` — the typed-dispatch hook for `amjs serve --resume`.
+pub fn snapshot_platform(dir: &Path) -> Result<String, ServeError> {
+    let store = SnapshotStore::new(dir, 1);
+    let (_, payload, _) = store.load_latest(u64::MAX, |_| {})?;
+    Ok(peek_platform(&payload)?)
+}
+
+/// Recover a scheduler from `dir`: newest valid snapshot + WAL tail
+/// replay through the live apply path. Returns the scheduler plus the
+/// reopened WAL positioned after the last intact record.
+pub fn recover<P: Platform + Snapshot>(
+    dir: &Path,
+    mut diag: impl FnMut(&str),
+) -> Result<(LiveScheduler<P>, WalWriter, u64), ServeError> {
+    let store = SnapshotStore::new(dir, 1);
+    let (snap_seq, payload, snap_path) = store.load_latest(u64::MAX, &mut diag)?;
+    let mut sched = LiveScheduler::<P>::decode(&payload)?;
+    diag(&format!(
+        "recovered snapshot {} (command seq {snap_seq})",
+        snap_path.display()
+    ));
+
+    let wal = read_wal(&wal_path(dir), Some(sched.fingerprint()))?;
+    if wal.torn_tail {
+        diag("dropping torn tail from command wal (crash mid-append)");
+    }
+    let mut replayed = 0u64;
+    let mut next_seq = snap_seq;
+    for rec in wal.records.iter().filter(|r| r.seq >= snap_seq) {
+        if rec.seq != next_seq {
+            return Err(ServeError::Corrupt(format!(
+                "wal sequence gap: expected {next_seq}, found {}",
+                rec.seq
+            )));
+        }
+        let cmd = Command::parse(&rec.cmd)
+            .map_err(|e| ServeError::Corrupt(format!("unparseable wal record {}: {e}", rec.seq)))?;
+        sched.advance_to(SimTime::from_secs(rec.time_secs));
+        apply_mutation(&mut sched, &cmd).map_err(|e| {
+            ServeError::Corrupt(format!("wal record {} re-apply failed: {e}", rec.seq))
+        })?;
+        next_seq = rec.seq + 1;
+        replayed += 1;
+    }
+    diag(&format!("replayed {replayed} wal records"));
+    let writer = WalWriter::reopen(&wal_path(dir), next_seq, wal.valid_len)?;
+    Ok((sched, writer, replayed))
+}
+
+/// Apply one accepted mutation; the single code path shared by live
+/// service and recovery replay (which is what makes replay reproduce
+/// live decisions exactly). Returns the `OK ...` reply text.
+fn apply_mutation<P: Platform + Snapshot>(
+    sched: &mut LiveScheduler<P>,
+    cmd: &Command,
+) -> Result<String, String> {
+    match cmd {
+        Command::Submit {
+            nodes,
+            wall_secs,
+            run_secs,
+            user,
+        } => {
+            let id = sched
+                .submit(
+                    *nodes,
+                    SimDuration::from_secs(*wall_secs),
+                    run_secs.map(SimDuration::from_secs),
+                    *user,
+                )
+                .map_err(|e| e.to_string())?;
+            Ok(format!("OK ID={}", id.0))
+        }
+        Command::Cancel(id) => {
+            if sched.cancel(JobId(*id)) {
+                Ok("OK CANCELED".to_string())
+            } else {
+                Err(format!(
+                    "job {id} is not cancelable (running, done, or unknown)"
+                ))
+            }
+        }
+        Command::Advance(secs) => {
+            let target = sched.now() + SimDuration::from_secs(*secs);
+            sched.advance_to(target);
+            Ok(format!("OK T={}", sched.now().as_secs()))
+        }
+        other => Err(format!("not a mutation: {other:?}")),
+    }
+}
+
+fn render_status(status: JobStatus) -> String {
+    match status {
+        JobStatus::Queued { position } => format!("OK QUEUED POS={position}"),
+        JobStatus::Running {
+            start,
+            expected_end,
+        } => format!(
+            "OK RUNNING START={} END={}",
+            start.as_secs(),
+            expected_end.as_secs()
+        ),
+        JobStatus::Finished { start, end } => {
+            format!("OK DONE START={} END={}", start.as_secs(), end.as_secs())
+        }
+        JobStatus::Pending => "OK PENDING".to_string(),
+        JobStatus::Unknown => "ERR unknown job".to_string(),
+    }
+}
+
+fn render_whatif(ans: WhatIfAnswer) -> String {
+    match ans {
+        WhatIfAnswer::AlreadyStarted(t) => format!("OK START={} LIVE", t.as_secs()),
+        WhatIfAnswer::PredictedStart(t) => format!("OK START={}", t.as_secs()),
+        WhatIfAnswer::NoStartWithin(d) => format!("OK NOSTART WITHIN={}", d.as_secs()),
+        WhatIfAnswer::UnknownJob => "ERR unknown job".to_string(),
+    }
+}
+
+/// One queued request: the parsed command plus the reply channel back
+/// to the connection thread.
+struct Request {
+    cmd: Command,
+    reply: mpsc::Sender<String>,
+}
+
+/// Counters shared between the listener, connections, and engine.
+#[derive(Default)]
+struct Counters {
+    connections_total: AtomicU64,
+    connections_active: AtomicUsize,
+    sheds: AtomicU64,
+    frame_errors: AtomicU64,
+    whatif_active: AtomicUsize,
+    whatif_timeouts: AtomicU64,
+    whatif_panics: AtomicU64,
+}
+
+/// Recent what-if latencies (seconds), bounded ring for the quartile
+/// gauges.
+type LatencyRing = Arc<Mutex<Vec<f64>>>;
+
+fn record_latency(ring: &LatencyRing, elapsed: Duration) {
+    let mut g = ring.lock().unwrap();
+    if g.len() >= 256 {
+        g.remove(0);
+    }
+    g.push(elapsed.as_secs_f64());
+}
+
+fn latency_quartiles(ring: &LatencyRing) -> Option<(f64, f64, f64)> {
+    let mut v = ring.lock().unwrap().clone();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| v[(p * (v.len() - 1) as f64).round() as usize];
+    Some((q(0.25), q(0.5), q(0.75)))
+}
+
+/// Run the daemon over an already-bound listener until `SHUTDOWN`,
+/// SIGTERM/SIGINT, or an unrecoverable persistence failure. The engine
+/// loop runs on the calling thread; listener and connection threads are
+/// spawned internally.
+///
+/// For a fresh start the state directory must not already contain a
+/// WAL (a stale directory silently overwritten would destroy exactly
+/// the state `--resume` exists to protect); pass `resume = true` to
+/// recover instead.
+pub fn run_daemon<P: Platform + Snapshot + 'static>(
+    listener: TcpListener,
+    init: impl FnOnce() -> LiveScheduler<P>,
+    resume: bool,
+    cfg: ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let (mut sched, mut wal) = if resume {
+        let (sched, wal, _) = recover::<P>(&cfg.dir, |m| eprintln!("amjs serve: {m}"))?;
+        (sched, wal)
+    } else {
+        if wal_path(&cfg.dir).exists() {
+            return Err(ServeError::Corrupt(format!(
+                "state dir {} already holds a command wal; \
+                 use --resume to recover it or point --serve-dir at a fresh directory",
+                cfg.dir.display()
+            )));
+        }
+        let sched = init();
+        let wal = WalWriter::create(&wal_path(&cfg.dir), sched.fingerprint())?;
+        // Genesis snapshot: recovery always has a floor to replay from.
+        let store = SnapshotStore::new(&cfg.dir, cfg.keep_snapshots);
+        store.write(0, &sched.encode())?;
+        (sched, wal)
+    };
+
+    let store = SnapshotStore::new(&cfg.dir, cfg.keep_snapshots);
+    let counters = Arc::new(Counters::default());
+    let latencies: LatencyRing = Arc::new(Mutex::new(Vec::new()));
+    let stop_listener = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::sync_channel::<Request>(cfg.admission_cap);
+
+    let local_addr = listener.local_addr()?;
+    eprintln!("amjs serve: listening on {local_addr}");
+
+    let listener_handle = {
+        let counters = counters.clone();
+        let stop = stop_listener.clone();
+        let tx = tx.clone();
+        let max_conns = cfg.max_conns;
+        let read_timeout = cfg.read_timeout;
+        thread::spawn(move || listener_loop(listener, tx, counters, stop, max_conns, read_timeout))
+    };
+    drop(tx); // engine holds rx; connections hold clones via listener
+
+    // ----- engine loop (this thread owns all scheduler state) -----
+    let wall_anchor = Instant::now();
+    let sim_anchor = sched.now();
+    let sim_now = |clock: &ClockMode| -> SimTime {
+        match clock {
+            ClockMode::Wall { scale } => {
+                let elapsed = wall_anchor.elapsed().as_secs_f64() * scale;
+                sim_anchor + SimDuration::from_secs(elapsed as i64)
+            }
+            ClockMode::Virtual => sim_anchor, // virtual time moves only via ADVANCE
+        }
+    };
+
+    let mut report = ServeReport {
+        final_seq: wal.next_seq(),
+        ..ServeReport::default()
+    };
+    let mut draining = false;
+    let mut shutdown = false;
+    let mut since_snapshot = 0u64;
+    let mut since_oracle = 0u64;
+
+    let handle_request = |req: Request,
+                          sched: &mut LiveScheduler<P>,
+                          wal: &mut WalWriter,
+                          draining: &mut bool,
+                          shutdown: &mut bool,
+                          report: &mut ServeReport,
+                          since_snapshot: &mut u64,
+                          since_oracle: &mut u64| {
+        // The live clock catches up to the wall before every command so
+        // decisions see current time. (Virtual mode: time only moves on
+        // ADVANCE.)
+        if let ClockMode::Wall { .. } = cfg.clock {
+            let t = sim_now(&cfg.clock);
+            if t > sched.now() {
+                sched.advance_to(t);
+            }
+        }
+        let reply_text = match &req.cmd {
+            Command::Ping => "OK PONG".to_string(),
+            Command::Stats => {
+                let s = sched.stats();
+                format!(
+                    "OK T={} QUEUED={} RUNNING={} DONE={} ABANDONED={} BACKOFF={} \
+                     PENDING={} QDEPTH={:.1} UTIL={:.4} DOWN={} BF={} W={}",
+                    sched.now().as_secs(),
+                    s.queued,
+                    s.running,
+                    s.finished,
+                    s.abandoned,
+                    s.in_backoff,
+                    s.unsubmitted,
+                    s.queue_depth_mins,
+                    s.util_instant,
+                    s.down_nodes,
+                    s.policy.balance_factor,
+                    s.policy.window,
+                )
+            }
+            Command::Hash => format!(
+                "OK HASH={:016x} INDEX={} T={}",
+                sched.state_hash(),
+                sched.event_index(),
+                sched.now().as_secs()
+            ),
+            Command::Status(id) => render_status(sched.status(JobId(*id))),
+            Command::Drain => {
+                *draining = true;
+                "OK DRAINING".to_string()
+            }
+            Command::Shutdown => {
+                *shutdown = true;
+                "OK BYE".to_string()
+            }
+            Command::WhatIf {
+                job,
+                bf,
+                window,
+                horizon_secs,
+            } => {
+                if counters.whatif_active.load(Ordering::SeqCst) >= cfg.whatif_cap {
+                    counters.sheds.fetch_add(1, Ordering::SeqCst);
+                    report.sheds += 1;
+                    let _ = req.reply.send("BUSY what-if capacity".to_string());
+                    return;
+                }
+                counters.whatif_active.fetch_add(1, Ordering::SeqCst);
+                spawn_whatif_worker::<P>(
+                    sched.encode(),
+                    JobId(*job),
+                    *bf,
+                    *window,
+                    horizon_secs.unwrap_or(cfg.whatif_horizon_secs),
+                    cfg.whatif_deadline,
+                    req.reply,
+                    counters.clone(),
+                    latencies.clone(),
+                );
+                return; // worker replies asynchronously
+            }
+            Command::Advance(_) if cfg.clock != ClockMode::Virtual => {
+                "ERR ADVANCE requires --clock virtual".to_string()
+            }
+            Command::Submit { .. } if *draining => {
+                "ERR draining: not admitting new work".to_string()
+            }
+            mutating => {
+                // Journal the clock as it stood *before* the command ran:
+                // replay advances to this time and re-applies, so a
+                // relative command like ADVANCE must not see its own
+                // effect in the logged timestamp.
+                let applied_at = sched.now().as_secs();
+                match apply_mutation(sched, mutating) {
+                    Ok(ok) => {
+                        // Journal before acknowledgment: the reply is not
+                        // sent until the record is flushed. A WAL that can
+                        // no longer be written is fatal (PR-3 convention) —
+                        // a daemon that cannot journal must not keep
+                        // acknowledging.
+                        let seq = wal
+                            .append(applied_at, &mutating.render())
+                            .unwrap_or_else(|e| {
+                                panic!("command wal append failed: {e} — refusing to serve")
+                            });
+                        report.commands_applied += 1;
+                        report.final_seq = seq + 1;
+                        *since_snapshot += 1;
+                        *since_oracle += 1;
+                        if *since_snapshot >= cfg.snapshot_every {
+                            let payload = sched.encode();
+                            store
+                                .write(seq + 1, &payload)
+                                .unwrap_or_else(|e| panic!("snapshot write failed: {e}"));
+                            report.snapshots_written += 1;
+                            *since_snapshot = 0;
+                        }
+                        if cfg.oracle_every > 0 && *since_oracle >= cfg.oracle_every {
+                            *since_oracle = 0;
+                            if let Err(msg) = sched.check_invariants() {
+                                panic!("live invariant violation: {msg}");
+                            }
+                        }
+                        ok
+                    }
+                    Err(e) => format!("ERR {e}"),
+                }
+            }
+        };
+        let _ = req.reply.send(reply_text);
+    };
+
+    let tick = Duration::from_millis(50);
+    loop {
+        if signal::termination_requested()
+            || cfg.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst))
+        {
+            shutdown = true;
+        }
+        if shutdown {
+            break;
+        }
+        match rx.recv_timeout(tick) {
+            Ok(req) => {
+                handle_request(
+                    req,
+                    &mut sched,
+                    &mut wal,
+                    &mut draining,
+                    &mut shutdown,
+                    &mut report,
+                    &mut since_snapshot,
+                    &mut since_oracle,
+                );
+                // Drain whatever queued behind it without re-sleeping.
+                while !shutdown {
+                    match rx.try_recv() {
+                        Ok(req) => handle_request(
+                            req,
+                            &mut sched,
+                            &mut wal,
+                            &mut draining,
+                            &mut shutdown,
+                            &mut report,
+                            &mut since_snapshot,
+                            &mut since_oracle,
+                        ),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle: keep the wall clock moving so the world evolves
+                // (jobs finish, ticks fire) even with no client traffic.
+                if let ClockMode::Wall { .. } = cfg.clock {
+                    let t = sim_now(&cfg.clock);
+                    if t > sched.now() {
+                        sched.advance_to(t);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if let Some(stats) = &cfg.stats {
+            publish_stats(stats, &sched, &counters, &latencies, &wal, draining);
+        }
+    }
+
+    // ----- graceful shutdown -----
+    // Stop admitting, finish in-flight replies, final snapshot.
+    stop_listener.store(true, Ordering::SeqCst);
+    while let Ok(req) = rx.try_recv() {
+        handle_request(
+            req,
+            &mut sched,
+            &mut wal,
+            &mut draining,
+            &mut shutdown,
+            &mut report,
+            &mut since_snapshot,
+            &mut since_oracle,
+        );
+    }
+    let payload = sched.encode();
+    store.write(wal.next_seq(), &payload)?;
+    report.snapshots_written += 1;
+    report.sheds = counters.sheds.load(Ordering::SeqCst);
+    let _ = listener_handle.join();
+    eprintln!(
+        "amjs serve: shut down cleanly ({} commands, wal seq {})",
+        report.commands_applied, report.final_seq
+    );
+    Ok(report)
+}
+
+/// Accept loop: enforce the connection cap, hand accepted sockets to
+/// per-connection threads, and exit promptly when asked.
+fn listener_loop(
+    listener: TcpListener,
+    tx: SyncSender<Request>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    max_conns: usize,
+    read_timeout: Duration,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                counters.connections_total.fetch_add(1, Ordering::SeqCst);
+                if counters.connections_active.load(Ordering::SeqCst) >= max_conns {
+                    counters.sheds.fetch_add(1, Ordering::SeqCst);
+                    let mut s = stream;
+                    let _ = s.set_nodelay(true);
+                    let _ = write_frame(&mut s, b"BUSY connection limit");
+                    continue; // dropped: closed
+                }
+                counters.connections_active.fetch_add(1, Ordering::SeqCst);
+                let tx = tx.clone();
+                let counters = counters.clone();
+                thread::spawn(move || {
+                    connection_loop(stream, peer, tx, &counters, read_timeout);
+                    counters.connections_active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Serve one client: framed request/reply until EOF, protocol error,
+/// or read deadline. Unknown verbs and bad arguments get `ERR` and the
+/// conversation continues; framing violations (oversized/truncated/
+/// garbage) get a best-effort `ERR` and the connection is closed, since
+/// the stream can no longer be resynchronized.
+fn connection_loop(
+    stream: TcpStream,
+    _peer: SocketAddr,
+    tx: SyncSender<Request>,
+    counters: &Counters,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(payload) => {
+                let line = match std::str::from_utf8(&payload) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        counters.frame_errors.fetch_add(1, Ordering::SeqCst);
+                        let _ = write_frame(&mut writer, b"ERR payload is not utf-8");
+                        continue;
+                    }
+                };
+                let cmd = match Command::parse(line) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        // Unknown verb / bad args: reply ERR, keep the
+                        // connection — a typo must not cost the session.
+                        let _ = write_frame(&mut writer, format!("ERR {e}").as_bytes());
+                        continue;
+                    }
+                };
+                let (reply_tx, reply_rx) = mpsc::channel::<String>();
+                match tx.try_send(Request {
+                    cmd,
+                    reply: reply_tx,
+                }) {
+                    Ok(()) => {
+                        let reply = reply_rx
+                            .recv_timeout(Duration::from_secs(60))
+                            .unwrap_or_else(|_| "ERR server shutting down".to_string());
+                        if write_frame(&mut writer, reply.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        // Load shed: bounded admission queue is full.
+                        counters.sheds.fetch_add(1, Ordering::SeqCst);
+                        if write_frame(&mut writer, b"BUSY admission queue full").is_err() {
+                            return;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        let _ = write_frame(&mut writer, b"ERR server shutting down");
+                        return;
+                    }
+                }
+            }
+            Err(FrameError::Eof) => return,
+            Err(FrameError::TooLarge(n)) => {
+                counters.frame_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = write_frame(
+                    &mut writer,
+                    format!("ERR frame of {n} bytes exceeds limit").as_bytes(),
+                );
+                return; // unsynchronizable
+            }
+            Err(FrameError::Malformed(m)) => {
+                counters.frame_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = write_frame(&mut writer, format!("ERR {m}").as_bytes());
+                return; // unsynchronizable
+            }
+            Err(FrameError::Io(_)) => {
+                // Read deadline hit or transport failure: cull quietly.
+                let _ = write_frame(&mut writer, b"ERR idle timeout");
+                return;
+            }
+        }
+    }
+}
+
+/// The PR-5 supervision pattern around one what-if query: the attempt
+/// thread does the speculative work; the supervisor waits with a
+/// deadline and reports panic/timeout as clean `ERR` replies. An
+/// overrunning attempt is abandoned (honest semantics: its fork is
+/// garbage-collected when the thread eventually finishes; live state
+/// was never shared with it).
+#[allow(clippy::too_many_arguments)]
+fn spawn_whatif_worker<P: Platform + Snapshot + 'static>(
+    state: Vec<u8>,
+    job: JobId,
+    bf: Option<f64>,
+    window: Option<usize>,
+    horizon_secs: i64,
+    deadline: Duration,
+    reply: mpsc::Sender<String>,
+    counters: Arc<Counters>,
+    latencies: LatencyRing,
+) {
+    thread::spawn(move || {
+        let started = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut fork = LiveScheduler::<P>::decode(&state)
+                    .map_err(|e| format!("fork decode failed: {e:?}"))?;
+                Ok::<WhatIfAnswer, String>(fork.speculate_start(
+                    job,
+                    bf,
+                    window,
+                    SimDuration::from_secs(horizon_secs),
+                ))
+            }));
+            let _ = tx.send(outcome);
+        });
+        let text = match rx.recv_timeout(deadline) {
+            Ok(Ok(Ok(ans))) => render_whatif(ans),
+            Ok(Ok(Err(e))) => format!("ERR {e}"),
+            Ok(Err(_panic)) => {
+                counters.whatif_panics.fetch_add(1, Ordering::SeqCst);
+                "ERR what-if worker panicked (live state unaffected)".to_string()
+            }
+            Err(_) => {
+                counters.whatif_timeouts.fetch_add(1, Ordering::SeqCst);
+                "ERR what-if deadline exceeded".to_string()
+            }
+        };
+        record_latency(&latencies, started.elapsed());
+        counters.whatif_active.fetch_sub(1, Ordering::SeqCst);
+        let _ = reply.send(text);
+    });
+}
+
+/// Publish the daemon dashboard into the PR-4 metrics endpoint.
+fn publish_stats<P: Platform + Snapshot>(
+    stats: &SharedStats,
+    sched: &LiveScheduler<P>,
+    counters: &Counters,
+    latencies: &LatencyRing,
+    wal: &WalWriter,
+    draining: bool,
+) {
+    let s = sched.stats();
+    let mut extra = vec![
+        (
+            "serve_connections_active".to_string(),
+            counters.connections_active.load(Ordering::SeqCst) as f64,
+        ),
+        (
+            "serve_connections_total".to_string(),
+            counters.connections_total.load(Ordering::SeqCst) as f64,
+        ),
+        (
+            "serve_sheds_total".to_string(),
+            counters.sheds.load(Ordering::SeqCst) as f64,
+        ),
+        (
+            "serve_frame_errors_total".to_string(),
+            counters.frame_errors.load(Ordering::SeqCst) as f64,
+        ),
+        (
+            "serve_whatif_active".to_string(),
+            counters.whatif_active.load(Ordering::SeqCst) as f64,
+        ),
+        (
+            "serve_whatif_timeouts_total".to_string(),
+            counters.whatif_timeouts.load(Ordering::SeqCst) as f64,
+        ),
+        (
+            "serve_whatif_panics_total".to_string(),
+            counters.whatif_panics.load(Ordering::SeqCst) as f64,
+        ),
+        ("serve_wal_seq".to_string(), wal.next_seq() as f64),
+        (
+            "serve_draining".to_string(),
+            if draining { 1.0 } else { 0.0 },
+        ),
+        ("serve_jobs_abandoned".to_string(), s.abandoned as f64),
+        ("serve_jobs_finished".to_string(), s.finished as f64),
+    ];
+    if let Some((p25, p50, p75)) = latency_quartiles(latencies) {
+        extra.push(("serve_whatif_latency_p25_seconds".to_string(), p25));
+        extra.push(("serve_whatif_latency_p50_seconds".to_string(), p50));
+        extra.push(("serve_whatif_latency_p75_seconds".to_string(), p75));
+    }
+    let mut g = stats.lock().unwrap();
+    g.sim_time_s = sched.now().as_secs();
+    g.events = sched.event_index();
+    g.queue_depth_mins = s.queue_depth_mins;
+    g.util_instant = s.util_instant;
+    g.util_1h = s.util_1h;
+    g.util_10h = s.util_10h;
+    g.util_24h = s.util_24h;
+    g.down_nodes = s.down_nodes;
+    g.running = s.running as u64;
+    g.waiting = s.queued as u64;
+    g.done = false;
+    g.extra = extra;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amjs_core::{PolicyParams, SimulationBuilder};
+    use amjs_platform::FlatCluster;
+    use std::net::TcpStream;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("amjs-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fresh_sched() -> LiveScheduler<FlatCluster> {
+        LiveScheduler::from_builder(
+            SimulationBuilder::new(FlatCluster::new(64), Vec::new())
+                .policy(PolicyParams::new(0.5, 4)),
+        )
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let writer = stream.try_clone().unwrap();
+            Client {
+                reader: BufReader::new(stream),
+                writer,
+            }
+        }
+
+        fn ask(&mut self, line: &str) -> String {
+            write_frame(&mut self.writer, line.as_bytes()).unwrap();
+            String::from_utf8(read_frame(&mut self.reader).unwrap()).unwrap()
+        }
+    }
+
+    fn spawn_daemon(
+        dir: &Path,
+        resume: bool,
+        tweak: impl FnOnce(&mut ServeConfig),
+    ) -> (
+        SocketAddr,
+        thread::JoinHandle<Result<ServeReport, ServeError>>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut cfg = ServeConfig::new(dir);
+        tweak(&mut cfg);
+        let handle = thread::spawn(move || run_daemon(listener, fresh_sched, resume, cfg));
+        (addr, handle)
+    }
+
+    #[test]
+    fn end_to_end_over_the_wire() {
+        let dir = tmp_dir("e2e");
+        let (addr, handle) = spawn_daemon(&dir, false, |_| {});
+        let mut c = Client::connect(addr);
+
+        assert_eq!(c.ask("PING"), "OK PONG");
+        assert_eq!(c.ask("SUBMIT NODES=16 WALL=1800 RUN=600 USER=1"), "OK ID=0");
+        assert_eq!(c.ask("STATUS 0"), "OK PENDING");
+        assert_eq!(c.ask("ADVANCE 60"), "OK T=60");
+        assert!(c.ask("STATUS 0").starts_with("OK RUNNING START=0"));
+        assert!(c.ask("HASH").starts_with("OK HASH="));
+        assert!(c.ask("STATS").contains("RUNNING=1"));
+
+        // A bad verb is an ERR, not a dropped session.
+        assert!(c.ask("FROB 12").starts_with("ERR "));
+        assert_eq!(c.ask("PING"), "OK PONG");
+
+        // Rejected mutations are refused without being journaled.
+        assert!(c.ask("SUBMIT NODES=9999 WALL=60").starts_with("ERR "));
+        assert!(c.ask("CANCEL 77").starts_with("ERR "));
+
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.commands_applied, 2); // SUBMIT + ADVANCE only
+        assert_eq!(report.final_seq, 2);
+    }
+
+    #[test]
+    fn whatif_is_answered_from_a_fork() {
+        let dir = tmp_dir("whatif");
+        let (addr, handle) = spawn_daemon(&dir, false, |_| {});
+        let mut c = Client::connect(addr);
+
+        // Fill the machine; the second job must queue behind the first.
+        assert_eq!(c.ask("SUBMIT NODES=64 WALL=3600 USER=1"), "OK ID=0");
+        assert_eq!(c.ask("SUBMIT NODES=64 WALL=1800 USER=2"), "OK ID=1");
+        assert_eq!(c.ask("ADVANCE 60"), "OK T=60");
+        let hash_before = c.ask("HASH");
+
+        let ans = c.ask("WHATIF 1");
+        assert!(ans.starts_with("OK START="), "unexpected: {ans}");
+        let ans = c.ask("WHATIF 1 BF=0.9 W=8");
+        assert!(ans.starts_with("OK START="), "unexpected: {ans}");
+        assert!(c.ask("WHATIF 42").starts_with("ERR unknown job"));
+
+        // Speculation never touches live state.
+        assert_eq!(c.ask("HASH"), hash_before);
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn whatif_cap_sheds_with_busy() {
+        let dir = tmp_dir("whatif-cap");
+        let (addr, handle) = spawn_daemon(&dir, false, |cfg| cfg.whatif_cap = 0);
+        let mut c = Client::connect(addr);
+        c.ask("SUBMIT NODES=8 WALL=600 USER=1");
+        assert_eq!(c.ask("WHATIF 0"), "BUSY what-if capacity");
+        assert_eq!(c.ask("PING"), "OK PONG");
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        let report = handle.join().unwrap().unwrap();
+        assert!(report.sheds >= 1);
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_busy() {
+        let dir = tmp_dir("conn-cap");
+        let (addr, handle) = spawn_daemon(&dir, false, |cfg| cfg.max_conns = 1);
+        let mut first = Client::connect(addr);
+        assert_eq!(first.ask("PING"), "OK PONG"); // registered for sure
+        let mut second = Client::connect(addr);
+        let reply = String::from_utf8(read_frame(&mut second.reader).unwrap()).unwrap();
+        assert_eq!(reply, "BUSY connection limit");
+        assert_eq!(first.ask("PING"), "OK PONG"); // daemon unbothered
+        assert_eq!(first.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn framing_violation_closes_but_daemon_survives() {
+        use std::io::Write as _;
+        let dir = tmp_dir("framing");
+        let (addr, handle) = spawn_daemon(&dir, false, |_| {});
+
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        garbage
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        garbage.write_all(b"not a frame at all\n").unwrap();
+        let mut r = BufReader::new(garbage.try_clone().unwrap());
+        let reply = String::from_utf8(read_frame(&mut r).unwrap()).unwrap();
+        assert!(reply.starts_with("ERR "), "unexpected: {reply}");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof))); // closed
+
+        let mut oversized = TcpStream::connect(addr).unwrap();
+        oversized
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        oversized.write_all(b"999999:").unwrap();
+        let mut r = BufReader::new(oversized.try_clone().unwrap());
+        let reply = String::from_utf8(read_frame(&mut r).unwrap()).unwrap();
+        assert!(reply.contains("exceeds limit"), "unexpected: {reply}");
+
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("PING"), "OK PONG");
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_wal_into_identical_state() {
+        let dir = tmp_dir("recover");
+
+        // Segment 1: mutate state, record the reference hash, shut down.
+        let (addr, handle) = spawn_daemon(&dir, false, |cfg| {
+            cfg.snapshot_every = u64::MAX; // force recovery through the WAL
+        });
+        let mut c = Client::connect(addr);
+        for u in 0..5 {
+            let reply = c.ask(&format!("SUBMIT NODES=32 WALL=3600 RUN=1200 USER={u}"));
+            assert!(reply.starts_with("OK ID="), "unexpected: {reply}");
+        }
+        assert_eq!(c.ask("ADVANCE 1800"), "OK T=1800");
+        assert_eq!(c.ask("CANCEL 4"), "OK CANCELED");
+        assert_eq!(c.ask("ADVANCE 1800"), "OK T=3600");
+        let reference_hash = c.ask("HASH");
+        let reference_status: Vec<String> = (0..5).map(|i| c.ask(&format!("STATUS {i}"))).collect();
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
+
+        // Simulate a crash that predates the final snapshot: delete every
+        // snapshot except genesis so recovery must earn its state from
+        // the command WAL alone.
+        let store = SnapshotStore::new(&dir, 8);
+        for (idx, path) in store.list().unwrap() {
+            if idx > 0 {
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+
+        // Segment 2: resume and compare against the reference replies.
+        let (addr, handle) = spawn_daemon(&dir, true, |_| {});
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("HASH"), reference_hash);
+        for (i, expect) in reference_status.iter().enumerate() {
+            assert_eq!(&c.ask(&format!("STATUS {i}")), expect);
+        }
+        // The recovered daemon keeps serving: new work lands normally.
+        assert!(c
+            .ask("SUBMIT NODES=8 WALL=600 USER=9")
+            .starts_with("OK ID="));
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn fresh_start_refuses_dirty_state_dir() {
+        let dir = tmp_dir("dirty");
+        let (addr, handle) = spawn_daemon(&dir, false, |_| {});
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
+
+        let (_, handle) = spawn_daemon(&dir, false, |_| {});
+        match handle.join().unwrap() {
+            Err(ServeError::Corrupt(msg)) => assert!(msg.contains("--resume")),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_refuses_new_work_but_keeps_answering() {
+        let dir = tmp_dir("drain");
+        let (addr, handle) = spawn_daemon(&dir, false, |_| {});
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("SUBMIT NODES=8 WALL=600 USER=1"), "OK ID=0");
+        assert_eq!(c.ask("DRAIN"), "OK DRAINING");
+        assert!(c
+            .ask("SUBMIT NODES=8 WALL=600 USER=2")
+            .starts_with("ERR draining"));
+        assert!(c.ask("STATUS 0").starts_with("OK ")); // reads still served
+        assert_eq!(c.ask("ADVANCE 60"), "OK T=60"); // time still moves
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.commands_applied, 2); // drained SUBMIT not logged
+    }
+
+    #[test]
+    fn stop_latch_triggers_graceful_shutdown() {
+        // Exercises the same path a SIGTERM takes (the signal handler
+        // just flips a flag the engine loop polls), but through the
+        // per-daemon latch so parallel tests in this process are not
+        // taken down with it.
+        let dir = tmp_dir("sigterm");
+        let latch = Arc::new(AtomicBool::new(false));
+        let hook = latch.clone();
+        let (addr, handle) = spawn_daemon(&dir, false, move |cfg| cfg.stop = Some(hook));
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("SUBMIT NODES=8 WALL=600 USER=1"), "OK ID=0");
+        latch.store(true, Ordering::SeqCst);
+        let report = handle.join().unwrap().unwrap();
+        assert!(report.snapshots_written >= 1); // final snapshot landed
+        let plat = snapshot_platform(&dir).unwrap();
+        assert_eq!(plat, "flat");
+    }
+}

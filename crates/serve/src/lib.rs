@@ -1,0 +1,36 @@
+//! # amjs-serve — the live scheduler daemon
+//!
+//! Batch simulation answers "what would this policy have done"; this
+//! crate answers "what is the scheduler doing *right now*". It wraps
+//! the live-mode core (`amjs_core::live`) in a `std::net` TCP service
+//! speaking a small length-prefixed line protocol, and layers on the
+//! robustness machinery every earlier PR built for the batch path:
+//!
+//! - **[`proto`]** — `<len>:<payload>\n` framing plus the command
+//!   codec (`SUBMIT`, `STATUS`, `CANCEL`, `WHATIF`, `ADVANCE`,
+//!   `STATS`, `HASH`, `DRAIN`, `SHUTDOWN`, `PING`). Hard frame-size
+//!   cap; malformed input is a clean `ERR`, never a panic.
+//! - **[`wal`]** — checksummed append-only command journal. Accepted
+//!   mutations are applied, journaled, flushed, *then* acknowledged,
+//!   so a SIGKILL can never lose an acknowledged submission.
+//! - **[`daemon`]** — the service itself: single-owner engine loop,
+//!   bounded admission queue with `BUSY` load-shedding, per-connection
+//!   read deadlines, supervised what-if workers, snapshot rotation,
+//!   and crash recovery (snapshot + WAL-tail replay through the same
+//!   apply path as live service).
+//! - **[`signal`]** — SIGTERM/SIGINT → graceful drain via one atomic
+//!   flag, no signal crate.
+//!
+//! Like the rest of the workspace, this crate uses no external
+//! dependencies: sockets, threads, and channels all come from `std`.
+
+pub mod daemon;
+pub mod proto;
+pub mod signal;
+pub mod wal;
+
+pub use daemon::{
+    recover, run_daemon, snapshot_platform, ClockMode, ServeConfig, ServeError, ServeReport,
+};
+pub use proto::{read_frame, write_frame, Command, FrameError, MAX_FRAME};
+pub use wal::{read_wal, WalError, WalRecord, WalWriter};

@@ -1,0 +1,355 @@
+//! The command write-ahead log: the daemon's durability spine.
+//!
+//! Every *accepted* state-mutating command is appended (and flushed to
+//! the OS) before the client sees its `OK` — so an acknowledged
+//! submission survives a SIGKILL by construction. Recovery replays the
+//! log through the same apply path the live daemon uses: load the
+//! newest valid snapshot, then for each later record advance the
+//! scheduler clock to the recorded apply time and re-apply the command.
+//! Because every apply is deterministic (seeded streams, deterministic
+//! event ordering), the recovered state is byte-identical to the
+//! pre-crash state as of the last acknowledged command.
+//!
+//! File format (all integers little-endian):
+//!
+//! ```text
+//! header:  "AMJSWAL1"  fingerprint:u64
+//! record:  len:u32  seq:u64  time_secs:i64  cmd:[u8; len]  check:u64
+//! ```
+//!
+//! `check` is FNV-1a over the record's preceding bytes. A torn tail —
+//! the partial record a crash mid-write leaves behind — fails the
+//! length or checksum test and is dropped; everything before it is
+//! intact because records are append-only and flushed whole. Like the
+//! PR-3 journal this is flush-to-OS durability: it survives process
+//! death (the SIGKILL contract CI proves), not OS/power failure.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use amjs_sim::snapshot::Fnv1a;
+
+const MAGIC: &[u8; 8] = b"AMJSWAL1";
+
+/// One recovered log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotonic command sequence number (0-based).
+    pub seq: u64,
+    /// Simulated time at which the command was applied.
+    pub time_secs: i64,
+    /// The command, in [`crate::proto::Command::render`] canonical text.
+    pub cmd: String,
+}
+
+/// Why a WAL could not be opened or read.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a WAL file, or header truncated.
+    BadHeader,
+    /// The file belongs to a different run.
+    FingerprintMismatch {
+        /// Fingerprint in the file header.
+        found: u64,
+        /// Fingerprint the caller expected.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::BadHeader => write!(f, "not a wal file (bad header)"),
+            WalError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "wal belongs to a different run \
+                 (fingerprint {found:016x}, expected {expected:016x})"
+            ),
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+fn record_checksum(len: u32, seq: u64, time_secs: i64, cmd: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&len.to_le_bytes());
+    h.write(&seq.to_le_bytes());
+    h.write(&time_secs.to_le_bytes());
+    h.write(cmd);
+    h.finish()
+}
+
+/// Append-only WAL writer. Each [`append`](WalWriter::append) writes
+/// one whole record and flushes before returning — the caller may ACK
+/// as soon as it returns.
+pub struct WalWriter {
+    file: File,
+    next_seq: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL at `path` (truncating any existing file) with
+    /// the run fingerprint stamped in the header.
+    pub fn create(path: &Path, fingerprint: u64) -> io::Result<WalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&fingerprint.to_le_bytes())?;
+        file.flush()?;
+        Ok(WalWriter { file, next_seq: 0 })
+    }
+
+    /// Reopen an existing WAL for appending after recovery. The caller
+    /// has already validated the header and replayed `next_seq` records;
+    /// writing continues from there. The file is truncated to the end
+    /// of the last *valid* record (`valid_len`), amputating any torn
+    /// tail so the next append starts on a record boundary.
+    pub fn reopen(path: &Path, next_seq: u64, valid_len: u64) -> io::Result<WalWriter> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek_end()?;
+        Ok(WalWriter { file, next_seq })
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one record and flush it to the OS. Returns the record's
+    /// sequence number.
+    pub fn append(&mut self, time_secs: i64, cmd: &str) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let bytes = cmd.as_bytes();
+        let len = bytes.len() as u32;
+        let check = record_checksum(len, seq, time_secs, bytes);
+        let mut buf = Vec::with_capacity(28 + bytes.len());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(&time_secs.to_le_bytes());
+        buf.extend_from_slice(bytes);
+        buf.extend_from_slice(&check.to_le_bytes());
+        self.file.write_all(&buf)?;
+        self.file.flush()?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+}
+
+trait SeekEnd {
+    fn seek_end(&mut self) -> io::Result<()>;
+}
+impl SeekEnd for File {
+    fn seek_end(&mut self) -> io::Result<()> {
+        use std::io::Seek;
+        self.seek(io::SeekFrom::End(0)).map(|_| ())
+    }
+}
+
+/// The result of reading a WAL back.
+#[derive(Debug)]
+pub struct WalContents {
+    /// Run fingerprint from the header.
+    pub fingerprint: u64,
+    /// All intact records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the intact prefix (header + whole records) —
+    /// [`WalWriter::reopen`] truncates to this to drop a torn tail.
+    pub valid_len: u64,
+    /// True when trailing bytes were dropped (torn tail from a crash
+    /// mid-append, or corruption).
+    pub torn_tail: bool,
+}
+
+/// Read a WAL, tolerating a torn tail: parsing stops at the first
+/// incomplete or checksum-failing record and reports everything before
+/// it. When `expect_fingerprint` is `Some`, a header mismatch is an
+/// error (refuse to replay a foreign log).
+pub fn read_wal(path: &Path, expect_fingerprint: Option<u64>) -> Result<WalContents, WalError> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < 16 || &data[..8] != MAGIC {
+        return Err(WalError::BadHeader);
+    }
+    let fingerprint = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    if let Some(expected) = expect_fingerprint {
+        if fingerprint != expected {
+            return Err(WalError::FingerprintMismatch {
+                found: fingerprint,
+                expected,
+            });
+        }
+    }
+    let mut records = Vec::new();
+    let mut pos = 16usize;
+    let mut torn_tail = false;
+    while pos < data.len() {
+        if data.len() - pos < 28 {
+            torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(data[pos + 4..pos + 12].try_into().unwrap());
+        let time_secs = i64::from_le_bytes(data[pos + 12..pos + 20].try_into().unwrap());
+        let body_end = pos + 20 + len;
+        if len > crate::proto::MAX_FRAME || body_end + 8 > data.len() {
+            torn_tail = true;
+            break;
+        }
+        let cmd_bytes = &data[pos + 20..body_end];
+        let check = u64::from_le_bytes(data[body_end..body_end + 8].try_into().unwrap());
+        if check != record_checksum(len as u32, seq, time_secs, cmd_bytes) {
+            torn_tail = true;
+            break;
+        }
+        let cmd = match std::str::from_utf8(cmd_bytes) {
+            Ok(s) => s.to_string(),
+            Err(_) => {
+                torn_tail = true;
+                break;
+            }
+        };
+        records.push(WalRecord {
+            seq,
+            time_secs,
+            cmd,
+        });
+        pos = body_end + 8;
+    }
+    Ok(WalContents {
+        fingerprint,
+        records,
+        valid_len: pos as u64,
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("amjs-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let dir = tmp_dir("rt");
+        let path = dir.join("cmd.wal");
+        let mut w = WalWriter::create(&path, 0xFEED).unwrap();
+        assert_eq!(w.append(10, "SUBMIT NODES=4 WALL=60").unwrap(), 0);
+        assert_eq!(w.append(20, "CANCEL 0").unwrap(), 1);
+        assert_eq!(w.append(30, "ADVANCE 600").unwrap(), 2);
+        drop(w);
+
+        let got = read_wal(&path, Some(0xFEED)).unwrap();
+        assert!(!got.torn_tail);
+        assert_eq!(got.fingerprint, 0xFEED);
+        assert_eq!(
+            got.records,
+            vec![
+                WalRecord {
+                    seq: 0,
+                    time_secs: 10,
+                    cmd: "SUBMIT NODES=4 WALL=60".into()
+                },
+                WalRecord {
+                    seq: 1,
+                    time_secs: 20,
+                    cmd: "CANCEL 0".into()
+                },
+                WalRecord {
+                    seq: 2,
+                    time_secs: 30,
+                    cmd: "ADVANCE 600".into()
+                },
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reopen_resumes() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("cmd.wal");
+        let mut w = WalWriter::create(&path, 7).unwrap();
+        w.append(5, "PINGLIKE A").unwrap();
+        w.append(6, "PINGLIKE B").unwrap();
+        drop(w);
+
+        // Simulate a crash mid-append: append half a record by hand.
+        let intact = fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[9, 0, 0, 0, 1, 2, 3]).unwrap();
+        drop(f);
+
+        let got = read_wal(&path, Some(7)).unwrap();
+        assert!(got.torn_tail);
+        assert_eq!(got.records.len(), 2);
+        assert_eq!(got.valid_len, intact);
+
+        // Reopen truncates the tail and continues the sequence.
+        let mut w = WalWriter::reopen(&path, 2, got.valid_len).unwrap();
+        assert_eq!(w.append(7, "PINGLIKE C").unwrap(), 2);
+        drop(w);
+        let again = read_wal(&path, Some(7)).unwrap();
+        assert!(!again.torn_tail);
+        assert_eq!(again.records.len(), 3);
+        assert_eq!(again.records[2].cmd, "PINGLIKE C");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_truncates_from_there() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("cmd.wal");
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        w.append(1, "AAA").unwrap();
+        w.append(2, "BBB").unwrap();
+        drop(w);
+        // Flip a byte inside the second record's payload.
+        let mut data = fs::read(&path).unwrap();
+        let len = data.len();
+        data[len - 10] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        let got = read_wal(&path, Some(1)).unwrap();
+        assert!(got.torn_tail);
+        assert_eq!(got.records.len(), 1);
+        assert_eq!(got.records[0].cmd, "AAA");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_refused() {
+        let dir = tmp_dir("foreign");
+        let path = dir.join("cmd.wal");
+        WalWriter::create(&path, 0xAAAA).unwrap();
+        assert!(matches!(
+            read_wal(&path, Some(0xBBBB)),
+            Err(WalError::FingerprintMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_wal_file_is_rejected() {
+        let dir = tmp_dir("notwal");
+        let path = dir.join("cmd.wal");
+        fs::write(&path, b"hello").unwrap();
+        assert!(matches!(read_wal(&path, None), Err(WalError::BadHeader)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

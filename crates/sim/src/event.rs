@@ -164,6 +164,14 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
+    /// Iterate over all pending entries in *arbitrary* order (the heap's
+    /// internal layout). O(1) per entry — use this for membership-style
+    /// questions ("is a tick still pending?"); anything that must be
+    /// deterministic goes through [`EventQueue::sorted_entries`].
+    pub fn iter(&self) -> impl Iterator<Item = &EventEntry<E>> {
+        self.heap.iter().map(|h| &h.0)
+    }
+
     /// All pending entries in deterministic pop order (time, priority,
     /// seq). The heap's internal layout is *not* deterministic, so any
     /// serialization must go through this sorted view.
