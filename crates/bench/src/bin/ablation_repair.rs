@@ -27,30 +27,7 @@ use amjs_core::{MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 use amjs_sim::SimDuration;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut seed = harness::DEFAULT_SEED;
-    let mut fast = false;
-    let mut workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                seed = args[i + 1].parse().expect("--seed N");
-                i += 2;
-            }
-            "--jobs" => {
-                workers = args[i + 1].parse().expect("--jobs N");
-                i += 2;
-            }
-            "--fast" => {
-                fast = true;
-                i += 1;
-            }
-            other => panic!("unknown argument {other:?} (supported: --seed N, --fast, --jobs N)"),
-        }
-    }
+    let (seed, fast, workers) = harness::parse_args_with_jobs(harness::default_workers());
 
     // Node MTBFs: the production-flavored 50 years, and a degraded
     // machine at 10 years (~1 machine failure / 2.1 h at Intrepid

@@ -64,28 +64,8 @@ fn builder(spec: &RunSpec) -> SimulationBuilder<impl amjs_platform::Platform + a
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut seed = harness::DEFAULT_SEED;
-    let mut fast = false;
-    let mut workers = 1usize; // timing experiment: sequential by default
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                seed = args[i + 1].parse().expect("--seed N");
-                i += 2;
-            }
-            "--jobs" => {
-                workers = args[i + 1].parse().expect("--jobs N");
-                i += 2;
-            }
-            "--fast" => {
-                fast = true;
-                i += 1;
-            }
-            other => panic!("unknown argument {other:?} (supported: --seed N, --fast, --jobs N)"),
-        }
-    }
+    // Timing experiment: sequential by default.
+    let (seed, fast, workers) = harness::parse_args_with_jobs(1);
 
     // Cadences under test (events between snapshots). A month-long trace
     // handles on the order of 10^4 events, so these span "several

@@ -10,29 +10,54 @@
 //! * **(c)** loss of capacity vs. W, one series per BF — LoC falls with
 //!   W while BF ≥ 0.5 and the effect disappears toward SJF.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin fig3 [--seed N] [--fast]`
+//! The 25-point grid runs on the fault-tolerant fleet engine
+//! (`amjs-fleet`): supervised workers, panics retried, digests in grid
+//! order. `--jobs 1` reproduces the old sequential output
+//! byte-for-byte.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin fig3
+//!         [--seed N] [--fast] [--jobs N]`
 
-use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::harness;
 use amjs_bench::{results, table};
+use amjs_core::{MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 
 const BFS: [f64; 5] = [1.0, 0.75, 0.5, 0.25, 0.0];
 const WINDOWS: [usize; 5] = [1, 2, 3, 4, 5];
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
+    let (seed, fast, workers) = harness::parse_args_with_jobs(harness::default_workers());
     let jobs = harness::experiment_jobs(seed, fast);
     eprintln!(
-        "fig3: {} jobs, {} configurations",
+        "fig3: {} jobs, {} configurations, {workers} workers",
         jobs.len(),
         BFS.len() * WINDOWS.len()
     );
 
-    let configs: Vec<RunConfig> = BFS
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
+    let specs: Vec<RunSpec> = BFS
         .iter()
-        .flat_map(|&bf| WINDOWS.iter().map(move |&w| RunConfig::fixed(bf, w)))
+        .flat_map(|&bf| {
+            WINDOWS.iter().map(move |&w| {
+                RunSpec::new(
+                    format!("bf{bf}-w{w}"),
+                    MachineSpec::intrepid(),
+                    WorkloadSource::Preset {
+                        name: preset,
+                        seed,
+                        load_factor: 1.0,
+                    },
+                    PolicyParams::new(bf, w),
+                )
+            })
+        })
         .collect();
-    let outcomes = harness::run_sweep(harness::intrepid, &jobs, &configs);
-    let get = |bf_i: usize, w_i: usize| &outcomes[bf_i * WINDOWS.len() + w_i].summary;
+    let (digests, _report) = harness::run_fleet_sweep(&specs, workers);
+    let get = |bf_i: usize, w_i: usize| &digests[bf_i * WINDOWS.len() + w_i].summary;
 
     let mut out = String::new();
     out.push_str(&format!(

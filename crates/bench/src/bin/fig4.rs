@@ -14,27 +14,62 @@
 //! fine), the peak-depth ratios the paper quotes (BF=0.75 peak ≈ 1/4 of
 //! FCFS, BF=0.5 ≈ 1/8), and a CSV of all series.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin fig4 [--seed N] [--fast]`
+//! The three post-threshold runs go through the fault-tolerant fleet
+//! engine (`amjs-fleet`); the base run stays sequential because the
+//! adaptive threshold is computed from it. `--jobs 1` reproduces the
+//! old sequential output byte-for-byte.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin fig4
+//!         [--seed N] [--fast] [--jobs N]`
 
 use amjs_bench::harness::{self, RunConfig};
 use amjs_bench::{chart, results};
+use amjs_core::{AdaptiveKind, MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 use amjs_sim::SimTime;
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
+    let (seed, fast, workers) = harness::parse_args_with_jobs(harness::default_workers());
     let jobs = harness::experiment_jobs(seed, fast);
-    eprintln!("fig4: {} jobs", jobs.len());
+    eprintln!("fig4: {} jobs, {workers} workers", jobs.len());
 
     // Threshold from the base run's whole-trace average (paper §IV-C.1).
     let base = harness::run_one(harness::intrepid(), jobs.clone(), &RunConfig::fixed(1.0, 1));
     let threshold = base.queue_depth.mean_value().unwrap_or(1000.0);
 
-    let configs = vec![
-        RunConfig::fixed(0.75, 1),
-        RunConfig::fixed(0.5, 1),
-        RunConfig::bf_adaptive(threshold).named("adaptive"),
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
+    let workload = WorkloadSource::Preset {
+        name: preset,
+        seed,
+        load_factor: 1.0,
+    };
+    let mut adaptive_spec = RunSpec::new(
+        "adaptive",
+        MachineSpec::intrepid(),
+        workload.clone(),
+        PolicyParams::fcfs(),
+    )
+    .labeled("adaptive");
+    adaptive_spec.adaptive = AdaptiveKind::Bf { threshold };
+    let specs = vec![
+        RunSpec::new(
+            "bf0.75-w1",
+            MachineSpec::intrepid(),
+            workload.clone(),
+            PolicyParams::new(0.75, 1),
+        ),
+        RunSpec::new(
+            "bf0.5-w1",
+            MachineSpec::intrepid(),
+            workload,
+            PolicyParams::new(0.5, 1),
+        ),
+        adaptive_spec,
     ];
-    let rest = harness::run_sweep(harness::intrepid, &jobs, &configs);
+    let rest = harness::run_fleet_outcomes(&specs, workers);
     let (bf075, bf05, adaptive) = (&rest[0], &rest[1], &rest[2]);
 
     let until = SimTime::from_hours(200);

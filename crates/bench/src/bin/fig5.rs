@@ -12,11 +12,16 @@
 //! window tuning lifts and stabilizes the 24H line during the stable
 //! period (hours ~50–150).
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin fig5 [--seed N] [--fast]`
+//! Both runs go through the fault-tolerant fleet engine (`amjs-fleet`);
+//! `--jobs 1` reproduces the old sequential output byte-for-byte.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin fig5
+//!         [--seed N] [--fast] [--jobs N]`
 
-use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::harness;
 use amjs_bench::{chart, results};
 use amjs_core::runner::SimulationOutcome;
+use amjs_core::{AdaptiveKind, MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 use amjs_sim::SimTime;
 
 fn panel(out: &mut String, title: &str, o: &SimulationOutcome, until: SimTime) {
@@ -58,15 +63,38 @@ fn panel(out: &mut String, title: &str, o: &SimulationOutcome, until: SimTime) {
 }
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
+    let (seed, fast, workers) = harness::parse_args_with_jobs(harness::default_workers());
     let jobs = harness::experiment_jobs(seed, fast);
-    eprintln!("fig5: {} jobs", jobs.len());
+    eprintln!("fig5: {} jobs, {workers} workers", jobs.len());
 
-    let configs = vec![
-        RunConfig::fixed(1.0, 1),
-        RunConfig::window_adaptive().named("W adaptive"),
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
+    let workload = WorkloadSource::Preset {
+        name: preset,
+        seed,
+        load_factor: 1.0,
+    };
+    let mut adaptive_spec = RunSpec::new(
+        "w-adaptive",
+        MachineSpec::intrepid(),
+        workload.clone(),
+        PolicyParams::fcfs(),
+    )
+    .labeled("W adaptive");
+    adaptive_spec.adaptive = AdaptiveKind::Window;
+    let specs = vec![
+        RunSpec::new(
+            "bf1-w1",
+            MachineSpec::intrepid(),
+            workload,
+            PolicyParams::new(1.0, 1),
+        ),
+        adaptive_spec,
     ];
-    let outcomes = harness::run_sweep(harness::intrepid, &jobs, &configs);
+    let outcomes = harness::run_fleet_outcomes(&specs, workers);
     let until = SimTime::from_hours(200);
 
     let mut out = String::new();

@@ -10,26 +10,63 @@
 //! * **(b)** the 2D run's utilization lines — 10H/24H more stable than
 //!   the static panels of Fig. 5.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin fig6 [--seed N] [--fast]`
+//! The three post-threshold runs go through the fault-tolerant fleet
+//! engine (`amjs-fleet`); the base run stays sequential because the
+//! adaptive threshold is computed from it. `--jobs 1` reproduces the
+//! old sequential output byte-for-byte.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin fig6
+//!         [--seed N] [--fast] [--jobs N]`
 
 use amjs_bench::harness::{self, RunConfig};
 use amjs_bench::{chart, results};
+use amjs_core::{AdaptiveKind, MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 use amjs_sim::SimTime;
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
+    let (seed, fast, workers) = harness::parse_args_with_jobs(harness::default_workers());
     let jobs = harness::experiment_jobs(seed, fast);
-    eprintln!("fig6: {} jobs", jobs.len());
+    eprintln!("fig6: {} jobs, {workers} workers", jobs.len());
 
     let base = harness::run_one(harness::intrepid(), jobs.clone(), &RunConfig::fixed(1.0, 1));
     let threshold = base.queue_depth.mean_value().unwrap_or(1000.0);
 
-    let configs = vec![
-        RunConfig::fixed(0.5, 1),
-        RunConfig::bf_adaptive(threshold).named("BF adaptive"),
-        RunConfig::two_d_adaptive(threshold).named("2D adaptive"),
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
+    let workload = WorkloadSource::Preset {
+        name: preset,
+        seed,
+        load_factor: 1.0,
+    };
+    let adaptive = |key: &str, label: &str, kind: AdaptiveKind| {
+        let mut s = RunSpec::new(
+            key,
+            MachineSpec::intrepid(),
+            workload.clone(),
+            PolicyParams::fcfs(),
+        )
+        .labeled(label);
+        s.adaptive = kind;
+        s
+    };
+    let specs = vec![
+        RunSpec::new(
+            "bf0.5-w1",
+            MachineSpec::intrepid(),
+            workload.clone(),
+            PolicyParams::new(0.5, 1),
+        ),
+        adaptive("bf-adaptive", "BF adaptive", AdaptiveKind::Bf { threshold }),
+        adaptive(
+            "2d-adaptive",
+            "2D adaptive",
+            AdaptiveKind::TwoD { threshold },
+        ),
     ];
-    let rest = harness::run_sweep(harness::intrepid, &jobs, &configs);
+    let rest = harness::run_fleet_outcomes(&specs, workers);
     let (bf05, bf_ad, twod) = (&rest[0], &rest[1], &rest[2]);
 
     let until = SimTime::from_hours(200);

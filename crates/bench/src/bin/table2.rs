@@ -19,17 +19,24 @@
 //! based on the whole month's average" — we pre-run the base
 //! configuration and use its mean queue depth.
 //!
-//! Usage: `cargo run -p amjs-bench --release --bin table2 [--seed N] [--fast]`
+//! The six post-threshold runs go through the fault-tolerant fleet
+//! engine (`amjs-fleet`); the base run stays sequential because the
+//! adaptive threshold is computed from it. `--jobs 1` reproduces the
+//! old sequential output byte-for-byte.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin table2
+//!         [--seed N] [--fast] [--jobs N]`
 
 use amjs_bench::harness::{self, RunConfig};
 use amjs_bench::{results, table};
+use amjs_core::{AdaptiveKind, MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
 use amjs_metrics::report::improvement_percent;
 
 fn main() {
-    let (seed, fast) = harness::parse_args();
+    let (seed, fast, workers) = harness::parse_args_with_jobs(harness::default_workers());
     let jobs = harness::experiment_jobs(seed, fast);
     eprintln!(
-        "table2: {} jobs over {:.0} h (seed {seed})",
+        "table2: {} jobs over {:.0} h (seed {seed}, {workers} workers)",
         jobs.len(),
         jobs.last().map(|j| j.submit.as_hours_f64()).unwrap_or(0.0)
     );
@@ -39,16 +46,50 @@ fn main() {
     let threshold = base.queue_depth.mean_value().unwrap_or(1000.0);
     eprintln!("table2: base mean queue depth {threshold:.0} min → adaptive threshold");
 
-    let configs = vec![
-        RunConfig::fixed(1.0, 4),
-        RunConfig::fixed(0.5, 1),
-        RunConfig::fixed(0.5, 4),
-        RunConfig::bf_adaptive(threshold),
-        RunConfig::window_adaptive(),
-        RunConfig::two_d_adaptive(threshold),
+    let preset = if fast {
+        PresetName::Week
+    } else {
+        PresetName::Month
+    };
+    let workload = WorkloadSource::Preset {
+        name: preset,
+        seed,
+        load_factor: 1.0,
+    };
+    let fixed = |bf: f64, w: usize| {
+        RunSpec::new(
+            format!("bf{bf}-w{w}"),
+            MachineSpec::intrepid(),
+            workload.clone(),
+            PolicyParams::new(bf, w),
+        )
+    };
+    let adaptive = |key: &str, kind: AdaptiveKind| {
+        let mut s = RunSpec::new(
+            key,
+            MachineSpec::intrepid(),
+            workload.clone(),
+            PolicyParams::fcfs(),
+        );
+        s.label = match kind {
+            AdaptiveKind::Bf { .. } => "BF Adapt.".to_string(),
+            AdaptiveKind::Window => "W Adapt.".to_string(),
+            AdaptiveKind::TwoD { .. } => "2D Adapt.".to_string(),
+            AdaptiveKind::None => unreachable!("static rows use `fixed`"),
+        };
+        s.adaptive = kind;
+        s
+    };
+    let specs = vec![
+        fixed(1.0, 4),
+        fixed(0.5, 1),
+        fixed(0.5, 4),
+        adaptive("bf-adaptive", AdaptiveKind::Bf { threshold }),
+        adaptive("w-adaptive", AdaptiveKind::Window),
+        adaptive("2d-adaptive", AdaptiveKind::TwoD { threshold }),
     ];
     let mut outcomes = vec![base];
-    outcomes.extend(harness::run_sweep(harness::intrepid, &jobs, &configs));
+    outcomes.extend(harness::run_fleet_outcomes(&specs, workers));
 
     let header = [
         "configuration",

@@ -187,6 +187,60 @@ pub fn run_fleet_sweep(
     (digests, report)
 }
 
+/// Like [`run_fleet_sweep`], but keep every run's *full*
+/// [`SimulationOutcome`] (sampled time series included) instead of the
+/// compact digest — for the figure binaries, which chart queue-depth
+/// and utilization series. Outcomes ride back around the digests
+/// through a side channel keyed by spec, so they come back in spec
+/// order regardless of completion order; `workers == 1` reproduces the
+/// old sequential output byte-for-byte.
+///
+/// # Panics
+/// Panics when a run stays degraded after its retry budget.
+pub fn run_fleet_outcomes(specs: &[amjs_core::RunSpec], workers: usize) -> Vec<SimulationOutcome> {
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+
+    let side: Arc<Mutex<BTreeMap<String, SimulationOutcome>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let exec: amjs_fleet::Exec = {
+        let side = side.clone();
+        Arc::new(move |spec| {
+            let outcome = spec.execute();
+            let digest = amjs_fleet::RunDigest::from_outcome(&outcome);
+            // A retried run simply overwrites its slot — re-execution is
+            // deterministic, so the replacement is identical.
+            side.lock().unwrap().insert(spec.key.clone(), outcome);
+            digest
+        })
+    };
+    let cfg = amjs_fleet::FleetConfig {
+        workers: workers.max(1),
+        heartbeat: Some(std::time::Duration::from_secs(10)),
+        ..amjs_fleet::FleetConfig::default()
+    };
+    let report = amjs_fleet::run_fleet(specs, &cfg, exec, None).expect("fleet sweep failed");
+    for slot in &report.records {
+        let rec = slot.as_ref().expect("fleet left a run undispatched");
+        assert!(
+            rec.digest.is_some(),
+            "run {} ended {} after {} attempts: {}",
+            rec.key,
+            rec.status.as_str(),
+            rec.attempts,
+            rec.error.as_deref().unwrap_or("no error recorded")
+        );
+    }
+    let mut side = side.lock().unwrap();
+    specs
+        .iter()
+        .map(|spec| {
+            side.remove(&spec.key)
+                .unwrap_or_else(|| panic!("run {} left no outcome", spec.key))
+        })
+        .collect()
+}
+
 /// Write the fleet throughput benchmark (runs/s, aggregate passes/s,
 /// per-run wall-clock quartiles) to `results/BENCH_sweep.json`.
 pub fn write_sweep_bench(report: &amjs_fleet::FleetReport) {
@@ -224,6 +278,51 @@ pub fn parse_args() -> (u64, bool) {
     (seed, fast)
 }
 
+/// Parse `--seed N`, `--fast`, and `--jobs N`; returns
+/// `(seed, fast, workers)`. `default_workers` is what `--jobs` falls
+/// back to: the machine's parallelism for throughput sweeps, or 1 for
+/// timing experiments (parallel cells contend for cores and contaminate
+/// each other's wall-clock numbers).
+pub fn parse_args_with_jobs(default_workers: usize) -> (u64, bool, usize) {
+    let mut seed = DEFAULT_SEED;
+    let mut fast = false;
+    let mut workers = default_workers;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+                i += 2;
+            }
+            "--jobs" => {
+                workers = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--jobs needs an integer"));
+                i += 2;
+            }
+            "--fast" => {
+                fast = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (supported: --seed N, --fast, --jobs N)"),
+        }
+    }
+    (seed, fast, workers)
+}
+
+/// The machine's available parallelism — the `--jobs` default for
+/// throughput sweeps.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
 /// The experiment trace honoring `--fast`.
 pub fn experiment_jobs(seed: u64, fast: bool) -> Vec<Job> {
     if fast {
@@ -254,6 +353,40 @@ mod tests {
         // Sweep result equals a directly-run simulation.
         let direct = run_one(FlatCluster::new(512), jobs, &configs[1]);
         assert_eq!(direct.summary, sweep[1].summary);
+    }
+
+    #[test]
+    fn fleet_outcomes_match_direct_runs_across_worker_counts() {
+        use amjs_core::{MachineSpec, PolicyParams, PresetName, RunSpec, WorkloadSource};
+        let specs: Vec<RunSpec> = [(1.0, 1), (0.5, 2), (0.0, 1)]
+            .iter()
+            .map(|&(bf, w)| {
+                RunSpec::new(
+                    format!("bf{bf}-w{w}"),
+                    MachineSpec::Flat { nodes: 1024 },
+                    WorkloadSource::Preset {
+                        name: PresetName::Small,
+                        seed: 3,
+                        load_factor: 1.0,
+                    },
+                    PolicyParams::new(bf, w),
+                )
+            })
+            .collect();
+        let seq = run_fleet_outcomes(&specs, 1);
+        let par = run_fleet_outcomes(&specs, 3);
+        assert_eq!(seq.len(), 3);
+        for ((spec, a), b) in specs.iter().zip(&seq).zip(&par) {
+            assert_eq!(a.summary.label, spec.label, "outcomes in spec order");
+            assert_eq!(a.summary, b.summary, "worker count changed an outcome");
+            assert_eq!(
+                a.queue_depth.points(),
+                b.queue_depth.points(),
+                "worker count changed a sampled series"
+            );
+        }
+        // The side channel carries the same result a direct execute gives.
+        assert_eq!(seq[1].summary, specs[1].execute().summary);
     }
 
     #[test]

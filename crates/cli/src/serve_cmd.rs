@@ -11,10 +11,13 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use amjs_core::live::peek_platform;
 use amjs_core::{LiveScheduler, PolicyParams, SimulationBuilder};
 use amjs_obs::{shared_stats, MetricsServer};
 use amjs_platform::{BgpCluster, FlatCluster, Platform};
-use amjs_serve::{run_daemon, snapshot_platform, ClockMode, ServeConfig};
+use amjs_serve::{
+    fetch_snapshot, run_daemon, snapshot_platform, ClockMode, FollowSpec, ReplChaos, ServeConfig,
+};
 use amjs_sim::Snapshot;
 
 use crate::args::{self, ArgError, FlagSpec};
@@ -136,6 +139,31 @@ fn flag_specs() -> Vec<FlagSpec> {
             help: "also serve Prometheus metrics on this address",
             default: None,
         },
+        FlagSpec {
+            name: "follow",
+            is_bool: false,
+            help: "run as a hot-standby follower of this primary (host:port)",
+            default: None,
+        },
+        FlagSpec {
+            name: "lease-ms",
+            is_bool: false,
+            help: "failover lease: promote after this long without primary contact",
+            default: Some("3000"),
+        },
+        FlagSpec {
+            name: "repl-heartbeat-ms",
+            is_bool: false,
+            help: "heartbeat cadence on follower streams (primary side)",
+            default: Some("500"),
+        },
+        FlagSpec {
+            name: "repl-fault",
+            is_bool: false,
+            help: "deterministic link faults on follower streams: \
+                   drop=<p>,delay-ms=<n>,disconnect=<p>,seed=<n>,diverge-at=<seq>",
+            default: None,
+        },
     ]
 }
 
@@ -146,9 +174,14 @@ fn help() -> String {
          Speaks a length-prefixed line protocol: frame = `<len>:<payload>\\n`.\n\
          Verbs: SUBMIT NODES=n WALL=s [RUN=s] [USER=u], STATUS <job>,\n\
          CANCEL <job>, WHATIF <job> [BF=f] [W=n] [HORIZON=s], ADVANCE <s>,\n\
-         STATS, HASH, PING, DRAIN, SHUTDOWN.\n\n\
+         STATS, HASH, ROLE, PING, DRAIN, SHUTDOWN.\n\n\
          Every accepted mutation is journaled and flushed before it is\n\
-         acknowledged; `--resume` restarts into byte-identical state.\n\n\
+         acknowledged; `--resume` restarts into byte-identical state.\n\
+         With `--follow <primary>` the daemon runs as a hot standby: it\n\
+         bootstraps from the primary's snapshot, mirrors its journal\n\
+         (cross-checking every record's state hash), refuses writes, and\n\
+         promotes itself into a new fenced epoch if the primary goes\n\
+         silent past the lease.\n\n\
          flags:\n{}",
         args::render_flags(&flag_specs())
     )
@@ -255,6 +288,58 @@ pub fn serve(argv: &[String]) -> Result<(), ArgError> {
     }
     cfg.oracle_every = parsed.get_parsed("oracle-every", 64u64)?;
 
+    // ----- replication flags -----
+    let follow = parsed.get("follow").map(str::to_string);
+    let lease = Duration::from_millis(parsed.get_parsed("lease-ms", 3_000u64)?);
+    cfg.repl_heartbeat = Duration::from_millis(parsed.get_parsed("repl-heartbeat-ms", 500u64)?);
+    if cfg.repl_heartbeat.is_zero() {
+        return Err(ArgError("--repl-heartbeat-ms: must be positive".into()));
+    }
+    if let Some(spec) = parsed.get("repl-fault") {
+        cfg.repl_chaos =
+            Some(ReplChaos::parse_spec(spec).map_err(|e| ArgError(format!("--repl-fault: {e}")))?);
+    }
+    if follow.is_some() {
+        if lease.is_zero() {
+            return Err(ArgError("--lease-ms: must be positive".into()));
+        }
+        if lease <= cfg.repl_heartbeat {
+            return Err(ArgError(format!(
+                "--lease-ms ({}) must exceed --repl-heartbeat-ms ({}): a lease shorter \
+                 than the heartbeat promotes on every quiet tick",
+                lease.as_millis(),
+                cfg.repl_heartbeat.as_millis()
+            )));
+        }
+        if matches!(cfg.clock, ClockMode::Wall { .. }) {
+            return Err(ArgError(
+                "--follow: a follower's clock is driven by the primary's records; \
+                 --clock wall is not allowed"
+                    .into(),
+            ));
+        }
+        if !resume {
+            let offending: Vec<String> = FRESH_ONLY_FLAGS
+                .iter()
+                .filter(|f| parsed.is_given(f))
+                .map(|f| format!("--{f}"))
+                .collect();
+            if !offending.is_empty() {
+                return Err(ArgError(format!(
+                    "--follow cannot be combined with {}: the bootstrap snapshot \
+                     already carries the machine and policy",
+                    offending.join(", ")
+                )));
+            }
+        }
+    } else if parsed.is_given("lease-ms") {
+        return Err(ArgError(
+            "--lease-ms only makes sense with --follow (it is the follower's \
+             promotion timer)"
+                .into(),
+        ));
+    }
+
     // Bind both listeners before touching durable state so a bad or
     // in-use address is a clean diagnostic, not a half-started daemon.
     let addr = parsed.get("serve-addr").unwrap_or("127.0.0.1:7621");
@@ -278,7 +363,17 @@ pub fn serve(argv: &[String]) -> Result<(), ArgError> {
     amjs_serve::signal::install();
 
     let report = if resume {
-        // The snapshot knows which platform it holds; dispatch on its tag.
+        // The snapshot knows which platform it holds; dispatch on its
+        // tag. A resumed follower tails from its own recovered state, so
+        // no bootstrap fetch is needed (the primary fences it if the
+        // state turns out to be from another world or epoch).
+        if let Some(primary) = &follow {
+            cfg.follow = Some(FollowSpec {
+                primary: primary.clone(),
+                lease,
+                bootstrap: None,
+            });
+        }
         let platform = snapshot_platform(&dir)
             .map_err(|e| ArgError(format!("--resume: cannot read {}: {e}", dir.display())))?;
         match platform.as_str() {
@@ -286,6 +381,26 @@ pub fn serve(argv: &[String]) -> Result<(), ArgError> {
             "bgp" => run_typed::<BgpCluster>(listener, None, true, cfg),
             other => Err(ArgError(format!(
                 "--resume: snapshot holds unknown platform {other:?}"
+            ))),
+        }
+    } else if let Some(primary) = &follow {
+        // Fresh follower: the primary's live snapshot says which
+        // platform to instantiate — fetch it up front (it doubles as
+        // the daemon's bootstrap, so nothing is transferred twice).
+        let boot = fetch_snapshot(primary, lease.max(Duration::from_millis(500)))
+            .map_err(|e| ArgError(format!("--follow: {e}")))?;
+        let platform = peek_platform(&boot.payload)
+            .map_err(|e| ArgError(format!("--follow: bootstrap snapshot: {e:?}")))?;
+        cfg.follow = Some(FollowSpec {
+            primary: primary.clone(),
+            lease,
+            bootstrap: Some(boot),
+        });
+        match platform.as_str() {
+            "flat" => run_typed::<FlatCluster>(listener, None, false, cfg),
+            "bgp" => run_typed::<BgpCluster>(listener, None, false, cfg),
+            other => Err(ArgError(format!(
+                "--follow: primary snapshot holds unknown platform {other:?}"
             ))),
         }
     } else {
@@ -327,8 +442,13 @@ pub fn serve(argv: &[String]) -> Result<(), ArgError> {
         server.shutdown();
     }
     eprintln!(
-        "amjs serve: {} commands applied, {} snapshots written, {} requests shed",
-        report.commands_applied, report.snapshots_written, report.sheds
+        "amjs serve: {} commands applied, {} replicated, {} snapshots written, \
+         {} requests shed, epoch {}",
+        report.commands_applied,
+        report.replicated,
+        report.snapshots_written,
+        report.sheds,
+        report.final_epoch
     );
     Ok(())
 }
@@ -341,7 +461,11 @@ fn run_typed<P: Platform + Snapshot + 'static>(
 ) -> Result<amjs_serve::ServeReport, ArgError> {
     run_daemon(
         listener,
-        move || LiveScheduler::from_builder(builder.expect("fresh start always carries a builder")),
+        move || {
+            LiveScheduler::from_builder(
+                builder.expect("non-follower fresh start always carries a builder"),
+            )
+        },
         resume,
         cfg,
     )

@@ -1,0 +1,368 @@
+//! Hot-standby failover suite for `amjs serve`, driven over real TCP
+//! against real binaries. A primary/follower pair must survive a
+//! SIGKILL of the primary: the follower promotes itself within the
+//! lease and answers `HASH`/`STATUS`/`STATS` byte-identically to an
+//! uninterrupted reference daemon fed the same script. A stale
+//! ex-primary that comes back is fenced by epoch, and a forged record
+//! hash (injected with `--repl-fault diverge-at`) kills the follower
+//! loudly at the exact WAL sequence rather than letting replicas drift.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use amjs_serve::{read_frame, write_frame};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amjs-failover-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `amjs serve` child, the address it announced, and a
+/// channel carrying the rest of its stderr (for post-mortem asserts).
+struct Daemon {
+    child: Child,
+    addr: String,
+    stderr_rx: mpsc::Receiver<String>,
+}
+
+impl Daemon {
+    /// Spawn `amjs serve <args>` and wait for the listener announcement
+    /// on stderr; later stderr lines are collected for [`Daemon::wait_exit`].
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_amjs"))
+            .arg("serve")
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn amjs serve");
+        let stderr = child.stderr.take().unwrap();
+        let mut lines = BufReader::new(stderr).lines();
+        let mut addr = None;
+        let mut early = Vec::new();
+        for line in &mut lines {
+            let line = line.expect("daemon stderr");
+            if let Some(rest) = line.strip_prefix("amjs serve: listening on ") {
+                addr = Some(rest.trim().to_string());
+                break;
+            }
+            early.push(line);
+        }
+        let (tx, stderr_rx) = mpsc::channel();
+        for line in early {
+            let _ = tx.send(line);
+        }
+        // Keep draining stderr so the daemon never blocks on the pipe.
+        std::thread::spawn(move || {
+            for line in lines.map_while(Result::ok) {
+                let _ = tx.send(line);
+            }
+        });
+        Daemon {
+            child,
+            addr: addr.expect("daemon announced its listener"),
+            stderr_rx,
+        }
+    }
+
+    /// Spawn a follower that may die before announcing a listener (e.g.
+    /// a fenced stale primary); returns `(status, stderr)` after exit.
+    fn spawn_expect_exit(args: &[&str]) -> (std::process::ExitStatus, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_amjs"))
+            .arg("serve")
+            .args(args)
+            .stdout(Stdio::null())
+            .output()
+            .expect("spawn amjs serve");
+        (
+            out.status,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+
+    fn fresh(dir: &Path, extra: &[&str]) -> Daemon {
+        let mut args = vec![
+            "--serve-addr",
+            "127.0.0.1:0",
+            "--serve-dir",
+            dir.to_str().unwrap(),
+            "--machine",
+            "flat",
+            "--nodes",
+            "64",
+            "--clock",
+            "virtual",
+        ];
+        args.extend_from_slice(extra);
+        Daemon::spawn(&args)
+    }
+
+    /// A fresh hot standby of `primary` with a short promotion lease
+    /// (the machine shape rides in the bootstrap snapshot, so no
+    /// `--machine` flags are allowed here).
+    fn follower(dir: &Path, primary: &str) -> Daemon {
+        Daemon::spawn(&[
+            "--serve-addr",
+            "127.0.0.1:0",
+            "--serve-dir",
+            dir.to_str().unwrap(),
+            "--follow",
+            primary,
+            "--lease-ms",
+            "800",
+            "--repl-heartbeat-ms",
+            "100",
+        ])
+    }
+
+    fn sigkill(&mut self) {
+        self.child.kill().expect("SIGKILL daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    fn wait_clean_exit(&mut self) {
+        let status = self.child.wait().expect("reap daemon");
+        assert!(status.success(), "daemon exited {status}");
+    }
+
+    /// Wait for the process to exit and return `(status, stderr)`.
+    fn wait_exit(&mut self) -> (std::process::ExitStatus, String) {
+        let status = self.child.wait().expect("reap daemon");
+        let mut err = String::new();
+        while let Ok(line) = self.stderr_rx.recv_timeout(Duration::from_secs(5)) {
+            err.push_str(&line);
+            err.push('\n');
+        }
+        (status, err)
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, cmd: &str) -> String {
+        write_frame(&mut self.writer, cmd.as_bytes()).expect("send frame");
+        let payload = read_frame(&mut self.reader).expect("read reply frame");
+        String::from_utf8(payload).expect("utf-8 reply")
+    }
+}
+
+/// Poll `probe` until it returns true or the deadline passes.
+fn wait_until(what: &str, deadline: Duration, mut probe: impl FnMut() -> bool) {
+    let begin = Instant::now();
+    while begin.elapsed() < deadline {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("timed out after {deadline:?} waiting for {what}");
+}
+
+/// The scripted load (same shape as the crash-recovery suite): three
+/// 32-node jobs on the 64-node machine, a clock step, a backfill
+/// candidate, a cancel, another step.
+const SCRIPT: &[&str] = &[
+    "SUBMIT NODES=32 WALL=7200 RUN=3600 USER=1",
+    "SUBMIT NODES=32 WALL=7200 RUN=3600 USER=2",
+    "SUBMIT NODES=32 WALL=7200 USER=3",
+    "ADVANCE 1800",
+    "SUBMIT NODES=16 WALL=3600 RUN=1800 USER=4",
+    "CANCEL 2",
+    "ADVANCE 1800",
+];
+
+/// Replies that fingerprint the externally visible state: the
+/// structural hash, every job's status, and the stats row. None of
+/// them mention role or epoch, so a promoted follower must answer
+/// byte-identically to a daemon that never failed over.
+fn observe(c: &mut Client) -> Vec<String> {
+    let mut seen = vec![c.ask("HASH")];
+    for id in 0..5 {
+        seen.push(c.ask(&format!("STATUS {id}")));
+    }
+    seen.push(c.ask("STATS"));
+    seen
+}
+
+#[test]
+fn follower_promotes_after_sigkill_and_matches_an_uninterrupted_daemon() {
+    let p_dir = tmp_dir("promo-primary");
+    let f_dir = tmp_dir("promo-follower");
+    let r_dir = tmp_dir("promo-reference");
+
+    let mut primary = Daemon::fresh(&p_dir, &[]);
+    let mut follower = Daemon::follower(&f_dir, &primary.addr);
+
+    // Drive the scripted load through the primary.
+    let mut pc = Client::connect(&primary.addr);
+    for cmd in SCRIPT {
+        let reply = pc.ask(cmd);
+        assert!(reply.starts_with("OK "), "{cmd} -> {reply}");
+    }
+
+    // The follower serves reads but refuses writes while following.
+    let mut fc = Client::connect(&follower.addr);
+    let refused = fc.ask("SUBMIT NODES=16 WALL=600");
+    assert!(
+        refused.starts_with("ERR follower is read-only"),
+        "unexpected: {refused}"
+    );
+
+    // Replication is asynchronous (post-ACK): wait for convergence
+    // before killing the primary, or the comparison would race the tail.
+    let p_hash = pc.ask("HASH");
+    wait_until(
+        "follower to mirror the primary",
+        Duration::from_secs(15),
+        || fc.ask("HASH") == p_hash,
+    );
+
+    // The uninterrupted control group: a daemon that runs the same
+    // script and never crashes.
+    let mut reference = Daemon::fresh(&r_dir, &[]);
+    let mut rc = Client::connect(&reference.addr);
+    for cmd in SCRIPT {
+        let reply = rc.ask(cmd);
+        assert!(reply.starts_with("OK "), "{cmd} -> {reply}");
+    }
+    let expected = observe(&mut rc);
+
+    // Kill the primary without ceremony; the follower must notice the
+    // silence and promote itself within the lease.
+    primary.sigkill();
+    wait_until("follower promotion", Duration::from_secs(15), || {
+        fc.ask("ROLE").starts_with("OK ROLE=primary")
+    });
+    assert_eq!(fc.ask("ROLE"), "OK ROLE=primary EPOCH=1 FOLLOWERS=0");
+
+    // The promoted follower is byte-identical to the control daemon.
+    assert_eq!(
+        observe(&mut fc),
+        expected,
+        "promoted follower diverges from the uninterrupted reference"
+    );
+
+    // And it is fully live: it accepts writes with the id counter
+    // intact (ids 0-3 were acknowledged before the kill).
+    assert_eq!(fc.ask("SUBMIT NODES=16 WALL=3600"), "OK ID=4");
+    assert_eq!(fc.ask("SHUTDOWN"), "OK BYE");
+    follower.wait_clean_exit();
+    assert_eq!(rc.ask("SHUTDOWN"), "OK BYE");
+    reference.wait_clean_exit();
+    for dir in [p_dir, f_dir, r_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn stale_primary_is_fenced_out_of_the_new_epoch() {
+    let p_dir = tmp_dir("fence-primary");
+    let f_dir = tmp_dir("fence-follower");
+
+    let mut primary = Daemon::fresh(&p_dir, &[]);
+    let mut follower = Daemon::follower(&f_dir, &primary.addr);
+
+    let mut pc = Client::connect(&primary.addr);
+    assert_eq!(pc.ask("SUBMIT NODES=32 WALL=7200 RUN=3600"), "OK ID=0");
+    assert_eq!(pc.ask("ADVANCE 600"), "OK T=600");
+    let p_hash = pc.ask("HASH");
+    let mut fc = Client::connect(&follower.addr);
+    wait_until(
+        "follower to mirror the primary",
+        Duration::from_secs(15),
+        || fc.ask("HASH") == p_hash,
+    );
+
+    primary.sigkill();
+    wait_until("follower promotion", Duration::from_secs(15), || {
+        fc.ask("ROLE").starts_with("OK ROLE=primary")
+    });
+
+    // The ex-primary comes back from its own state dir and tries to
+    // tail the new epoch-1 primary with its epoch-0 history: the
+    // handshake must refuse it, and the process must exit nonzero with
+    // a diagnostic that names the stale epoch.
+    let (status, err) = Daemon::spawn_expect_exit(&[
+        "--serve-addr",
+        "127.0.0.1:0",
+        "--serve-dir",
+        p_dir.to_str().unwrap(),
+        "--resume",
+        "--follow",
+        &follower.addr,
+        "--lease-ms",
+        "800",
+        "--repl-heartbeat-ms",
+        "100",
+    ]);
+    assert!(!status.success(), "stale primary must not keep running");
+    assert!(err.contains("FENCED"), "missing fence diagnostic:\n{err}");
+    assert!(err.contains("stale epoch 0"), "missing epoch:\n{err}");
+
+    // The promoted follower is unharmed by the fencing attempt.
+    assert_eq!(fc.ask("PING"), "OK PONG");
+    assert_eq!(fc.ask("SHUTDOWN"), "OK BYE");
+    follower.wait_clean_exit();
+    for dir in [p_dir, f_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn injected_divergence_is_detected_at_its_wal_sequence() {
+    let p_dir = tmp_dir("diverge-primary");
+    let f_dir = tmp_dir("diverge-follower");
+
+    // The fault injector forges the state hash of stream record seq 2.
+    let mut primary = Daemon::fresh(&p_dir, &["--repl-fault", "diverge-at=2"]);
+    let mut follower = Daemon::follower(&f_dir, &primary.addr);
+
+    // Attach before submitting so the forged record arrives over the
+    // live stream.
+    let mut pc = Client::connect(&primary.addr);
+    wait_until("follower to attach", Duration::from_secs(15), || {
+        pc.ask("ROLE").ends_with("FOLLOWERS=1")
+    });
+    for user in 1..=4 {
+        let reply = pc.ask(&format!("SUBMIT NODES=16 WALL=3600 USER={user}"));
+        assert!(reply.starts_with("OK ID="), "unexpected: {reply}");
+    }
+
+    // The follower must refuse to apply the forged record: it dies with
+    // a diagnostic naming the exact sequence, instead of drifting.
+    let (status, err) = follower.wait_exit();
+    assert!(!status.success(), "diverged follower must not keep running");
+    assert!(
+        err.contains("divergence at wal seq 2"),
+        "missing divergence diagnostic:\n{err}"
+    );
+
+    // The primary is unaffected by losing its (diverged) follower.
+    assert_eq!(pc.ask("PING"), "OK PONG");
+    assert_eq!(pc.ask("SHUTDOWN"), "OK BYE");
+    primary.wait_clean_exit();
+    for dir in [p_dir, f_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

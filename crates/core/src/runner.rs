@@ -1106,6 +1106,7 @@ impl<P: Platform> Runner<P> {
                 running: self.running.len() as u64,
                 waiting: self.queue.len() as u64,
                 done: false,
+                repl: None,
                 extra: Vec::new(),
             });
         }

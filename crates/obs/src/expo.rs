@@ -41,11 +41,32 @@ pub struct LiveStats {
     pub waiting: u64,
     /// True once the run has finished.
     pub done: bool,
+    /// Replication posture, when the publisher is a serve daemon in a
+    /// replicated topology (`None` for batch runs and standalone
+    /// daemons started before the gauges are first published).
+    pub repl: Option<ReplStats>,
     /// Additional publisher-defined gauges, rendered verbatim as
     /// `amjs_<name> <value>`. The serve daemon uses this for its
     /// connection/shedding/what-if latency dashboard; batch runs leave
     /// it empty.
     pub extra: Vec<(String, f64)>,
+}
+
+/// The serve daemon's replication posture: role, epoch, attached
+/// followers, and how far behind the primary a follower is running.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplStats {
+    /// 1 = primary, 2 = follower (gauge-friendly encoding).
+    pub role: u8,
+    /// Current failover epoch.
+    pub epoch: u64,
+    /// Followers attached to this daemon's record stream.
+    pub followers: u64,
+    /// Records the primary has logged that this follower has not yet
+    /// applied (0 on a primary).
+    pub lag_records: u64,
+    /// WAL sequence the next local append will get.
+    pub last_seq: u64,
 }
 
 /// Shared handle the simulation publishes into and the server reads.
@@ -122,6 +143,33 @@ pub fn prometheus_text(stats: &LiveStats) -> String {
         "1 once the simulation has finished.",
         if stats.done { 1.0 } else { 0.0 },
     );
+    if let Some(repl) = &stats.repl {
+        gauge(
+            "amjs_repl_role",
+            "Replication role: 1 = primary, 2 = follower.",
+            repl.role as f64,
+        );
+        gauge(
+            "amjs_repl_epoch",
+            "Current failover epoch (bumped on promotion).",
+            repl.epoch as f64,
+        );
+        gauge(
+            "amjs_repl_followers",
+            "Followers attached to this daemon's record stream.",
+            repl.followers as f64,
+        );
+        gauge(
+            "amjs_repl_lag_records",
+            "Primary records not yet applied locally (0 on a primary).",
+            repl.lag_records as f64,
+        );
+        gauge(
+            "amjs_repl_wal_seq",
+            "WAL sequence the next local append will get.",
+            repl.last_seq as f64,
+        );
+    }
     for (name, value) in &stats.extra {
         gauge(&format!("amjs_{name}"), "Publisher-defined gauge.", *value);
     }
@@ -301,6 +349,7 @@ mod tests {
             running: 10,
             waiting: 3,
             done: false,
+            repl: None,
             extra: Vec::new(),
         }
     }
@@ -312,6 +361,25 @@ mod tests {
         let text = prometheus_text(&s);
         assert!(text.contains("# TYPE amjs_serve_sheds_total gauge"));
         assert!(text.contains("amjs_serve_sheds_total 3"));
+    }
+
+    #[test]
+    fn repl_gauges_appear_only_in_replicated_topologies() {
+        let plain = prometheus_text(&sample());
+        assert!(!plain.contains("amjs_repl_"));
+        let mut s = sample();
+        s.repl = Some(ReplStats {
+            role: 2,
+            epoch: 3,
+            followers: 0,
+            lag_records: 7,
+            last_seq: 41,
+        });
+        let text = prometheus_text(&s);
+        assert!(text.contains("amjs_repl_role 2"));
+        assert!(text.contains("amjs_repl_epoch 3"));
+        assert!(text.contains("amjs_repl_lag_records 7"));
+        assert!(text.contains("amjs_repl_wal_seq 41"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The daemon: a `std::net` TCP service over a
-//! [`LiveScheduler`], built so that client misbehavior, overload, and
-//! SIGKILL cannot lose an acknowledged job or corrupt scheduler state.
+//! [`LiveScheduler`], built so that client misbehavior, overload,
+//! SIGKILL — and, since PR 7, the death of the whole process's *host
+//! role* — cannot lose an acknowledged job or corrupt scheduler state.
 //!
 //! ## Thread model
 //!
@@ -9,11 +10,14 @@
 //!  clients ──► listener thread ──► engine loop (caller's ──► connection
 //!             (non-blocking,        thread; sole owner of      threads
 //!              conn cap)            scheduler + WAL +          (read
-//!                                   snapshots)                 deadline)
-//!                                      │
-//!                                      └─► supervised what-if workers
-//!                                          (catch_unwind + deadline,
-//!                                           fork via snapshot codec)
+//!                                   snapshots + epoch)         deadline)
+//!                                      │            ▲
+//!                                      │            │ REPL records
+//!                                      ├─► follower sinks (feeder
+//!                                      │   threads, link chaos)
+//!                                      ├─► supervised what-if workers
+//!                                      └── tail thread (follower mode:
+//!                                          REPL TAIL from the primary)
 //! ```
 //!
 //! The engine loop is the *only* thread that touches scheduler state,
@@ -28,7 +32,10 @@
 //!   is culled instead of pinning a thread forever;
 //! - `WHATIF` runs on forked state in a worker supervised by the PR-5
 //!   `catch_unwind` + deadline pattern: a pathological query times out
-//!   or panics without touching live state.
+//!   or panics without touching live state;
+//! - replication reuses the same admission channel: a follower's tail
+//!   thread feeds records in, follower subscriptions feed records out
+//!   through per-connection sinks, and the engine stays single-owner.
 //!
 //! ## Durability contract
 //!
@@ -37,8 +44,25 @@
 //! of the full live state rotate every `snapshot_every` accepted
 //! commands. Recovery = newest valid snapshot + WAL tail replayed
 //! through the identical apply path ⇒ byte-identical state as of the
-//! last acknowledged mutation. An un-acknowledged command may be lost —
-//! that is the contract the client sees.
+//! last acknowledged mutation (each replayed record's `state_hash` is
+//! cross-checked, so silent divergence is impossible). An
+//! un-acknowledged command may be lost — that is the contract the
+//! client sees. A WAL append or snapshot write that *fails* (disk
+//! full, permissions) is a clean `error:` shutdown with one final
+//! best-effort snapshot — never a panic, and never an ACK for a
+//! command the log could not hold.
+//!
+//! ## Replication contract
+//!
+//! A follower ([`ServeConfig::follow`]) mirrors the primary by applying
+//! the primary's WAL records through this same apply path,
+//! cross-checking the primary's post-apply `state_hash` record by
+//! record — divergence is reported at its exact sequence number and the
+//! follower refuses to continue. Failover is epoch-fenced: after the
+//! lease expires the follower promotes itself into `epoch + 1`, and a
+//! stale ex-primary is refused at the `REPL TAIL` handshake by
+//! fingerprint + epoch before a single record moves. See
+//! [`crate::repl`].
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -51,13 +75,17 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use amjs_core::live::{peek_platform, JobStatus, LiveScheduler, WhatIfAnswer};
-use amjs_obs::expo::SharedStats;
+use amjs_obs::expo::{ReplStats, SharedStats};
 use amjs_platform::Platform;
 use amjs_sim::snapshot::SnapshotStore;
 use amjs_sim::{SimDuration, SimTime, SnapError, Snapshot};
 use amjs_workload::JobId;
 
 use crate::proto::{read_frame, write_frame, Command, FrameError};
+use crate::repl::{
+    fetch_snapshot, follow_loop, render_heartbeat, render_record, send_snapshot, Bootstrap,
+    ChaosAction, FollowEvent, FollowShared, LinkChaos, ReplChaos, ReplRecord,
+};
 use crate::signal;
 use crate::wal::{read_wal, WalError, WalWriter};
 
@@ -73,6 +101,30 @@ pub enum ClockMode {
     /// Time moves only through `ADVANCE` commands — fully
     /// deterministic, the mode CI's recovery proof runs in.
     Virtual,
+}
+
+/// Follower-mode configuration: who to mirror and how patient to be.
+#[derive(Clone, Debug)]
+pub struct FollowSpec {
+    /// The primary's serve address (`host:port`).
+    pub primary: String,
+    /// Promote after this long without contact from the primary.
+    pub lease: Duration,
+    /// Prefetched bootstrap snapshot (the CLI fetches one up front to
+    /// dispatch on the platform tag); `None` makes the daemon fetch its
+    /// own on startup.
+    pub bootstrap: Option<Bootstrap>,
+}
+
+impl FollowSpec {
+    /// Follow `primary` with a default 3-second lease.
+    pub fn new(primary: impl Into<String>) -> FollowSpec {
+        FollowSpec {
+            primary: primary.into(),
+            lease: Duration::from_secs(3),
+            bootstrap: None,
+        }
+    }
 }
 
 /// Daemon tuning knobs. `Default` is sized for tests and small
@@ -100,6 +152,12 @@ pub struct ServeConfig {
     pub whatif_horizon_secs: i64,
     /// Run the invariant suite every N accepted mutations (0 = off).
     pub oracle_every: u64,
+    /// Mirror a primary instead of serving writes (hot standby).
+    pub follow: Option<FollowSpec>,
+    /// Heartbeat cadence on follower streams (primary side).
+    pub repl_heartbeat: Duration,
+    /// Deterministic link-fault injection on follower streams.
+    pub repl_chaos: Option<ReplChaos>,
     /// Publish dashboard gauges here (the PR-4 metrics endpoint).
     pub stats: Option<SharedStats>,
     /// Extra shutdown latch checked alongside the process signal flag —
@@ -123,13 +181,17 @@ impl ServeConfig {
             whatif_deadline: Duration::from_secs(5),
             whatif_horizon_secs: 7 * 24 * 3600,
             oracle_every: 64,
+            follow: None,
+            repl_heartbeat: Duration::from_millis(500),
+            repl_chaos: None,
             stats: None,
             stop: None,
         }
     }
 }
 
-/// Everything that can go wrong starting or recovering a daemon.
+/// Everything that can go wrong starting, recovering, or running a
+/// daemon.
 #[derive(Debug)]
 pub enum ServeError {
     /// Transport / filesystem failure.
@@ -141,6 +203,9 @@ pub enum ServeError {
     /// Recovered state is inconsistent (e.g. a logged command no longer
     /// applies) — refuse to serve from it.
     Corrupt(String),
+    /// Replication failure: fenced by the primary, or divergence
+    /// detected on the record stream.
+    Repl(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -150,6 +215,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Snap(e) => write!(f, "snapshot error: {e:?}"),
             ServeError::Wal(e) => write!(f, "{e}"),
             ServeError::Corrupt(m) => write!(f, "recovered state corrupt: {m}"),
+            ServeError::Repl(m) => write!(f, "replication: {m}"),
         }
     }
 }
@@ -175,12 +241,18 @@ impl From<WalError> for ServeError {
 pub struct ServeReport {
     /// Accepted (logged) mutations over the daemon's lifetime segment.
     pub commands_applied: u64,
+    /// Records applied off the replication stream (follower segments).
+    pub replicated: u64,
     /// WAL sequence the next command would get.
     pub final_seq: u64,
     /// Snapshots written this segment (including the final one).
     pub snapshots_written: u64,
     /// `BUSY` replies issued (admission + connection + what-if sheds).
     pub sheds: u64,
+    /// Follower→primary promotions this segment (0 or 1).
+    pub promotions: u64,
+    /// Epoch the daemon ended in.
+    pub final_epoch: u64,
 }
 
 fn wal_path(dir: &Path) -> PathBuf {
@@ -196,12 +268,15 @@ pub fn snapshot_platform(dir: &Path) -> Result<String, ServeError> {
 }
 
 /// Recover a scheduler from `dir`: newest valid snapshot + WAL tail
-/// replay through the live apply path. Returns the scheduler plus the
-/// reopened WAL positioned after the last intact record.
+/// replay through the live apply path, cross-checking each record's
+/// logged `state_hash` so divergence is caught at its exact sequence.
+/// Returns the scheduler, the reopened WAL positioned after the last
+/// intact record, the number of replayed records, and the epoch the
+/// log ended in.
 pub fn recover<P: Platform + Snapshot>(
     dir: &Path,
     mut diag: impl FnMut(&str),
-) -> Result<(LiveScheduler<P>, WalWriter, u64), ServeError> {
+) -> Result<(LiveScheduler<P>, WalWriter, u64, u64), ServeError> {
     let store = SnapshotStore::new(dir, 1);
     let (snap_seq, payload, snap_path) = store.load_latest(u64::MAX, &mut diag)?;
     let mut sched = LiveScheduler::<P>::decode(&payload)?;
@@ -225,21 +300,36 @@ pub fn recover<P: Platform + Snapshot>(
         }
         let cmd = Command::parse(&rec.cmd)
             .map_err(|e| ServeError::Corrupt(format!("unparseable wal record {}: {e}", rec.seq)))?;
-        sched.advance_to(SimTime::from_secs(rec.time_secs));
+        // Only advance when the clock actually moved: an equal-time
+        // advance still processes due events, which live service had
+        // not yet processed when it hashed — a false divergence.
+        let at = SimTime::from_secs(rec.time_secs);
+        if at > sched.now() {
+            sched.advance_to(at);
+        }
         apply_mutation(&mut sched, &cmd).map_err(|e| {
             ServeError::Corrupt(format!("wal record {} re-apply failed: {e}", rec.seq))
         })?;
+        let replayed_hash = sched.state_hash();
+        if replayed_hash != rec.state_hash {
+            return Err(ServeError::Corrupt(format!(
+                "state divergence at wal seq {}: logged state_hash {:016x}, replayed {:016x}",
+                rec.seq, rec.state_hash, replayed_hash
+            )));
+        }
         next_seq = rec.seq + 1;
         replayed += 1;
     }
     diag(&format!("replayed {replayed} wal records"));
+    let epoch = wal.current_epoch();
     let writer = WalWriter::reopen(&wal_path(dir), next_seq, wal.valid_len)?;
-    Ok((sched, writer, replayed))
+    Ok((sched, writer, replayed, epoch))
 }
 
 /// Apply one accepted mutation; the single code path shared by live
-/// service and recovery replay (which is what makes replay reproduce
-/// live decisions exactly). Returns the `OK ...` reply text.
+/// service, recovery replay, and follower replication (which is what
+/// makes all three reproduce live decisions exactly). Returns the
+/// `OK ...` reply text.
 fn apply_mutation<P: Platform + Snapshot>(
     sched: &mut LiveScheduler<P>,
     cmd: &Command,
@@ -307,11 +397,28 @@ fn render_whatif(ans: WhatIfAnswer) -> String {
     }
 }
 
-/// One queued request: the parsed command plus the reply channel back
-/// to the connection thread.
-struct Request {
-    cmd: Command,
-    reply: mpsc::Sender<String>,
+/// One queued request into the engine loop.
+enum Request {
+    /// A client command with its reply channel.
+    Client {
+        cmd: Command,
+        reply: mpsc::Sender<String>,
+    },
+    /// `REPL SNAPSHOT`: the connection thread streams the answer.
+    ReplSnapshot {
+        reply: mpsc::Sender<Result<Bootstrap, String>>,
+    },
+    /// `REPL TAIL`: subscribe this connection's sink to the record
+    /// stream (after backfilling from disk).
+    ReplSubscribe {
+        seq: u64,
+        epoch: u64,
+        fingerprint: u64,
+        sink: mpsc::Sender<String>,
+        reply: mpsc::Sender<String>,
+    },
+    /// An event from the follower's tail thread.
+    Follow(FollowEvent),
 }
 
 /// Counters shared between the listener, connections, and engine.
@@ -348,107 +455,354 @@ fn latency_quartiles(ring: &LatencyRing) -> Option<(f64, f64, f64)> {
     Some((q(0.25), q(0.5), q(0.75)))
 }
 
-/// Run the daemon over an already-bound listener until `SHUTDOWN`,
-/// SIGTERM/SIGINT, or an unrecoverable persistence failure. The engine
-/// loop runs on the calling thread; listener and connection threads are
-/// spawned internally.
-///
-/// For a fresh start the state directory must not already contain a
-/// WAL (a stale directory silently overwritten would destroy exactly
-/// the state `--resume` exists to protect); pass `resume = true` to
-/// recover instead.
-pub fn run_daemon<P: Platform + Snapshot + 'static>(
-    listener: TcpListener,
-    init: impl FnOnce() -> LiveScheduler<P>,
-    resume: bool,
+/// The daemon's replication role.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Role {
+    /// Serves writes; feeds any attached followers.
+    Primary,
+    /// Mirrors `primary`; read-only until promoted.
+    Follower {
+        /// The primary's address (for diagnostics and `ROLE` replies).
+        primary: String,
+    },
+}
+
+/// The engine: sole owner of scheduler, WAL, snapshots, epoch, and
+/// follower sinks. Every method runs on the engine-loop thread.
+struct Engine<P: Platform + Snapshot + 'static> {
+    sched: LiveScheduler<P>,
+    wal: WalWriter,
+    store: SnapshotStore,
     cfg: ServeConfig,
-) -> Result<ServeReport, ServeError> {
-    std::fs::create_dir_all(&cfg.dir)?;
-    let (mut sched, mut wal) = if resume {
-        let (sched, wal, _) = recover::<P>(&cfg.dir, |m| eprintln!("amjs serve: {m}"))?;
-        (sched, wal)
-    } else {
-        if wal_path(&cfg.dir).exists() {
-            return Err(ServeError::Corrupt(format!(
-                "state dir {} already holds a command wal; \
-                 use --resume to recover it or point --serve-dir at a fresh directory",
-                cfg.dir.display()
-            )));
-        }
-        let sched = init();
-        let wal = WalWriter::create(&wal_path(&cfg.dir), sched.fingerprint())?;
-        // Genesis snapshot: recovery always has a floor to replay from.
-        let store = SnapshotStore::new(&cfg.dir, cfg.keep_snapshots);
-        store.write(0, &sched.encode())?;
-        (sched, wal)
-    };
+    counters: Arc<Counters>,
+    latencies: LatencyRing,
+    role: Role,
+    epoch: u64,
+    followers: Vec<mpsc::Sender<String>>,
+    /// Mirrors `wal.next_seq()` for the tail thread's re-tail point.
+    applied_seq: Arc<AtomicU64>,
+    /// Mirrors `epoch` for the tail thread's handshake.
+    epoch_shared: Arc<AtomicU64>,
+    /// Primary's head seq per its last heartbeat (follower lag gauge).
+    primary_next_seq: Arc<AtomicU64>,
+    report: ServeReport,
+    draining: bool,
+    shutdown: bool,
+    fatal: Option<ServeError>,
+    since_snapshot: u64,
+    since_oracle: u64,
+    last_heartbeat: Instant,
+    wall_anchor: Instant,
+    sim_anchor: SimTime,
+}
 
-    let store = SnapshotStore::new(&cfg.dir, cfg.keep_snapshots);
-    let counters = Arc::new(Counters::default());
-    let latencies: LatencyRing = Arc::new(Mutex::new(Vec::new()));
-    let stop_listener = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::sync_channel::<Request>(cfg.admission_cap);
-
-    let local_addr = listener.local_addr()?;
-    eprintln!("amjs serve: listening on {local_addr}");
-
-    let listener_handle = {
-        let counters = counters.clone();
-        let stop = stop_listener.clone();
-        let tx = tx.clone();
-        let max_conns = cfg.max_conns;
-        let read_timeout = cfg.read_timeout;
-        thread::spawn(move || listener_loop(listener, tx, counters, stop, max_conns, read_timeout))
-    };
-    drop(tx); // engine holds rx; connections hold clones via listener
-
-    // ----- engine loop (this thread owns all scheduler state) -----
-    let wall_anchor = Instant::now();
-    let sim_anchor = sched.now();
-    let sim_now = |clock: &ClockMode| -> SimTime {
-        match clock {
+impl<P: Platform + Snapshot + 'static> Engine<P> {
+    fn sim_now(&self) -> SimTime {
+        match self.cfg.clock {
             ClockMode::Wall { scale } => {
-                let elapsed = wall_anchor.elapsed().as_secs_f64() * scale;
-                sim_anchor + SimDuration::from_secs(elapsed as i64)
+                let elapsed = self.wall_anchor.elapsed().as_secs_f64() * scale;
+                self.sim_anchor + SimDuration::from_secs(elapsed as i64)
             }
-            ClockMode::Virtual => sim_anchor, // virtual time moves only via ADVANCE
+            ClockMode::Virtual => self.sim_anchor, // moves only via ADVANCE
         }
-    };
+    }
 
-    let mut report = ServeReport {
-        final_seq: wal.next_seq(),
-        ..ServeReport::default()
-    };
-    let mut draining = false;
-    let mut shutdown = false;
-    let mut since_snapshot = 0u64;
-    let mut since_oracle = 0u64;
-
-    let handle_request = |req: Request,
-                          sched: &mut LiveScheduler<P>,
-                          wal: &mut WalWriter,
-                          draining: &mut bool,
-                          shutdown: &mut bool,
-                          report: &mut ServeReport,
-                          since_snapshot: &mut u64,
-                          since_oracle: &mut u64| {
-        // The live clock catches up to the wall before every command so
-        // decisions see current time. (Virtual mode: time only moves on
-        // ADVANCE.)
-        if let ClockMode::Wall { .. } = cfg.clock {
-            let t = sim_now(&cfg.clock);
-            if t > sched.now() {
-                sched.advance_to(t);
+    /// Wall-clock catchup so decisions see current time (primaries
+    /// only: a follower's clock is driven by the primary's records).
+    fn catch_up_clock(&mut self) {
+        if self.role != Role::Primary {
+            return;
+        }
+        if let ClockMode::Wall { .. } = self.cfg.clock {
+            let t = self.sim_now();
+            if t > self.sched.now() {
+                self.sched.advance_to(t);
             }
         }
-        let reply_text = match &req.cmd {
+    }
+
+    fn stop_requested(&self) -> bool {
+        signal::termination_requested()
+            || self
+                .cfg
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::SeqCst))
+    }
+
+    fn handle(&mut self, req: Request) {
+        match req {
+            Request::Client { cmd, reply } => self.handle_client(cmd, reply),
+            Request::ReplSnapshot { reply } => {
+                let answer = match &self.role {
+                    Role::Follower { primary } => Err(format!(
+                        "follower cannot serve snapshots; bootstrap from the primary at {primary}"
+                    )),
+                    Role::Primary => Ok(Bootstrap {
+                        payload: self.sched.encode(),
+                        seq: self.wal.next_seq(),
+                        epoch: self.epoch,
+                        fingerprint: self.sched.fingerprint(),
+                    }),
+                };
+                let _ = reply.send(answer);
+            }
+            Request::ReplSubscribe {
+                seq,
+                epoch,
+                fingerprint,
+                sink,
+                reply,
+            } => self.handle_subscribe(seq, epoch, fingerprint, sink, reply),
+            Request::Follow(ev) => self.handle_follow_event(ev),
+        }
+    }
+
+    /// Validate a `REPL TAIL` handshake — the fencing point — then
+    /// backfill from disk and register the sink.
+    fn handle_subscribe(
+        &mut self,
+        seq: u64,
+        epoch: u64,
+        fingerprint: u64,
+        sink: mpsc::Sender<String>,
+        reply: mpsc::Sender<String>,
+    ) {
+        if let Role::Follower { primary } = &self.role {
+            let _ = reply.send(format!(
+                "ERR cannot tail a follower (the primary is at {primary})"
+            ));
+            return;
+        }
+        let ours = self.sched.fingerprint();
+        if fingerprint != ours {
+            let _ = reply.send(format!(
+                "ERR FENCED: fingerprint {fingerprint:016x} does not match this run \
+                 ({ours:016x}); that state belongs to a different world"
+            ));
+            return;
+        }
+        if epoch != self.epoch {
+            let _ = reply.send(format!(
+                "ERR FENCED: stale epoch {epoch} (current epoch {}); \
+                 re-bootstrap from the current primary with a fresh --serve-dir",
+                self.epoch
+            ));
+            return;
+        }
+        let head = self.wal.next_seq();
+        if seq > head {
+            let _ = reply.send(format!(
+                "ERR tail seq {seq} is ahead of the wal head {head}"
+            ));
+            return;
+        }
+        if seq < head {
+            // Catch the subscriber up from the durable log. Appends only
+            // happen on this thread, so the read races nothing.
+            let contents = match read_wal(&wal_path(&self.cfg.dir), Some(ours)) {
+                Ok(c) => c,
+                Err(e) => {
+                    let _ = reply.send(format!("ERR cannot backfill from wal: {e}"));
+                    return;
+                }
+            };
+            for rec in contents.records.iter().filter(|r| r.seq >= seq) {
+                if sink.send(self.render_for_stream(rec)).is_err() {
+                    return; // subscriber already gone
+                }
+            }
+        }
+        let _ = reply.send(format!("OK TAILING FROM={seq}"));
+        self.followers.push(sink);
+    }
+
+    fn handle_follow_event(&mut self, ev: FollowEvent) {
+        match ev {
+            FollowEvent::Record(rec) => self.apply_repl_record(rec),
+            FollowEvent::Fatal(msg) => {
+                self.fatal = Some(ServeError::Repl(msg));
+            }
+            FollowEvent::PrimaryLost => self.promote(),
+        }
+    }
+
+    /// Apply one record off the replication stream: identical apply
+    /// path, then the divergence cross-check, then the local WAL append
+    /// (what makes the follower itself crash-recoverable).
+    fn apply_repl_record(&mut self, rec: ReplRecord) {
+        if self.role == Role::Primary {
+            return; // stale event raced the promotion; drop it
+        }
+        if rec.epoch != self.epoch {
+            self.fatal = Some(ServeError::Repl(format!(
+                "fenced record: epoch {} vs local epoch {} at seq {}",
+                rec.epoch, self.epoch, rec.seq
+            )));
+            return;
+        }
+        let head = self.wal.next_seq();
+        if rec.seq != head {
+            self.fatal = Some(ServeError::Repl(format!(
+                "replication sequence gap: expected {head}, got {}",
+                rec.seq
+            )));
+            return;
+        }
+        let cmd = match Command::parse(&rec.cmd) {
+            Ok(c) => c,
+            Err(e) => {
+                self.fatal = Some(ServeError::Repl(format!(
+                    "unparseable replicated record {}: {e}",
+                    rec.seq
+                )));
+                return;
+            }
+        };
+        // Same guard as recovery replay: an equal-time advance would
+        // process due events the primary had not processed at hash time.
+        let at = SimTime::from_secs(rec.time_secs);
+        if at > self.sched.now() {
+            self.sched.advance_to(at);
+        }
+        if let Err(e) = apply_mutation(&mut self.sched, &cmd) {
+            self.fatal = Some(ServeError::Repl(format!(
+                "replicated record {} failed to apply: {e}",
+                rec.seq
+            )));
+            return;
+        }
+        let local = self.sched.state_hash();
+        if local != rec.state_hash {
+            self.fatal = Some(ServeError::Repl(format!(
+                "divergence at wal seq {}: primary state_hash {:016x}, local {:016x}",
+                rec.seq, rec.state_hash, local
+            )));
+            return;
+        }
+        match self
+            .wal
+            .append(rec.epoch, rec.time_secs, rec.state_hash, &rec.cmd)
+        {
+            Err(e) => {
+                eprintln!("amjs serve: error: follower wal append failed: {e} — shutting down");
+                self.fatal = Some(ServeError::Io(e));
+            }
+            Ok(seq) => {
+                self.report.replicated += 1;
+                self.report.final_seq = seq + 1;
+                self.applied_seq.store(seq + 1, Ordering::SeqCst);
+                self.after_mutation(seq);
+            }
+        }
+    }
+
+    /// Lease expired: step up into a new, fenced epoch.
+    fn promote(&mut self) {
+        let Role::Follower { primary } = self.role.clone() else {
+            return;
+        };
+        let new_epoch = self.epoch + 1;
+        eprintln!(
+            "amjs serve: primary {primary} lost (lease expired); promoting to epoch {new_epoch}"
+        );
+        // Persist the new epoch before serving a single write in it: a
+        // promoted follower that crashed and resumed must not regress
+        // into the old epoch.
+        if let Err(e) = self.wal.set_epoch(new_epoch) {
+            eprintln!("amjs serve: error: cannot persist promotion epoch: {e}");
+            self.fatal = Some(ServeError::Io(e));
+            return;
+        }
+        self.epoch = new_epoch;
+        self.epoch_shared.store(new_epoch, Ordering::SeqCst);
+        self.role = Role::Primary;
+        self.report.promotions += 1;
+        // Promotion snapshot: a durability floor inside the new epoch.
+        match self.store.write(self.wal.next_seq(), &self.sched.encode()) {
+            Ok(_) => self.report.snapshots_written += 1,
+            Err(e) => {
+                eprintln!("amjs serve: error: promotion snapshot failed: {e}");
+                self.fatal = Some(ServeError::Io(e));
+            }
+        }
+    }
+
+    /// Render a record for the stream, applying the `diverge-at`
+    /// forgery if configured (the divergence-detection drill).
+    fn render_for_stream(&self, rec: &ReplRecord) -> String {
+        let mut rec = rec.clone();
+        if self
+            .cfg
+            .repl_chaos
+            .as_ref()
+            .is_some_and(|c| c.diverge_at == Some(rec.seq))
+        {
+            rec.state_hash ^= 0xDEAD_BEEF;
+        }
+        render_record(&rec)
+    }
+
+    /// Fan a freshly logged record out to every follower sink.
+    fn broadcast_record(&mut self, rec: &ReplRecord) {
+        let frame = self.render_for_stream(rec);
+        self.followers
+            .retain(|sink| sink.send(frame.clone()).is_ok());
+    }
+
+    /// Periodic heartbeat to followers (liveness + lag signal).
+    fn heartbeat_tick(&mut self) {
+        if self.followers.is_empty() || self.last_heartbeat.elapsed() < self.cfg.repl_heartbeat {
+            return;
+        }
+        self.last_heartbeat = Instant::now();
+        let frame = render_heartbeat(self.epoch, self.wal.next_seq());
+        self.followers
+            .retain(|sink| sink.send(frame.clone()).is_ok());
+    }
+
+    /// Post-append bookkeeping shared by client mutations and
+    /// replicated records: snapshot cadence and the invariant oracle.
+    /// Failures are clean `error:` shutdowns, never panics.
+    fn after_mutation(&mut self, seq: u64) {
+        self.since_snapshot += 1;
+        self.since_oracle += 1;
+        if self.since_snapshot >= self.cfg.snapshot_every {
+            match self.store.write(seq + 1, &self.sched.encode()) {
+                Ok(_) => {
+                    self.report.snapshots_written += 1;
+                    self.since_snapshot = 0;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "amjs serve: error: snapshot rotation failed: {e} — shutting down \
+                         (the command wal remains authoritative)"
+                    );
+                    self.fatal = Some(ServeError::Io(e));
+                }
+            }
+        }
+        if self.cfg.oracle_every > 0 && self.since_oracle >= self.cfg.oracle_every {
+            self.since_oracle = 0;
+            if let Err(msg) = self.sched.check_invariants() {
+                eprintln!("amjs serve: error: live invariant violation: {msg}");
+                self.fatal = Some(ServeError::Corrupt(format!(
+                    "live invariant violation: {msg}"
+                )));
+            }
+        }
+    }
+
+    fn handle_client(&mut self, cmd: Command, reply: mpsc::Sender<String>) {
+        self.catch_up_clock();
+        let reply_text = match &cmd {
             Command::Ping => "OK PONG".to_string(),
             Command::Stats => {
-                let s = sched.stats();
+                let s = self.sched.stats();
                 format!(
                     "OK T={} QUEUED={} RUNNING={} DONE={} ABANDONED={} BACKOFF={} \
                      PENDING={} QDEPTH={:.1} UTIL={:.4} DOWN={} BF={} W={}",
-                    sched.now().as_secs(),
+                    self.sched.now().as_secs(),
                     s.queued,
                     s.running,
                     s.finished,
@@ -464,18 +818,36 @@ pub fn run_daemon<P: Platform + Snapshot + 'static>(
             }
             Command::Hash => format!(
                 "OK HASH={:016x} INDEX={} T={}",
-                sched.state_hash(),
-                sched.event_index(),
-                sched.now().as_secs()
+                self.sched.state_hash(),
+                self.sched.event_index(),
+                self.sched.now().as_secs()
             ),
-            Command::Status(id) => render_status(sched.status(JobId(*id))),
+            Command::Role => match &self.role {
+                Role::Primary => format!(
+                    "OK ROLE=primary EPOCH={} FOLLOWERS={}",
+                    self.epoch,
+                    self.followers.len()
+                ),
+                Role::Follower { primary } => format!(
+                    "OK ROLE=follower EPOCH={} PRIMARY={} LAG={}",
+                    self.epoch,
+                    primary,
+                    self.primary_next_seq
+                        .load(Ordering::SeqCst)
+                        .saturating_sub(self.wal.next_seq()),
+                ),
+            },
+            Command::Status(id) => render_status(self.sched.status(JobId(*id))),
             Command::Drain => {
-                *draining = true;
+                self.draining = true;
                 "OK DRAINING".to_string()
             }
             Command::Shutdown => {
-                *shutdown = true;
+                self.shutdown = true;
                 "OK BYE".to_string()
+            }
+            Command::ReplSnapshot | Command::ReplTail { .. } => {
+                "ERR REPL commands are handled at the connection layer".to_string()
             }
             Command::WhatIf {
                 job,
@@ -483,30 +855,36 @@ pub fn run_daemon<P: Platform + Snapshot + 'static>(
                 window,
                 horizon_secs,
             } => {
-                if counters.whatif_active.load(Ordering::SeqCst) >= cfg.whatif_cap {
-                    counters.sheds.fetch_add(1, Ordering::SeqCst);
-                    report.sheds += 1;
-                    let _ = req.reply.send("BUSY what-if capacity".to_string());
+                if self.counters.whatif_active.load(Ordering::SeqCst) >= self.cfg.whatif_cap {
+                    self.counters.sheds.fetch_add(1, Ordering::SeqCst);
+                    self.report.sheds += 1;
+                    let _ = reply.send("BUSY what-if capacity".to_string());
                     return;
                 }
-                counters.whatif_active.fetch_add(1, Ordering::SeqCst);
+                self.counters.whatif_active.fetch_add(1, Ordering::SeqCst);
                 spawn_whatif_worker::<P>(
-                    sched.encode(),
+                    self.sched.encode(),
                     JobId(*job),
                     *bf,
                     *window,
-                    horizon_secs.unwrap_or(cfg.whatif_horizon_secs),
-                    cfg.whatif_deadline,
-                    req.reply,
-                    counters.clone(),
-                    latencies.clone(),
+                    horizon_secs.unwrap_or(self.cfg.whatif_horizon_secs),
+                    self.cfg.whatif_deadline,
+                    reply,
+                    self.counters.clone(),
+                    self.latencies.clone(),
                 );
                 return; // worker replies asynchronously
             }
-            Command::Advance(_) if cfg.clock != ClockMode::Virtual => {
+            mutating if mutating.is_mutating() && self.role != Role::Primary => {
+                let Role::Follower { primary } = &self.role else {
+                    unreachable!()
+                };
+                format!("ERR follower is read-only (the primary is at {primary})")
+            }
+            Command::Advance(_) if self.cfg.clock != ClockMode::Virtual => {
                 "ERR ADVANCE requires --clock virtual".to_string()
             }
-            Command::Submit { .. } if *draining => {
+            Command::Submit { .. } if self.draining => {
                 "ERR draining: not admitting new work".to_string()
             }
             mutating => {
@@ -514,81 +892,305 @@ pub fn run_daemon<P: Platform + Snapshot + 'static>(
                 // replay advances to this time and re-applies, so a
                 // relative command like ADVANCE must not see its own
                 // effect in the logged timestamp.
-                let applied_at = sched.now().as_secs();
-                match apply_mutation(sched, mutating) {
+                let applied_at = self.sched.now().as_secs();
+                match apply_mutation(&mut self.sched, mutating) {
                     Ok(ok) => {
                         // Journal before acknowledgment: the reply is not
                         // sent until the record is flushed. A WAL that can
-                        // no longer be written is fatal (PR-3 convention) —
-                        // a daemon that cannot journal must not keep
-                        // acknowledging.
-                        let seq = wal
-                            .append(applied_at, &mutating.render())
-                            .unwrap_or_else(|e| {
-                                panic!("command wal append failed: {e} — refusing to serve")
-                            });
-                        report.commands_applied += 1;
-                        report.final_seq = seq + 1;
-                        *since_snapshot += 1;
-                        *since_oracle += 1;
-                        if *since_snapshot >= cfg.snapshot_every {
-                            let payload = sched.encode();
-                            store
-                                .write(seq + 1, &payload)
-                                .unwrap_or_else(|e| panic!("snapshot write failed: {e}"));
-                            report.snapshots_written += 1;
-                            *since_snapshot = 0;
-                        }
-                        if cfg.oracle_every > 0 && *since_oracle >= cfg.oracle_every {
-                            *since_oracle = 0;
-                            if let Err(msg) = sched.check_invariants() {
-                                panic!("live invariant violation: {msg}");
+                        // no longer be written means memory is ahead of
+                        // what the log can promise — refuse the ACK and
+                        // stop serving, cleanly.
+                        let state_hash = self.sched.state_hash();
+                        let rendered = mutating.render();
+                        match self
+                            .wal
+                            .append(self.epoch, applied_at, state_hash, &rendered)
+                        {
+                            Err(e) => {
+                                let _ = reply.send(format!(
+                                    "ERR durability failure: {e}; daemon shutting down"
+                                ));
+                                eprintln!(
+                                    "amjs serve: error: command wal append failed: {e} — \
+                                     refusing to acknowledge, shutting down"
+                                );
+                                self.fatal = Some(ServeError::Io(e));
+                                return;
+                            }
+                            Ok(seq) => {
+                                self.report.commands_applied += 1;
+                                self.report.final_seq = seq + 1;
+                                self.applied_seq.store(seq + 1, Ordering::SeqCst);
+                                self.broadcast_record(&ReplRecord {
+                                    seq,
+                                    epoch: self.epoch,
+                                    time_secs: applied_at,
+                                    state_hash,
+                                    cmd: rendered,
+                                });
+                                self.after_mutation(seq);
+                                ok
                             }
                         }
-                        ok
                     }
                     Err(e) => format!("ERR {e}"),
                 }
             }
         };
-        let _ = req.reply.send(reply_text);
+        let _ = reply.send(reply_text);
+    }
+
+    /// Publish the daemon dashboard into the PR-4 metrics endpoint.
+    fn publish_stats(&self) {
+        let Some(stats) = &self.cfg.stats else { return };
+        let s = self.sched.stats();
+        let mut extra = vec![
+            (
+                "serve_connections_active".to_string(),
+                self.counters.connections_active.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "serve_connections_total".to_string(),
+                self.counters.connections_total.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "serve_sheds_total".to_string(),
+                self.counters.sheds.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "serve_frame_errors_total".to_string(),
+                self.counters.frame_errors.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "serve_whatif_active".to_string(),
+                self.counters.whatif_active.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "serve_whatif_timeouts_total".to_string(),
+                self.counters.whatif_timeouts.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "serve_whatif_panics_total".to_string(),
+                self.counters.whatif_panics.load(Ordering::SeqCst) as f64,
+            ),
+            ("serve_wal_seq".to_string(), self.wal.next_seq() as f64),
+            (
+                "serve_draining".to_string(),
+                if self.draining { 1.0 } else { 0.0 },
+            ),
+            ("serve_jobs_abandoned".to_string(), s.abandoned as f64),
+            ("serve_jobs_finished".to_string(), s.finished as f64),
+        ];
+        if let Some((p25, p50, p75)) = latency_quartiles(&self.latencies) {
+            extra.push(("serve_whatif_latency_p25_seconds".to_string(), p25));
+            extra.push(("serve_whatif_latency_p50_seconds".to_string(), p50));
+            extra.push(("serve_whatif_latency_p75_seconds".to_string(), p75));
+        }
+        let repl = ReplStats {
+            role: match self.role {
+                Role::Primary => 1,
+                Role::Follower { .. } => 2,
+            },
+            epoch: self.epoch,
+            followers: self.followers.len() as u64,
+            lag_records: self
+                .primary_next_seq
+                .load(Ordering::SeqCst)
+                .saturating_sub(self.wal.next_seq()),
+            last_seq: self.wal.next_seq(),
+        };
+        let mut g = stats.lock().unwrap();
+        g.sim_time_s = self.sched.now().as_secs();
+        g.events = self.sched.event_index();
+        g.queue_depth_mins = s.queue_depth_mins;
+        g.util_instant = s.util_instant;
+        g.util_1h = s.util_1h;
+        g.util_10h = s.util_10h;
+        g.util_24h = s.util_24h;
+        g.down_nodes = s.down_nodes;
+        g.running = s.running as u64;
+        g.waiting = s.queued as u64;
+        g.done = false;
+        g.repl = Some(repl);
+        g.extra = extra;
+    }
+}
+
+/// Run the daemon over an already-bound listener until `SHUTDOWN`,
+/// SIGTERM/SIGINT, an unrecoverable persistence failure, or a
+/// replication fence/divergence. The engine loop runs on the calling
+/// thread; listener, connection, feeder, and tail threads are spawned
+/// internally.
+///
+/// For a fresh start the state directory must not already contain a
+/// WAL (a stale directory silently overwritten would destroy exactly
+/// the state `--resume` exists to protect); pass `resume = true` to
+/// recover instead. With [`ServeConfig::follow`] set, the daemon runs
+/// as a hot-standby follower: it bootstraps from the primary's
+/// snapshot (fresh) or its own state dir (`--resume`), mirrors the
+/// primary's WAL, refuses client writes, and promotes itself into a
+/// new epoch if the primary stays silent past the lease.
+pub fn run_daemon<P: Platform + Snapshot + 'static>(
+    listener: TcpListener,
+    init: impl FnOnce() -> LiveScheduler<P>,
+    resume: bool,
+    cfg: ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let fresh_dir_guard = |cfg: &ServeConfig| -> Result<(), ServeError> {
+        if wal_path(&cfg.dir).exists() {
+            return Err(ServeError::Corrupt(format!(
+                "state dir {} already holds a command wal; \
+                 use --resume to recover it or point --serve-dir at a fresh directory",
+                cfg.dir.display()
+            )));
+        }
+        Ok(())
+    };
+    let (sched, wal, epoch) = match (&cfg.follow, resume) {
+        (_, true) => {
+            let (sched, wal, _, epoch) = recover::<P>(&cfg.dir, |m| eprintln!("amjs serve: {m}"))?;
+            (sched, wal, epoch)
+        }
+        (None, false) => {
+            fresh_dir_guard(&cfg)?;
+            let sched = init();
+            let wal = WalWriter::create(&wal_path(&cfg.dir), sched.fingerprint(), 0)?;
+            // Genesis snapshot: recovery always has a floor to replay from.
+            let store = SnapshotStore::new(&cfg.dir, cfg.keep_snapshots);
+            store.write(0, &sched.encode())?;
+            (sched, wal, 0)
+        }
+        (Some(spec), false) => {
+            fresh_dir_guard(&cfg)?;
+            // Bootstrap from the primary's live snapshot (prefetched by
+            // the CLI for platform dispatch, or fetched here).
+            let boot = match spec.bootstrap.clone() {
+                Some(b) => b,
+                None => fetch_snapshot(&spec.primary, spec.lease.max(Duration::from_millis(500)))
+                    .map_err(ServeError::Repl)?,
+            };
+            let sched = LiveScheduler::<P>::decode(&boot.payload)?;
+            if sched.fingerprint() != boot.fingerprint {
+                return Err(ServeError::Corrupt(format!(
+                    "bootstrap fingerprint {:016x} does not match decoded state {:016x}",
+                    boot.fingerprint,
+                    sched.fingerprint()
+                )));
+            }
+            let store = SnapshotStore::new(&cfg.dir, cfg.keep_snapshots);
+            store.write(boot.seq, &boot.payload)?;
+            let wal =
+                WalWriter::create_at(&wal_path(&cfg.dir), boot.fingerprint, boot.epoch, boot.seq)?;
+            eprintln!(
+                "amjs serve: bootstrapped from primary {} (seq {}, epoch {})",
+                spec.primary, boot.seq, boot.epoch
+            );
+            (sched, wal, boot.epoch)
+        }
+    };
+
+    let counters = Arc::new(Counters::default());
+    let latencies: LatencyRing = Arc::new(Mutex::new(Vec::new()));
+    let stop_listener = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::sync_channel::<Request>(cfg.admission_cap);
+
+    let local_addr = listener.local_addr()?;
+    eprintln!("amjs serve: listening on {local_addr}");
+
+    let listener_handle = {
+        let counters = counters.clone();
+        let stop = stop_listener.clone();
+        let tx = tx.clone();
+        let max_conns = cfg.max_conns;
+        let read_timeout = cfg.read_timeout;
+        let chaos = cfg.repl_chaos;
+        thread::spawn(move || {
+            listener_loop(listener, tx, counters, stop, max_conns, read_timeout, chaos)
+        })
+    };
+
+    // ----- follower tail thread -----
+    let applied_seq = Arc::new(AtomicU64::new(wal.next_seq()));
+    let epoch_shared = Arc::new(AtomicU64::new(epoch));
+    let primary_next_seq = Arc::new(AtomicU64::new(wal.next_seq()));
+    let follow_stop = Arc::new(AtomicBool::new(false));
+    let role = match &cfg.follow {
+        Some(spec) => {
+            let shared = FollowShared {
+                applied_seq: applied_seq.clone(),
+                epoch: epoch_shared.clone(),
+                primary_next_seq: primary_next_seq.clone(),
+                stop: follow_stop.clone(),
+            };
+            let tail_tx = tx.clone();
+            let primary = spec.primary.clone();
+            let lease = spec.lease;
+            let fingerprint = sched.fingerprint();
+            thread::Builder::new()
+                .name("amjs-repl-tail".into())
+                .spawn(move || {
+                    follow_loop(&primary, fingerprint, lease, &shared, move |ev| {
+                        tail_tx.send(Request::Follow(ev)).is_ok()
+                    })
+                })
+                .expect("spawn tail thread");
+            eprintln!(
+                "amjs serve: following primary {} (lease {:?})",
+                spec.primary, spec.lease
+            );
+            Role::Follower {
+                primary: spec.primary.clone(),
+            }
+        }
+        None => Role::Primary,
+    };
+    drop(tx); // engine holds rx; connections hold clones via listener
+
+    // ----- engine loop (this thread owns all scheduler state) -----
+    let mut engine = Engine {
+        store: SnapshotStore::new(&cfg.dir, cfg.keep_snapshots),
+        report: ServeReport {
+            final_seq: wal.next_seq(),
+            final_epoch: epoch,
+            ..ServeReport::default()
+        },
+        wall_anchor: Instant::now(),
+        sim_anchor: sched.now(),
+        sched,
+        wal,
+        cfg,
+        counters: counters.clone(),
+        latencies,
+        role,
+        epoch,
+        followers: Vec::new(),
+        applied_seq,
+        epoch_shared,
+        primary_next_seq,
+        draining: false,
+        shutdown: false,
+        fatal: None,
+        since_snapshot: 0,
+        since_oracle: 0,
+        last_heartbeat: Instant::now(),
     };
 
     let tick = Duration::from_millis(50);
     loop {
-        if signal::termination_requested()
-            || cfg.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst))
-        {
-            shutdown = true;
+        if engine.stop_requested() {
+            engine.shutdown = true;
         }
-        if shutdown {
+        if engine.shutdown || engine.fatal.is_some() {
             break;
         }
         match rx.recv_timeout(tick) {
             Ok(req) => {
-                handle_request(
-                    req,
-                    &mut sched,
-                    &mut wal,
-                    &mut draining,
-                    &mut shutdown,
-                    &mut report,
-                    &mut since_snapshot,
-                    &mut since_oracle,
-                );
+                engine.handle(req);
                 // Drain whatever queued behind it without re-sleeping.
-                while !shutdown {
+                while !engine.shutdown && engine.fatal.is_none() {
                     match rx.try_recv() {
-                        Ok(req) => handle_request(
-                            req,
-                            &mut sched,
-                            &mut wal,
-                            &mut draining,
-                            &mut shutdown,
-                            &mut report,
-                            &mut since_snapshot,
-                            &mut since_oracle,
-                        ),
+                        Ok(req) => engine.handle(req),
                         Err(_) => break,
                     }
                 }
@@ -596,45 +1198,49 @@ pub fn run_daemon<P: Platform + Snapshot + 'static>(
             Err(RecvTimeoutError::Timeout) => {
                 // Idle: keep the wall clock moving so the world evolves
                 // (jobs finish, ticks fire) even with no client traffic.
-                if let ClockMode::Wall { .. } = cfg.clock {
-                    let t = sim_now(&cfg.clock);
-                    if t > sched.now() {
-                        sched.advance_to(t);
-                    }
-                }
+                engine.catch_up_clock();
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        if let Some(stats) = &cfg.stats {
-            publish_stats(stats, &sched, &counters, &latencies, &wal, draining);
-        }
+        engine.heartbeat_tick();
+        engine.publish_stats();
     }
 
-    // ----- graceful shutdown -----
-    // Stop admitting, finish in-flight replies, final snapshot.
+    // ----- shutdown -----
+    // Stop admitting, finish in-flight replies (clean path only), then
+    // the final snapshot — best-effort when already failing.
     stop_listener.store(true, Ordering::SeqCst);
-    while let Ok(req) = rx.try_recv() {
-        handle_request(
-            req,
-            &mut sched,
-            &mut wal,
-            &mut draining,
-            &mut shutdown,
-            &mut report,
-            &mut since_snapshot,
-            &mut since_oracle,
-        );
+    follow_stop.store(true, Ordering::SeqCst);
+    if engine.fatal.is_none() {
+        while let Ok(req) = rx.try_recv() {
+            engine.handle(req);
+        }
     }
-    let payload = sched.encode();
-    store.write(wal.next_seq(), &payload)?;
-    report.snapshots_written += 1;
-    report.sheds = counters.sheds.load(Ordering::SeqCst);
+    engine.followers.clear(); // feeder threads exit on sink disconnect
+    let payload = engine.sched.encode();
+    match engine.store.write(engine.wal.next_seq(), &payload) {
+        Ok(_) => engine.report.snapshots_written += 1,
+        Err(e) if engine.fatal.is_some() => {
+            // Already failing: the snapshot was a best-effort salvage.
+            eprintln!("amjs serve: final best-effort snapshot also failed: {e}");
+        }
+        Err(e) => return Err(ServeError::Io(e)),
+    }
+    engine.report.sheds = counters.sheds.load(Ordering::SeqCst);
+    engine.report.final_epoch = engine.epoch;
     let _ = listener_handle.join();
+    if let Some(e) = engine.fatal {
+        eprintln!("amjs serve: fatal: {e}");
+        return Err(e);
+    }
     eprintln!(
-        "amjs serve: shut down cleanly ({} commands, wal seq {})",
-        report.commands_applied, report.final_seq
+        "amjs serve: shut down cleanly ({} commands, {} replicated, wal seq {}, epoch {})",
+        engine.report.commands_applied,
+        engine.report.replicated,
+        engine.report.final_seq,
+        engine.report.final_epoch
     );
-    Ok(report)
+    Ok(engine.report)
 }
 
 /// Accept loop: enforce the connection cap, hand accepted sockets to
@@ -646,6 +1252,7 @@ fn listener_loop(
     stop: Arc<AtomicBool>,
     max_conns: usize,
     read_timeout: Duration,
+    chaos: Option<ReplChaos>,
 ) {
     listener
         .set_nonblocking(true)
@@ -656,7 +1263,7 @@ fn listener_loop(
         }
         match listener.accept() {
             Ok((stream, peer)) => {
-                counters.connections_total.fetch_add(1, Ordering::SeqCst);
+                let conn_id = counters.connections_total.fetch_add(1, Ordering::SeqCst);
                 if counters.connections_active.load(Ordering::SeqCst) >= max_conns {
                     counters.sheds.fetch_add(1, Ordering::SeqCst);
                     let mut s = stream;
@@ -668,7 +1275,7 @@ fn listener_loop(
                 let tx = tx.clone();
                 let counters = counters.clone();
                 thread::spawn(move || {
-                    connection_loop(stream, peer, tx, &counters, read_timeout);
+                    connection_loop(stream, peer, tx, &counters, read_timeout, conn_id, chaos);
                     counters.connections_active.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -684,13 +1291,19 @@ fn listener_loop(
 /// or read deadline. Unknown verbs and bad arguments get `ERR` and the
 /// conversation continues; framing violations (oversized/truncated/
 /// garbage) get a best-effort `ERR` and the connection is closed, since
-/// the stream can no longer be resynchronized.
+/// the stream can no longer be resynchronized. The two `REPL` verbs are
+/// handled here rather than in the engine reply path: `REPL SNAPSHOT`
+/// streams a chunked payload, and `REPL TAIL` permanently converts the
+/// connection into a one-way record feeder.
+#[allow(clippy::too_many_arguments)]
 fn connection_loop(
     stream: TcpStream,
     _peer: SocketAddr,
     tx: SyncSender<Request>,
     counters: &Counters,
     read_timeout: Duration,
+    conn_id: u64,
+    chaos: Option<ReplChaos>,
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
@@ -719,29 +1332,93 @@ fn connection_loop(
                         continue;
                     }
                 };
-                let (reply_tx, reply_rx) = mpsc::channel::<String>();
-                match tx.try_send(Request {
-                    cmd,
-                    reply: reply_tx,
-                }) {
-                    Ok(()) => {
+                match cmd {
+                    Command::ReplSnapshot => {
+                        let (reply_tx, reply_rx) = mpsc::channel();
+                        match tx.try_send(Request::ReplSnapshot { reply: reply_tx }) {
+                            Ok(()) => {}
+                            Err(_) => {
+                                counters.sheds.fetch_add(1, Ordering::SeqCst);
+                                if write_frame(&mut writer, b"BUSY admission queue full").is_err() {
+                                    return;
+                                }
+                                continue;
+                            }
+                        }
+                        match reply_rx.recv_timeout(Duration::from_secs(60)) {
+                            Ok(Ok(boot)) => {
+                                if send_snapshot(&mut writer, &boot).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(Err(msg)) => {
+                                let _ = write_frame(&mut writer, format!("ERR {msg}").as_bytes());
+                            }
+                            Err(_) => {
+                                let _ = write_frame(&mut writer, b"ERR server shutting down");
+                                return;
+                            }
+                        }
+                    }
+                    Command::ReplTail {
+                        seq,
+                        epoch,
+                        fingerprint,
+                    } => {
+                        let (reply_tx, reply_rx) = mpsc::channel();
+                        let (sink_tx, sink_rx) = mpsc::channel::<String>();
+                        match tx.try_send(Request::ReplSubscribe {
+                            seq,
+                            epoch,
+                            fingerprint,
+                            sink: sink_tx,
+                            reply: reply_tx,
+                        }) {
+                            Ok(()) => {}
+                            Err(_) => {
+                                counters.sheds.fetch_add(1, Ordering::SeqCst);
+                                if write_frame(&mut writer, b"BUSY admission queue full").is_err() {
+                                    return;
+                                }
+                                continue;
+                            }
+                        }
                         let reply = reply_rx
                             .recv_timeout(Duration::from_secs(60))
                             .unwrap_or_else(|_| "ERR server shutting down".to_string());
-                        if write_frame(&mut writer, reply.as_bytes()).is_err() {
+                        let accepted = reply.starts_with("OK TAILING");
+                        if write_frame(&mut writer, reply.as_bytes()).is_err() || !accepted {
                             return;
                         }
+                        feeder_loop(&mut writer, sink_rx, conn_id, chaos);
+                        return; // the connection was consumed by the stream
                     }
-                    Err(TrySendError::Full(_)) => {
-                        // Load shed: bounded admission queue is full.
-                        counters.sheds.fetch_add(1, Ordering::SeqCst);
-                        if write_frame(&mut writer, b"BUSY admission queue full").is_err() {
-                            return;
+                    cmd => {
+                        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+                        match tx.try_send(Request::Client {
+                            cmd,
+                            reply: reply_tx,
+                        }) {
+                            Ok(()) => {
+                                let reply = reply_rx
+                                    .recv_timeout(Duration::from_secs(60))
+                                    .unwrap_or_else(|_| "ERR server shutting down".to_string());
+                                if write_frame(&mut writer, reply.as_bytes()).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(TrySendError::Full(_)) => {
+                                // Load shed: bounded admission queue is full.
+                                counters.sheds.fetch_add(1, Ordering::SeqCst);
+                                if write_frame(&mut writer, b"BUSY admission queue full").is_err() {
+                                    return;
+                                }
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                let _ = write_frame(&mut writer, b"ERR server shutting down");
+                                return;
+                            }
                         }
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        let _ = write_frame(&mut writer, b"ERR server shutting down");
-                        return;
                     }
                 }
             }
@@ -764,6 +1441,35 @@ fn connection_loop(
                 let _ = write_frame(&mut writer, b"ERR idle timeout");
                 return;
             }
+        }
+    }
+}
+
+/// Forward the engine's record/heartbeat frames to one follower,
+/// applying the deterministic link-fault injector. Ends when the sink
+/// disconnects (engine shutdown) or the transport dies — the engine
+/// prunes the sink on its next send.
+fn feeder_loop(
+    writer: &mut TcpStream,
+    sink_rx: mpsc::Receiver<String>,
+    conn_id: u64,
+    chaos: Option<ReplChaos>,
+) {
+    let mut chaos = chaos.map(|cfg| LinkChaos::new(cfg, conn_id));
+    while let Ok(frame) = sink_rx.recv() {
+        if let Some(inj) = &mut chaos {
+            match inj.action() {
+                ChaosAction::Drop => continue,
+                ChaosAction::Disconnect => return,
+                ChaosAction::Deliver => {
+                    if !inj.delay().is_zero() {
+                        thread::sleep(inj.delay());
+                    }
+                }
+            }
+        }
+        if write_frame(writer, frame.as_bytes()).is_err() {
+            return;
         }
     }
 }
@@ -820,73 +1526,6 @@ fn spawn_whatif_worker<P: Platform + Snapshot + 'static>(
     });
 }
 
-/// Publish the daemon dashboard into the PR-4 metrics endpoint.
-fn publish_stats<P: Platform + Snapshot>(
-    stats: &SharedStats,
-    sched: &LiveScheduler<P>,
-    counters: &Counters,
-    latencies: &LatencyRing,
-    wal: &WalWriter,
-    draining: bool,
-) {
-    let s = sched.stats();
-    let mut extra = vec![
-        (
-            "serve_connections_active".to_string(),
-            counters.connections_active.load(Ordering::SeqCst) as f64,
-        ),
-        (
-            "serve_connections_total".to_string(),
-            counters.connections_total.load(Ordering::SeqCst) as f64,
-        ),
-        (
-            "serve_sheds_total".to_string(),
-            counters.sheds.load(Ordering::SeqCst) as f64,
-        ),
-        (
-            "serve_frame_errors_total".to_string(),
-            counters.frame_errors.load(Ordering::SeqCst) as f64,
-        ),
-        (
-            "serve_whatif_active".to_string(),
-            counters.whatif_active.load(Ordering::SeqCst) as f64,
-        ),
-        (
-            "serve_whatif_timeouts_total".to_string(),
-            counters.whatif_timeouts.load(Ordering::SeqCst) as f64,
-        ),
-        (
-            "serve_whatif_panics_total".to_string(),
-            counters.whatif_panics.load(Ordering::SeqCst) as f64,
-        ),
-        ("serve_wal_seq".to_string(), wal.next_seq() as f64),
-        (
-            "serve_draining".to_string(),
-            if draining { 1.0 } else { 0.0 },
-        ),
-        ("serve_jobs_abandoned".to_string(), s.abandoned as f64),
-        ("serve_jobs_finished".to_string(), s.finished as f64),
-    ];
-    if let Some((p25, p50, p75)) = latency_quartiles(latencies) {
-        extra.push(("serve_whatif_latency_p25_seconds".to_string(), p25));
-        extra.push(("serve_whatif_latency_p50_seconds".to_string(), p50));
-        extra.push(("serve_whatif_latency_p75_seconds".to_string(), p75));
-    }
-    let mut g = stats.lock().unwrap();
-    g.sim_time_s = sched.now().as_secs();
-    g.events = sched.event_index();
-    g.queue_depth_mins = s.queue_depth_mins;
-    g.util_instant = s.util_instant;
-    g.util_1h = s.util_1h;
-    g.util_10h = s.util_10h;
-    g.util_24h = s.util_24h;
-    g.down_nodes = s.down_nodes;
-    g.running = s.running as u64;
-    g.waiting = s.queued as u64;
-    g.done = false;
-    g.extra = extra;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -894,7 +1533,7 @@ mod tests {
     use amjs_platform::FlatCluster;
     use std::net::TcpStream;
 
-    fn tmp_dir(tag: &str) -> PathBuf {
+    pub(super) fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("amjs-serve-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
@@ -908,13 +1547,13 @@ mod tests {
         )
     }
 
-    struct Client {
+    pub(super) struct Client {
         reader: BufReader<TcpStream>,
         writer: TcpStream,
     }
 
     impl Client {
-        fn connect(addr: SocketAddr) -> Client {
+        pub(super) fn connect(addr: SocketAddr) -> Client {
             let stream = TcpStream::connect(addr).unwrap();
             stream
                 .set_read_timeout(Some(Duration::from_secs(10)))
@@ -926,13 +1565,13 @@ mod tests {
             }
         }
 
-        fn ask(&mut self, line: &str) -> String {
+        pub(super) fn ask(&mut self, line: &str) -> String {
             write_frame(&mut self.writer, line.as_bytes()).unwrap();
             String::from_utf8(read_frame(&mut self.reader).unwrap()).unwrap()
         }
     }
 
-    fn spawn_daemon(
+    pub(super) fn spawn_daemon(
         dir: &Path,
         resume: bool,
         tweak: impl FnOnce(&mut ServeConfig),
@@ -948,6 +1587,18 @@ mod tests {
         (addr, handle)
     }
 
+    /// Poll `probe` until it returns true or the deadline passes.
+    fn wait_until(what: &str, deadline: Duration, mut probe: impl FnMut() -> bool) {
+        let end = Instant::now() + deadline;
+        while Instant::now() < end {
+            if probe() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
     #[test]
     fn end_to_end_over_the_wire() {
         let dir = tmp_dir("e2e");
@@ -961,6 +1612,7 @@ mod tests {
         assert!(c.ask("STATUS 0").starts_with("OK RUNNING START=0"));
         assert!(c.ask("HASH").starts_with("OK HASH="));
         assert!(c.ask("STATS").contains("RUNNING=1"));
+        assert_eq!(c.ask("ROLE"), "OK ROLE=primary EPOCH=0 FOLLOWERS=0");
 
         // A bad verb is an ERR, not a dropped session.
         assert!(c.ask("FROB 12").starts_with("ERR "));
@@ -1153,5 +1805,277 @@ mod tests {
         assert!(report.snapshots_written >= 1); // final snapshot landed
         let plat = snapshot_platform(&dir).unwrap();
         assert_eq!(plat, "flat");
+    }
+
+    // ----- replication -----
+
+    #[test]
+    fn snapshot_transfer_matches_live_state() {
+        let dir = tmp_dir("repl-snap");
+        let (addr, handle) = spawn_daemon(&dir, false, |_| {});
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("SUBMIT NODES=16 WALL=1800 USER=1"), "OK ID=0");
+        assert_eq!(c.ask("ADVANCE 120"), "OK T=120");
+        let hash_reply = c.ask("HASH");
+
+        let boot = fetch_snapshot(&addr.to_string(), Duration::from_secs(5)).unwrap();
+        assert_eq!(boot.seq, 2);
+        assert_eq!(boot.epoch, 0);
+        let sched = LiveScheduler::<FlatCluster>::decode(&boot.payload).unwrap();
+        assert_eq!(sched.fingerprint(), boot.fingerprint);
+        let expect = format!(
+            "OK HASH={:016x} INDEX={} T={}",
+            sched.state_hash(),
+            sched.event_index(),
+            sched.now().as_secs()
+        );
+        assert_eq!(hash_reply, expect);
+
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn follower_mirrors_promotes_and_fences_the_stale_primary() {
+        let dir_p = tmp_dir("repl-prim");
+        let dir_f = tmp_dir("repl-foll");
+        let latch = Arc::new(AtomicBool::new(false));
+        let hook = latch.clone();
+        let (p_addr, p_handle) = spawn_daemon(&dir_p, false, move |cfg| {
+            cfg.stop = Some(hook);
+            cfg.snapshot_every = u64::MAX;
+        });
+        let mut c = Client::connect(p_addr);
+        for u in 0..6 {
+            assert!(c
+                .ask(&format!("SUBMIT NODES=16 WALL=3600 RUN=900 USER={u}"))
+                .starts_with("OK ID="));
+        }
+        assert_eq!(c.ask("ADVANCE 600"), "OK T=600");
+
+        let (f_addr, f_handle) = spawn_daemon(&dir_f, false, |cfg| {
+            cfg.follow = Some(FollowSpec {
+                primary: p_addr.to_string(),
+                lease: Duration::from_millis(800),
+                bootstrap: None,
+            });
+            cfg.repl_heartbeat = Duration::from_millis(100);
+        });
+
+        // Keep mutating after the follower bootstrapped: the tail
+        // stream, not just the snapshot, must carry these.
+        assert_eq!(c.ask("CANCEL 5"), "OK CANCELED");
+        assert_eq!(c.ask("ADVANCE 600"), "OK T=1200");
+        let reference_hash = c.ask("HASH");
+        let reference_stats = c.ask("STATS");
+        let reference_status: Vec<String> = (0..6).map(|i| c.ask(&format!("STATUS {i}"))).collect();
+
+        // Replication is asynchronous with respect to the primary's ACK:
+        // wait for convergence before comparing or killing anything.
+        let mut f = Client::connect(f_addr);
+        wait_until("follower catch-up", Duration::from_secs(10), || {
+            f.ask("HASH") == reference_hash
+        });
+        assert_eq!(f.ask("STATS"), reference_stats);
+        for (i, expect) in reference_status.iter().enumerate() {
+            assert_eq!(&f.ask(&format!("STATUS {i}")), expect);
+        }
+        let role = f.ask("ROLE");
+        assert!(role.starts_with("OK ROLE=follower EPOCH=0"), "{role}");
+        assert!(f
+            .ask("SUBMIT NODES=1 WALL=60 USER=9")
+            .starts_with("ERR follower is read-only"));
+        assert_eq!(c.ask("ROLE"), "OK ROLE=primary EPOCH=0 FOLLOWERS=1");
+
+        // Primary dies; the lease expires; the follower steps up into a
+        // new epoch with state byte-identical to the reference.
+        latch.store(true, Ordering::SeqCst);
+        p_handle.join().unwrap().unwrap();
+        wait_until("promotion", Duration::from_secs(10), || {
+            f.ask("ROLE").starts_with("OK ROLE=primary")
+        });
+        assert_eq!(f.ask("ROLE"), "OK ROLE=primary EPOCH=1 FOLLOWERS=0");
+        assert_eq!(f.ask("HASH"), reference_hash);
+        assert_eq!(f.ask("STATS"), reference_stats);
+        assert_eq!(f.ask("SUBMIT NODES=1 WALL=60 USER=9"), "OK ID=6");
+
+        // The stale ex-primary comes back and asks to follow the new
+        // primary from its old epoch: fenced at the handshake, clean
+        // diagnostic, no records moved.
+        let (_, stale_handle) = spawn_daemon(&dir_p, true, |cfg| {
+            cfg.follow = Some(FollowSpec {
+                primary: f_addr.to_string(),
+                lease: Duration::from_millis(800),
+                bootstrap: None,
+            });
+        });
+        match stale_handle.join().unwrap() {
+            Err(ServeError::Repl(msg)) => {
+                assert!(msg.contains("FENCED"), "{msg}");
+                assert!(msg.contains("stale epoch 0"), "{msg}");
+            }
+            other => panic!("expected fencing, got {other:?}"),
+        }
+
+        assert_eq!(f.ask("SHUTDOWN"), "OK BYE");
+        let report = f_handle.join().unwrap().unwrap();
+        assert_eq!(report.promotions, 1);
+        assert_eq!(report.final_epoch, 1);
+        // Bootstrap moves *state*, not records, so only mutations issued
+        // after the snapshot arrive over the stream (the CANCEL/ADVANCE
+        // pair, fewer if the bootstrap raced past them).
+        assert!(report.replicated <= 2, "replicated {}", report.replicated);
+        assert_eq!(report.commands_applied, 1); // post-promotion SUBMIT
+    }
+
+    #[test]
+    fn injected_divergence_is_reported_at_its_sequence() {
+        let dir_p = tmp_dir("div-prim");
+        let dir_f = tmp_dir("div-foll");
+        let (p_addr, p_handle) = spawn_daemon(&dir_p, false, |cfg| {
+            cfg.repl_chaos = Some(ReplChaos {
+                diverge_at: Some(2),
+                ..ReplChaos::default()
+            });
+        });
+        let (_, f_handle) = spawn_daemon(&dir_f, false, |cfg| {
+            cfg.follow = Some(FollowSpec {
+                primary: p_addr.to_string(),
+                lease: Duration::from_secs(5),
+                bootstrap: None,
+            });
+        });
+        let mut c = Client::connect(p_addr);
+        // Give the follower time to attach before the poisoned record.
+        wait_until("follower attach", Duration::from_secs(10), || {
+            c.ask("ROLE").ends_with("FOLLOWERS=1")
+        });
+        for u in 0..4 {
+            assert!(c
+                .ask(&format!("SUBMIT NODES=8 WALL=600 USER={u}"))
+                .starts_with("OK ID="));
+        }
+        match f_handle.join().unwrap() {
+            Err(ServeError::Repl(msg)) => {
+                assert!(msg.contains("divergence at wal seq 2"), "{msg}");
+            }
+            other => panic!("expected divergence detection, got {other:?}"),
+        }
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        p_handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn lossy_link_heals_and_converges() {
+        let dir_p = tmp_dir("lossy-prim");
+        let dir_f = tmp_dir("lossy-foll");
+        let (p_addr, p_handle) = spawn_daemon(&dir_p, false, |cfg| {
+            cfg.repl_chaos = Some(ReplChaos {
+                drop_p: 0.25,
+                disconnect_p: 0.1,
+                seed: 42,
+                ..ReplChaos::default()
+            });
+            cfg.repl_heartbeat = Duration::from_millis(50);
+        });
+        let (f_addr, f_handle) = spawn_daemon(&dir_f, false, |cfg| {
+            cfg.follow = Some(FollowSpec {
+                primary: p_addr.to_string(),
+                lease: Duration::from_secs(5),
+                bootstrap: None,
+            });
+        });
+        let mut c = Client::connect(p_addr);
+        for u in 0..24 {
+            assert!(c
+                .ask(&format!("SUBMIT NODES=4 WALL=1200 RUN=300 USER={u}"))
+                .starts_with("OK ID="));
+            if u % 6 == 0 {
+                c.ask("ADVANCE 300");
+            }
+        }
+        let reference_hash = c.ask("HASH");
+        // Dropped frames surface as sequence gaps; the follower heals by
+        // re-tailing from its applied sequence, so it still converges.
+        let mut f = Client::connect(f_addr);
+        wait_until("lossy catch-up", Duration::from_secs(20), || {
+            f.ask("HASH") == reference_hash
+        });
+        assert_eq!(f.ask("SHUTDOWN"), "OK BYE");
+        f_handle.join().unwrap().unwrap();
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        p_handle.join().unwrap().unwrap();
+    }
+
+    // ----- durability-path errors -----
+
+    /// Make `dir` read-only; returns false (test should skip) when the
+    /// process can write anyway (running as root, e.g. in a container).
+    fn make_read_only(dir: &Path) -> bool {
+        use std::os::unix::fs::PermissionsExt;
+        std::fs::set_permissions(dir, std::fs::Permissions::from_mode(0o555)).unwrap();
+        match std::fs::File::create(dir.join(".probe")) {
+            Ok(_) => {
+                let _ = std::fs::remove_file(dir.join(".probe"));
+                let _ = std::fs::set_permissions(dir, std::fs::Permissions::from_mode(0o755));
+                false
+            }
+            Err(_) => true,
+        }
+    }
+
+    fn restore_writable(dir: &Path) {
+        use std::os::unix::fs::PermissionsExt;
+        let _ = std::fs::set_permissions(dir, std::fs::Permissions::from_mode(0o755));
+    }
+
+    #[test]
+    fn unwritable_state_dir_is_a_clean_startup_error() {
+        let dir = tmp_dir("ro-start");
+        if !make_read_only(&dir) {
+            eprintln!("skipping: process writes through read-only permissions (root)");
+            return;
+        }
+        // WAL creation fails before the daemon ever serves: clean Err,
+        // no panic, no listener left half-alive.
+        let (_, handle) = spawn_daemon(&dir, false, |_| {});
+        match handle.join().unwrap() {
+            Err(ServeError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+        restore_writable(&dir);
+    }
+
+    #[test]
+    fn snapshot_rotation_failure_keeps_the_ack_and_shuts_down_cleanly() {
+        let dir = tmp_dir("ro-rotate");
+        let (addr, handle) = spawn_daemon(&dir, false, |cfg| cfg.snapshot_every = 2);
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("SUBMIT NODES=8 WALL=600 USER=1"), "OK ID=0");
+        if !make_read_only(&dir) {
+            eprintln!("skipping: process writes through read-only permissions (root)");
+            assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+            handle.join().unwrap().unwrap();
+            return;
+        }
+        // The second accepted mutation triggers rotation, which fails.
+        // The command itself IS durable (wal append preceded it, on the
+        // still-open descriptor), so the ACK must stand — but the daemon
+        // must shut down with a clean error, not a panic, and the final
+        // best-effort snapshot failing too must not turn it into one.
+        assert_eq!(c.ask("ADVANCE 60"), "OK T=60");
+        match handle.join().unwrap() {
+            Err(ServeError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+        restore_writable(&dir);
+
+        // Both acknowledged commands survived in the WAL.
+        let (addr, handle) = spawn_daemon(&dir, true, |_| {});
+        let mut c = Client::connect(addr);
+        assert!(c.ask("STATS").contains("T=60"));
+        assert!(c.ask("STATUS 0").starts_with("OK "));
+        assert_eq!(c.ask("SHUTDOWN"), "OK BYE");
+        handle.join().unwrap().unwrap();
     }
 }

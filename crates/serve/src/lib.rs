@@ -18,6 +18,9 @@
 //!   read deadlines, supervised what-if workers, snapshot rotation,
 //!   and crash recovery (snapshot + WAL-tail replay through the same
 //!   apply path as live service).
+//! - **[`repl`]** — hot-standby replication: snapshot bootstrap, WAL
+//!   tailing with per-record `state_hash` cross-checks, epoch-fenced
+//!   automatic failover, and a deterministic link-fault injector.
 //! - **[`signal`]** — SIGTERM/SIGINT → graceful drain via one atomic
 //!   flag, no signal crate.
 //!
@@ -26,11 +29,14 @@
 
 pub mod daemon;
 pub mod proto;
+pub mod repl;
 pub mod signal;
 pub mod wal;
 
 pub use daemon::{
-    recover, run_daemon, snapshot_platform, ClockMode, ServeConfig, ServeError, ServeReport,
+    recover, run_daemon, snapshot_platform, ClockMode, FollowSpec, ServeConfig, ServeError,
+    ServeReport,
 };
 pub use proto::{read_frame, write_frame, Command, FrameError, MAX_FRAME};
+pub use repl::{fetch_snapshot, Bootstrap, ReplChaos};
 pub use wal::{read_wal, WalError, WalRecord, WalWriter};

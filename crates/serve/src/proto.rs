@@ -19,13 +19,22 @@
 //! WHATIF <job-id> [BF=<f64>] [W=<usize>] [HORIZON=<secs>]
 //! STATS
 //! HASH
+//! ROLE
 //! ADVANCE <secs>
 //! DRAIN
 //! SHUTDOWN
+//! REPL SNAPSHOT
+//! REPL TAIL SEQ=<u64> EPOCH=<u64> FP=<hex u64>
 //! ```
 //!
 //! Replies are `OK ...`, `ERR <reason>`, or `BUSY <reason>` (load
 //! shed: the request was *not* accepted and may be retried).
+//!
+//! The two `REPL` verbs are the replication extension (PR 7): a
+//! follower daemon bootstraps with `REPL SNAPSHOT` (the reply header
+//! is followed by raw binary payload frames) and then switches its
+//! connection into a one-way record stream with `REPL TAIL`. See
+//! [`crate::repl`] for the stream frame grammar.
 
 use std::io::{self, Read, Write};
 
@@ -163,10 +172,23 @@ pub enum Command {
     Hash,
     /// Advance the virtual clock (virtual-clock daemons only).
     Advance(i64),
+    /// Replication role and epoch (single/primary/follower).
+    Role,
     /// Stop admitting work; keep answering queries.
     Drain,
     /// Graceful shutdown: final snapshot, then exit.
     Shutdown,
+    /// Replication: request the current state snapshot (chunked reply).
+    ReplSnapshot,
+    /// Replication: subscribe to the WAL record stream from `seq`.
+    ReplTail {
+        /// First sequence number the subscriber still needs.
+        seq: u64,
+        /// Subscriber's current epoch — fenced against the primary's.
+        epoch: u64,
+        /// Subscriber's run fingerprint — must match the primary's.
+        fingerprint: u64,
+    },
 }
 
 fn parse_kv<'a>(tok: &'a str, key: &str) -> Option<&'a str> {
@@ -195,8 +217,34 @@ impl Command {
             "PING" => no_args(Command::Ping),
             "STATS" => no_args(Command::Stats),
             "HASH" => no_args(Command::Hash),
+            "ROLE" => no_args(Command::Role),
             "DRAIN" => no_args(Command::Drain),
             "SHUTDOWN" => no_args(Command::Shutdown),
+            "REPL" => match rest.as_slice() {
+                ["SNAPSHOT"] => Ok(Command::ReplSnapshot),
+                ["TAIL", opts @ ..] => {
+                    let (mut seq, mut epoch, mut fp) = (None, None, None);
+                    for tok in opts {
+                        if let Some(v) = parse_kv(tok, "SEQ") {
+                            seq = Some(num::<u64>(v, "SEQ")?);
+                        } else if let Some(v) = parse_kv(tok, "EPOCH") {
+                            epoch = Some(num::<u64>(v, "EPOCH")?);
+                        } else if let Some(v) = parse_kv(tok, "FP") {
+                            fp = Some(
+                                u64::from_str_radix(v, 16).map_err(|_| format!("bad FP: {v:?}"))?,
+                            );
+                        } else {
+                            return Err(format!("unknown REPL TAIL option {tok:?}"));
+                        }
+                    }
+                    Ok(Command::ReplTail {
+                        seq: seq.ok_or("REPL TAIL requires SEQ=<n>")?,
+                        epoch: epoch.ok_or("REPL TAIL requires EPOCH=<n>")?,
+                        fingerprint: fp.ok_or("REPL TAIL requires FP=<hex>")?,
+                    })
+                }
+                _ => Err("usage: REPL SNAPSHOT | REPL TAIL SEQ=n EPOCH=n FP=hex".into()),
+            },
             "ADVANCE" => match rest.as_slice() {
                 [secs] => {
                     let s: i64 = num(secs, "seconds")?;
@@ -293,8 +341,15 @@ impl Command {
             Command::Ping => "PING".into(),
             Command::Stats => "STATS".into(),
             Command::Hash => "HASH".into(),
+            Command::Role => "ROLE".into(),
             Command::Drain => "DRAIN".into(),
             Command::Shutdown => "SHUTDOWN".into(),
+            Command::ReplSnapshot => "REPL SNAPSHOT".into(),
+            Command::ReplTail {
+                seq,
+                epoch,
+                fingerprint,
+            } => format!("REPL TAIL SEQ={seq} EPOCH={epoch} FP={fingerprint:016x}"),
             Command::Advance(s) => format!("ADVANCE {s}"),
             Command::Status(id) => format!("STATUS {id}"),
             Command::Cancel(id) => format!("CANCEL {id}"),
@@ -418,6 +473,11 @@ mod tests {
         assert!(Command::parse("WHATIF 3 W=0").is_err());
         assert!(Command::parse("ADVANCE 0").is_err());
         assert!(Command::parse("PING extra").is_err());
+        assert!(Command::parse("REPL").is_err());
+        assert!(Command::parse("REPL FROB").is_err());
+        assert!(Command::parse("REPL TAIL SEQ=1 EPOCH=0").is_err()); // missing FP
+        assert!(Command::parse("REPL TAIL SEQ=1 EPOCH=0 FP=zz").is_err());
+        assert!(Command::parse("ROLE extra").is_err());
     }
 
     /// Seeded-PRNG property test: render → parse is the identity over
@@ -441,12 +501,19 @@ mod tests {
     }
 
     fn random_command(rng: &mut Xoshiro256) -> Command {
-        match rng.next_below(10) {
+        match rng.next_below(13) {
             0 => Command::Ping,
             1 => Command::Stats,
             2 => Command::Hash,
             3 => Command::Drain,
             4 => Command::Shutdown,
+            10 => Command::Role,
+            11 => Command::ReplSnapshot,
+            12 => Command::ReplTail {
+                seq: rng.next_raw(),
+                epoch: rng.next_raw(),
+                fingerprint: rng.next_raw(),
+            },
             5 => Command::Advance(rng.next_range_inclusive(1, 1 << 40)),
             6 => Command::Status(rng.next_raw()),
             7 => Command::Cancel(rng.next_raw()),

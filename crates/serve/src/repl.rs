@@ -1,0 +1,611 @@
+//! Hot-standby replication: the protocol pieces shared by primary and
+//! follower.
+//!
+//! A follower (`amjs serve --follow <primary-addr>`) holds a warm copy
+//! of the primary's entire scheduler state and takes over — in a new,
+//! fenced epoch — when the primary dies. The design leans on machinery
+//! earlier PRs already proved out:
+//!
+//! - **Bootstrap** is a snapshot transfer: `REPL SNAPSHOT` returns the
+//!   primary's live state through the PR-3 snapshot codec, chunked into
+//!   netstring frames (the frame cap is 4 KiB; a snapshot is not).
+//! - **Tailing** is WAL shipping: `REPL TAIL SEQ=n EPOCH=e FP=h` turns
+//!   the connection into a one-way stream of WAL records. Each record
+//!   carries the primary's post-apply `state_hash`, and the follower
+//!   applies it through the *identical* apply path, so divergence is
+//!   detected at the exact sequence number — the same contract PR-3's
+//!   journal replay gives batch runs.
+//! - **Failover** is epoch-fenced: the follower promotes itself into
+//!   `epoch + 1` once the lease expires, and any stale ex-primary that
+//!   later asks to tail with an old epoch (or a foreign fingerprint) is
+//!   refused before a single record moves — split-brain writes can
+//!   never reach a WAL.
+//!
+//! Stream frame grammar (one text frame each, after `OK TAILING`):
+//!
+//! ```text
+//! R <seq> <epoch> <time-secs> <state-hash:016x> <command text>
+//! HB <epoch> <next-seq>
+//! ```
+//!
+//! The link-fault injector ([`ReplChaos`]) perturbs the *feeder* side
+//! deterministically (seeded drop/delay/disconnect, in the spirit of
+//! the PR-5 chaos hooks) so partition behavior is testable in-process:
+//! a dropped record frame surfaces as a sequence gap, which the
+//! follower heals by reconnecting and re-tailing from its applied
+//! sequence; `diverge-at` forges one record's state hash to prove the
+//! divergence contract fires where it should.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amjs_sim::rng::Xoshiro256;
+
+use crate::proto::{read_frame, write_frame, Command, FrameError};
+use crate::wal::WalRecord;
+
+/// Snapshot payload bytes per transfer frame — comfortably under
+/// [`MAX_FRAME`] so the framing layer never refuses a chunk.
+pub const SNAPSHOT_CHUNK: usize = 3072;
+
+/// One record on the replication stream — exactly a WAL record; the
+/// follower appends what it hears (after cross-checking) so its log
+/// converges on a byte-equivalent copy of the primary's.
+pub type ReplRecord = WalRecord;
+
+/// Render a record stream frame.
+pub fn render_record(r: &ReplRecord) -> String {
+    format!(
+        "R {} {} {} {:016x} {}",
+        r.seq, r.epoch, r.time_secs, r.state_hash, r.cmd
+    )
+}
+
+/// Render a heartbeat stream frame.
+pub fn render_heartbeat(epoch: u64, next_seq: u64) -> String {
+    format!("HB {epoch} {next_seq}")
+}
+
+/// One parsed frame off the replication stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamFrame {
+    /// A WAL record to apply and append.
+    Record(ReplRecord),
+    /// Primary liveness + its current head sequence (lag gauge input).
+    Heartbeat {
+        /// Primary's current epoch.
+        epoch: u64,
+        /// Sequence the primary's next append will get.
+        next_seq: u64,
+    },
+}
+
+/// Parse one stream frame (the text after `OK TAILING`).
+pub fn parse_stream_frame(line: &str) -> Result<StreamFrame, String> {
+    if let Some(rest) = line.strip_prefix("HB ") {
+        let mut it = rest.split_ascii_whitespace();
+        let epoch = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad HB epoch")?;
+        let next_seq = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad HB next_seq")?;
+        if it.next().is_some() {
+            return Err("trailing HB tokens".into());
+        }
+        return Ok(StreamFrame::Heartbeat { epoch, next_seq });
+    }
+    let rest = line.strip_prefix("R ").ok_or("unknown stream frame")?;
+    let mut it = rest.splitn(5, ' ');
+    let seq = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad record seq")?;
+    let epoch = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad record epoch")?;
+    let time_secs = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad record time")?;
+    let state_hash = it
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("bad record hash")?;
+    let cmd = it.next().ok_or("record missing command")?.to_string();
+    Ok(StreamFrame::Record(ReplRecord {
+        seq,
+        epoch,
+        time_secs,
+        state_hash,
+        cmd,
+    }))
+}
+
+/// Everything a follower needs to start life as a warm copy: the
+/// primary's encoded state plus where in the log that state sits.
+#[derive(Clone, Debug)]
+pub struct Bootstrap {
+    /// Encoded live-scheduler state (PR-3 snapshot codec).
+    pub payload: Vec<u8>,
+    /// WAL sequence the payload corresponds to (tail from here).
+    pub seq: u64,
+    /// Primary's current epoch — adopted wholesale.
+    pub epoch: u64,
+    /// Primary's run fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Fetch the primary's current snapshot over one short-lived
+/// connection — the follower's bootstrap (and the CLI's platform
+/// dispatch hook: [`amjs_core::live::peek_platform`] on the payload).
+pub fn fetch_snapshot(primary: &str, timeout: Duration) -> Result<Bootstrap, String> {
+    let stream = connect(primary, timeout)?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    write_frame(&mut writer, Command::ReplSnapshot.render().as_bytes())
+        .map_err(|e| format!("cannot request snapshot: {e}"))?;
+    let head = read_reply(&mut reader)?;
+    let head = head
+        .strip_prefix("OK SNAPSHOT ")
+        .ok_or_else(|| format!("primary refused snapshot: {head}"))?;
+    let (mut seq, mut epoch, mut fp, mut size) = (None, None, None, None);
+    for tok in head.split_ascii_whitespace() {
+        if let Some(v) = tok.strip_prefix("SEQ=") {
+            seq = v.parse::<u64>().ok();
+        } else if let Some(v) = tok.strip_prefix("EPOCH=") {
+            epoch = v.parse::<u64>().ok();
+        } else if let Some(v) = tok.strip_prefix("FP=") {
+            fp = u64::from_str_radix(v, 16).ok();
+        } else if let Some(v) = tok.strip_prefix("SIZE=") {
+            size = v.parse::<usize>().ok();
+        }
+    }
+    let (seq, epoch, fingerprint, size) = match (seq, epoch, fp, size) {
+        (Some(s), Some(e), Some(f), Some(z)) => (s, e, f, z),
+        _ => return Err(format!("malformed snapshot header: {head}")),
+    };
+    let mut payload = Vec::with_capacity(size);
+    while payload.len() < size {
+        let chunk = read_frame(&mut reader).map_err(|e| {
+            format!(
+                "snapshot transfer interrupted at {} bytes: {e}",
+                payload.len()
+            )
+        })?;
+        payload.extend_from_slice(&chunk);
+    }
+    if payload.len() != size {
+        return Err(format!(
+            "snapshot transfer overran: got {} bytes, expected {size}",
+            payload.len()
+        ));
+    }
+    Ok(Bootstrap {
+        payload,
+        seq,
+        epoch,
+        fingerprint,
+    })
+}
+
+/// Write the chunked snapshot reply (primary side, connection thread).
+pub fn send_snapshot(writer: &mut impl std::io::Write, boot: &Bootstrap) -> std::io::Result<()> {
+    let head = format!(
+        "OK SNAPSHOT SEQ={} EPOCH={} FP={:016x} SIZE={}",
+        boot.seq,
+        boot.epoch,
+        boot.fingerprint,
+        boot.payload.len()
+    );
+    write_frame(writer, head.as_bytes())?;
+    for chunk in boot.payload.chunks(SNAPSHOT_CHUNK) {
+        write_frame(writer, chunk)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Link-fault injection
+// ---------------------------------------------------------------------------
+
+/// Deterministic link-fault configuration for the replication stream.
+/// Parsed from the CLI's `--repl-fault` spec; applied per feeder
+/// connection with a connection-salted seed so runs replay exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReplChaos {
+    /// Probability a stream frame is silently dropped.
+    pub drop_p: f64,
+    /// Fixed delay before each frame is written.
+    pub delay: Duration,
+    /// Probability the connection is severed instead of a write.
+    pub disconnect_p: f64,
+    /// Seed for the injector's PRNG stream.
+    pub seed: u64,
+    /// Forge the state hash of exactly this sequence number — the
+    /// divergence-detection drill.
+    pub diverge_at: Option<u64>,
+}
+
+impl ReplChaos {
+    /// Parse a `key=value,key=value` spec: `drop=<p>`, `delay-ms=<n>`,
+    /// `disconnect=<p>`, `seed=<n>`, `diverge-at=<seq>`.
+    pub fn parse_spec(spec: &str) -> Result<ReplChaos, String> {
+        let mut chaos = ReplChaos::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            match key {
+                "drop" => chaos.drop_p = parse_prob(value, "drop")?,
+                "disconnect" => chaos.disconnect_p = parse_prob(value, "disconnect")?,
+                "delay-ms" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad delay-ms: {value:?}"))?;
+                    chaos.delay = Duration::from_millis(ms);
+                }
+                "seed" => {
+                    chaos.seed = value.parse().map_err(|_| format!("bad seed: {value:?}"))?;
+                }
+                "diverge-at" => {
+                    chaos.diverge_at = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad diverge-at: {value:?}"))?,
+                    );
+                }
+                other => return Err(format!("unknown repl-fault key {other:?}")),
+            }
+        }
+        Ok(chaos)
+    }
+}
+
+fn parse_prob(value: &str, what: &str) -> Result<f64, String> {
+    let p: f64 = value
+        .parse()
+        .map_err(|_| format!("bad {what}: {value:?}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{what} must be a probability in [0,1], got {p}"));
+    }
+    Ok(p)
+}
+
+/// What the injector decided for one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Write the frame (after any configured delay).
+    Deliver,
+    /// Silently skip the frame.
+    Drop,
+    /// Sever the connection.
+    Disconnect,
+}
+
+/// Per-connection injector instance: one seeded PRNG stream, salted by
+/// the connection index so concurrent followers see independent but
+/// reproducible fault patterns.
+pub struct LinkChaos {
+    cfg: ReplChaos,
+    rng: Xoshiro256,
+}
+
+impl LinkChaos {
+    /// Injector for feeder connection number `conn` under `cfg`.
+    pub fn new(cfg: ReplChaos, conn: u64) -> LinkChaos {
+        LinkChaos {
+            cfg,
+            rng: Xoshiro256::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Decide the fate of the next frame. The caller sleeps
+    /// [`ReplChaos::delay`] before a `Deliver`.
+    pub fn action(&mut self) -> ChaosAction {
+        if self.cfg.disconnect_p > 0.0 && self.rng.next_bool(self.cfg.disconnect_p) {
+            ChaosAction::Disconnect
+        } else if self.cfg.drop_p > 0.0 && self.rng.next_bool(self.cfg.drop_p) {
+            ChaosAction::Drop
+        } else {
+            ChaosAction::Deliver
+        }
+    }
+
+    /// The configured per-frame delay.
+    pub fn delay(&self) -> Duration {
+        self.cfg.delay
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The follower's tail loop
+// ---------------------------------------------------------------------------
+
+/// What the tail thread reports up to the engine loop.
+#[derive(Clone, Debug)]
+pub enum FollowEvent {
+    /// A contiguous record to apply (gaps are healed by reconnecting
+    /// before anything is delivered).
+    Record(ReplRecord),
+    /// The primary refused us or the stream is unusable — the daemon
+    /// must stop with this diagnostic (fencing, foreign fingerprint).
+    Fatal(String),
+    /// No contact within the lease window: time to promote.
+    PrimaryLost,
+}
+
+/// Shared state between the engine loop and the tail thread.
+pub struct FollowShared {
+    /// Last sequence the engine has applied + 1 (i.e. the next record
+    /// it needs). The tail thread re-tails from here after a reconnect.
+    pub applied_seq: Arc<AtomicU64>,
+    /// The follower's current epoch (engine bumps it on promotion).
+    pub epoch: Arc<AtomicU64>,
+    /// Primary's head sequence as of the last heartbeat (lag gauge).
+    pub primary_next_seq: Arc<AtomicU64>,
+    /// Set by the daemon on shutdown; the tail thread exits promptly.
+    pub stop: Arc<AtomicBool>,
+}
+
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let mut last = String::from("no addresses resolved");
+    for sockaddr in addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+    {
+        match TcpStream::connect_timeout(&sockaddr, timeout) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(format!("cannot connect to {addr}: {last}"))
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let payload = read_frame(reader).map_err(|e| e.to_string())?;
+    String::from_utf8(payload).map_err(|_| "reply is not utf-8".to_string())
+}
+
+/// Tail the primary's WAL until told to stop, delivering contiguous
+/// records to `deliver` (return `false` to stop the loop). Transient
+/// faults — disconnects, dropped frames (sequence gaps), handshake
+/// timeouts — are healed by reconnecting and re-tailing from the
+/// engine's applied sequence; only once the primary stays unreachable
+/// past `lease` does the loop report [`FollowEvent::PrimaryLost`].
+pub fn follow_loop(
+    primary: &str,
+    fingerprint: u64,
+    lease: Duration,
+    shared: &FollowShared,
+    mut deliver: impl FnMut(FollowEvent) -> bool,
+) {
+    let connect_timeout = lease
+        .min(Duration::from_millis(250))
+        .max(Duration::from_millis(10));
+    let read_timeout = connect_timeout;
+    let mut last_contact = Instant::now();
+    // Highest sequence already handed to the engine + 1; the re-tail
+    // point must wait for the engine to catch up to it so a sequence is
+    // never delivered twice.
+    let mut forwarded: Option<u64> = None;
+    'outer: loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if last_contact.elapsed() > lease {
+            let _ = deliver(FollowEvent::PrimaryLost);
+            return;
+        }
+        let stream = match connect(primary, connect_timeout) {
+            Ok(s) => s,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+                continue 'outer;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue 'outer,
+        };
+        let mut reader = BufReader::new(stream);
+
+        // Drain barrier: records already delivered may still be queued
+        // at the engine; wait for it to catch up before re-tailing.
+        if let Some(f) = forwarded {
+            let deadline = Instant::now() + lease;
+            while shared.applied_seq.load(Ordering::SeqCst) < f && Instant::now() < deadline {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let resume_from = shared.applied_seq.load(Ordering::SeqCst);
+
+        let hello = Command::ReplTail {
+            seq: resume_from,
+            epoch: shared.epoch.load(Ordering::SeqCst),
+            fingerprint,
+        };
+        if write_frame(&mut writer, hello.render().as_bytes()).is_err() {
+            continue 'outer;
+        }
+        match read_reply(&mut reader) {
+            Ok(reply) if reply.starts_with("OK TAILING") => {
+                last_contact = Instant::now();
+            }
+            Ok(reply) if reply.starts_with("ERR ") => {
+                let _ = deliver(FollowEvent::Fatal(reply[4..].to_string()));
+                return;
+            }
+            _ => continue 'outer, // retry within the lease
+        }
+
+        let mut expected_seq = resume_from;
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match read_frame(&mut reader) {
+                Ok(payload) => {
+                    let line = match std::str::from_utf8(&payload) {
+                        Ok(s) => s,
+                        Err(_) => continue 'outer, // corrupt stream: resync
+                    };
+                    match parse_stream_frame(line) {
+                        Ok(StreamFrame::Heartbeat { next_seq, .. }) => {
+                            last_contact = Instant::now();
+                            shared.primary_next_seq.store(next_seq, Ordering::SeqCst);
+                        }
+                        Ok(StreamFrame::Record(rec)) => {
+                            last_contact = Instant::now();
+                            if rec.seq != expected_seq {
+                                // The link dropped a frame; heal by
+                                // re-tailing from the applied sequence.
+                                continue 'outer;
+                            }
+                            expected_seq = rec.seq + 1;
+                            shared
+                                .primary_next_seq
+                                .fetch_max(expected_seq, Ordering::SeqCst);
+                            if !deliver(FollowEvent::Record(rec)) {
+                                return;
+                            }
+                            forwarded = Some(expected_seq);
+                        }
+                        Err(_) => continue 'outer, // corrupt stream: resync
+                    }
+                }
+                Err(FrameError::Io(_)) => {
+                    // Read timeout (or transport hiccup): the lease is
+                    // the judge of whether the primary is gone.
+                    if last_contact.elapsed() > lease {
+                        let _ = deliver(FollowEvent::PrimaryLost);
+                        return;
+                    }
+                }
+                Err(_) => continue 'outer, // EOF / framing: reconnect
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::MAX_FRAME;
+
+    #[test]
+    fn record_frame_round_trip() {
+        let rec = ReplRecord {
+            seq: 42,
+            epoch: 3,
+            time_secs: -7,
+            state_hash: 0xDEAD_BEEF_0123_4567,
+            cmd: "SUBMIT NODES=4 WALL=60 USER=9".into(),
+        };
+        let frame = render_record(&rec);
+        assert!(frame.len() <= MAX_FRAME);
+        assert_eq!(parse_stream_frame(&frame), Ok(StreamFrame::Record(rec)));
+    }
+
+    #[test]
+    fn heartbeat_frame_round_trip() {
+        let frame = render_heartbeat(5, 120);
+        assert_eq!(
+            parse_stream_frame(&frame),
+            Ok(StreamFrame::Heartbeat {
+                epoch: 5,
+                next_seq: 120
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_stream_frames_are_rejected() {
+        for bad in [
+            "",
+            "R",
+            "R 1 2",
+            "R x 2 3 0a CMD",
+            "HB 1",
+            "Q 1 2 3",
+            "R 1 2 3 zz CMD",
+        ] {
+            assert!(parse_stream_frame(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_spec_parses_and_validates() {
+        let c = ReplChaos::parse_spec("drop=0.25,delay-ms=3,disconnect=0.125,seed=9,diverge-at=7")
+            .unwrap();
+        assert_eq!(c.drop_p, 0.25);
+        assert_eq!(c.delay, Duration::from_millis(3));
+        assert_eq!(c.disconnect_p, 0.125);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.diverge_at, Some(7));
+        assert_eq!(ReplChaos::parse_spec("").unwrap(), ReplChaos::default());
+        assert!(ReplChaos::parse_spec("drop=1.5").is_err());
+        assert!(ReplChaos::parse_spec("frob=1").is_err());
+        assert!(ReplChaos::parse_spec("drop").is_err());
+    }
+
+    #[test]
+    fn link_chaos_is_deterministic_per_connection() {
+        let cfg = ReplChaos {
+            drop_p: 0.3,
+            disconnect_p: 0.1,
+            seed: 1234,
+            ..ReplChaos::default()
+        };
+        let run = |conn| {
+            let mut inj = LinkChaos::new(cfg, conn);
+            (0..64).map(|_| inj.action()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0)); // same seed+conn => same fault pattern
+        assert_ne!(run(0), run(1)); // different connections diverge
+        assert!(run(0).contains(&ChaosAction::Drop));
+    }
+
+    #[test]
+    fn snapshot_chunking_round_trips_through_frames() {
+        let boot = Bootstrap {
+            payload: (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect(),
+            seq: 17,
+            epoch: 2,
+            fingerprint: 0xFACE,
+        };
+        let mut wire = Vec::new();
+        send_snapshot(&mut wire, &boot).unwrap();
+        let mut r = &wire[..];
+        let head = String::from_utf8(read_frame(&mut r).unwrap()).unwrap();
+        assert_eq!(
+            head,
+            format!(
+                "OK SNAPSHOT SEQ=17 EPOCH=2 FP=000000000000face SIZE={}",
+                boot.payload.len()
+            )
+        );
+        let mut payload = Vec::new();
+        while payload.len() < boot.payload.len() {
+            payload.extend_from_slice(&read_frame(&mut r).unwrap());
+        }
+        assert_eq!(payload, boot.payload);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+}
