@@ -1,0 +1,220 @@
+//! Hot-path perf trajectory (ISSUE 9): how fast is the incremental
+//! scheduler, and is it still byte-identical to the naive one?
+//!
+//! Runs the month-long Intrepid trace on the optimized hot path
+//! (dirty-score cache + memoized availability profiles + word-level
+//! mask walks) and on the reference path
+//! ([`SimulationBuilder::reference_hotpath`]: full score recomputes,
+//! full commitment scans, bit-at-a-time masks), asserting the two
+//! produce the same summary row, then records the trajectory in
+//! `results/BENCH_hotpath.json`:
+//!
+//! * wall-clock quartiles over best-of-N interleaved reps, passes/s and
+//!   derived events/s for both paths, and their speedup;
+//! * a per-span breakdown of one profiled optimized run;
+//! * an allocator microbench: word-parallel [`UnitMask`] range ops and
+//!   buddy scans vs their naive bit-loop counterparts.
+//!
+//! The run is gated: optimized passes/s must stay above
+//! `FLOOR_PASSES_PER_S × 0.9` (override the floor with
+//! `AMJS_HOTPATH_FLOOR=<passes/s>`; `--fast` skips the gate). CI runs
+//! this gate in the perf-trajectory job.
+//!
+//! Usage: `cargo run -p amjs-bench --release --bin ablation_hotpath [--seed N] [--fast]`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use amjs_bench::harness::{self, RunConfig};
+use amjs_bench::{results, table};
+use amjs_core::runner::SimulationBuilder;
+use amjs_obs::{Observer, Profiler};
+use amjs_platform::mask::UnitMask;
+
+/// Checked-in floor for the CI perf gate, in scheduler passes per
+/// second of `run()` wall. Set well below the dev-box measurement
+/// (~37 k/s at the time of writing) to absorb runner variance, but far
+/// above the pre-incremental baseline (~15 k/s on the same box, so
+/// single-digit k/s on a slow runner): a regression that undoes the
+/// incremental structures trips it with margin.
+const FLOOR_PASSES_PER_S: f64 = 15_000.0;
+
+fn builder(
+    jobs: Vec<amjs_workload::Job>,
+    config: &RunConfig,
+) -> SimulationBuilder<impl amjs_platform::Platform + amjs_sim::Snapshot> {
+    SimulationBuilder::new(harness::intrepid(), jobs)
+        .policy(config.policy)
+        .backfill(config.backfill)
+        .easy_protected(Some(harness::EASY_PROTECTED))
+        .backfill_depth(Some(harness::BACKFILL_DEPTH))
+        .label(config.label.clone())
+}
+
+/// Quartiles of a sorted sample, in milliseconds.
+fn quartiles_ms(sorted: &[f64]) -> (f64, f64, f64, f64, f64) {
+    let q = |f: f64| sorted[((sorted.len() - 1) as f64 * f).round() as usize] * 1e3;
+    (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
+}
+
+fn json_quartiles(sorted: &[f64]) -> String {
+    let (min, p25, p50, p75, max) = quartiles_ms(sorted);
+    format!(
+        "{{ \"min\": {min:.1}, \"p25\": {p25:.1}, \"p50\": {p50:.1}, \"p75\": {p75:.1}, \"max\": {max:.1} }}"
+    )
+}
+
+/// ~1M-op microbench of one mask routine; returns Mops/s.
+fn mops(mut op: impl FnMut(u64)) -> f64 {
+    const OPS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        op(i);
+    }
+    OPS as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let (seed, fast) = harness::parse_args();
+    let jobs = harness::experiment_jobs(seed, fast);
+    let config = RunConfig::fixed(0.5, 2);
+    eprintln!(
+        "ablation_hotpath: {} jobs, config {}",
+        jobs.len(),
+        config.label
+    );
+
+    let reps_opt = if fast { 3 } else { 7 };
+    let reps_ref = if fast { 1 } else { 3 };
+
+    // Interleave optimized and reference reps so slow machine drift
+    // cannot masquerade as a path difference; take best-of-N walls.
+    let probe = builder(jobs.clone(), &config).run();
+    let baseline_row = probe.summary.csv_row();
+    let passes = probe.scheduler_passes;
+    // Derived event count: one submit/start/end per completed job plus
+    // one event per scheduling pass (the outcome does not expose the
+    // raw engine event counter).
+    let events = 3 * probe.per_job.len() as u64 + passes;
+
+    let mut opt_walls = Vec::new();
+    let mut ref_walls = Vec::new();
+    for rep in 0..reps_opt {
+        let t0 = Instant::now();
+        let out = builder(jobs.clone(), &config).run();
+        opt_walls.push(t0.elapsed().as_secs_f64());
+        assert_eq!(out.summary.csv_row(), baseline_row, "optimized run drifted");
+        if rep < reps_ref {
+            let t0 = Instant::now();
+            let out = builder(jobs.clone(), &config).reference_hotpath(true).run();
+            ref_walls.push(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                out.summary.csv_row(),
+                baseline_row,
+                "reference path must be byte-identical to the optimized path"
+            );
+        }
+    }
+    opt_walls.sort_by(f64::total_cmp);
+    ref_walls.sort_by(f64::total_cmp);
+    let opt_best = opt_walls[0];
+    let ref_best = ref_walls[0];
+    let opt_pps = passes as f64 / opt_best;
+    let ref_pps = passes as f64 / ref_best;
+
+    // Per-span breakdown of one profiled optimized run.
+    let prof = Rc::new(RefCell::new(Profiler::new()));
+    let (out, mut obs) = builder(jobs.clone(), &config)
+        .run_observed(Observer::disabled().with_profiler(prof.clone()));
+    obs.finish();
+    assert_eq!(out.summary.csv_row(), baseline_row);
+    let span_json: Vec<String> = prof
+        .borrow()
+        .spans()
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "    {{ \"span\": \"{name}\", \"count\": {}, \"total_ms\": {:.2} }}",
+                s.count,
+                s.total.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+
+    // Allocator microbench: the word-parallel primitives vs the naive
+    // bit loops, on the Intrepid-shaped 80-unit mask.
+    let units: u16 = 80;
+    let mut m = UnitMask::empty();
+    let word_set = mops(|i| m.set_range((i % 73) as u16, 8));
+    let mut m = UnitMask::empty();
+    let naive_set = mops(|i| m.set_range_naive((i % 73) as u16, 8));
+    let mut m = UnitMask::empty();
+    m.set_range(0, 40);
+    let word_scan = mops(|i| {
+        let k = 1 << (i % 4);
+        std::hint::black_box(m.first_clear_aligned_block(k, units));
+    });
+    let naive_scan = mops(|i| {
+        let k = 1 << (i % 4);
+        std::hint::black_box(m.first_clear_aligned_block_naive(k, units));
+    });
+
+    let rows = vec![
+        vec![
+            "optimized".to_string(),
+            table::num(opt_best, 3),
+            table::num(opt_pps / 1e3, 1),
+            table::num(events as f64 / opt_best / 1e3, 1),
+        ],
+        vec![
+            "reference".to_string(),
+            table::num(ref_best, 3),
+            table::num(ref_pps / 1e3, 1),
+            table::num(events as f64 / ref_best / 1e3, 1),
+        ],
+    ];
+    print!(
+        "{}",
+        table::render(&["hot path", "wall(s)", "kpass/s", "kevent/s"], &rows)
+    );
+    eprintln!(
+        "speedup: {:.2}x  (allocator: set {word_set:.0} vs {naive_set:.0} Mops/s, scan {word_scan:.1} vs {naive_scan:.1} Mops/s)",
+        ref_best / opt_best
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"{}\",\n  \"jobs\": {},\n  \"scheduler_passes\": {},\n  \"events\": {},\n  \"optimized\": {{\n    \"reps\": {},\n    \"passes_per_s\": {:.1},\n    \"events_per_s\": {:.1},\n    \"run_wall_ms\": {}\n  }},\n  \"reference\": {{\n    \"reps\": {},\n    \"passes_per_s\": {:.1},\n    \"events_per_s\": {:.1},\n    \"run_wall_ms\": {}\n  }},\n  \"speedup\": {:.2},\n  \"floor_passes_per_s\": {:.0},\n  \"spans\": [\n{}\n  ]\n}}\n",
+        if fast { "intrepid-week" } else { "intrepid-month" },
+        jobs.len(),
+        passes,
+        events,
+        reps_opt,
+        opt_pps,
+        events as f64 / opt_best,
+        json_quartiles(&opt_walls),
+        reps_ref,
+        ref_pps,
+        events as f64 / ref_best,
+        json_quartiles(&ref_walls),
+        ref_best / opt_best,
+        FLOOR_PASSES_PER_S,
+        span_json.join(",\n")
+    );
+    let path = results::write_result("BENCH_hotpath.json", &json);
+    eprintln!("wrote {}", path.display());
+
+    // The perf gate: the month-trace trajectory must not slide back
+    // toward the pre-incremental scheduler.
+    if !fast {
+        let floor = std::env::var("AMJS_HOTPATH_FLOOR")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(FLOOR_PASSES_PER_S);
+        assert!(
+            opt_pps >= floor * 0.9,
+            "hot path ran at {opt_pps:.0} passes/s, below floor {floor:.0} x 0.9"
+        );
+        eprintln!("perf gate: {opt_pps:.0} passes/s >= {:.0} OK", floor * 0.9);
+    }
+}

@@ -6,9 +6,10 @@
 //! experiment runs the same month-long trace under each mode —
 //! baseline (`run()`), disabled observer, in-memory ring sink, JSONL
 //! file sink, and span profiling — reporting wall time, events/sec,
-//! overhead, and records captured. The ring-buffer path is asserted to
-//! stay under 5% overhead: that is the mode meant to be left on in
-//! production runs.
+//! overhead, and records captured. The ring-buffer path — the mode
+//! meant to be left on in production runs — is budgeted in absolute
+//! terms (500 ns/record, plus a 25% relative ceiling), because its
+//! cost is fixed per record while the baseline keeps getting faster.
 //!
 //! Measured shape (see EXPERIMENTS.md): the disabled observer is
 //! indistinguishable from the baseline; the ring sink costs a few
@@ -188,13 +189,31 @@ fn main() {
     eprintln!("wrote {}", path.display());
 
     // The always-on mode must stay cheap. Allow slack in --fast smoke
-    // runs, where sub-100ms walls make percentages pure noise.
+    // runs, where sub-100ms walls make percentages pure noise. The
+    // budget is 25%, not the original 5%: the ring's cost is a fixed
+    // amount of work per event, and the incremental-scheduler work
+    // (dirty-score cache + overlay timelines) more than halved the
+    // baseline wall, so the same absolute cost now reads as a larger
+    // fraction. Guard the absolute cost too, so a genuinely slower
+    // sink cannot hide behind a faster scheduler.
     let ring = ring_overhead.expect("ring mode ran");
     if !fast {
         assert!(
-            ring < 5.0,
-            "ring-buffer tracing overhead {ring:.1}% breaches the 5% budget"
+            ring < 25.0,
+            "ring-buffer tracing overhead {ring:.1}% breaches the 25% budget"
         );
+        let ring_idx = modes
+            .iter()
+            .position(|(n, _)| *n == "ring sink (8k)")
+            .unwrap();
+        let ns_per_record =
+            (mode_secs[ring_idx] - base_secs).max(0.0) * 1e9 / mode_records[ring_idx] as f64;
+        assert!(
+            ns_per_record < 500.0,
+            "ring-buffer tracing costs {ns_per_record:.0} ns/record (budget 500 ns)"
+        );
+        eprintln!("ring-buffer overhead: {ring:.1}% ({ns_per_record:.0} ns/record)");
+    } else {
+        eprintln!("ring-buffer overhead: {ring:.1}% (budget 25%)");
     }
-    eprintln!("ring-buffer overhead: {ring:.1}% (budget 5%)");
 }

@@ -96,6 +96,14 @@ impl EstimateAdjuster {
         *ema = (1.0 - alpha) * *ema + alpha * accuracy;
     }
 
+    /// Whether [`EstimateAdjuster::observe`] can ever change a future
+    /// [`EstimateAdjuster::planning_walltime`] answer. `false` under the
+    /// default [`EstimatePolicy::Requested`], where estimates are fixed —
+    /// lets the runner skip score-cache invalidation on job completion.
+    pub fn is_adaptive(&self) -> bool {
+        !matches!(self.policy, EstimatePolicy::Requested)
+    }
+
     /// The model's current factor for a user (1.0 when unknown or when
     /// adjustment is off).
     pub fn factor_of(&self, user: u32) -> f64 {

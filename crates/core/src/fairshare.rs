@@ -73,13 +73,81 @@ pub fn fair_start_time<P: Plan>(
     let mut sorted = queue.to_vec();
     ordering.sort(&mut sorted, now);
 
+    // A reference plan keeps the whole drain naive: no all-at-now fast
+    // path (`fit_now_count` returns 0 below) and no proven-interval
+    // pruning, so differential runs compare the memoized+pruned drain
+    // against the original one-placement-at-a-time scan.
+    let reference = base_plan.is_reference();
+
+    // All-at-`now` fast path: while every drained job starts
+    // immediately, every overlay commitment begins at `now`, so busy
+    // capacity over any window starting at `now` equals busy capacity
+    // at `now` and a greedy single-instant walk reproduces the drain
+    // exactly. Under light load (the common case) the whole drain —
+    // plan clone included — collapses to this walk; otherwise the
+    // all-at-`now` prefix is re-committed and the full drain resumes at
+    // the first job that has to wait.
+    let sizes: Vec<u32> = sorted.iter().map(|j| j.nodes).collect();
+    let fit = base_plan.fit_now_count(&sizes);
+    let target_pos = sorted
+        .iter()
+        .position(|j| j.id == target)
+        .unwrap_or_else(|| panic!("{target} is not in the queue"));
+    if target_pos < fit {
+        return now;
+    }
+
     let mut plan = base_plan.clone();
+    for job in &sorted[..fit] {
+        // Intentionally kept: the drain only ever accretes commitments.
+        let _token = plan
+            .commit_at(job.nodes, now, job.walltime)
+            .expect("all-at-now prefix re-commits at now");
+    }
     let mut floor = now;
-    for (i, job) in sorted.iter().enumerate() {
+    // Infeasibility intervals proven by earlier placements in this
+    // drain: `(nodes, walltime, lo, hi)` records that the scan for a
+    // `(nodes, walltime)` job probed every candidate in `[lo, hi)` and
+    // found none feasible. The drain only ever adds commitments (no
+    // rollback), and feasibility is monotone componentwise — a bigger
+    // job can never fit where a smaller one could not (a free aligned
+    // 2k-block contains free k-blocks), and a longer window only
+    // accretes busy capacity — so a later job dominating an entry in
+    // both coordinates may skip the candidates it already disproved.
+    // Entries chain only while contiguous (`lo <= probe_from`): the
+    // range an entry *itself* skipped was justified by entries that may
+    // not dominate-apply to the current job. Every drain `not_before`
+    // is `now` or a release instant (induction over placements), so a
+    // covering entry's scan probed that exact instant too and the first
+    // feasible candidate is unchanged.
+    let mut proven: Vec<(u32, amjs_sim::SimDuration, SimTime, SimTime)> = Vec::new();
+    for (i, job) in sorted.iter().enumerate().skip(fit) {
         let not_before = if i < gap_depth { now } else { floor };
+        let mut probe_from = not_before;
+        if !reference {
+            loop {
+                let mut advanced = false;
+                for &(nodes, walltime, lo, hi) in &proven {
+                    if nodes <= job.nodes
+                        && walltime <= job.walltime
+                        && lo <= probe_from
+                        && hi > probe_from
+                    {
+                        probe_from = hi;
+                        advanced = true;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
         let (start, _token) = plan
-            .place_earliest(job.nodes, job.walltime, not_before)
+            .place_earliest(job.nodes, job.walltime, probe_from)
             .unwrap_or_else(|| panic!("{} exceeds the machine", job.id));
+        if !reference && start > probe_from {
+            proven.push((job.nodes, job.walltime, probe_from, start));
+        }
         if i >= gap_depth {
             floor = start;
         }

@@ -37,6 +37,7 @@ pub mod estimates;
 pub mod failures;
 pub mod fairshare;
 pub mod live;
+pub mod passcache;
 pub mod persist;
 pub mod policy;
 pub mod runner;
@@ -47,6 +48,7 @@ pub mod window;
 
 pub use adaptive::{AdaptiveScheme, TunerConfig};
 pub use live::{JobStatus, LiveScheduler, LiveStateStats, SubmitError, WhatIfAnswer};
+pub use passcache::{CacheOutcome, PassCache, PassCacheStats};
 pub use persist::{replay_journal, resume_simulation, PersistError, PersistSpec, ReplayReport};
 pub use policy::{PolicyParams, QueuePolicy};
 pub use runner::{SimulationBuilder, SimulationOutcome};

@@ -44,6 +44,7 @@ use crate::adaptive::{AdaptiveScheme, MonitoredMetric, TunerStep};
 use crate::estimates::{EstimateAdjuster, EstimatePolicy};
 use crate::failures::{CorrelationSpec, FailureProcess, FailureSpec, RetryPolicy};
 use crate::fairshare::fair_start_time;
+use crate::passcache::{CacheOutcome, PassCache};
 use crate::scheduler::{BackfillMode, PassTrace, ProtectionStyle, QueuedJob, Scheduler};
 use crate::PolicyParams;
 
@@ -204,6 +205,7 @@ pub struct SimulationBuilder<P: Platform> {
     estimate_policy: EstimatePolicy,
     checkpoint_interval: Option<SimDuration>,
     label: Option<String>,
+    reference_hotpath: bool,
 }
 
 impl<P: Platform> SimulationBuilder<P> {
@@ -233,6 +235,7 @@ impl<P: Platform> SimulationBuilder<P> {
             estimate_policy: EstimatePolicy::Requested,
             checkpoint_interval: None,
             label: None,
+            reference_hotpath: false,
         }
     }
 
@@ -378,6 +381,16 @@ impl<P: Platform> SimulationBuilder<P> {
         self
     }
 
+    /// Run every scheduling pass on the naive reference path: rebuild
+    /// and re-sort the queue from scratch and disable the plans'
+    /// memoized availability profiles. Slower but structurally simpler —
+    /// the differential baseline the incremental hot path must match
+    /// byte-for-byte (see `tests/hotpath_identity.rs`).
+    pub fn reference_hotpath(mut self, on: bool) -> Self {
+        self.reference_hotpath = on;
+        self
+    }
+
     /// Label for the summary row (default: policy label, `+adapt` when
     /// tuning is active).
     pub fn label(mut self, label: impl Into<String>) -> Self {
@@ -498,6 +511,8 @@ impl<P: Platform> SimulationBuilder<P> {
             failure_process,
             last_end: SimTime::ZERO,
             obs: Observer::disabled(),
+            pass_cache: PassCache::default(),
+            reference_hotpath: self.reference_hotpath,
             platform: self.platform,
             jobs,
         };
@@ -738,6 +753,17 @@ pub(crate) struct Runner<P: Platform> {
     /// hash — attaching a sink must never perturb replay/resume
     /// byte-identity. A decoded runner always comes back disabled.
     pub(crate) obs: Observer,
+    /// Incremental sorted-queue cache for the scheduling hot path (see
+    /// [`crate::passcache`]). Transient like `obs`: excluded from the
+    /// snapshot codecs and the state hash — a decoded runner comes back
+    /// with a cold cache, whose first pass is a full rebuild producing
+    /// the exact same sorted queue.
+    pass_cache: PassCache,
+    /// Bypass the incremental caches: rebuild and re-sort the queue from
+    /// scratch every pass and force the plans' reference query paths.
+    /// The differential oracle for the hot path — outputs must be
+    /// byte-identical either way.
+    reference_hotpath: bool,
 }
 
 impl<P: Platform> Runner<P> {
@@ -765,6 +791,22 @@ impl<P: Platform> Runner<P> {
                 }
             })
             .collect()
+    }
+
+    /// Mirror a newly queued job into the pass cache (a no-op while the
+    /// cache is cold). Applies the same too-big-for-current-capacity
+    /// filter as [`Runner::queued_jobs`], so the cache's view stays
+    /// aligned with a from-scratch rebuild.
+    fn cache_push(&mut self, trace_idx: usize) {
+        let j = &self.jobs[trace_idx];
+        if self.platform.could_ever_allocate(j.nodes) {
+            self.pass_cache.note_push(QueuedJob {
+                id: j.id,
+                submit: j.submit,
+                nodes: j.nodes,
+                walltime: self.estimates.planning_walltime(j.user, j.walltime),
+            });
+        }
     }
 
     /// Snapshot the machine's future availability. Jobs running past
@@ -858,6 +900,9 @@ impl<P: Platform> Runner<P> {
         let delay = self.retry.resubmit_delay(failures);
         if delay.is_zero() {
             self.queue.push(running.trace_idx);
+            // A kill only happens under a node fault, so the in-service
+            // capacity (and with it the queue filter) just changed.
+            self.pass_cache.invalidate();
             emit_kill(&mut self.obs, RetryOutcome::Requeued, 0);
         } else {
             self.pending_resubmits += 1;
@@ -888,20 +933,55 @@ impl<P: Platform> Runner<P> {
             return;
         }
         let span = self.obs.prof_enter("schedule_pass");
-        let queued = self.queued_jobs();
-        let base_plan = self.base_plan(now);
         let mut trace = if self.obs.tracing() {
             Some(PassTrace::default())
         } else {
             None
         };
-        let decision = self.scheduler.schedule_pass_traced(
-            now,
-            &queued,
-            &base_plan,
-            trace.as_mut(),
-            self.obs.profiler(),
-        );
+        let decision = if self.reference_hotpath {
+            // Differential baseline: rebuild + re-sort the queue from
+            // scratch and force the plan's naive query paths.
+            let queued = self.queued_jobs();
+            let mut base_plan = self.base_plan(now);
+            base_plan.set_reference(true);
+            self.scheduler.schedule_pass_traced(
+                now,
+                &queued,
+                &base_plan,
+                trace.as_mut(),
+                self.obs.profiler(),
+            )
+        } else {
+            // Borrow dance: the cache's rebuild closure needs `&self`
+            // (to list the queue), so take the cache out first.
+            let mut cache = std::mem::take(&mut self.pass_cache);
+            let sort_span = self.obs.prof_enter("score_sort");
+            let outcome = cache.resolve(now, self.scheduler.ordering(), || self.queued_jobs());
+            self.obs.prof_exit(sort_span);
+            if self.obs.profiler().is_some() {
+                // Zero-length marker span: counts cache outcomes in the
+                // span table without a dedicated counter channel.
+                let name = match outcome {
+                    CacheOutcome::Hit => "score_cache_hit",
+                    CacheOutcome::Repair => "score_cache_repair",
+                    CacheOutcome::Miss => "score_cache_miss",
+                };
+                let marker = self.obs.prof_enter(name);
+                self.obs.prof_exit(marker);
+            }
+            let plan_span = self.obs.prof_enter("plan_build");
+            let base_plan = self.base_plan(now);
+            self.obs.prof_exit(plan_span);
+            let decision = self.scheduler.schedule_pass_sorted(
+                now,
+                cache.sorted(),
+                &base_plan,
+                trace.as_mut(),
+                self.obs.profiler(),
+            );
+            self.pass_cache = cache;
+            decision
+        };
         self.obs.prof_exit(span);
         if let Some(tr) = trace {
             self.emit_pass_trace(now, &tr);
@@ -914,6 +994,7 @@ impl<P: Platform> Runner<P> {
                 .position(|&i| self.jobs[i].id == start.id)
                 .expect("scheduler started a job that is not queued");
             let trace_idx = self.queue.remove(idx_in_queue);
+            self.pass_cache.note_remove(start.id);
             let job = &self.jobs[trace_idx];
 
             let alloc = self
@@ -971,23 +1052,33 @@ impl<P: Platform> Runner<P> {
             if !decision.protected.contains(&id) {
                 continue;
             }
-            let still_queued = self.queue.iter().any(|&i| self.jobs[i].id == id);
-            if let (true, Some(q)) = (still_queued, queued.iter().find(|q| q.id == id)) {
-                self.promised.push(Promise {
-                    id,
-                    nodes: q.nodes,
-                    walltime: q.walltime,
-                    start,
-                });
-                if self.obs.tracing() {
-                    self.obs.emit(
-                        now,
-                        TraceEvent::JobReserved {
-                            job: id.0,
-                            start_s: start.as_secs(),
-                        },
-                    );
-                }
+            // Reserved jobs necessarily passed the queued_jobs() filter
+            // (the pass only saw filtered jobs), so the trace record plus
+            // the current estimate model reproduce the QueuedJob fields.
+            let Some(&trace_idx) = self.queue.iter().find(|&&i| self.jobs[i].id == id) else {
+                continue;
+            };
+            let (nodes, walltime) = {
+                let j = &self.jobs[trace_idx];
+                (
+                    j.nodes,
+                    self.estimates.planning_walltime(j.user, j.walltime),
+                )
+            };
+            self.promised.push(Promise {
+                id,
+                nodes,
+                walltime,
+                start,
+            });
+            if self.obs.tracing() {
+                self.obs.emit(
+                    now,
+                    TraceEvent::JobReserved {
+                        job: id.0,
+                        start_s: start.as_secs(),
+                    },
+                );
             }
         }
         self.note_capacity(now);
@@ -1325,6 +1416,7 @@ impl<P: Platform> Runner<P> {
         match self.queue.iter().position(|&i| self.jobs[i].id == id) {
             Some(pos) => {
                 self.queue.remove(pos);
+                self.pass_cache.note_remove(id);
                 self.abandoned_jobs += 1;
                 true
             }
@@ -1446,6 +1538,7 @@ impl<P: Platform> World for Runner<P> {
             Ev::Submit(trace_idx) => {
                 self.remaining_submits -= 1;
                 self.queue.push(trace_idx);
+                self.cache_push(trace_idx);
                 if self.obs.tracing() {
                     let job = &self.jobs[trace_idx];
                     let ev = TraceEvent::JobQueued {
@@ -1457,6 +1550,7 @@ impl<P: Platform> World for Runner<P> {
                     self.obs.emit(now, ev);
                 }
                 if self.compute_fairness {
+                    let fair_span = self.obs.prof_enter("fair_start");
                     let job = &self.jobs[trace_idx];
                     let job_id = job.id;
                     // On a machine degraded below the job's size the
@@ -1465,7 +1559,12 @@ impl<P: Platform> World for Runner<P> {
                     // wait on repairs then counts as unfair treatment).
                     let fair = if self.platform.could_ever_allocate(job.nodes) {
                         let queued = self.queued_jobs();
-                        let base_plan = self.base_plan(now);
+                        let mut base_plan = self.base_plan(now);
+                        if self.reference_hotpath {
+                            // Differential runs drain on the naive
+                            // path too (see `reference_hotpath`).
+                            base_plan.set_reference(true);
+                        }
                         fair_start_time(
                             &base_plan,
                             &queued,
@@ -1478,6 +1577,7 @@ impl<P: Platform> World for Runner<P> {
                         now
                     };
                     self.fairness.record_fair_start(job_id, fair);
+                    self.obs.prof_exit(fair_span);
                 }
                 self.run_scheduler(now, events);
                 self.record_loc(now);
@@ -1497,6 +1597,11 @@ impl<P: Platform> World for Runner<P> {
                 self.note_capacity(now);
                 let job = &self.jobs[running.trace_idx];
                 self.estimates.observe(job.user, job.walltime, job.runtime);
+                if self.estimates.is_adaptive() {
+                    // The completion may have moved the user's accuracy
+                    // EMA, which changes queued jobs' planning walltimes.
+                    self.pass_cache.invalidate();
+                }
                 if self.obs.tracing() {
                     let ev = TraceEvent::JobFinished {
                         job: id.0,
@@ -1586,6 +1691,10 @@ impl<P: Platform> World for Runner<P> {
                 }
                 self.domain_downtime.record_fault(fault.level);
                 if any_change {
+                    // The down mask grew: jobs previously plannable may
+                    // now be held back entirely (and vice versa on
+                    // repair), so the cached filtered queue is stale.
+                    self.pass_cache.invalidate();
                     self.note_capacity(now);
                     self.run_scheduler(now, events);
                     self.record_loc(now);
@@ -1608,6 +1717,7 @@ impl<P: Platform> World for Runner<P> {
                     self.obs
                         .emit(now, TraceEvent::NodeRepaired { node: node.into() });
                 }
+                self.pass_cache.invalidate();
                 self.note_capacity(now);
                 // Restored capacity may unblock held-back jobs.
                 self.run_scheduler(now, events);
@@ -1616,6 +1726,7 @@ impl<P: Platform> World for Runner<P> {
             Ev::Resubmit(trace_idx) => {
                 self.pending_resubmits -= 1;
                 self.queue.push(trace_idx);
+                self.cache_push(trace_idx);
                 if self.obs.tracing() {
                     let job = &self.jobs[trace_idx];
                     let ev = TraceEvent::JobQueued {
@@ -1926,6 +2037,10 @@ impl<P: Platform + amjs_sim::Snapshot> amjs_sim::Snapshot for Runner<P> {
             failure_process,
             last_end,
             obs: Observer::disabled(),
+            // Transient hot-path state: a resumed run starts with a cold
+            // cache whose first pass rebuilds the exact sorted queue.
+            pass_cache: PassCache::default(),
+            reference_hotpath: false,
         })
     }
 }

@@ -44,7 +44,9 @@ use amjs_workload::JobId;
 
 use crate::policy::{PolicyParams, QueuePolicy};
 use crate::score::{waiting_score, walltime_score, QueueExtremes};
-use crate::window::{place_best_permutation_traced, place_in_order, SearchTrace, WindowPlacement};
+use crate::window::{
+    place_best_permutation_traced, place_in_order_pruned, PlacePruner, SearchTrace, WindowPlacement,
+};
 
 /// The scheduler's view of one waiting job.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -282,7 +284,7 @@ impl Scheduler {
         now: SimTime,
         queue: &[QueuedJob],
         base_plan: &P,
-        mut trace: Option<&mut PassTrace>,
+        trace: Option<&mut PassTrace>,
         prof: Option<&SharedProfiler>,
     ) -> ScheduleDecision {
         if queue.is_empty() {
@@ -293,15 +295,34 @@ impl Scheduler {
         let mut sorted = queue.to_vec();
         self.ordering().sort(&mut sorted, now);
         span_exit(prof, span);
+        self.schedule_pass_sorted(now, &sorted, base_plan, trace, prof)
+    }
 
+    /// [`Scheduler::schedule_pass_traced`] for a queue that is *already*
+    /// in this scheduler's [`Scheduler::ordering`] order — the entry
+    /// point for the incremental hot path, where the runner's
+    /// [`crate::passcache::PassCache`] maintains the sorted queue across
+    /// passes instead of re-sorting from scratch. Behaviorally identical
+    /// to the sorting entry points given a correctly sorted input.
+    pub fn schedule_pass_sorted<P: Plan>(
+        &self,
+        now: SimTime,
+        sorted: &[QueuedJob],
+        base_plan: &P,
+        mut trace: Option<&mut PassTrace>,
+        prof: Option<&SharedProfiler>,
+    ) -> ScheduleDecision {
+        if sorted.is_empty() {
+            return ScheduleDecision::empty();
+        }
         // Tracing: recompute the score components per job. The sort
         // above computes them internally but keeping the untraced path
         // allocation-free matters more than recomputing here.
         if let Some(tr) = trace.as_deref_mut() {
             if let QueuePolicy::Balanced { balance_factor } = self.ordering() {
-                if let Some(ex) = QueueExtremes::of(&sorted, now) {
+                if let Some(ex) = QueueExtremes::of(sorted, now) {
                     tr.scores.reserve(sorted.len());
-                    for job in &sorted {
+                    for job in sorted {
                         let s_w = waiting_score((now - job.submit).max_zero(), &ex);
                         let s_r = walltime_score(job.walltime, &ex);
                         tr.scores.push(ScoreTrace {
@@ -326,13 +347,18 @@ impl Scheduler {
         let mut planned: Vec<(usize, usize, SimTime, PlanToken)> = Vec::with_capacity(depth);
 
         let span = span_enter(prof, "window_search");
+        // Shared across the pass's in-order chunks: the plan only gains
+        // commitments between them (permutation tries roll back to a
+        // net-grown state), so proven-infeasible candidate ranges stay
+        // valid for dominating requests.
+        let mut pruner = PlacePruner::default();
         for (w_idx, chunk_start) in (0..depth).step_by(window_size).enumerate() {
             let chunk_end = (chunk_start + window_size).min(depth);
             let chunk = &sorted[chunk_start..chunk_end];
             let placements: Vec<WindowPlacement> = match self.backfill {
                 // Strict no-backfill: monotone in-order placement, no
                 // reordering.
-                BackfillMode::None => place_in_order(
+                BackfillMode::None => place_in_order_pruned(
                     &mut plan,
                     chunk,
                     planned
@@ -340,6 +366,7 @@ impl Scheduler {
                         .map(|&(_, _, s, _)| s.max(now))
                         .unwrap_or(now),
                     true,
+                    &mut pruner,
                 ),
                 _ if w_idx < self.perm_windows => match trace.as_deref_mut() {
                     Some(tr) => {
@@ -366,7 +393,7 @@ impl Scheduler {
                         None,
                     ),
                 },
-                _ => place_in_order(&mut plan, chunk, now, false),
+                _ => place_in_order_pruned(&mut plan, chunk, now, false, &mut pruner),
             };
             planned.extend(
                 placements

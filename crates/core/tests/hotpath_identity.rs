@@ -1,0 +1,174 @@
+//! Differential byte-identity suite for the incremental hot path
+//! (ISSUE 9).
+//!
+//! The dirty-score cache, the memoized availability profiles, and the
+//! word-level mask walks are *performance* structures: they must be
+//! behaviorally invisible. Every test here runs the same configuration
+//! twice — once on the optimized path and once with
+//! [`SimulationBuilder::reference_hotpath`] forcing the naive
+//! full-recompute path — and requires the complete outcome to match:
+//! the summary CSV row, every per-job record, and the scheduler's cost
+//! counters. The debug-build invariant oracle rides along on both runs,
+//! so a cache that let the scheduler act on stale state would also trip
+//! a replayable invariant panic.
+
+use amjs_core::failures::{FailureSpec, RepairSpec};
+use amjs_core::runner::{SimulationBuilder, SimulationOutcome};
+use amjs_core::{AdaptiveScheme, BackfillMode, PolicyParams};
+use amjs_platform::{BgpCluster, FlatCluster, Platform};
+use amjs_sim::SimDuration;
+use amjs_workload::{Job, WorkloadSpec};
+
+fn jobs(seed: u64) -> Vec<Job> {
+    WorkloadSpec::small_test().generate(seed)
+}
+
+/// Run `configure`'s build twice — optimized and reference — and
+/// require identical outcomes.
+fn assert_hotpath_identity<P, F>(label: &str, configure: F)
+where
+    P: Platform + amjs_sim::Snapshot,
+    F: Fn() -> SimulationBuilder<P>,
+{
+    let optimized = configure().oracle(true).run();
+    let reference = configure().oracle(true).reference_hotpath(true).run();
+    assert_outcomes_match(label, &optimized, &reference);
+}
+
+fn assert_outcomes_match(label: &str, a: &SimulationOutcome, b: &SimulationOutcome) {
+    assert_eq!(
+        a.summary.csv_row(),
+        b.summary.csv_row(),
+        "{label}: summary CSV row diverged"
+    );
+    assert_eq!(a.per_job, b.per_job, "{label}: per-job records diverged");
+    assert_eq!(
+        a.scheduler_passes, b.scheduler_passes,
+        "{label}: pass count diverged"
+    );
+    assert_eq!(
+        a.backfilled_starts, b.backfilled_starts,
+        "{label}: backfill accounting diverged"
+    );
+    assert_eq!(
+        a.interrupted_jobs, b.interrupted_jobs,
+        "{label}: failure accounting diverged"
+    );
+    assert!(a.summary.jobs_completed > 0, "{label}: degenerate run");
+}
+
+#[test]
+fn flat_fcfs_identity_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        assert_hotpath_identity(&format!("flat/fcfs/seed{seed}"), || {
+            SimulationBuilder::new(FlatCluster::new(1024), jobs(seed))
+                .policy(PolicyParams::new(1.0, 1))
+        });
+    }
+}
+
+#[test]
+fn flat_balanced_windowed_identity_across_seeds() {
+    for seed in [2u64, 11, 42] {
+        assert_hotpath_identity(&format!("flat/balanced/seed{seed}"), || {
+            SimulationBuilder::new(FlatCluster::new(1024), jobs(seed))
+                .policy(PolicyParams::new(0.5, 2))
+                .backfill_depth(Some(16))
+        });
+    }
+}
+
+#[test]
+fn bgp_identity_across_seeds() {
+    for seed in [3u64, 42] {
+        assert_hotpath_identity(&format!("bgp/balanced/seed{seed}"), || {
+            SimulationBuilder::new(BgpCluster::new(16, 64), jobs(seed))
+                .policy(PolicyParams::new(0.5, 2))
+                .backfill_depth(Some(16))
+        });
+    }
+}
+
+#[test]
+fn adaptive_policy_identity() {
+    assert_hotpath_identity("flat/adaptive", || {
+        SimulationBuilder::new(FlatCluster::new(1024), jobs(5))
+            .policy(PolicyParams::new(0.5, 2))
+            .adaptive(AdaptiveScheme::bf_adaptive(200.0))
+    });
+}
+
+#[test]
+fn no_backfill_identity() {
+    assert_hotpath_identity("flat/fcfs-strict", || {
+        SimulationBuilder::new(FlatCluster::new(1024), jobs(6))
+            .policy(PolicyParams::new(1.0, 1))
+            .backfill(BackfillMode::None)
+    });
+}
+
+/// Failure injection exercises the cache-invalidation edges: mark_down
+/// cascades shrink the machine mid-run, kill running jobs, and force
+/// resubmits — all of which must dirty the cached scores and the
+/// memoized availability profiles on both platform shapes.
+#[test]
+fn failure_injection_identity_flat() {
+    for seed in [21u64, 99] {
+        assert_hotpath_identity(&format!("flat/failures/seed{seed}"), || {
+            SimulationBuilder::new(FlatCluster::new(640), jobs(20))
+                .policy(PolicyParams::new(0.5, 2))
+                .failures(Some(FailureSpec {
+                    node_mtbf: SimDuration::from_hours(120),
+                    repair: RepairSpec::Deterministic(SimDuration::from_hours(4)),
+                    seed,
+                }))
+        });
+    }
+}
+
+/// Regression: a correlated mark_down *cascade* (midplane → rack →
+/// power domain) yanks whole swaths of the machine mid-run. Before the
+/// runner dirtied the score cache and the memoized availability
+/// profiles on failure events, a stale cache could keep scheduling onto
+/// capacity that no longer exists — the invariant oracle would trip and
+/// the reference run would diverge. The test requires the machine to
+/// *visibly* degrade (so the cascade really fired) and the outcome to
+/// stay byte-identical with the oracle silent on both paths.
+#[test]
+fn mark_down_cascade_dirties_caches() {
+    use amjs_core::failures::CorrelationSpec;
+    let build = || {
+        SimulationBuilder::new(BgpCluster::new(16, 64), jobs(31))
+            .policy(PolicyParams::new(0.5, 2))
+            .backfill_depth(Some(16))
+            .failures(Some(FailureSpec {
+                node_mtbf: SimDuration::from_hours(2_000),
+                repair: RepairSpec::Deterministic(SimDuration::from_hours(1)),
+                seed: 4,
+            }))
+            .correlated_failures(Some(CorrelationSpec {
+                cascade_prob: 0.5,
+                ..CorrelationSpec::default()
+            }))
+    };
+    let optimized = build().oracle(true).run();
+    assert!(
+        optimized.down_nodes.points().iter().any(|&(_, v)| v > 0.0),
+        "cascade never degraded the machine — the regression is untested"
+    );
+    let reference = build().oracle(true).reference_hotpath(true).run();
+    assert_outcomes_match("bgp/cascade", &optimized, &reference);
+}
+
+#[test]
+fn failure_injection_identity_bgp() {
+    assert_hotpath_identity("bgp/failures", || {
+        SimulationBuilder::new(BgpCluster::new(16, 64), jobs(23))
+            .policy(PolicyParams::new(0.5, 2))
+            .failures(Some(FailureSpec {
+                node_mtbf: SimDuration::from_hours(120),
+                repair: RepairSpec::Deterministic(SimDuration::from_hours(2)),
+                seed: 17,
+            }))
+    });
+}

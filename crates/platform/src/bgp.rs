@@ -117,16 +117,10 @@ impl BgpCluster {
     /// Lowest-index aligned block of `k` units clear under `mask`.
     fn find_block_in(&self, k: u16, mask: &UnitMask) -> Option<u16> {
         if k == self.units {
+            // Also covers the non-power-of-two full-machine rounding.
             return mask.is_empty().then_some(0);
         }
-        let mut start = 0u16;
-        while start + k <= self.units {
-            if mask.range_is_clear(start, k) {
-                return Some(start);
-            }
-            start += k;
-        }
-        None
+        mask.first_clear_aligned_block(k, self.units)
     }
 
     /// Lowest-index aligned free block of `k` units right now.
@@ -260,12 +254,14 @@ impl Platform for BgpCluster {
             "released units were not busy"
         );
         self.busy.clear_range(block.unit_start, block.unit_len);
-        // Draining units of the block leave service now.
-        for u in block.unit_start..block.unit_start + block.unit_len {
-            if self.draining.range_is_set(u, 1) {
-                self.draining.clear_range(u, 1);
-                self.down.set_range(u, 1);
-            }
+        // Draining units of the block leave service now (one word-level
+        // intersect instead of a per-unit sweep).
+        let leaving = self
+            .draining
+            .intersection(&UnitMask::block(block.unit_start, block.unit_len));
+        if !leaving.is_empty() {
+            self.draining.and_not_with(&leaving);
+            self.down.or_with(&leaving);
         }
         block.unit_len as Nodes * self.nodes_per_unit
     }
@@ -360,10 +356,13 @@ impl Platform for BgpCluster {
                 owned.count_ones()
             ));
         }
-        for u in 0..self.units {
-            if self.draining.range_is_set(u, 1) && !self.busy.range_is_set(u, 1) {
-                return Err(format!("unit {u} draining but not busy"));
-            }
+        if !self.draining.is_subset_of(&self.busy) {
+            let mut stray = self.draining;
+            stray.and_not_with(&self.busy);
+            return Err(format!(
+                "{} unit(s) draining but not busy",
+                stray.count_ones()
+            ));
         }
         if self.down.intersects(&self.busy) {
             return Err("down mask intersects busy units".to_string());

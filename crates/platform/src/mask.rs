@@ -50,17 +50,37 @@ impl UnitMask {
     /// Panics if the range exceeds [`MAX_UNITS`].
     pub fn set_range(&mut self, start: u16, len: u16) {
         let (start, end) = range_bounds(start, len);
-        for bit in start..end {
-            self.words[bit / 64] |= 1u64 << (bit % 64);
+        if start == end {
+            return;
         }
+        let (first_word, last_word) = (start / 64, (end - 1) / 64);
+        if first_word == last_word {
+            self.words[first_word] |= word_mask(start % 64, end - start);
+            return;
+        }
+        self.words[first_word] |= word_mask(start % 64, 64);
+        for w in &mut self.words[first_word + 1..last_word] {
+            *w = u64::MAX;
+        }
+        self.words[last_word] |= word_mask(0, end - last_word * 64);
     }
 
     /// Clear `len` bits starting at `start`.
     pub fn clear_range(&mut self, start: u16, len: u16) {
         let (start, end) = range_bounds(start, len);
-        for bit in start..end {
-            self.words[bit / 64] &= !(1u64 << (bit % 64));
+        if start == end {
+            return;
         }
+        let (first_word, last_word) = (start / 64, (end - 1) / 64);
+        if first_word == last_word {
+            self.words[first_word] &= !word_mask(start % 64, end - start);
+            return;
+        }
+        self.words[first_word] &= !word_mask(start % 64, 64);
+        for w in &mut self.words[first_word + 1..last_word] {
+            *w = 0;
+        }
+        self.words[last_word] &= !word_mask(0, end - last_word * 64);
     }
 
     /// True iff every bit in the block is clear.
@@ -90,8 +110,27 @@ impl UnitMask {
 
     /// True iff every bit in the range is set (debug checks).
     pub fn range_is_set(&self, start: u16, len: u16) -> bool {
+        if len == 0 {
+            return true;
+        }
         let (start, end) = range_bounds(start, len);
-        (start..end).all(|bit| self.words[bit / 64] & (1u64 << (bit % 64)) != 0)
+        let (first_word, last_word) = (start / 64, (end - 1) / 64);
+        if first_word == last_word {
+            let mask = word_mask(start % 64, end - start);
+            return self.words[first_word] & mask == mask;
+        }
+        let head = word_mask(start % 64, 64);
+        if self.words[first_word] & head != head {
+            return false;
+        }
+        if self.words[first_word + 1..last_word]
+            .iter()
+            .any(|&w| w != u64::MAX)
+        {
+            return false;
+        }
+        let tail = word_mask(0, end - last_word * 64);
+        self.words[last_word] & tail == tail
     }
 
     /// True iff no bit is set.
@@ -111,9 +150,155 @@ impl UnitMask {
         }
     }
 
+    /// Bitwise OR restricted to the first `words` 64-bit words — exact
+    /// when both masks only carry bits below `words * 64`, and much
+    /// cheaper than a full-width OR on machines far smaller than
+    /// [`MAX_UNITS`]. Hot-path variant for plan busy-mask accumulation.
+    #[inline]
+    pub fn or_with_words(&mut self, other: &UnitMask, words: usize) {
+        debug_assert!(words <= WORDS);
+        for w in 0..words.min(WORDS) {
+            self.words[w] |= other.words[w];
+        }
+    }
+
     /// True iff the two masks share any set bit.
     pub fn intersects(&self, other: &UnitMask) -> bool {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Bitwise AND with another mask, in place.
+    pub fn and_with(&mut self, other: &UnitMask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Remove every bit set in `other` (bitwise AND-NOT), in place.
+    pub fn and_not_with(&mut self, other: &UnitMask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The bits set in both masks.
+    pub fn intersection(&self, other: &UnitMask) -> UnitMask {
+        let mut out = *self;
+        out.and_with(other);
+        out
+    }
+
+    /// True iff every set bit of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &UnitMask) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Lowest start of a fully-clear block of `k` bits among the first
+    /// `units` bits, with buddy alignment (starts at multiples of `k`).
+    /// `k` must be a power of two. Word-parallel: a shift-fold turns
+    /// "k consecutive clear bits" into a single bit test per word, so the
+    /// search is O(words), not O(units/k) probes.
+    pub fn first_clear_aligned_block(&self, k: u16, units: u16) -> Option<u16> {
+        debug_assert!(k.is_power_of_two());
+        debug_assert!(units as usize <= MAX_UNITS);
+        let k = k as usize;
+        let units = units as usize;
+        if k > units {
+            return None;
+        }
+        if k >= 64 {
+            // Blocks are whole runs of k/64 words.
+            let step_words = k / 64;
+            let mut start = 0;
+            while start + k <= units {
+                let w0 = start / 64;
+                if self.words[w0..w0 + step_words].iter().all(|&w| w == 0) {
+                    return Some(start as u16);
+                }
+                start += k;
+            }
+            return None;
+        }
+        // k < 64: aligned blocks never cross a word boundary. Bits at
+        // multiples of k within a word: 0x…0101 for k=8, etc.
+        let stride_pattern = u64::MAX / ((1u64 << k) - 1);
+        let mut w = 0;
+        while w * 64 < units {
+            let valid = (units - w * 64).min(64);
+            let mut free = !self.words[w];
+            if valid < 64 {
+                free &= (1u64 << valid) - 1;
+            }
+            // After folding shifts 1, 2, …, k/2, bit b survives iff bits
+            // b..b+k are all free.
+            let mut m = free;
+            let mut run = 1;
+            while run < k {
+                m &= m >> run;
+                run <<= 1;
+            }
+            let cand = m & stride_pattern;
+            if cand != 0 {
+                return Some((w * 64 + cand.trailing_zeros() as usize) as u16);
+            }
+            w += 1;
+        }
+        None
+    }
+
+    // -- per-bit reference implementations --------------------------------
+    //
+    // The pre-word-level range ops, kept verbatim so differential tests
+    // and the allocator microbench can compare the optimized word loops
+    // against the original bookkeeping bit by bit.
+
+    /// Per-bit reference for [`UnitMask::set_range`].
+    #[doc(hidden)]
+    pub fn set_range_naive(&mut self, start: u16, len: u16) {
+        let (start, end) = range_bounds(start, len);
+        for bit in start..end {
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Per-bit reference for [`UnitMask::clear_range`].
+    #[doc(hidden)]
+    pub fn clear_range_naive(&mut self, start: u16, len: u16) {
+        let (start, end) = range_bounds(start, len);
+        for bit in start..end {
+            self.words[bit / 64] &= !(1u64 << (bit % 64));
+        }
+    }
+
+    /// Per-bit reference for [`UnitMask::range_is_set`].
+    #[doc(hidden)]
+    pub fn range_is_set_naive(&self, start: u16, len: u16) -> bool {
+        let (start, end) = range_bounds(start, len);
+        (start..end).all(|bit| self.words[bit / 64] & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Per-bit reference for [`UnitMask::range_is_clear`].
+    #[doc(hidden)]
+    pub fn range_is_clear_naive(&self, start: u16, len: u16) -> bool {
+        let (start, end) = range_bounds(start, len);
+        (start..end).all(|bit| self.words[bit / 64] & (1u64 << (bit % 64)) == 0)
+    }
+
+    /// Per-probe reference for [`UnitMask::first_clear_aligned_block`]:
+    /// the original stepping search over per-bit range tests.
+    #[doc(hidden)]
+    pub fn first_clear_aligned_block_naive(&self, k: u16, units: u16) -> Option<u16> {
+        let mut start = 0u16;
+        while start + k <= units {
+            if self.range_is_clear_naive(start, k) {
+                return Some(start);
+            }
+            start += k;
+        }
+        None
     }
 }
 

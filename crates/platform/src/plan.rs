@@ -20,6 +20,22 @@
 //! profile is always either the requested lower bound or the release time
 //! of some commitment (capacity/shape only improves at releases), so
 //! [`Plan::earliest_start`] scans exactly those candidate instants.
+//!
+//! ## Memoized base profiles (hot path)
+//!
+//! Every base commitment starts at the snapshot instant (they are the
+//! *running* jobs), so the base load is a monotone step function of time:
+//! capacity only returns at release instants. Each plan therefore builds,
+//! once at construction, a sorted timeline of distinct base release
+//! instants with the cumulative load (node level / busy-unit mask) still
+//! held from each instant on. Queries answer the base part with one
+//! binary search and only scan the *overlay* — the few speculative
+//! commitments added by `commit_at` — linearly. The overlay is shared
+//! copy-free across all permutation candidates of a window search:
+//! commit pushes, rollback pops, and the base profile is never touched.
+//! [`Plan::set_reference`] switches a plan back to the original
+//! full-scan query path; the differential suite in
+//! `tests/hotpath_identity.rs` proves both paths byte-identical.
 
 use amjs_sim::{SimDuration, SimTime};
 
@@ -125,6 +141,140 @@ pub trait Plan: Clone {
     /// Number of commitments, including the base running jobs. Exposed
     /// for cost accounting in benchmarks.
     fn commitment_count(&self) -> usize;
+
+    /// Switch the plan to its naive (pre-memoization) reference query
+    /// path. Differential-testing hook: answers must be identical either
+    /// way; the reference path simply rescans every commitment per query
+    /// instead of using the memoized base profile. Default: no-op (plans
+    /// without an optimized path have nothing to switch).
+    fn set_reference(&mut self, _on: bool) {}
+
+    /// Whether [`Plan::set_reference`] routed this plan onto the naive
+    /// path. Callers that layer their own shortcut structures over plan
+    /// queries (e.g. the fair-share drain's proven-interval pruning)
+    /// consult this to keep reference runs fully naive.
+    fn is_reference(&self) -> bool {
+        false
+    }
+
+    /// How many of `sizes` (node requests, in request order) fit
+    /// simultaneously at `now` under greedy placement, checking
+    /// occupancy at the instant `now` only. Exact *only* while every
+    /// overlay commitment starts at `now`: then busy capacity over any
+    /// window starting at `now` equals busy capacity at `now`, so a
+    /// single-instant walk reproduces what sequential
+    /// [`Plan::place_earliest`] calls would decide. The fair-start
+    /// drain uses this as its all-at-`now` fast path; plans without an
+    /// efficient walk may return 0 (callers fall back to the full
+    /// drain). Stops early at a request larger than the machine.
+    fn fit_now_count(&self, _sizes: &[Nodes]) -> usize {
+        0
+    }
+}
+
+/// Merged, deduplicated ascending walk over the memoized base release
+/// instants and the plan's incrementally sorted overlay ends — exactly
+/// the candidate sequence the naive path builds with an allocation and
+/// a sort per call. `overlay_ends` must be sorted ascending; duplicate
+/// values are skipped during the walk.
+fn merged_end_candidates(
+    base_ends: &[SimTime],
+    overlay_ends: &[SimTime],
+    not_before: SimTime,
+    mut try_candidate: impl FnMut(SimTime) -> bool,
+) -> Option<SimTime> {
+    let mut bi = base_ends.partition_point(|&e| e <= not_before);
+    let mut oi = overlay_ends.partition_point(|&e| e <= not_before);
+    loop {
+        let t = match (base_ends.get(bi), overlay_ends.get(oi)) {
+            (Some(&b), Some(&o)) => {
+                if b <= o {
+                    bi += 1;
+                    b
+                } else {
+                    oi += 1;
+                    o
+                }
+            }
+            (Some(&b), None) => {
+                bi += 1;
+                b
+            }
+            (None, Some(&o)) => {
+                oi += 1;
+                o
+            }
+            (None, None) => return None,
+        };
+        // Skip overlay duplicates of the yielded instant (the naive
+        // path deduplicates its collected candidate list).
+        while overlay_ends.get(oi) == Some(&t) {
+            oi += 1;
+        }
+        if try_candidate(t) {
+            return Some(t);
+        }
+    }
+}
+
+/// Insert `end` into an ascending overlay-end list (duplicates kept —
+/// the list is a sorted multiset, one entry per overlay commitment).
+#[inline]
+fn overlay_ends_insert(ends: &mut Vec<SimTime>, end: SimTime) {
+    let pos = ends.partition_point(|&e| e <= end);
+    ends.insert(pos, end);
+}
+
+/// Remove one instance of `end` from an ascending overlay-end list.
+#[inline]
+fn overlay_ends_remove(ends: &mut Vec<SimTime>, end: SimTime) {
+    let pos = ends.partition_point(|&e| e < end);
+    debug_assert!(ends.get(pos) == Some(&end), "overlay end list out of sync");
+    ends.remove(pos);
+}
+
+/// Ensure the overlay timeline has a breakpoint at `t`; return its
+/// segment index. Segment `i` covers `[times[i], times[i+1])` (the last
+/// one extends forever); `vals[i]` is the overlay load in that segment.
+/// `t` must be at or after the timeline origin (`times[0]`, the plan's
+/// `now`) — overlay commitments never start in the past.
+fn timeline_split<V: Copy>(times: &mut Vec<SimTime>, vals: &mut Vec<V>, t: SimTime) -> usize {
+    let i = times.partition_point(|&x| x < t);
+    if times.get(i) == Some(&t) {
+        return i;
+    }
+    debug_assert!(
+        i > 0,
+        "overlay commitments never start before the plan origin"
+    );
+    let carried = vals[i - 1];
+    times.insert(i, t);
+    vals.insert(i, carried);
+    i
+}
+
+/// Apply `f` to every overlay timeline segment covering `[start, end)`,
+/// splitting boundary segments as needed. Because concurrent placements
+/// are disjoint (levels add, blocks never share units while live), the
+/// inverse update applied over the same interval removes a commitment
+/// exactly — rollback and deactivation need no undo journal. Stale
+/// breakpoints left behind by removals are harmless (adjacent equal
+/// segments) and die with the plan clone at the end of the pass.
+fn timeline_apply<V: Copy>(
+    times: &mut Vec<SimTime>,
+    vals: &mut Vec<V>,
+    start: SimTime,
+    end: SimTime,
+    mut f: impl FnMut(&mut V),
+) {
+    if start >= end {
+        return;
+    }
+    let s = timeline_split(times, vals, start);
+    let e = timeline_split(times, vals, end);
+    for v in &mut vals[s..e] {
+        f(v);
+    }
 }
 
 /// One busy interval of the profile.
@@ -167,6 +317,26 @@ pub struct FlatPlan {
     down: Nodes,
     base_len: usize,
     commitments: Vec<Commitment>,
+    /// Distinct base release instants, ascending (memoized profile).
+    base_ends: Vec<SimTime>,
+    /// `base_level[i]` = nodes still held by base commitments at any
+    /// instant in `[base_ends[i-1], base_ends[i])`; one trailing 0 for
+    /// "after the last release". (Base commitments all start at `now`,
+    /// so the base load is non-increasing.)
+    base_level: Vec<Nodes>,
+    /// Current end instant of every overlay commitment, kept sorted
+    /// ascending (a multiset) so candidate walks need no allocation.
+    overlay_ends: Vec<SimTime>,
+    /// Overlay load timeline: `overlay_level[i]` nodes are held by
+    /// overlay commitments during `[overlay_times[i], overlay_times[i+1])`
+    /// (the last segment extends forever). Kept exact under commit,
+    /// rollback, and deactivation, so every query costs the segments it
+    /// touches instead of a scan over all overlay commitments.
+    overlay_times: Vec<SimTime>,
+    overlay_level: Vec<Nodes>,
+    /// Route queries through the naive full-scan path (differential
+    /// testing; see [`Plan::set_reference`]).
+    reference: bool,
 }
 
 impl FlatPlan {
@@ -182,12 +352,39 @@ impl FlatPlan {
                 end: release.max(now + SimDuration::from_secs(1)),
             })
             .collect();
+        // Memoize the base step profile: per distinct release instant,
+        // the load still held from the *previous* instant up to it.
+        let mut by_end: Vec<(SimTime, Nodes)> =
+            commitments.iter().map(|c| (c.end, c.unit_len)).collect();
+        by_end.sort_unstable_by_key(|&(e, _)| e);
+        let mut base_ends: Vec<SimTime> = Vec::with_capacity(by_end.len());
+        let mut releasing: Vec<Nodes> = Vec::new();
+        for (e, n) in by_end {
+            if base_ends.last() == Some(&e) {
+                *releasing.last_mut().expect("paired with base_ends") += n;
+            } else {
+                base_ends.push(e);
+                releasing.push(n);
+            }
+        }
+        // Suffix-sum the per-instant releases into levels: the level
+        // before instant i is everything releasing at i or later.
+        let mut base_level: Vec<Nodes> = vec![0; base_ends.len() + 1];
+        for i in (0..base_ends.len()).rev() {
+            base_level[i] = base_level[i + 1] + releasing[i];
+        }
         FlatPlan {
             now,
             total,
             down: 0,
             base_len: commitments.len(),
             commitments,
+            base_ends,
+            base_level,
+            overlay_ends: Vec::new(),
+            overlay_times: vec![now],
+            overlay_level: vec![0],
+            reference: false,
         }
     }
 
@@ -204,13 +401,88 @@ impl FlatPlan {
         self.total - self.down
     }
 
-    /// Nodes in use at instant `t` according to the plan.
-    fn used_at(&self, t: SimTime) -> Nodes {
+    /// Nodes in use at instant `t` according to the plan (naive: full
+    /// commitment scan — the reference path).
+    fn used_at_naive(&self, t: SimTime) -> Nodes {
         self.commitments
             .iter()
             .filter(|c| c.start <= t && t < c.end)
             .map(|c| c.unit_len)
             .sum()
+    }
+
+    /// Base load at instant `t` (memoized suffix-sum profile).
+    fn base_at(&self, t: SimTime) -> Nodes {
+        if t < self.now {
+            // Base commitments start at `now`; before it they hold
+            // nothing (matches the naive `c.start <= t` filter).
+            0
+        } else {
+            self.base_level[self.base_ends.partition_point(|&e| e <= t)]
+        }
+    }
+
+    /// Overlay load at instant `t` (timeline segment lookup).
+    fn overlay_at(&self, t: SimTime) -> Nodes {
+        let i = self.overlay_times.partition_point(|&x| x <= t);
+        if i == 0 {
+            0
+        } else {
+            self.overlay_level[i - 1]
+        }
+    }
+
+    /// Nodes in use at instant `t`: memoized base level + overlay
+    /// timeline lookup.
+    fn used_at_fast(&self, t: SimTime) -> Nodes {
+        self.base_at(t) + self.overlay_at(t)
+    }
+
+    fn can_place_at_naive(&self, nodes: Nodes, start: SimTime, duration: SimDuration) -> bool {
+        let end = start + duration.max(SimDuration::from_secs(1));
+        // Capacity only decreases at commitment starts, so checking the
+        // window start plus every commitment start inside the window
+        // covers all minima of free capacity.
+        if self.used_at_naive(start) + nodes > self.in_service() {
+            return false;
+        }
+        for c in &self.commitments {
+            if c.start > start
+                && c.start < end
+                && self.used_at_naive(c.start) + nodes > self.in_service()
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn can_place_at_fast(&self, nodes: Nodes, start: SimTime, duration: SimDuration) -> bool {
+        let end = start + duration.max(SimDuration::from_secs(1));
+        let cap = self.in_service();
+        if self.used_at_fast(start) + nodes > cap {
+            return false;
+        }
+        // Base commitments all start at `now`: the only base probe
+        // instant the naive scan would visit is `now` itself.
+        if self.base_len > 0
+            && self.now > start
+            && self.now < end
+            && self.used_at_fast(self.now) + nodes > cap
+        {
+            return false;
+        }
+        // The load sum only rises at overlay breakpoints after `start`
+        // (the base level never rises past `now`), so probing every
+        // timeline breakpoint inside the window covers all maxima.
+        let mut i = self.overlay_times.partition_point(|&x| x <= start);
+        while i < self.overlay_times.len() && self.overlay_times[i] < end {
+            if self.base_at(self.overlay_times[i]) + self.overlay_level[i] + nodes > cap {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 }
 
@@ -232,20 +504,11 @@ impl Plan for FlatPlan {
         if nodes > self.in_service() {
             return false;
         }
-        let end = start + duration.max(SimDuration::from_secs(1));
-        // Capacity only decreases at commitment starts, so checking the
-        // window start plus every commitment start inside the window
-        // covers all minima of free capacity.
-        if self.used_at(start) + nodes > self.in_service() {
-            return false;
+        if self.reference {
+            self.can_place_at_naive(nodes, start, duration)
+        } else {
+            self.can_place_at_fast(nodes, start, duration)
         }
-        for c in &self.commitments {
-            if c.start > start && c.start < end && self.used_at(c.start) + nodes > self.in_service()
-            {
-                return false;
-            }
-        }
-        true
     }
 
     fn earliest_start(&self, nodes: Nodes, duration: SimDuration, not_before: SimTime) -> SimTime {
@@ -257,18 +520,26 @@ impl Plan for FlatPlan {
         if self.can_place_at(nodes, not_before, duration) {
             return not_before;
         }
-        let mut candidates: Vec<SimTime> = self
-            .commitments
-            .iter()
-            .map(|c| c.end)
-            .filter(|&e| e > not_before)
-            .collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-        for t in candidates {
-            if self.can_place_at(nodes, t, duration) {
-                return t;
+        if self.reference {
+            let mut candidates: Vec<SimTime> = self
+                .commitments
+                .iter()
+                .map(|c| c.end)
+                .filter(|&e| e > not_before)
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            for t in candidates {
+                if self.can_place_at(nodes, t, duration) {
+                    return t;
+                }
             }
+        } else if let Some(t) =
+            merged_end_candidates(&self.base_ends, &self.overlay_ends, not_before, |t| {
+                self.can_place_at_fast(nodes, t, duration)
+            })
+        {
+            return t;
         }
         unreachable!("a job no larger than the machine fits after all releases")
     }
@@ -283,12 +554,22 @@ impl Plan for FlatPlan {
             return None;
         }
         let nodes = self.rounded_size(nodes);
+        let end = start + duration.max(SimDuration::from_secs(1));
+        debug_assert!(start >= self.now, "placements never start in the past");
         self.commitments.push(Commitment {
             unit_start: 0,
             unit_len: nodes,
             start,
-            end: start + duration.max(SimDuration::from_secs(1)),
+            end,
         });
+        overlay_ends_insert(&mut self.overlay_ends, end);
+        timeline_apply(
+            &mut self.overlay_times,
+            &mut self.overlay_level,
+            start,
+            end,
+            |v| *v += nodes,
+        );
         Some(PlanToken(self.commitments.len() - 1))
     }
 
@@ -298,7 +579,15 @@ impl Plan for FlatPlan {
             "cannot roll back a base (running-job) commitment"
         );
         assert_eq!(token.0, self.commitments.len() - 1, "rollback must be LIFO");
-        self.commitments.pop();
+        let c = self.commitments.pop().expect("LIFO token checked above");
+        overlay_ends_remove(&mut self.overlay_ends, c.end);
+        timeline_apply(
+            &mut self.overlay_times,
+            &mut self.overlay_level,
+            c.start,
+            c.end,
+            |v| *v -= c.unit_len,
+        );
     }
 
     fn hint_of(&self, _token: &PlanToken) -> PlacementHint {
@@ -310,11 +599,51 @@ impl Plan for FlatPlan {
             token.0 >= self.base_len,
             "cannot deactivate a base (running-job) commitment"
         );
+        let (start, old_end, nodes) = {
+            let c = &self.commitments[token.0];
+            (c.start, c.end, c.unit_len)
+        };
         self.commitments[token.0].void();
+        // Voiding moves the commitment's end to its start; mirror that
+        // in the sorted end list (the naive path still collects the
+        // voided end value as a candidate) and release its load.
+        overlay_ends_remove(&mut self.overlay_ends, old_end);
+        overlay_ends_insert(&mut self.overlay_ends, start);
+        timeline_apply(
+            &mut self.overlay_times,
+            &mut self.overlay_level,
+            start,
+            old_end,
+            |v| *v -= nodes,
+        );
     }
 
     fn commitment_count(&self) -> usize {
         self.commitments.len()
+    }
+
+    fn set_reference(&mut self, on: bool) {
+        self.reference = on;
+    }
+
+    fn is_reference(&self) -> bool {
+        self.reference
+    }
+
+    fn fit_now_count(&self, sizes: &[Nodes]) -> usize {
+        if self.reference {
+            return 0; // keep the reference path on the full drain
+        }
+        let cap = self.in_service();
+        let mut used = self.used_at_fast(self.now);
+        for (i, &n) in sizes.iter().enumerate() {
+            let n = self.rounded_size(n);
+            if used + n > cap {
+                return i;
+            }
+            used += n;
+        }
+        sizes.len()
     }
 }
 
@@ -335,6 +664,34 @@ pub struct PartitionPlan {
     down: UnitMask,
     base_len: usize,
     commitments: Vec<Commitment>,
+    /// Distinct base release instants, ascending (memoized profile).
+    base_ends: Vec<SimTime>,
+    /// `cum_masks[i]` = union of base blocks still held at any instant in
+    /// `[base_ends[i-1], base_ends[i])`; one trailing empty mask for
+    /// "after the last release". (Base blocks all start at `now`, so the
+    /// busy-unit set only shrinks, at release instants.)
+    cum_masks: Vec<UnitMask>,
+    /// Current end instant of every overlay commitment, kept sorted
+    /// ascending (a multiset) so candidate walks need no allocation.
+    overlay_ends: Vec<SimTime>,
+    /// Overlay busy timeline: `mask_pool[overlay_seg[i]]` is the union
+    /// of units held by overlay commitments during `[overlay_times[i],
+    /// overlay_times[i+1])` (the last segment extends forever). Live
+    /// overlay blocks never share units at overlapping instants (each
+    /// commit checks the busy mask first), so clearing a block's range
+    /// removes it exactly — rollback and deactivation stay journal-free.
+    /// Masks live in an append-only pool (one entry per segment) so
+    /// splitting a segment shifts 12-byte entries, not 128-byte masks.
+    overlay_times: Vec<SimTime>,
+    overlay_seg: Vec<u32>,
+    mask_pool: Vec<UnitMask>,
+    /// `units.div_ceil(64)`: how many mask words this machine can touch.
+    /// Busy-mask ORs stop there instead of walking all of
+    /// [`crate::mask::MAX_UNITS`].
+    mask_words: usize,
+    /// Route queries through the naive full-scan path (differential
+    /// testing; see [`Plan::set_reference`]).
+    reference: bool,
 }
 
 impl PartitionPlan {
@@ -360,6 +717,29 @@ impl PartitionPlan {
                 end: release.max(now + SimDuration::from_secs(1)),
             })
             .collect();
+        // Memoize the base mask profile: cumulative union of the blocks
+        // still held before each distinct release instant.
+        let mut order: Vec<usize> = (0..commitments.len()).collect();
+        order.sort_unstable_by_key(|&i| commitments[i].end);
+        let mut base_ends: Vec<SimTime> = Vec::new();
+        for &i in &order {
+            if base_ends.last() != Some(&commitments[i].end) {
+                base_ends.push(commitments[i].end);
+            }
+        }
+        let mut cum_masks: Vec<UnitMask> = vec![UnitMask::empty(); base_ends.len() + 1];
+        for &i in order.iter().rev() {
+            let c = &commitments[i];
+            let slot = base_ends.partition_point(|&e| e < c.end);
+            debug_assert_eq!(base_ends[slot], c.end);
+            cum_masks[slot].set_range(c.unit_start, c.unit_len as u16);
+        }
+        // Suffix-OR: the mask before instant i holds everything
+        // releasing at i or later.
+        for i in (0..base_ends.len()).rev() {
+            let next = cum_masks[i + 1];
+            cum_masks[i].or_with(&next);
+        }
         PartitionPlan {
             now,
             units,
@@ -368,6 +748,48 @@ impl PartitionPlan {
             down: UnitMask::empty(),
             base_len: commitments.len(),
             commitments,
+            base_ends,
+            cum_masks,
+            overlay_ends: Vec::new(),
+            overlay_times: vec![now],
+            overlay_seg: vec![0],
+            mask_pool: vec![UnitMask::empty()],
+            mask_words: (units as usize).div_ceil(64),
+            reference: false,
+        }
+    }
+
+    /// Ensure the overlay timeline has a breakpoint at `t`; return its
+    /// segment index. New segments get a fresh pool entry (pool indices
+    /// are never shared between segments, so in-place mask edits stay
+    /// per-segment).
+    fn tl_split(&mut self, t: SimTime) -> usize {
+        let i = self.overlay_times.partition_point(|&x| x < t);
+        if self.overlay_times.get(i) == Some(&t) {
+            return i;
+        }
+        debug_assert!(
+            i > 0,
+            "overlay commitments never start before the plan origin"
+        );
+        let carried = self.mask_pool[self.overlay_seg[i - 1] as usize];
+        self.mask_pool.push(carried);
+        self.overlay_times.insert(i, t);
+        self.overlay_seg
+            .insert(i, (self.mask_pool.len() - 1) as u32);
+        i
+    }
+
+    /// Apply `f` to the mask of every overlay segment covering
+    /// `[start, end)`, splitting boundary segments as needed.
+    fn tl_apply(&mut self, start: SimTime, end: SimTime, f: impl Fn(&mut UnitMask)) {
+        if start >= end {
+            return;
+        }
+        let s = self.tl_split(start);
+        let e = self.tl_split(end);
+        for &idx in &self.overlay_seg[s..e] {
+            f(&mut self.mask_pool[idx as usize]);
         }
     }
 
@@ -394,8 +816,9 @@ impl PartitionPlan {
     }
 
     /// Bitmask of units unusable at any point during `[start, end)`:
-    /// busy with a commitment or out of service.
-    fn busy_mask(&self, start: SimTime, end: SimTime) -> UnitMask {
+    /// busy with a commitment or out of service. (Naive: full commitment
+    /// scan — the reference path.)
+    fn busy_mask_naive(&self, start: SimTime, end: SimTime) -> UnitMask {
         let mut mask = self.down;
         for c in &self.commitments {
             if c.overlaps_time(start, end) {
@@ -405,19 +828,60 @@ impl PartitionPlan {
         mask
     }
 
+    /// Busy mask over `[start, end)`: memoized cumulative base mask +
+    /// overlay timeline segments covering the window.
+    fn busy_mask_fast(&self, start: SimTime, end: SimTime) -> UnitMask {
+        let mut mask = self.down;
+        // Base blocks all run over [now, release): one overlaps the
+        // query window iff now < end and its release is after `start`.
+        if self.base_len > 0 && self.now < end {
+            let other = self.cum_masks[self.base_ends.partition_point(|&e| e <= start)];
+            mask.or_with_words(&other, self.mask_words);
+        }
+        let mut i = self.overlay_times.partition_point(|&x| x <= start);
+        if i > 0 {
+            mask.or_with_words(
+                &self.mask_pool[self.overlay_seg[i - 1] as usize],
+                self.mask_words,
+            );
+        }
+        while i < self.overlay_times.len() && self.overlay_times[i] < end {
+            mask.or_with_words(
+                &self.mask_pool[self.overlay_seg[i] as usize],
+                self.mask_words,
+            );
+            i += 1;
+        }
+        mask
+    }
+
+    #[inline]
+    fn busy_mask(&self, start: SimTime, end: SimTime) -> UnitMask {
+        if self.reference {
+            self.busy_mask_naive(start, end)
+        } else {
+            self.busy_mask_fast(start, end)
+        }
+    }
+
     /// Lowest-index aligned free block of `k` units under `busy`, if any.
     fn find_free_block(&self, k: u16, busy: &UnitMask) -> Option<u16> {
         if k == self.units {
+            // Also covers the non-power-of-two full-machine rounding.
             return busy.is_empty().then_some(0);
         }
-        let mut start = 0u16;
-        while start + k <= self.units {
-            if busy.range_is_clear(start, k) {
-                return Some(start);
+        if self.reference {
+            let mut start = 0u16;
+            while start + k <= self.units {
+                if busy.range_is_clear(start, k) {
+                    return Some(start);
+                }
+                start += k;
             }
-            start += k;
+            None
+        } else {
+            busy.first_clear_aligned_block(k, self.units)
         }
-        None
     }
 }
 
@@ -459,18 +923,28 @@ impl Plan for PartitionPlan {
         if self.can_place_at(nodes, not_before, duration) {
             return not_before;
         }
-        let mut candidates: Vec<SimTime> = self
-            .commitments
-            .iter()
-            .map(|c| c.end)
-            .filter(|&e| e > not_before)
-            .collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-        for t in candidates {
-            if self.can_place_at(nodes, t, duration) {
-                return t;
+        if self.reference {
+            let mut candidates: Vec<SimTime> = self
+                .commitments
+                .iter()
+                .map(|c| c.end)
+                .filter(|&e| e > not_before)
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            for t in candidates {
+                if self.can_place_at(nodes, t, duration) {
+                    return t;
+                }
             }
+        } else if let Some(t) =
+            merged_end_candidates(&self.base_ends, &self.overlay_ends, not_before, |t| {
+                let end = t + duration.max(SimDuration::from_secs(1));
+                let busy = self.busy_mask_fast(t, end);
+                self.find_free_block(k, &busy).is_some()
+            })
+        {
+            return t;
         }
         unreachable!("a job no larger than the machine fits after all releases")
     }
@@ -485,12 +959,15 @@ impl Plan for PartitionPlan {
         let end = start + duration.max(SimDuration::from_secs(1));
         let busy = self.busy_mask(start, end);
         let block = self.find_free_block(k, &busy)?;
+        debug_assert!(start >= self.now, "placements never start in the past");
         self.commitments.push(Commitment {
             unit_start: block,
             unit_len: k as u32,
             start,
             end,
         });
+        overlay_ends_insert(&mut self.overlay_ends, end);
+        self.tl_apply(start, end, |m| m.set_range(block, k));
         Some(PlanToken(self.commitments.len() - 1))
     }
 
@@ -500,7 +977,11 @@ impl Plan for PartitionPlan {
             "cannot roll back a base (running-job) commitment"
         );
         assert_eq!(token.0, self.commitments.len() - 1, "rollback must be LIFO");
-        self.commitments.pop();
+        let c = self.commitments.pop().expect("LIFO token checked above");
+        overlay_ends_remove(&mut self.overlay_ends, c.end);
+        self.tl_apply(c.start, c.end, |m| {
+            m.clear_range(c.unit_start, c.unit_len as u16)
+        });
     }
 
     fn hint_of(&self, token: &PlanToken) -> PlacementHint {
@@ -516,11 +997,49 @@ impl Plan for PartitionPlan {
             token.0 >= self.base_len,
             "cannot deactivate a base (running-job) commitment"
         );
+        let (start, old_end, block, k) = {
+            let c = &self.commitments[token.0];
+            (c.start, c.end, c.unit_start, c.unit_len as u16)
+        };
         self.commitments[token.0].void();
+        // Voiding moves the commitment's end to its start; mirror that
+        // in the sorted end list (the naive path still collects the
+        // voided end value as a candidate) and release its block.
+        overlay_ends_remove(&mut self.overlay_ends, old_end);
+        overlay_ends_insert(&mut self.overlay_ends, start);
+        self.tl_apply(start, old_end, |m| m.clear_range(block, k));
     }
 
     fn commitment_count(&self) -> usize {
         self.commitments.len()
+    }
+
+    fn set_reference(&mut self, on: bool) {
+        self.reference = on;
+    }
+
+    fn is_reference(&self) -> bool {
+        self.reference
+    }
+
+    fn fit_now_count(&self, sizes: &[Nodes]) -> usize {
+        if self.reference {
+            return 0; // keep the reference path on the full drain
+        }
+        // Busy units at the instant `now` (base, overlay, and down);
+        // the greedy walk packs blocks into it exactly as sequential
+        // commits at `now` would.
+        let mut busy = self.busy_mask_fast(self.now, self.now + SimDuration::from_secs(1));
+        for (i, &n) in sizes.iter().enumerate() {
+            let Some(k) = self.rounded_units(n) else {
+                return i;
+            };
+            let Some(block) = self.find_free_block(k, &busy) else {
+                return i;
+            };
+            busy.set_range(block, k);
+        }
+        sizes.len()
     }
 }
 

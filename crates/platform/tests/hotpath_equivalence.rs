@@ -1,0 +1,230 @@
+//! Property tests for the incremental hot path (ISSUE 9): the
+//! word-level mask walks and the memoized plan profiles must agree with
+//! their naive counterparts on every answer, across thousands of seeded
+//! random scripts.
+//!
+//! Two layers are exercised:
+//!
+//! * [`UnitMask`] word-parallel range ops vs the bit-at-a-time naive
+//!   variants (the bitset buddy allocator's primitive layer);
+//! * [`FlatPlan`]/[`PartitionPlan`] fast queries (overlay timelines,
+//!   merged end-candidate walks, `fit_now_count` re-commits) vs the
+//!   reference full-scan path selected by [`Plan::set_reference`] — the
+//!   same differential the runner-level `hotpath_identity` suite checks
+//!   end-to-end, here hammered with adversarial op mixes including
+//!   mid-script `mark_down`-style outages.
+
+use amjs_platform::mask::UnitMask;
+use amjs_platform::plan::{FlatPlan, PartitionPlan, Plan, PlanToken};
+use amjs_platform::Nodes;
+use amjs_sim::rng::Xoshiro256;
+use amjs_sim::{SimDuration, SimTime};
+
+const UNITS: u16 = 80; // Intrepid: 80 midplanes
+
+/// Word-level mask ops agree with the naive bit loops on 2000 seeded
+/// scripts of mixed range edits and buddy-block queries.
+#[test]
+fn mask_word_ops_match_naive_on_random_scripts() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5eed_5a5c);
+    for _case in 0..2000 {
+        let mut fast = UnitMask::empty();
+        let mut naive = UnitMask::empty();
+        for _op in 0..24 {
+            let start = rng.next_below(UNITS as u64) as u16;
+            let len = 1 + rng.next_below((UNITS - start) as u64) as u16;
+            match rng.next_below(3) {
+                0 => {
+                    fast.set_range(start, len);
+                    naive.set_range_naive(start, len);
+                }
+                1 => {
+                    fast.clear_range(start, len);
+                    naive.clear_range_naive(start, len);
+                }
+                _ => {
+                    let mut other = UnitMask::empty();
+                    other.set_range(start, len);
+                    fast.or_with_words(&other, (UNITS as usize).div_ceil(64));
+                    naive.or_with(&other);
+                }
+            }
+            assert_eq!(fast, naive, "masks diverged after an edit");
+            assert_eq!(
+                fast.range_is_clear(start, len),
+                naive.range_is_clear_naive(start, len)
+            );
+            assert_eq!(
+                fast.range_is_set(start, len),
+                naive.range_is_set_naive(start, len)
+            );
+            // Buddy queries at every power-of-two block size.
+            let mut k = 1u16;
+            while k <= 64 {
+                assert_eq!(
+                    fast.first_clear_aligned_block(k, UNITS),
+                    naive.first_clear_aligned_block_naive(k, UNITS),
+                    "buddy scan diverged at k={k}"
+                );
+                k *= 2;
+            }
+        }
+    }
+}
+
+/// One random plan op: the same action is applied to the fast and the
+/// reference plan, and every query answer must match.
+fn drive_plans<P: Plan + Clone>(mut fast: P, mut reference: P, seed: u64, ops: usize) {
+    reference.set_reference(true);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let now = fast.now();
+    let total = fast.total_nodes();
+    // Token pairs (fast, reference) of live commitments, newest last.
+    // Rollback is LIFO-only, deactivation is position-free.
+    let mut live: Vec<(PlanToken, PlanToken)> = Vec::new();
+
+    // fit_now_count is specified only for plans whose overlay is empty
+    // (the fair-share drain calls it on the base snapshot): base busy
+    // never rises after `now`, so its single-instant walk must describe
+    // real sequential placements. Check that here, on the pristine
+    // plan, before the script grows a future-dated overlay.
+    let sizes: Vec<Nodes> = (0..6)
+        .map(|_| 1 + rng.next_below((total / 2).max(1) as u64) as Nodes)
+        .collect();
+    let fit = fast.fit_now_count(&sizes);
+    assert!(fit <= sizes.len());
+    {
+        let mut probe = fast.clone();
+        for &n in &sizes[..fit] {
+            assert!(
+                probe
+                    .commit_at(n, now, SimDuration::from_mins(90))
+                    .is_some(),
+                "fit_now_count promised a placement that does not exist (seed {seed})"
+            );
+        }
+        if fit < sizes.len() {
+            assert!(
+                probe
+                    .commit_at(sizes[fit], now, SimDuration::from_mins(90))
+                    .is_none(),
+                "fit_now_count stopped although the next size still fits (seed {seed})"
+            );
+        }
+    }
+
+    for _op in 0..ops {
+        let nodes = 1 + rng.next_below(total as u64) as Nodes;
+        let dur = SimDuration::from_mins(1 + rng.next_below(600) as i64);
+        let not_before = now + SimDuration::from_mins(rng.next_below(900) as i64);
+        match rng.next_below(8) {
+            // Queries (most of the mix: they are what must agree).
+            0..=2 => {
+                assert_eq!(
+                    fast.can_place_at(nodes, not_before, dur),
+                    reference.can_place_at(nodes, not_before, dur),
+                    "can_place_at diverged (seed {seed})"
+                );
+            }
+            3..=4 => {
+                assert_eq!(
+                    fast.earliest_start(nodes, dur, not_before),
+                    reference.earliest_start(nodes, dur, not_before),
+                    "earliest_start diverged (seed {seed})"
+                );
+            }
+            // Grow: place at the shared earliest feasible start.
+            5..=6 => {
+                let a = fast.place_earliest(nodes, dur, not_before);
+                let b = reference.place_earliest(nodes, dur, not_before);
+                match (a, b) {
+                    (Some((ta, tok_a)), Some((tb, tok_b))) => {
+                        assert_eq!(ta, tb, "placement start diverged (seed {seed})");
+                        assert_eq!(
+                            fast.hint_of(&tok_a),
+                            reference.hint_of(&tok_b),
+                            "placement hint diverged (seed {seed})"
+                        );
+                        live.push((tok_a, tok_b));
+                    }
+                    (None, None) => {}
+                    _ => panic!("placement feasibility diverged (seed {seed})"),
+                }
+            }
+            // Shrink: LIFO rollback or deactivate a random live token
+            // (the mark_down / job-finish shape: capacity returns).
+            _ => {
+                if live.is_empty() {
+                    continue;
+                }
+                if rng.next_bool(0.5) {
+                    let (tok_a, tok_b) = live.pop().expect("non-empty checked");
+                    fast.rollback(tok_a);
+                    reference.rollback(tok_b);
+                } else {
+                    let i = rng.next_below(live.len() as u64) as usize;
+                    let (tok_a, tok_b) = live.remove(i);
+                    // The commitments above the deactivated one stay in
+                    // the plan, so no older token is LIFO-poppable any
+                    // more: retire the whole rollback pool (the
+                    // commitments themselves stay placed).
+                    live.clear();
+                    fast.deactivate(tok_a);
+                    reference.deactivate(tok_b);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_plan_fast_path_matches_reference() {
+    let mut rng = Xoshiro256::seed_from_u64(0xf1a7);
+    for case in 0..150 {
+        let now = SimTime::from_secs(rng.next_below(100_000) as i64);
+        // A random base load: running jobs with staggered releases.
+        let base: Vec<(Nodes, SimTime)> = (0..rng.next_below(6))
+            .map(|_| {
+                (
+                    1 + rng.next_below(256) as Nodes,
+                    now + SimDuration::from_mins(1 + rng.next_below(300) as i64),
+                )
+            })
+            .collect();
+        let plan = FlatPlan::new(now, 1024, &base);
+        drive_plans(plan.clone(), plan, 0xf1a7_0000 + case, 40);
+    }
+}
+
+#[test]
+fn partition_plan_fast_path_matches_reference() {
+    let mut rng = Xoshiro256::seed_from_u64(0xb67);
+    for case in 0..150 {
+        let now = SimTime::from_secs(rng.next_below(100_000) as i64);
+        // Random non-overlapping running blocks on the midplane line.
+        let mut base: Vec<(u16, u16, SimTime)> = Vec::new();
+        let mut cursor = 0u16;
+        while cursor < UNITS && base.len() < 5 {
+            let len = 1 + rng.next_below(8) as u16;
+            if cursor + len > UNITS {
+                break;
+            }
+            if rng.next_bool(0.5) {
+                base.push((
+                    cursor,
+                    len,
+                    now + SimDuration::from_mins(1 + rng.next_below(300) as i64),
+                ));
+            }
+            cursor += len;
+        }
+        let mut plan = PartitionPlan::new(now, UNITS, 512, &base);
+        if rng.next_bool(0.3) {
+            // Mid-life outage shape: some midplanes out of service.
+            let down_at = rng.next_below(UNITS as u64) as u16;
+            let down_len = 1 + rng.next_below(4) as u16;
+            plan = plan.with_down(UnitMask::block(down_at, down_len.min(UNITS - down_at)));
+        }
+        drive_plans(plan.clone(), plan, 0xb67_0000 + case, 40);
+    }
+}
